@@ -1,0 +1,307 @@
+//! Monomials: products of distinct Boolean variables.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::Var;
+
+/// A product of zero or more distinct Boolean variables.
+///
+/// Because `x² = x` over GF(2), every variable appears at most once; the
+/// variables are stored sorted in increasing index order. The empty monomial
+/// is the multiplicative identity, the constant `1`.
+///
+/// Monomials are ordered by *graded lexicographic* order (first by degree,
+/// then lexicographically on the sorted variable list), which is the term
+/// order used by the XL linearisation and by the Gröbner-basis baseline.
+///
+/// # Examples
+///
+/// ```
+/// use bosphorus_anf::Monomial;
+///
+/// let m = Monomial::from_vars([3, 1, 3]);
+/// assert_eq!(m.degree(), 2);            // duplicates collapse (x*x = x)
+/// assert_eq!(m.to_string(), "x1*x3");
+/// assert!(Monomial::one() < m);          // constant sorts first
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Monomial {
+    /// Sorted, de-duplicated variable indices.
+    vars: Vec<Var>,
+}
+
+impl Monomial {
+    /// The constant monomial `1` (empty product).
+    pub fn one() -> Self {
+        Monomial { vars: Vec::new() }
+    }
+
+    /// The monomial consisting of the single variable `v`.
+    pub fn variable(v: Var) -> Self {
+        Monomial { vars: vec![v] }
+    }
+
+    /// Builds a monomial from an iterator of variables; duplicates collapse.
+    pub fn from_vars<I: IntoIterator<Item = Var>>(vars: I) -> Self {
+        let mut vars: Vec<Var> = vars.into_iter().collect();
+        vars.sort_unstable();
+        vars.dedup();
+        Monomial { vars }
+    }
+
+    /// The number of variables in the monomial (its total degree).
+    pub fn degree(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Returns `true` if this is the constant monomial `1`.
+    pub fn is_one(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// The sorted variable indices.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// Returns `true` if the monomial contains variable `v`.
+    pub fn contains(&self, v: Var) -> bool {
+        self.vars.binary_search(&v).is_ok()
+    }
+
+    /// Product of two monomials (union of their variable sets).
+    ///
+    /// ```
+    /// use bosphorus_anf::Monomial;
+    /// let a = Monomial::from_vars([0, 2]);
+    /// let b = Monomial::from_vars([2, 5]);
+    /// assert_eq!(a.mul(&b), Monomial::from_vars([0, 2, 5]));
+    /// ```
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut vars = Vec::with_capacity(self.vars.len() + other.vars.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.vars.len() && j < other.vars.len() {
+            match self.vars[i].cmp(&other.vars[j]) {
+                Ordering::Less => {
+                    vars.push(self.vars[i]);
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    vars.push(other.vars[j]);
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    vars.push(self.vars[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        vars.extend_from_slice(&self.vars[i..]);
+        vars.extend_from_slice(&other.vars[j..]);
+        Monomial { vars }
+    }
+
+    /// Returns `true` if `self` divides `other`, i.e. every variable of
+    /// `self` also occurs in `other`.
+    pub fn divides(&self, other: &Monomial) -> bool {
+        let mut j = 0;
+        for &v in &self.vars {
+            loop {
+                if j >= other.vars.len() {
+                    return false;
+                }
+                match other.vars[j].cmp(&v) {
+                    Ordering::Less => j += 1,
+                    Ordering::Equal => {
+                        j += 1;
+                        break;
+                    }
+                    Ordering::Greater => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// The quotient `other / self` when `self` divides `other`.
+    ///
+    /// Returns `None` when `self` does not divide `other`.
+    pub fn divide(&self, other: &Monomial) -> Option<Monomial> {
+        if !self.divides(other) {
+            return None;
+        }
+        let vars = other
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| !self.contains(*v))
+            .collect();
+        Some(Monomial { vars })
+    }
+
+    /// Least common multiple of two monomials (same as their product, since
+    /// exponents are at most one).
+    pub fn lcm(&self, other: &Monomial) -> Monomial {
+        self.mul(other)
+    }
+
+    /// Removes variable `v` from the monomial, returning `true` if it was
+    /// present.
+    pub fn remove_var(&mut self, v: Var) -> bool {
+        if let Ok(pos) = self.vars.binary_search(&v) {
+            self.vars.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The largest variable index in the monomial, if any.
+    pub fn max_var(&self) -> Option<Var> {
+        self.vars.last().copied()
+    }
+
+    /// Evaluates the monomial under the predicate `value(v)` giving each
+    /// variable's Boolean value.
+    pub fn evaluate<F: Fn(Var) -> bool>(&self, value: F) -> bool {
+        self.vars.iter().all(|&v| value(v))
+    }
+}
+
+impl PartialOrd for Monomial {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Monomial {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Graded lexicographic: compare degree first, then variable lists.
+        self.degree()
+            .cmp(&other.degree())
+            .then_with(|| self.vars.cmp(&other.vars))
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_one() {
+            return write!(f, "1");
+        }
+        for (i, v) in self.vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, "*")?;
+            }
+            write!(f, "x{v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Monomial({self})")
+    }
+}
+
+impl From<Var> for Monomial {
+    fn from(v: Var) -> Self {
+        Monomial::variable(v)
+    }
+}
+
+impl FromIterator<Var> for Monomial {
+    fn from_iter<I: IntoIterator<Item = Var>>(iter: I) -> Self {
+        Monomial::from_vars(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_is_empty_and_degree_zero() {
+        let one = Monomial::one();
+        assert!(one.is_one());
+        assert_eq!(one.degree(), 0);
+        assert_eq!(one.to_string(), "1");
+        assert_eq!(one.max_var(), None);
+    }
+
+    #[test]
+    fn from_vars_dedups_and_sorts() {
+        let m = Monomial::from_vars([5, 1, 5, 3, 1]);
+        assert_eq!(m.vars(), &[1, 3, 5]);
+        assert_eq!(m.degree(), 3);
+        assert_eq!(m.to_string(), "x1*x3*x5");
+    }
+
+    #[test]
+    fn multiplication_is_idempotent_union() {
+        let a = Monomial::from_vars([0, 2, 4]);
+        let b = Monomial::from_vars([2, 3]);
+        let ab = a.mul(&b);
+        assert_eq!(ab.vars(), &[0, 2, 3, 4]);
+        assert_eq!(a.mul(&a), a, "x*x = x");
+        assert_eq!(a.mul(&Monomial::one()), a);
+    }
+
+    #[test]
+    fn divides_and_divide() {
+        let a = Monomial::from_vars([1, 3]);
+        let b = Monomial::from_vars([1, 2, 3, 4]);
+        assert!(a.divides(&b));
+        assert!(!b.divides(&a));
+        assert_eq!(a.divide(&b), Some(Monomial::from_vars([2, 4])));
+        assert_eq!(b.divide(&a), None);
+        assert!(Monomial::one().divides(&a));
+        assert_eq!(Monomial::one().divide(&a), Some(a.clone()));
+    }
+
+    #[test]
+    fn graded_lex_ordering() {
+        let one = Monomial::one();
+        let x0 = Monomial::variable(0);
+        let x5 = Monomial::variable(5);
+        let x0x1 = Monomial::from_vars([0, 1]);
+        let x0x2 = Monomial::from_vars([0, 2]);
+        assert!(one < x0);
+        assert!(x0 < x5);
+        assert!(x5 < x0x1, "degree dominates variable index");
+        assert!(x0x1 < x0x2);
+    }
+
+    #[test]
+    fn remove_var_updates_monomial() {
+        let mut m = Monomial::from_vars([1, 2, 3]);
+        assert!(m.remove_var(2));
+        assert!(!m.remove_var(2));
+        assert_eq!(m.vars(), &[1, 3]);
+    }
+
+    #[test]
+    fn evaluate_is_conjunction() {
+        let m = Monomial::from_vars([0, 2]);
+        assert!(m.evaluate(|_| true));
+        assert!(!m.evaluate(|v| v == 0));
+        assert!(Monomial::one().evaluate(|_| false), "1 evaluates to true");
+    }
+
+    #[test]
+    fn lcm_equals_product() {
+        let a = Monomial::from_vars([0, 1]);
+        let b = Monomial::from_vars([1, 2]);
+        assert_eq!(a.lcm(&b), a.mul(&b));
+    }
+
+    #[test]
+    fn conversion_traits() {
+        let m: Monomial = 7u32.into();
+        assert_eq!(m, Monomial::variable(7));
+        let c: Monomial = [3u32, 1, 2].into_iter().collect();
+        assert_eq!(c.vars(), &[1, 2, 3]);
+    }
+}

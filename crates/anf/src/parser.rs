@@ -1,0 +1,248 @@
+//! Textual format for ANF polynomials and systems.
+//!
+//! The grammar is deliberately small and matches how the paper writes
+//! systems:
+//!
+//! ```text
+//! system     := (polynomial ';')* [polynomial]
+//! polynomial := term ('+' term)*        -- '+' is XOR
+//! term       := factor ('*' factor)*    -- '*' is AND
+//! factor     := 'x' INDEX | '0' | '1'
+//! ```
+//!
+//! Whitespace (including newlines) is ignored everywhere, and lines starting
+//! with `#` are comments.
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{Monomial, Polynomial, PolynomialSystem};
+
+/// Error returned when a single polynomial fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolynomialError {
+    message: String,
+    input: String,
+}
+
+impl ParsePolynomialError {
+    fn new(message: impl Into<String>, input: impl Into<String>) -> Self {
+        ParsePolynomialError {
+            message: message.into(),
+            input: input.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParsePolynomialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid polynomial {:?}: {}", self.input, self.message)
+    }
+}
+
+impl Error for ParsePolynomialError {}
+
+/// Error returned when a polynomial system fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSystemError {
+    /// Zero-based index of the offending equation in the input.
+    pub equation_index: usize,
+    source: ParsePolynomialError,
+}
+
+impl fmt::Display for ParseSystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "equation {} failed to parse", self.equation_index)
+    }
+}
+
+impl Error for ParseSystemError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+fn parse_factor(token: &str, input: &str) -> Result<Option<Monomial>, ParsePolynomialError> {
+    let token = token.trim();
+    match token {
+        "" => Err(ParsePolynomialError::new("empty factor", input)),
+        "1" => Ok(Some(Monomial::one())),
+        "0" => Ok(None),
+        _ => {
+            let rest = token
+                .strip_prefix('x')
+                .or_else(|| token.strip_prefix('X'))
+                .ok_or_else(|| {
+                    ParsePolynomialError::new(format!("unexpected factor {token:?}"), input)
+                })?;
+            let idx: u32 = rest.parse().map_err(|_| {
+                ParsePolynomialError::new(format!("invalid variable index {rest:?}"), input)
+            })?;
+            Ok(Some(Monomial::variable(idx)))
+        }
+    }
+}
+
+fn parse_term(term: &str, input: &str) -> Result<Option<Monomial>, ParsePolynomialError> {
+    let mut monomial = Monomial::one();
+    for factor in term.split('*') {
+        match parse_factor(factor, input)? {
+            Some(m) => monomial = monomial.mul(&m),
+            // A zero factor annihilates the whole term.
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(monomial))
+}
+
+impl FromStr for Polynomial {
+    type Err = ParsePolynomialError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let cleaned: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        if cleaned.is_empty() {
+            return Err(ParsePolynomialError::new("empty polynomial", s));
+        }
+        let mut poly = Polynomial::zero();
+        for term in cleaned.split('+') {
+            if let Some(m) = parse_term(term, s)? {
+                poly.toggle_monomial(m);
+            }
+        }
+        Ok(poly)
+    }
+}
+
+impl PolynomialSystem {
+    /// Parses a polynomial system from its textual representation.
+    ///
+    /// Equations are separated by `;` (a trailing separator is allowed) and
+    /// lines beginning with `#` are treated as comments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseSystemError`] identifying the first equation that
+    /// fails to parse.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bosphorus_anf::PolynomialSystem;
+    /// let s = PolynomialSystem::parse("# toy system\nx0*x1 + x0 + 1; x1*x2 + x2;")?;
+    /// assert_eq!(s.len(), 2);
+    /// # Ok::<(), bosphorus_anf::ParseSystemError>(())
+    /// ```
+    pub fn parse(input: &str) -> Result<Self, ParseSystemError> {
+        let without_comments: String = input
+            .lines()
+            .filter(|line| !line.trim_start().starts_with('#'))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let mut system = PolynomialSystem::new();
+        for (equation_index, chunk) in without_comments.split(';').enumerate() {
+            if chunk.trim().is_empty() {
+                continue;
+            }
+            let poly: Polynomial = chunk
+                .parse()
+                .map_err(|source| ParseSystemError {
+                    equation_index,
+                    source,
+                })?;
+            system.push(poly);
+        }
+        Ok(system)
+    }
+}
+
+impl FromStr for PolynomialSystem {
+    type Err = ParseSystemError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PolynomialSystem::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_polynomial() {
+        let p: Polynomial = "x1*x2 + x1 + 1".parse().expect("parses");
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.degree(), 2);
+        assert_eq!(p.to_string(), "x1*x2 + x1 + 1");
+    }
+
+    #[test]
+    fn parse_handles_whitespace_and_case() {
+        let p: Polynomial = " X3 * x1 \n + 1 ".parse().expect("parses");
+        assert_eq!(p.to_string(), "x1*x3 + 1");
+    }
+
+    #[test]
+    fn parse_cancels_duplicate_terms() {
+        let p: Polynomial = "x0 + x0 + x1".parse().expect("parses");
+        assert_eq!(p, Polynomial::variable(1));
+    }
+
+    #[test]
+    fn parse_zero_and_one() {
+        let zero: Polynomial = "0".parse().expect("parses");
+        assert!(zero.is_zero());
+        let one: Polynomial = "1".parse().expect("parses");
+        assert!(one.is_one());
+        let annihilated: Polynomial = "0*x3 + x1".parse().expect("parses");
+        assert_eq!(annihilated, Polynomial::variable(1));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<Polynomial>().is_err());
+        assert!("x".parse::<Polynomial>().is_err());
+        assert!("y1 + 1".parse::<Polynomial>().is_err());
+        assert!("x1 + + x2".parse::<Polynomial>().is_err());
+        assert!("x1 * * x2".parse::<Polynomial>().is_err());
+        let err = "x1 + q".parse::<Polynomial>().unwrap_err();
+        assert!(err.to_string().contains("unexpected factor"));
+    }
+
+    #[test]
+    fn parse_system_with_comments_and_trailing_separator() {
+        let s = PolynomialSystem::parse(
+            "# the Table I system\nx1*x2 + x1 + 1;\nx2*x3 + x3;\n",
+        )
+        .expect("parses");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.num_vars(), 4);
+    }
+
+    #[test]
+    fn parse_system_reports_equation_index() {
+        let err = PolynomialSystem::parse("x0 + 1; bogus; x2;").unwrap_err();
+        assert_eq!(err.equation_index, 1);
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn polynomial_display_parse_roundtrip() {
+        for text in [
+            "x0*x1*x2 + x0*x2 + x5 + 1",
+            "x10 + x2",
+            "1",
+            "x7",
+        ] {
+            let p: Polynomial = text.parse().expect("parses");
+            let reparsed: Polynomial = p.to_string().parse().expect("round-trip parses");
+            assert_eq!(p, reparsed);
+        }
+    }
+
+    #[test]
+    fn fromstr_for_system() {
+        let s: PolynomialSystem = "x0; x1 + 1".parse().expect("parses");
+        assert_eq!(s.len(), 2);
+    }
+}

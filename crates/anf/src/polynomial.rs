@@ -1,0 +1,527 @@
+//! Boolean polynomials: XOR sums of monomials, read as equations `p = 0`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul};
+
+use crate::{Monomial, Var};
+
+/// A Boolean polynomial in Algebraic Normal Form: a GF(2) sum (XOR) of
+/// distinct [`Monomial`]s.
+///
+/// Following the paper's convention, a polynomial always denotes the equation
+/// `p = 0`; "the polynomial `x1 ⊕ 1`" therefore states that `x1 = 1`.
+///
+/// The monomials are stored sorted in increasing graded-lexicographic order
+/// with no duplicates, so equality of polynomials is structural equality.
+///
+/// # Examples
+///
+/// ```
+/// use bosphorus_anf::{Monomial, Polynomial};
+///
+/// let x1 = Polynomial::variable(1);
+/// let x2 = Polynomial::variable(2);
+/// let p = x1.clone() * x2.clone() + x1 + Polynomial::one();
+/// assert_eq!(p.to_string(), "x1*x2 + x1 + 1");
+/// assert_eq!(p.degree(), 2);
+/// assert!(!p.is_linear());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Polynomial {
+    /// Sorted (graded lex), de-duplicated monomials.
+    monomials: Vec<Monomial>,
+}
+
+impl Polynomial {
+    /// The zero polynomial (the trivially true equation `0 = 0`).
+    pub fn zero() -> Self {
+        Polynomial {
+            monomials: Vec::new(),
+        }
+    }
+
+    /// The constant polynomial `1` (the contradictory equation `1 = 0`).
+    pub fn one() -> Self {
+        Polynomial {
+            monomials: vec![Monomial::one()],
+        }
+    }
+
+    /// The constant polynomial for `value` (`0` or `1`).
+    pub fn constant(value: bool) -> Self {
+        if value {
+            Polynomial::one()
+        } else {
+            Polynomial::zero()
+        }
+    }
+
+    /// The polynomial consisting of the single variable `v`.
+    pub fn variable(v: Var) -> Self {
+        Polynomial {
+            monomials: vec![Monomial::variable(v)],
+        }
+    }
+
+    /// The polynomial consisting of a single monomial.
+    pub fn from_monomial(m: Monomial) -> Self {
+        Polynomial {
+            monomials: vec![m],
+        }
+    }
+
+    /// Builds a polynomial by XOR-ing together the given monomials; pairs of
+    /// equal monomials cancel.
+    ///
+    /// ```
+    /// use bosphorus_anf::{Monomial, Polynomial};
+    /// let p = Polynomial::from_monomials([
+    ///     Monomial::variable(0),
+    ///     Monomial::variable(0),
+    ///     Monomial::one(),
+    /// ]);
+    /// assert_eq!(p, Polynomial::one());
+    /// ```
+    pub fn from_monomials<I: IntoIterator<Item = Monomial>>(monomials: I) -> Self {
+        let mut p = Polynomial::zero();
+        for m in monomials {
+            p.toggle_monomial(m);
+        }
+        p
+    }
+
+    /// Returns `true` if this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.monomials.is_empty()
+    }
+
+    /// Returns `true` if this is the constant polynomial `1`, i.e. the
+    /// contradiction `1 = 0`.
+    pub fn is_one(&self) -> bool {
+        self.monomials.len() == 1 && self.monomials[0].is_one()
+    }
+
+    /// Returns `true` if the polynomial is a constant (`0` or `1`).
+    pub fn is_constant(&self) -> bool {
+        self.is_zero() || self.is_one()
+    }
+
+    /// The number of monomials (terms).
+    pub fn len(&self) -> usize {
+        self.monomials.len()
+    }
+
+    /// Returns `true` if there are no monomials (the zero polynomial).
+    pub fn is_empty(&self) -> bool {
+        self.monomials.is_empty()
+    }
+
+    /// Total degree: the maximum degree over all monomials (0 for constants
+    /// and the zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.monomials.last().map_or(0, Monomial::degree)
+    }
+
+    /// The monomials in increasing graded-lexicographic order.
+    pub fn monomials(&self) -> &[Monomial] {
+        &self.monomials
+    }
+
+    /// The leading (largest) monomial, if the polynomial is non-zero.
+    pub fn leading_monomial(&self) -> Option<&Monomial> {
+        self.monomials.last()
+    }
+
+    /// Returns `true` if the constant term `1` is present.
+    pub fn has_constant_term(&self) -> bool {
+        self.monomials.first().is_some_and(Monomial::is_one)
+    }
+
+    /// Returns `true` if the polynomial contains the exact monomial `m`.
+    pub fn contains_monomial(&self, m: &Monomial) -> bool {
+        self.monomials.binary_search(m).is_ok()
+    }
+
+    /// Returns `true` if variable `v` occurs in any monomial.
+    pub fn contains_var(&self, v: Var) -> bool {
+        self.monomials.iter().any(|m| m.contains(v))
+    }
+
+    /// The set of variables occurring in the polynomial, in increasing order.
+    pub fn variables(&self) -> Vec<Var> {
+        let set: BTreeSet<Var> = self
+            .monomials
+            .iter()
+            .flat_map(|m| m.vars().iter().copied())
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// The largest variable index occurring in the polynomial, if any.
+    pub fn max_var(&self) -> Option<Var> {
+        self.monomials.iter().filter_map(Monomial::max_var).max()
+    }
+
+    /// Returns `true` if every monomial has degree at most one (the
+    /// polynomial is an affine/linear equation).
+    pub fn is_linear(&self) -> bool {
+        self.degree() <= 1
+    }
+
+    /// If the polynomial is linear, returns its variables and constant term
+    /// as `(vars, constant)`, representing `x_{i1} ⊕ … ⊕ x_{ip} ⊕ c = 0`.
+    pub fn as_linear(&self) -> Option<(Vec<Var>, bool)> {
+        if !self.is_linear() {
+            return None;
+        }
+        let constant = self.has_constant_term();
+        let vars = self
+            .monomials
+            .iter()
+            .filter(|m| !m.is_one())
+            .map(|m| m.vars()[0])
+            .collect();
+        Some((vars, constant))
+    }
+
+    /// If the polynomial has the "all-ones" shape `x_{i1}·…·x_{ip} ⊕ 1`
+    /// (a single non-constant monomial plus the constant), returns the
+    /// monomial. Such a fact forces every involved variable to 1.
+    pub fn as_monomial_plus_one(&self) -> Option<&Monomial> {
+        if self.monomials.len() == 2 && self.monomials[0].is_one() && !self.monomials[1].is_one() {
+            Some(&self.monomials[1])
+        } else {
+            None
+        }
+    }
+
+    /// XORs a single monomial into the polynomial (adding it if absent,
+    /// cancelling it if present).
+    pub fn toggle_monomial(&mut self, m: Monomial) {
+        match self.monomials.binary_search(&m) {
+            Ok(pos) => {
+                self.monomials.remove(pos);
+            }
+            Err(pos) => {
+                self.monomials.insert(pos, m);
+            }
+        }
+    }
+
+    /// XORs `other` into `self`.
+    pub fn add_assign(&mut self, other: &Polynomial) {
+        // Merge two sorted monomial lists with cancellation.
+        let mut out = Vec::with_capacity(self.monomials.len() + other.monomials.len());
+        let (a, b) = (&self.monomials, &other.monomials);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i].clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j].clone());
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        self.monomials = out;
+    }
+
+    /// Multiplies the polynomial by a single monomial.
+    pub fn mul_monomial(&self, m: &Monomial) -> Polynomial {
+        Polynomial::from_monomials(self.monomials.iter().map(|t| t.mul(m)))
+    }
+
+    /// Product of two polynomials with Boolean reduction (`x² = x`).
+    pub fn mul(&self, other: &Polynomial) -> Polynomial {
+        let mut out = Polynomial::zero();
+        for m in &other.monomials {
+            out.add_assign(&self.mul_monomial(m));
+        }
+        out
+    }
+
+    /// Substitutes the constant `value` for variable `v` and returns the
+    /// simplified polynomial.
+    ///
+    /// ```
+    /// use bosphorus_anf::Polynomial;
+    /// let p: Polynomial = "x0*x1 + x1 + 1".parse()?;
+    /// assert_eq!(p.substitute_const(0, true).to_string(), "1");
+    /// assert_eq!(p.substitute_const(0, false).to_string(), "x1 + 1");
+    /// # Ok::<(), bosphorus_anf::ParsePolynomialError>(())
+    /// ```
+    pub fn substitute_const(&self, v: Var, value: bool) -> Polynomial {
+        let mut out = Polynomial::zero();
+        for m in &self.monomials {
+            if !m.contains(v) {
+                out.toggle_monomial(m.clone());
+            } else if value {
+                let mut reduced = m.clone();
+                reduced.remove_var(v);
+                out.toggle_monomial(reduced);
+            }
+            // value == false and m contains v: the monomial vanishes.
+        }
+        out
+    }
+
+    /// Substitutes the polynomial `replacement` for variable `v`.
+    ///
+    /// Every monomial `v·m'` becomes `replacement · m'`. This is the
+    /// operation ElimLin uses to eliminate a variable using a linear
+    /// equation, and ANF propagation uses it (with a literal) to apply
+    /// equivalences.
+    pub fn substitute_poly(&self, v: Var, replacement: &Polynomial) -> Polynomial {
+        let mut out = Polynomial::zero();
+        for m in &self.monomials {
+            if m.contains(v) {
+                let mut rest = m.clone();
+                rest.remove_var(v);
+                out.add_assign(&replacement.mul_monomial(&rest));
+            } else {
+                out.toggle_monomial(m.clone());
+            }
+        }
+        out
+    }
+
+    /// Substitutes variable `v` by the literal `other` (negated when
+    /// `negated` is true), i.e. applies the equivalence `v = other` or
+    /// `v = ¬other`.
+    pub fn substitute_literal(&self, v: Var, other: Var, negated: bool) -> Polynomial {
+        let mut replacement = Polynomial::variable(other);
+        if negated {
+            replacement.toggle_monomial(Monomial::one());
+        }
+        self.substitute_poly(v, &replacement)
+    }
+
+    /// Evaluates the polynomial under the predicate `value(v)`.
+    ///
+    /// Returns the GF(2) value of the polynomial; the equation `p = 0` is
+    /// satisfied exactly when this returns `false`.
+    pub fn evaluate<F: Fn(Var) -> bool>(&self, value: F) -> bool {
+        self.monomials
+            .iter()
+            .fold(false, |acc, m| acc ^ m.evaluate(&value))
+    }
+}
+
+impl Add for Polynomial {
+    type Output = Polynomial;
+
+    fn add(mut self, rhs: Polynomial) -> Polynomial {
+        AddAssign::add_assign(&mut self, &rhs);
+        self
+    }
+}
+
+impl Add<&Polynomial> for Polynomial {
+    type Output = Polynomial;
+
+    fn add(mut self, rhs: &Polynomial) -> Polynomial {
+        AddAssign::add_assign(&mut self, rhs);
+        self
+    }
+}
+
+impl AddAssign<&Polynomial> for Polynomial {
+    fn add_assign(&mut self, rhs: &Polynomial) {
+        Polynomial::add_assign(self, rhs);
+    }
+}
+
+impl AddAssign for Polynomial {
+    fn add_assign(&mut self, rhs: Polynomial) {
+        Polynomial::add_assign(self, &rhs);
+    }
+}
+
+impl Mul for Polynomial {
+    type Output = Polynomial;
+
+    fn mul(self, rhs: Polynomial) -> Polynomial {
+        Polynomial::mul(&self, &rhs)
+    }
+}
+
+impl Mul<&Polynomial> for &Polynomial {
+    type Output = Polynomial;
+
+    fn mul(self, rhs: &Polynomial) -> Polynomial {
+        Polynomial::mul(self, rhs)
+    }
+}
+
+impl FromIterator<Monomial> for Polynomial {
+    fn from_iter<I: IntoIterator<Item = Monomial>>(iter: I) -> Self {
+        Polynomial::from_monomials(iter)
+    }
+}
+
+impl From<Monomial> for Polynomial {
+    fn from(m: Monomial) -> Self {
+        Polynomial::from_monomial(m)
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Print highest-degree terms first but keep terms of equal degree in
+        // ascending variable order, matching the paper's notation
+        // (e.g. "x1*x2 + x3 + x4 + 1").
+        let mut terms: Vec<&Monomial> = self.monomials.iter().collect();
+        terms.sort_by(|a, b| {
+            b.degree()
+                .cmp(&a.degree())
+                .then_with(|| a.vars().cmp(b.vars()))
+        });
+        for (i, m) in terms.into_iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{m}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Polynomial({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Polynomial {
+        s.parse().expect("test polynomial must parse")
+    }
+
+    #[test]
+    fn zero_and_one_constants() {
+        assert!(Polynomial::zero().is_zero());
+        assert!(Polynomial::one().is_one());
+        assert!(Polynomial::constant(false).is_zero());
+        assert!(Polynomial::constant(true).is_one());
+        assert_eq!(Polynomial::zero().to_string(), "0");
+        assert_eq!(Polynomial::one().to_string(), "1");
+    }
+
+    #[test]
+    fn xor_cancels_pairs() {
+        let p = Polynomial::from_monomials([
+            Monomial::variable(1),
+            Monomial::variable(2),
+            Monomial::variable(1),
+        ]);
+        assert_eq!(p, Polynomial::variable(2));
+        let q = p.clone() + Polynomial::variable(2);
+        assert!(q.is_zero());
+    }
+
+    #[test]
+    fn display_matches_paper_convention() {
+        let p = parse("x1*x2 + x3 + x4 + 1");
+        assert_eq!(p.to_string(), "x1*x2 + x3 + x4 + 1");
+        assert_eq!(p.degree(), 2);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn multiplication_distributes_and_reduces() {
+        // (x2 + x3) * x2 = x2 + x2*x3  (using x2*x2 = x2)
+        let p = parse("x2 + x3");
+        let q = Polynomial::variable(2);
+        assert_eq!((&p * &q).to_string(), "x2*x3 + x2");
+    }
+
+    #[test]
+    fn elimlin_worked_example_from_section_2c() {
+        // ANF {x1+x2+x3, x1*x2 + x2*x3 + 1}: substituting x1 = x2 + x3 in the
+        // second polynomial must simplify to x2 + 1.
+        let second = parse("x1*x2 + x2*x3 + 1");
+        let replacement = parse("x2 + x3");
+        let result = second.substitute_poly(1, &replacement);
+        assert_eq!(result, parse("x2 + 1"));
+    }
+
+    #[test]
+    fn substitute_const_both_values() {
+        let p = parse("x0*x1 + x0 + x2");
+        assert_eq!(p.substitute_const(0, false), parse("x2"));
+        assert_eq!(p.substitute_const(0, true), parse("x1 + x2 + 1"));
+        // Substituting a variable that does not occur leaves p unchanged.
+        assert_eq!(p.substitute_const(9, true), p);
+    }
+
+    #[test]
+    fn substitute_literal_equivalence() {
+        // Applying x1 = ¬x3 to x1 + x3 + 1 must give 0 (the equation holds).
+        let p = parse("x1 + x3 + 1");
+        assert!(p.substitute_literal(1, 3, true).is_zero());
+        // Applying x1 = x3 gives 1, a contradiction.
+        assert!(p.substitute_literal(1, 3, false).is_one());
+    }
+
+    #[test]
+    fn linear_classification() {
+        let linear = parse("x0 + x3 + 1");
+        assert!(linear.is_linear());
+        assert_eq!(linear.as_linear(), Some((vec![0, 3], true)));
+        let nonlinear = parse("x0*x1 + x2");
+        assert!(!nonlinear.is_linear());
+        assert_eq!(nonlinear.as_linear(), None);
+    }
+
+    #[test]
+    fn monomial_plus_one_detection() {
+        let p = parse("x1*x2*x5 + 1");
+        assert_eq!(
+            p.as_monomial_plus_one(),
+            Some(&Monomial::from_vars([1, 2, 5]))
+        );
+        assert_eq!(parse("x1*x2 + x3").as_monomial_plus_one(), None);
+        assert_eq!(Polynomial::one().as_monomial_plus_one(), None);
+    }
+
+    #[test]
+    fn evaluate_example_solution() {
+        // The unique solution of the Section II-E system is
+        // x1=x2=x3=x4=1, x5=0; check the first equation.
+        let p = parse("x1*x2 + x3 + x4 + 1");
+        let assignment = |v: Var| v != 5;
+        assert!(!p.evaluate(assignment), "equation is satisfied");
+        assert!(p.evaluate(|_| false), "all-zero violates it");
+    }
+
+    #[test]
+    fn variables_and_max_var() {
+        let p = parse("x7*x2 + x4 + 1");
+        assert_eq!(p.variables(), vec![2, 4, 7]);
+        assert_eq!(p.max_var(), Some(7));
+        assert!(p.contains_var(4));
+        assert!(!p.contains_var(5));
+    }
+
+    #[test]
+    fn leading_monomial_is_graded_lex_max() {
+        let p = parse("x0*x1 + x9 + 1");
+        assert_eq!(p.leading_monomial(), Some(&Monomial::from_vars([0, 1])));
+    }
+}

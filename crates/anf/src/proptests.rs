@@ -1,0 +1,149 @@
+//! Property-based tests for the Boolean polynomial ring.
+
+use proptest::prelude::*;
+
+use crate::{Assignment, Monomial, Polynomial, PolynomialSystem, Var};
+
+const MAX_VARS: u32 = 6;
+
+fn arb_monomial() -> impl Strategy<Value = Monomial> {
+    proptest::collection::vec(0..MAX_VARS, 0..4).prop_map(Monomial::from_vars)
+}
+
+fn arb_polynomial() -> impl Strategy<Value = Polynomial> {
+    proptest::collection::vec(arb_monomial(), 0..6).prop_map(Polynomial::from_monomials)
+}
+
+fn arb_assignment() -> impl Strategy<Value = Assignment> {
+    proptest::collection::vec(any::<bool>(), MAX_VARS as usize).prop_map(Assignment::from_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Addition (XOR) forms an abelian group with every element self-inverse.
+    #[test]
+    fn addition_group_laws(a in arb_polynomial(), b in arb_polynomial(), c in arb_polynomial()) {
+        prop_assert_eq!(a.clone() + b.clone(), b.clone() + a.clone());
+        prop_assert_eq!((a.clone() + b.clone()) + c.clone(), a.clone() + (b.clone() + c.clone()));
+        prop_assert_eq!(a.clone() + Polynomial::zero(), a.clone());
+        prop_assert!((a.clone() + a.clone()).is_zero());
+    }
+
+    /// Multiplication is commutative, associative, idempotent, and
+    /// distributes over addition — the Boolean ring axioms.
+    #[test]
+    fn boolean_ring_laws(a in arb_polynomial(), b in arb_polynomial(), c in arb_polynomial()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        prop_assert_eq!(&a * &a, a.clone(), "idempotence p*p = p");
+        prop_assert_eq!(&a * &Polynomial::one(), a.clone());
+        prop_assert!((&a * &Polynomial::zero()).is_zero());
+        let lhs = &a * &(b.clone() + c.clone());
+        let rhs = (&a * &b) + (&a * &c);
+        prop_assert_eq!(lhs, rhs, "distributivity");
+    }
+
+    /// Evaluation is a ring homomorphism to GF(2): it commutes with + and *.
+    #[test]
+    fn evaluation_is_homomorphism(a in arb_polynomial(), b in arb_polynomial(), assignment in arb_assignment()) {
+        let value = |v: Var| assignment.get(v);
+        let sum = a.clone() + b.clone();
+        prop_assert_eq!(sum.evaluate(value), a.evaluate(value) ^ b.evaluate(value));
+        let product = &a * &b;
+        prop_assert_eq!(product.evaluate(value), a.evaluate(value) & b.evaluate(value));
+    }
+
+    /// Substituting a constant agrees with evaluating with that constant.
+    #[test]
+    fn substitute_const_agrees_with_evaluation(
+        p in arb_polynomial(),
+        v in 0..MAX_VARS,
+        value in any::<bool>(),
+        assignment in arb_assignment(),
+    ) {
+        let substituted = p.substitute_const(v, value);
+        prop_assert!(!substituted.contains_var(v));
+        let patched = |w: Var| if w == v { value } else { assignment.get(w) };
+        prop_assert_eq!(substituted.evaluate(patched), p.evaluate(patched));
+    }
+
+    /// Substituting a polynomial for a variable is semantically the same as
+    /// evaluating the replacement first.
+    #[test]
+    fn substitute_poly_is_semantic(
+        p in arb_polynomial(),
+        r in arb_polynomial(),
+        v in 0..MAX_VARS,
+        assignment in arb_assignment(),
+    ) {
+        // Single-pass substitution only has the intended semantics when the
+        // replacement does not itself mention the eliminated variable, which
+        // is exactly how ElimLin uses it (v is solved for and removed).
+        prop_assume!(!r.contains_var(v));
+        let substituted = p.substitute_poly(v, &r);
+        let r_value = r.evaluate(|w| assignment.get(w));
+        let patched = |w: Var| if w == v { r_value } else { assignment.get(w) };
+        prop_assert!(!substituted.contains_var(v));
+        prop_assert_eq!(substituted.evaluate(|w| assignment.get(w)), p.evaluate(patched));
+    }
+
+    /// Display/parse round-trips preserve the polynomial exactly.
+    #[test]
+    fn display_parse_roundtrip(p in arb_polynomial()) {
+        let text = p.to_string();
+        let reparsed: Polynomial = text.parse().expect("printed polynomial must reparse");
+        prop_assert_eq!(reparsed, p);
+    }
+
+    /// System display/parse round-trips preserve every equation.
+    #[test]
+    fn system_roundtrip(polys in proptest::collection::vec(arb_polynomial(), 0..5)) {
+        let system = PolynomialSystem::from_polynomials(polys.clone());
+        let reparsed = PolynomialSystem::parse(&system.to_string()).expect("reparses");
+        // Zero polynomials print as "0" and reparse as zero, so compare
+        // filtered content.
+        let original: Vec<&Polynomial> = system.polynomials().iter().collect();
+        let roundtripped: Vec<&Polynomial> = reparsed.polynomials().iter().collect();
+        prop_assert_eq!(original, roundtripped);
+    }
+
+    /// Monomial divisibility is consistent with the quotient.
+    #[test]
+    fn monomial_division_laws(a in arb_monomial(), b in arb_monomial()) {
+        let product = a.mul(&b);
+        prop_assert!(a.divides(&product));
+        prop_assert!(b.divides(&product));
+        if let Some(q) = a.divide(&product) {
+            prop_assert_eq!(q.mul(&a), product);
+        } else {
+            prop_assert!(false, "a must divide a*b");
+        }
+    }
+
+    /// The graded-lex order is total and compatible with multiplication on
+    /// these small monomials.
+    #[test]
+    fn monomial_order_compatible_with_mul(a in arb_monomial(), b in arb_monomial(), c in arb_monomial()) {
+        if a < b {
+            let ac = a.mul(&c);
+            let bc = b.mul(&c);
+            // Multiplication by a common monomial never inverts strict order
+            // into the opposite strict order (it may collapse to equality).
+            prop_assert!(ac <= bc || !c.divides(&a) || !c.divides(&b));
+        }
+    }
+
+    /// Occurrence lists cover exactly the polynomials a variable appears in.
+    #[test]
+    fn occurrence_lists_are_exact(polys in proptest::collection::vec(arb_polynomial(), 1..6)) {
+        let system = PolynomialSystem::from_polynomials(polys);
+        let occ = system.occurrence_lists();
+        for (v, list) in occ.iter().enumerate() {
+            for (idx, poly) in system.iter().enumerate() {
+                let occurs = poly.contains_var(v as Var);
+                prop_assert_eq!(occurs, list.contains(&idx));
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! End-to-end pipeline micro-benchmarks backing the Table II rows: direct
+//! solving vs Bosphorus-preprocessed solving on one representative instance
+//! of each ANF family, plus the Gröbner baseline reference point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bosphorus_bench::{solve_anf_instance, Approach, RunSettings};
+use bosphorus_ciphers::{aes, bitcoin, simon};
+use bosphorus_groebner::{groebner_basis, GroebnerConfig};
+use bosphorus_sat::SolverConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let settings = RunSettings::default();
+    let mut rng = StdRng::seed_from_u64(42);
+
+    let aes_instance = aes::generate(aes::AesParams::small(1), &mut rng);
+    let simon_instance = simon::generate(
+        simon::SimonParams { num_plaintexts: 2, rounds: 3 },
+        &mut rng,
+    );
+    let bitcoin_instance = bitcoin::generate(
+        bitcoin::BitcoinParams { difficulty: 4, rounds: 3 },
+        &mut rng,
+    );
+
+    let mut group = c.benchmark_group("table2_pipeline");
+    group.sample_size(10);
+    for (label, system) in [
+        ("sr_1_2_2_4", &aes_instance.system),
+        ("simon_2_3", &simon_instance.system),
+        ("bitcoin_k4_r3", &bitcoin_instance.system),
+    ] {
+        for approach in Approach::both() {
+            let name = format!("{label}/{}", approach.label().replace('/', "_"));
+            group.bench_function(&name, |b| {
+                b.iter(|| {
+                    black_box(solve_anf_instance(
+                        black_box(system),
+                        approach,
+                        &SolverConfig::aggressive(),
+                        &settings,
+                    ))
+                })
+            });
+        }
+    }
+    group.finish();
+
+    // The M4GB stand-in: a tightly budgeted Buchberger run on the Simon
+    // instance, expected to exhaust its budget (the paper's "times out" row).
+    c.bench_function("groebner_baseline_simon_2_3", |b| {
+        b.iter(|| {
+            black_box(groebner_basis(
+                black_box(&simon_instance.system),
+                &GroebnerConfig::tight_budget(),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

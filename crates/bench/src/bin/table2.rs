@@ -1,0 +1,79 @@
+//! Regenerates Table II of the paper (PAR-2 scores and solved counts, with
+//! and without Bosphorus, for three solver configurations).
+//!
+//! ```text
+//! cargo run --release -p bosphorus-bench --bin table2 -- [--family all|sr|simon|bitcoin|satcomp|groebner-baseline] [--instances N]
+//! ```
+
+use std::time::Duration;
+
+use bosphorus_bench::tables::{format_table2, run_groebner_baseline, run_table2, Table2Options};
+use bosphorus_bench::RunSettings;
+
+fn main() {
+    let mut family = "all".to_string();
+    let mut instances = 3usize;
+    let mut timeout_secs = 5u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--family" => family = args.next().unwrap_or_else(|| "all".to_string()),
+            "--instances" => {
+                instances = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(instances)
+            }
+            "--timeout" => {
+                timeout_secs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(timeout_secs)
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: table2 [--family all|sr|simon|bitcoin|satcomp|groebner-baseline] \
+                     [--instances N] [--timeout SECONDS]"
+                );
+                return;
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+
+    let options = Table2Options {
+        instances_per_family: instances,
+        include_aes: matches!(family.as_str(), "all" | "sr"),
+        include_simon: matches!(family.as_str(), "all" | "simon"),
+        include_bitcoin: matches!(family.as_str(), "all" | "bitcoin"),
+        include_satcomp: matches!(family.as_str(), "all" | "satcomp"),
+        include_groebner_baseline: matches!(family.as_str(), "all" | "groebner-baseline"),
+        settings: RunSettings {
+            nominal_timeout: Duration::from_secs(timeout_secs),
+            ..RunSettings::default()
+        },
+        ..Table2Options::default()
+    };
+
+    println!("Table II reproduction (PAR-2 in seconds, lower is better; (sat+unsat) solved)");
+    println!(
+        "instances per family: {}, nominal timeout: {}s, final conflict cap: {}",
+        options.instances_per_family,
+        options.settings.nominal_timeout.as_secs(),
+        options.settings.final_conflict_cap
+    );
+    println!();
+
+    if family != "groebner-baseline" {
+        let rows = run_table2(&options);
+        println!("{}", format_table2(&rows));
+    }
+
+    if options.include_groebner_baseline {
+        let (decided, total, elapsed) = run_groebner_baseline(&options);
+        println!(
+            "Groebner baseline (M4GB stand-in, tight budget): decided {decided}/{total} \
+             instances in {elapsed:.2}s — the paper reports M4GB timing out on all instances"
+        );
+    }
+}

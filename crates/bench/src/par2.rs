@@ -1,0 +1,103 @@
+//! PAR-2 scoring, as used by the SAT competitions and by Table II.
+
+use std::time::Duration;
+
+/// One benchmark run to be aggregated into a PAR-2 score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredRun {
+    /// Wall-clock time spent on the instance.
+    pub duration: Duration,
+    /// Whether the instance was solved (SAT or UNSAT) within the limits.
+    pub solved: bool,
+    /// Whether the instance was proved satisfiable (only meaningful when
+    /// `solved` is true).
+    pub satisfiable: bool,
+}
+
+/// Accumulates PAR-2 scores: the sum of runtimes of solved instances plus
+/// twice the timeout for every unsolved instance (lower is better).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Par2Scorer {
+    timeout: Duration,
+}
+
+impl Par2Scorer {
+    /// Creates a scorer with the nominal per-instance timeout.
+    pub fn new(timeout: Duration) -> Self {
+        Par2Scorer { timeout }
+    }
+
+    /// The nominal timeout.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// The PAR-2 score of a set of runs, in seconds.
+    pub fn score(&self, runs: &[ScoredRun]) -> f64 {
+        runs.iter()
+            .map(|r| {
+                if r.solved {
+                    r.duration.as_secs_f64().min(self.timeout.as_secs_f64())
+                } else {
+                    2.0 * self.timeout.as_secs_f64()
+                }
+            })
+            .sum()
+    }
+
+    /// Number of solved satisfiable instances.
+    pub fn solved_sat(&self, runs: &[ScoredRun]) -> usize {
+        runs.iter().filter(|r| r.solved && r.satisfiable).count()
+    }
+
+    /// Number of solved unsatisfiable instances.
+    pub fn solved_unsat(&self, runs: &[ScoredRun]) -> usize {
+        runs.iter().filter(|r| r.solved && !r.satisfiable).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(secs: f64, solved: bool, satisfiable: bool) -> ScoredRun {
+        ScoredRun {
+            duration: Duration::from_secs_f64(secs),
+            solved,
+            satisfiable,
+        }
+    }
+
+    #[test]
+    fn solved_instances_contribute_their_runtime() {
+        let scorer = Par2Scorer::new(Duration::from_secs(10));
+        let runs = [run(1.0, true, true), run(2.5, true, false)];
+        assert!((scorer.score(&runs) - 3.5).abs() < 1e-9);
+        assert_eq!(scorer.solved_sat(&runs), 1);
+        assert_eq!(scorer.solved_unsat(&runs), 1);
+    }
+
+    #[test]
+    fn unsolved_instances_cost_twice_the_timeout() {
+        let scorer = Par2Scorer::new(Duration::from_secs(10));
+        let runs = [run(9.0, false, false)];
+        assert!((scorer.score(&runs) - 20.0).abs() < 1e-9);
+        assert_eq!(scorer.solved_sat(&runs), 0);
+        assert_eq!(scorer.solved_unsat(&runs), 0);
+    }
+
+    #[test]
+    fn runtimes_are_capped_at_the_timeout() {
+        let scorer = Par2Scorer::new(Duration::from_secs(5));
+        let runs = [run(100.0, true, true)];
+        assert!((scorer.score(&runs) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_is_better_ordering() {
+        let scorer = Par2Scorer::new(Duration::from_secs(10));
+        let good = [run(1.0, true, true), run(1.0, true, true)];
+        let bad = [run(1.0, true, true), run(0.0, false, false)];
+        assert!(scorer.score(&good) < scorer.score(&bad));
+    }
+}

@@ -1,0 +1,323 @@
+//! The Table II driver: PAR-2 scores and solved counts per benchmark family,
+//! with and without Bosphorus, for the three solver configurations.
+
+use std::time::Instant;
+
+use bosphorus_anf::PolynomialSystem;
+use bosphorus_cnf::CnfFormula;
+use bosphorus_ciphers::{aes, bitcoin, satcomp, simon};
+use bosphorus_groebner::{groebner_basis, GroebnerConfig, GroebnerOutcome};
+use bosphorus_sat::SolverConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::par2::Par2Scorer;
+use crate::runner::{solve_anf_instance, solve_cnf_instance, Approach, RunSettings};
+
+/// Which benchmark families to run and how many instances per family.
+#[derive(Debug, Clone)]
+pub struct Table2Options {
+    /// Instances generated per family.
+    pub instances_per_family: usize,
+    /// Include the SR (small-scale AES) families.
+    pub include_aes: bool,
+    /// Include the Simon families.
+    pub include_simon: bool,
+    /// Include the Bitcoin (SHA-256 nonce finding) families.
+    pub include_bitcoin: bool,
+    /// Include the SAT-competition-style CNF suite.
+    pub include_satcomp: bool,
+    /// Include the Gröbner-basis baseline reference row.
+    pub include_groebner_baseline: bool,
+    /// Shared run settings (budgets, Bosphorus configuration).
+    pub settings: RunSettings,
+    /// Seed for instance generation.
+    pub seed: u64,
+    /// Number of SHA-256 rounds for the Bitcoin family (64 = paper setting;
+    /// the default is reduced so the table regenerates quickly).
+    pub sha_rounds: usize,
+}
+
+impl Default for Table2Options {
+    fn default() -> Self {
+        Table2Options {
+            instances_per_family: 3,
+            include_aes: true,
+            include_simon: true,
+            include_bitcoin: true,
+            include_satcomp: true,
+            include_groebner_baseline: true,
+            settings: RunSettings::default(),
+            seed: 2019,
+            sha_rounds: 5,
+        }
+    }
+}
+
+/// One row pair of Table II: a benchmark family evaluated with the three
+/// solver configurations, without and with Bosphorus.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Family label, e.g. `"Simon-[9,7]"`.
+    pub family: String,
+    /// Number of instances.
+    pub instances: usize,
+    /// Per solver configuration (MiniSat-like, Lingeling-like,
+    /// CryptoMiniSat-like): `(par2_without, solved_without, par2_with,
+    /// solved_with)`, where `solved` counts `(sat, unsat)` instances.
+    pub per_solver: Vec<SolverCell>,
+}
+
+/// Results of one (family, solver configuration) cell.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverCell {
+    /// PAR-2 score without Bosphorus (seconds).
+    pub par2_without: f64,
+    /// Solved (sat, unsat) counts without Bosphorus.
+    pub solved_without: (usize, usize),
+    /// PAR-2 score with Bosphorus (seconds).
+    pub par2_with: f64,
+    /// Solved (sat, unsat) counts with Bosphorus.
+    pub solved_with: (usize, usize),
+}
+
+/// One benchmark instance: either an ANF system or a CNF formula.
+enum Instance {
+    Anf(PolynomialSystem),
+    Cnf(CnfFormula),
+}
+
+fn solver_configs() -> Vec<SolverConfig> {
+    vec![
+        SolverConfig::minimal(),
+        SolverConfig::aggressive(),
+        SolverConfig::xor_gauss(),
+    ]
+}
+
+fn evaluate_family(name: &str, instances: &[Instance], options: &Table2Options) -> Table2Row {
+    let scorer = Par2Scorer::new(options.settings.nominal_timeout);
+    let mut per_solver = Vec::new();
+    for config in solver_configs() {
+        let mut cell = SolverCell {
+            par2_without: 0.0,
+            solved_without: (0, 0),
+            par2_with: 0.0,
+            solved_with: (0, 0),
+        };
+        for approach in Approach::both() {
+            let runs: Vec<_> = instances
+                .iter()
+                .map(|instance| match instance {
+                    Instance::Anf(system) => {
+                        solve_anf_instance(system, approach, &config, &options.settings).scored()
+                    }
+                    Instance::Cnf(cnf) => {
+                        solve_cnf_instance(cnf, approach, &config, &options.settings).scored()
+                    }
+                })
+                .collect();
+            let par2 = scorer.score(&runs);
+            let solved = (scorer.solved_sat(&runs), scorer.solved_unsat(&runs));
+            match approach {
+                Approach::Direct => {
+                    cell.par2_without = par2;
+                    cell.solved_without = solved;
+                }
+                Approach::WithBosphorus => {
+                    cell.par2_with = par2;
+                    cell.solved_with = solved;
+                }
+            }
+        }
+        per_solver.push(cell);
+    }
+    Table2Row {
+        family: name.to_string(),
+        instances: instances.len(),
+        per_solver,
+    }
+}
+
+/// Runs the Table II benchmark and returns one row per family.
+pub fn run_table2(options: &Table2Options) -> Vec<Table2Row> {
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut rows = Vec::new();
+    let n = options.instances_per_family;
+
+    if options.include_aes {
+        for (label, params) in [
+            ("SR-[1,2,2,4]", aes::AesParams::small(1)),
+            ("SR-[2,2,2,4]", aes::AesParams::small(2)),
+        ] {
+            let instances: Vec<Instance> = (0..n)
+                .map(|_| Instance::Anf(aes::generate(params, &mut rng).system))
+                .collect();
+            rows.push(evaluate_family(label, &instances, options));
+        }
+    }
+
+    if options.include_simon {
+        for (label, params) in [
+            ("Simon-[2,3]", simon::SimonParams { num_plaintexts: 2, rounds: 3 }),
+            ("Simon-[2,4]", simon::SimonParams { num_plaintexts: 2, rounds: 4 }),
+            ("Simon-[3,5]", simon::SimonParams { num_plaintexts: 3, rounds: 5 }),
+        ] {
+            let instances: Vec<Instance> = (0..n)
+                .map(|_| Instance::Anf(simon::generate(params, &mut rng).system))
+                .collect();
+            rows.push(evaluate_family(label, &instances, options));
+        }
+    }
+
+    if options.include_bitcoin {
+        for difficulty in [4usize, 6, 8] {
+            let params = bitcoin::BitcoinParams {
+                difficulty,
+                rounds: options.sha_rounds,
+            };
+            let label = format!("Bitcoin-[{difficulty}]");
+            let instances: Vec<Instance> = (0..n)
+                .map(|_| Instance::Anf(bitcoin::generate(params, &mut rng).system))
+                .collect();
+            rows.push(evaluate_family(&label, &instances, options));
+        }
+    }
+
+    if options.include_satcomp {
+        let families = satcomp::default_suite(1);
+        let instances: Vec<Instance> = (0..n)
+            .flat_map(|_| {
+                families
+                    .iter()
+                    .map(|&f| Instance::Cnf(satcomp::generate(f, &mut rng)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        rows.push(evaluate_family("SAT-comp (synthetic)", &instances, options));
+    }
+
+    rows
+}
+
+/// Runs the Gröbner-basis baseline (the paper's M4GB reference point) on a
+/// sample of ANF instances and reports how many it decides within its budget.
+///
+/// Returns `(decided, total, elapsed_seconds)`.
+pub fn run_groebner_baseline(options: &Table2Options) -> (usize, usize, f64) {
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut decided = 0usize;
+    let mut total = 0usize;
+    let start = Instant::now();
+    for _ in 0..options.instances_per_family {
+        let instance = simon::generate(
+            simon::SimonParams { num_plaintexts: 2, rounds: 3 },
+            &mut rng,
+        );
+        total += 1;
+        let result = groebner_basis(&instance.system, &GroebnerConfig::tight_budget());
+        if result.outcome != GroebnerOutcome::BudgetExhausted {
+            decided += 1;
+        }
+    }
+    (decided, total, start.elapsed().as_secs_f64())
+}
+
+/// Formats rows in the layout of Table II.
+pub fn format_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:>4} | {:^24} | {:^24} | {:^24}\n",
+        "Problem", "", "MiniSat-like", "Lingeling-like", "CryptoMiniSat-like"
+    ));
+    for row in rows {
+        for (i, approach) in ["w/o", "w"].iter().enumerate() {
+            out.push_str(&format!(
+                "{:<22} {:>4}",
+                if i == 0 {
+                    format!("{} ({})", row.family, row.instances)
+                } else {
+                    String::new()
+                },
+                approach
+            ));
+            for cell in &row.per_solver {
+                let (par2, (sat, unsat)) = if i == 0 {
+                    (cell.par2_without, cell.solved_without)
+                } else {
+                    (cell.par2_with, cell.solved_with)
+                };
+                out.push_str(&format!(" | {par2:>10.2}s ({sat:>2}+{unsat:<2})"));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn tiny_options() -> Table2Options {
+        Table2Options {
+            instances_per_family: 1,
+            include_aes: true,
+            include_simon: false,
+            include_bitcoin: false,
+            include_satcomp: false,
+            include_groebner_baseline: false,
+            settings: RunSettings {
+                final_conflict_cap: 50_000,
+                nominal_timeout: Duration::from_secs(2),
+                ..RunSettings::default()
+            },
+            seed: 7,
+            sha_rounds: 2,
+        }
+    }
+
+    #[test]
+    fn tiny_table_runs_and_solves_aes() {
+        let rows = run_table2(&tiny_options());
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.per_solver.len(), 3);
+            for cell in &row.per_solver {
+                // Every tiny SR instance is satisfiable and must be solved by
+                // every configuration, with and without Bosphorus.
+                assert_eq!(cell.solved_without.0 + cell.solved_without.1, 1);
+                assert_eq!(cell.solved_with.0 + cell.solved_with.1, 1);
+                assert!(cell.par2_without >= 0.0 && cell.par2_with >= 0.0);
+            }
+        }
+        let formatted = format_table2(&rows);
+        assert!(formatted.contains("SR-[1,2,2,4]"));
+        assert!(formatted.contains("w/o"));
+    }
+
+    #[test]
+    fn groebner_baseline_reports_counts() {
+        let mut options = tiny_options();
+        options.instances_per_family = 1;
+        let (decided, total, _elapsed) = run_groebner_baseline(&options);
+        assert_eq!(total, 1);
+        assert!(decided <= total);
+    }
+
+    #[test]
+    fn satcomp_family_runs_end_to_end() {
+        let mut options = tiny_options();
+        options.include_aes = false;
+        options.include_satcomp = true;
+        let rows = run_table2(&options);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].family.contains("SAT-comp"));
+        // The synthetic suite contains both SAT and UNSAT instances; at
+        // least some of each must be solved by the strongest configuration.
+        let strongest = rows[0].per_solver[2];
+        assert!(strongest.solved_without.0 > 0);
+        assert!(strongest.solved_without.1 > 0);
+    }
+}

@@ -1,0 +1,649 @@
+//! Small-scale AES, SR(n, r, c, e) (Appendix A of the paper).
+//!
+//! The paper generates its AES benchmarks with the SageMath implementation of
+//! the small-scale variants of Cid, Murphy and Robshaw: `n` rounds over an
+//! `r × c` state of GF(2^e) words. This module re-implements the family from
+//! scratch:
+//!
+//! * a reference cipher (SubWords, ShiftRows, MixColumns, AddRoundKey and an
+//!   AES-style key schedule) used to produce plaintext/ciphertext pairs, and
+//! * an ANF encoder that introduces variables for every S-box input and
+//!   output (in the state and in the key schedule) and links them with the
+//!   S-box's algebraic normal form, obtained by a Möbius transform of its
+//!   truth table.
+//!
+//! Word sizes `e = 4` and `e = 8` are supported. The S-box is field inversion
+//! followed by an affine map, as in AES; for `e = 4` the affine map is the
+//! circulant matrix (1,1,1,0) plus the constant `0x6` (the exact constants of
+//! the original small-scale paper are not material to the benchmark's
+//! structure — see DESIGN.md).
+
+use bosphorus_anf::{Assignment, Monomial, Polynomial, PolynomialSystem, Var};
+use rand::Rng;
+
+/// Parameters (n, r, c, e) of the SR family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AesParams {
+    /// Number of rounds `n`.
+    pub rounds: usize,
+    /// Number of state rows `r` (1, 2 or 4).
+    pub rows: usize,
+    /// Number of state columns `c`.
+    pub cols: usize,
+    /// Word size `e` in bits (4 or 8).
+    pub word_bits: usize,
+}
+
+impl AesParams {
+    /// The paper's SR(1, 4, 4, 8) configuration (one-round AES-128).
+    pub fn paper_sr_1_4_4_8() -> Self {
+        AesParams { rounds: 1, rows: 4, cols: 4, word_bits: 8 }
+    }
+
+    /// A scaled-down configuration used by the reproduction's default
+    /// benchmark runs: SR(n, 2, 2, 4).
+    pub fn small(rounds: usize) -> Self {
+        AesParams { rounds, rows: 2, cols: 2, word_bits: 4 }
+    }
+
+    /// Number of field words in the state (and in the key).
+    pub fn words(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Number of key bits (`rows * cols * word_bits`).
+    pub fn key_bits(&self) -> usize {
+        self.words() * self.word_bits
+    }
+}
+
+// ----- GF(2^e) arithmetic -----------------------------------------------------
+
+fn modulus(word_bits: usize) -> u16 {
+    match word_bits {
+        4 => 0b1_0011,        // x^4 + x + 1
+        8 => 0b1_0001_1011,   // x^8 + x^4 + x^3 + x + 1 (the AES polynomial)
+        _ => panic!("supported word sizes are 4 and 8 bits"),
+    }
+}
+
+/// Multiplication in GF(2^e).
+pub fn gf_mul(a: u16, b: u16, word_bits: usize) -> u16 {
+    let m = modulus(word_bits);
+    let mut a = u32::from(a);
+    let mut b = u32::from(b);
+    let mut acc = 0u32;
+    while b != 0 {
+        if b & 1 == 1 {
+            acc ^= a;
+        }
+        a <<= 1;
+        if a & (1 << word_bits) != 0 {
+            a ^= u32::from(m);
+        }
+        b >>= 1;
+    }
+    acc as u16
+}
+
+/// Multiplicative inverse in GF(2^e), with `inv(0) = 0` as in AES.
+pub fn gf_inv(a: u16, word_bits: usize) -> u16 {
+    if a == 0 {
+        return 0;
+    }
+    // a^(2^e - 2) by square-and-multiply.
+    let exponent = (1u32 << word_bits) - 2;
+    let mut result = 1u16;
+    let mut base = a;
+    let mut e = exponent;
+    while e > 0 {
+        if e & 1 == 1 {
+            result = gf_mul(result, base, word_bits);
+        }
+        base = gf_mul(base, base, word_bits);
+        e >>= 1;
+    }
+    result
+}
+
+/// The S-box: field inversion followed by an affine map over GF(2).
+pub fn sbox(x: u16, word_bits: usize) -> u16 {
+    let inv = gf_inv(x, word_bits);
+    match word_bits {
+        8 => {
+            // The AES affine transform.
+            let mut out = 0u16;
+            for i in 0..8 {
+                let bit = ((inv >> i)
+                    ^ (inv >> ((i + 4) % 8))
+                    ^ (inv >> ((i + 5) % 8))
+                    ^ (inv >> ((i + 6) % 8))
+                    ^ (inv >> ((i + 7) % 8))
+                    ^ (0x63 >> i))
+                    & 1;
+                out |= bit << i;
+            }
+            out
+        }
+        4 => {
+            // Circulant (1,1,1,0) affine map plus 0x6.
+            let mut out = 0u16;
+            for i in 0..4 {
+                let bit = ((inv >> i) ^ (inv >> ((i + 1) % 4)) ^ (inv >> ((i + 2) % 4))
+                    ^ (0x6 >> i))
+                    & 1;
+                out |= bit << i;
+            }
+            out
+        }
+        _ => unreachable!("modulus() already rejected this word size"),
+    }
+}
+
+/// The MixColumns matrix for `rows` rows, as field constants.
+fn mix_matrix(rows: usize) -> Vec<Vec<u16>> {
+    match rows {
+        1 => vec![vec![1]],
+        2 => vec![vec![3, 2], vec![2, 3]],
+        4 => vec![
+            vec![2, 3, 1, 1],
+            vec![1, 2, 3, 1],
+            vec![1, 1, 2, 3],
+            vec![3, 1, 1, 2],
+        ],
+        _ => panic!("supported state heights are 1, 2 and 4 rows"),
+    }
+}
+
+// ----- reference cipher --------------------------------------------------------
+
+/// State and key are stored column-major: element (row, col) is
+/// `state[col * rows + row]`.
+fn shift_rows(state: &[u16], params: &AesParams) -> Vec<u16> {
+    let (r, c) = (params.rows, params.cols);
+    let mut out = vec![0u16; state.len()];
+    for row in 0..r {
+        for col in 0..c {
+            let src_col = (col + row) % c;
+            out[col * r + row] = state[src_col * r + row];
+        }
+    }
+    out
+}
+
+fn mix_columns(state: &[u16], params: &AesParams) -> Vec<u16> {
+    let (r, c) = (params.rows, params.cols);
+    let m = mix_matrix(r);
+    let mut out = vec![0u16; state.len()];
+    for col in 0..c {
+        for row in 0..r {
+            let mut acc = 0u16;
+            for k in 0..r {
+                acc ^= gf_mul(m[row][k], state[col * r + k], params.word_bits);
+            }
+            out[col * r + row] = acc;
+        }
+    }
+    out
+}
+
+/// Expands the key into `rounds + 1` round keys (each `rows * cols` words).
+pub fn key_schedule(key: &[u16], params: &AesParams) -> Vec<Vec<u16>> {
+    let (r, c) = (params.rows, params.cols);
+    let mut keys = vec![key.to_vec()];
+    for round in 1..=params.rounds {
+        let prev = &keys[round - 1];
+        let mut next = vec![0u16; r * c];
+        // First column: previous first column ⊕ S(rotated last column) ⊕ rcon.
+        let rcon = round_constant(round, params.word_bits);
+        for row in 0..r {
+            let rotated = prev[(c - 1) * r + (row + 1) % r];
+            next[row] = prev[row] ^ sbox(rotated, params.word_bits) ^ if row == 0 { rcon } else { 0 };
+        }
+        for col in 1..c {
+            for row in 0..r {
+                next[col * r + row] = next[(col - 1) * r + row] ^ prev[col * r + row];
+            }
+        }
+        keys.push(next);
+    }
+    keys
+}
+
+fn round_constant(round: usize, word_bits: usize) -> u16 {
+    let mut rc = 1u16;
+    for _ in 1..round {
+        rc = gf_mul(rc, 2, word_bits);
+    }
+    rc
+}
+
+/// Encrypts a plaintext (column-major state) under `key`.
+pub fn encrypt(plaintext: &[u16], key: &[u16], params: &AesParams) -> Vec<u16> {
+    assert_eq!(plaintext.len(), params.words());
+    assert_eq!(key.len(), params.words());
+    let round_keys = key_schedule(key, params);
+    let mut state: Vec<u16> = plaintext
+        .iter()
+        .zip(&round_keys[0])
+        .map(|(&p, &k)| p ^ k)
+        .collect();
+    for round in 1..=params.rounds {
+        state = state
+            .iter()
+            .map(|&x| sbox(x, params.word_bits))
+            .collect();
+        state = shift_rows(&state, params);
+        // The final round of AES omits MixColumns; the small-scale SR*
+        // variant keeps it, and so do we (it only changes the linear layer).
+        state = mix_columns(&state, params);
+        state = state
+            .iter()
+            .zip(&round_keys[round])
+            .map(|(&x, &k)| x ^ k)
+            .collect();
+    }
+    state
+}
+
+// ----- ANF encoder -------------------------------------------------------------
+
+/// The ANF of each S-box output bit over the input bits, computed by a
+/// Möbius transform of the truth table.
+pub fn sbox_anf(word_bits: usize) -> Vec<Vec<Monomial>> {
+    let size = 1usize << word_bits;
+    let mut anf = Vec::with_capacity(word_bits);
+    for bit in 0..word_bits {
+        // Möbius transform of the bit's truth table.
+        let mut coeffs: Vec<bool> = (0..size)
+            .map(|x| (sbox(x as u16, word_bits) >> bit) & 1 == 1)
+            .collect();
+        let mut step = 1usize;
+        while step < size {
+            for block in (0..size).step_by(step * 2) {
+                for i in block..block + step {
+                    let hi = coeffs[i];
+                    coeffs[i + step] ^= hi;
+                }
+            }
+            step *= 2;
+        }
+        let monomials: Vec<Monomial> = (0..size)
+            .filter(|&mask| coeffs[mask])
+            .map(|mask| {
+                Monomial::from_vars(
+                    (0..word_bits)
+                        .filter(|&j| (mask >> j) & 1 == 1)
+                        .map(|j| j as Var),
+                )
+            })
+            .collect();
+        anf.push(monomials);
+    }
+    anf
+}
+
+/// A generated SR(n, r, c, e) key-recovery instance.
+#[derive(Debug, Clone)]
+pub struct AesInstance {
+    /// The ANF system encoding key recovery from one plaintext/ciphertext
+    /// pair.
+    pub system: PolynomialSystem,
+    /// The secret key (ground truth).
+    pub key: Vec<u16>,
+    /// The plaintext state.
+    pub plaintext: Vec<u16>,
+    /// The ciphertext state.
+    pub ciphertext: Vec<u16>,
+    /// A satisfying assignment (key bits plus all intermediate variables).
+    pub witness: Assignment,
+    /// The parameters used.
+    pub params: AesParams,
+}
+
+struct AesEncoder {
+    system: PolynomialSystem,
+    witness: Assignment,
+    params: AesParams,
+    sbox_anf: Vec<Vec<Monomial>>,
+}
+
+impl AesEncoder {
+    fn new_word_vars(&mut self, value: u16) -> Vec<Polynomial> {
+        (0..self.params.word_bits)
+            .map(|b| {
+                let v = self.system.new_var();
+                self.witness.set(v, (value >> b) & 1 == 1);
+                Polynomial::variable(v)
+            })
+            .collect()
+    }
+
+    /// Introduces S-box input/output variables for a word whose input is the
+    /// given bit polynomials, adds the linking equations, and returns the
+    /// output bit polynomials (fresh variables).
+    fn encode_sbox(&mut self, input_bits: &[Polynomial], input_value: u16) -> (Vec<Polynomial>, u16) {
+        let e = self.params.word_bits;
+        // Input variables u, pinned to the incoming polynomials.
+        let u_vars: Vec<Var> = (0..e)
+            .map(|b| {
+                let v = self.system.new_var();
+                self.witness.set(v, (input_value >> b) & 1 == 1);
+                let mut eq = Polynomial::variable(v);
+                eq += &input_bits[b];
+                self.system.push(eq);
+                v
+            })
+            .collect();
+        // Output variables v with the S-box ANF equations.
+        let output_value = sbox(input_value, e);
+        let out_bits: Vec<Polynomial> = (0..e)
+            .map(|b| {
+                let v = self.system.new_var();
+                self.witness.set(v, (output_value >> b) & 1 == 1);
+                let mut eq = Polynomial::variable(v);
+                for monomial in &self.sbox_anf[b] {
+                    let mapped =
+                        Monomial::from_vars(monomial.vars().iter().map(|&j| u_vars[j as usize]));
+                    eq.toggle_monomial(mapped);
+                }
+                self.system.push(eq);
+                Polynomial::variable(v)
+            })
+            .collect();
+        (out_bits, output_value)
+    }
+}
+
+/// A word as bit polynomials together with its concrete witness value.
+#[derive(Clone)]
+struct SymAesWord {
+    bits: Vec<Polynomial>,
+    value: u16,
+}
+
+fn word_xor(a: &SymAesWord, b: &SymAesWord) -> SymAesWord {
+    SymAesWord {
+        bits: a
+            .bits
+            .iter()
+            .zip(&b.bits)
+            .map(|(x, y)| {
+                let mut p = x.clone();
+                p += y;
+                p
+            })
+            .collect(),
+        value: a.value ^ b.value,
+    }
+}
+
+fn word_const(value: u16, word_bits: usize) -> SymAesWord {
+    SymAesWord {
+        bits: (0..word_bits)
+            .map(|b| Polynomial::constant((value >> b) & 1 == 1))
+            .collect(),
+        value,
+    }
+}
+
+/// Multiplies a symbolic word by a field constant (a GF(2)-linear map on the
+/// bits).
+fn word_scale(word: &SymAesWord, constant: u16, word_bits: usize) -> SymAesWord {
+    let mut bits = vec![Polynomial::zero(); word_bits];
+    // Multiplying by a constant is linear: the result is the XOR of the
+    // images of each input bit.
+    for b in 0..word_bits {
+        let image = gf_mul(1 << b, constant, word_bits);
+        for out in 0..word_bits {
+            if (image >> out) & 1 == 1 {
+                let mut p = bits[out].clone();
+                p += &word.bits[b];
+                bits[out] = p;
+            }
+        }
+    }
+    SymAesWord {
+        bits,
+        value: gf_mul(word.value, constant, word_bits),
+    }
+}
+
+/// Generates an SR(n, r, c, e) key-recovery instance from one random
+/// plaintext and key.
+pub fn generate<R: Rng>(params: AesParams, rng: &mut R) -> AesInstance {
+    let mask = ((1u32 << params.word_bits) - 1) as u16;
+    let key: Vec<u16> = (0..params.words()).map(|_| rng.gen::<u16>() & mask).collect();
+    let plaintext: Vec<u16> = (0..params.words()).map(|_| rng.gen::<u16>() & mask).collect();
+    generate_with(params, &key, &plaintext)
+}
+
+/// Generates an instance for a specific key and plaintext (useful for tests).
+pub fn generate_with(params: AesParams, key: &[u16], plaintext: &[u16]) -> AesInstance {
+    assert_eq!(key.len(), params.words());
+    assert_eq!(plaintext.len(), params.words());
+    let ciphertext = encrypt(plaintext, key, &params);
+    let round_keys = key_schedule(key, &params);
+
+    let mut encoder = AesEncoder {
+        system: PolynomialSystem::new(),
+        witness: Assignment::all_false(0),
+        params,
+        sbox_anf: sbox_anf(params.word_bits),
+    };
+
+    // Key variables.
+    let key_words: Vec<SymAesWord> = key
+        .iter()
+        .map(|&k| SymAesWord {
+            bits: encoder.new_word_vars(k),
+            value: k,
+        })
+        .collect();
+
+    // Symbolic key schedule (S-box applications get their own variables).
+    let (r, c) = (params.rows, params.cols);
+    let mut sym_keys: Vec<Vec<SymAesWord>> = vec![key_words.clone()];
+    for round in 1..=params.rounds {
+        let prev = &sym_keys[round - 1];
+        let rcon = round_constant(round, params.word_bits);
+        let mut next: Vec<SymAesWord> = Vec::with_capacity(r * c);
+        for row in 0..r {
+            let rotated = &prev[(c - 1) * r + (row + 1) % r];
+            let (sbox_bits, sbox_value) = encoder.encode_sbox(&rotated.bits, rotated.value);
+            let sboxed = SymAesWord { bits: sbox_bits, value: sbox_value };
+            let mut word = word_xor(&prev[row], &sboxed);
+            if row == 0 {
+                word = word_xor(&word, &word_const(rcon, params.word_bits));
+            }
+            next.push(word);
+        }
+        for col in 1..c {
+            for row in 0..r {
+                let word = word_xor(&next[(col - 1) * r + row], &prev[col * r + row]);
+                next.push(word);
+            }
+        }
+        debug_assert_eq!(next.len(), r * c);
+        for (w, &expected) in next.iter().zip(&round_keys[round]) {
+            debug_assert_eq!(w.value, expected, "symbolic key schedule mismatch");
+        }
+        sym_keys.push(next);
+    }
+
+    // Symbolic encryption.
+    let mut state: Vec<SymAesWord> = plaintext
+        .iter()
+        .zip(&sym_keys[0])
+        .map(|(&p, k)| word_xor(&word_const(p, params.word_bits), k))
+        .collect();
+    for round in 1..=params.rounds {
+        // SubWords.
+        state = state
+            .iter()
+            .map(|w| {
+                let (bits, value) = encoder.encode_sbox(&w.bits, w.value);
+                SymAesWord { bits, value }
+            })
+            .collect();
+        // ShiftRows.
+        let mut shifted = state.clone();
+        for row in 0..r {
+            for col in 0..c {
+                let src_col = (col + row) % c;
+                shifted[col * r + row] = state[src_col * r + row].clone();
+            }
+        }
+        state = shifted;
+        // MixColumns.
+        let m = mix_matrix(r);
+        let mut mixed: Vec<SymAesWord> = Vec::with_capacity(r * c);
+        for col in 0..c {
+            for row in 0..r {
+                let mut acc = word_const(0, params.word_bits);
+                for k in 0..r {
+                    let scaled = word_scale(&state[col * r + k], m[row][k], params.word_bits);
+                    acc = word_xor(&acc, &scaled);
+                }
+                mixed.push(acc);
+            }
+        }
+        state = mixed;
+        // AddRoundKey.
+        state = state
+            .iter()
+            .zip(&sym_keys[round])
+            .map(|(w, k)| word_xor(w, k))
+            .collect();
+    }
+
+    // Pin the final state to the known ciphertext.
+    for (word, &expected) in state.iter().zip(&ciphertext) {
+        debug_assert_eq!(word.value, expected, "reference/symbolic mismatch");
+        for b in 0..params.word_bits {
+            let mut eq = word.bits[b].clone();
+            eq += &Polynomial::constant((expected >> b) & 1 == 1);
+            encoder.system.push(eq);
+        }
+    }
+
+    AesInstance {
+        system: encoder.system,
+        key: key.to_vec(),
+        plaintext: plaintext.to_vec(),
+        ciphertext,
+        witness: encoder.witness,
+        params,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gf_arithmetic_basics() {
+        // AES field: 0x57 * 0x13 = 0xFE (classic FIPS-197 example).
+        assert_eq!(gf_mul(0x57, 0x13, 8), 0xFE);
+        assert_eq!(gf_mul(0x02, 0x80, 8), 0x1B);
+        for x in 1..16u16 {
+            assert_eq!(gf_mul(x, gf_inv(x, 4), 4), 1, "inverse in GF(16)");
+        }
+        for x in 1..256u16 {
+            assert_eq!(gf_mul(x, gf_inv(x, 8), 8), 1, "inverse in GF(256)");
+        }
+    }
+
+    #[test]
+    fn sbox_matches_aes_for_e8() {
+        // FIPS-197 S-box spot checks.
+        assert_eq!(sbox(0x00, 8), 0x63);
+        assert_eq!(sbox(0x01, 8), 0x7c);
+        assert_eq!(sbox(0x53, 8), 0xed);
+        assert_eq!(sbox(0xff, 8), 0x16);
+    }
+
+    #[test]
+    fn sboxes_are_bijective() {
+        for e in [4usize, 8] {
+            let size = 1u16 << e;
+            let mut seen = vec![false; size as usize];
+            for x in 0..size {
+                let y = sbox(x, e) as usize;
+                assert!(!seen[y], "S-box for e={e} is not injective at {x}");
+                seen[y] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn sbox_anf_matches_truth_table() {
+        for e in [4usize, 8] {
+            let anf = sbox_anf(e);
+            for x in 0..(1u16 << e) {
+                for bit in 0..e {
+                    let expected = (sbox(x, e) >> bit) & 1 == 1;
+                    let computed = anf[bit]
+                        .iter()
+                        .fold(false, |acc, m| acc ^ m.evaluate(|v| (x >> v) & 1 == 1));
+                    assert_eq!(computed, expected, "e={e}, x={x}, bit={bit}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encryption_is_key_dependent_and_deterministic() {
+        let params = AesParams::small(2);
+        let p = vec![0x3, 0x7, 0x1, 0xc];
+        let k1 = vec![0x1, 0x2, 0x3, 0x4];
+        let k2 = vec![0x1, 0x2, 0x3, 0x5];
+        assert_eq!(encrypt(&p, &k1, &params), encrypt(&p, &k1, &params));
+        assert_ne!(encrypt(&p, &k1, &params), encrypt(&p, &k2, &params));
+    }
+
+    #[test]
+    fn witness_satisfies_small_instance() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let instance = generate(AesParams::small(2), &mut rng);
+        assert!(instance.system.is_satisfied_by(&instance.witness));
+        // Key bits are the first variables; the witness stores the key.
+        for (i, &word) in instance.key.iter().enumerate() {
+            for b in 0..4 {
+                assert_eq!(
+                    instance.witness.get((i * 4 + b) as Var),
+                    (word >> b) & 1 == 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn witness_satisfies_one_round_full_aes_instance() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let instance = generate(AesParams::paper_sr_1_4_4_8(), &mut rng);
+        assert!(instance.system.is_satisfied_by(&instance.witness));
+        assert_eq!(instance.params.key_bits(), 128);
+        assert!(instance.system.num_vars() >= 128);
+    }
+
+    #[test]
+    fn shift_rows_permutes_rows_by_offset() {
+        let params = AesParams { rounds: 1, rows: 2, cols: 2, word_bits: 4 };
+        // Column-major: [ (r0,c0), (r1,c0), (r0,c1), (r1,c1) ]
+        let state = vec![1, 2, 3, 4];
+        let shifted = shift_rows(&state, &params);
+        // Row 0 unchanged, row 1 rotated by one column.
+        assert_eq!(shifted, vec![1, 4, 3, 2]);
+    }
+
+    #[test]
+    fn instance_scales_with_rounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let small = generate(AesParams::small(1), &mut rng);
+        let large = generate(AesParams::small(3), &mut rng);
+        assert!(large.system.len() > small.system.len());
+    }
+}

@@ -1,0 +1,227 @@
+//! Weakened Bitcoin nonce finding (Appendix C / Fig. 5 of the paper).
+//!
+//! A 512-bit message block is built as in Fig. 5: the first 415 bits are
+//! fixed at random, the next 32 bits are a free nonce, then the SHA padding
+//! (`1` followed by the 64-bit length 448). The challenge is to find a nonce
+//! for which the first `k` bits of the (round-reduced) SHA-256 digest are
+//! zero — the same structure as Bitcoin's proof of work, scaled down.
+
+use bosphorus_anf::{Polynomial, PolynomialSystem};
+use rand::Rng;
+
+use crate::sha256::{compress, encode_compression, EncodedCompression, MessageBit, H0};
+
+/// Number of randomly fixed message bits (Fig. 5).
+pub const FIXED_BITS: usize = 415;
+/// Number of free nonce bits.
+pub const NONCE_BITS: usize = 32;
+
+/// Parameters of a nonce-finding instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitcoinParams {
+    /// Number of leading digest bits required to be zero.
+    pub difficulty: usize,
+    /// Number of SHA-256 compression rounds encoded (64 = full).
+    pub rounds: usize,
+}
+
+impl BitcoinParams {
+    /// The `Bitcoin-[k]` families of Table II use k ∈ {10, 15, 20} with the
+    /// full 64 rounds; the reproduction defaults to reduced rounds so that
+    /// instances remain solvable within a laptop-scale budget.
+    pub fn table2_families(rounds: usize) -> Vec<BitcoinParams> {
+        [10, 15, 20]
+            .into_iter()
+            .map(|difficulty| BitcoinParams { difficulty, rounds })
+            .collect()
+    }
+}
+
+/// A generated nonce-finding instance.
+#[derive(Debug, Clone)]
+pub struct BitcoinInstance {
+    /// The ANF system: the SHA-256 encoding plus `k` constraints forcing the
+    /// leading digest bits to zero.
+    pub system: PolynomialSystem,
+    /// The underlying SHA-256 encoding (kept for inspection).
+    pub encoding: EncodedCompression,
+    /// A nonce that solves the challenge (ground truth found by brute force
+    /// during generation; `None` when generation gave up and the instance
+    /// may be unsatisfiable).
+    pub solution_nonce: Option<u32>,
+    /// The parameters of the instance.
+    pub params: BitcoinParams,
+}
+
+/// Builds the 512-bit padded message block of Fig. 5 from the fixed prefix
+/// bits and a concrete nonce value.
+fn build_block_words(prefix: &[bool], nonce: u32) -> [u32; 16] {
+    assert_eq!(prefix.len(), FIXED_BITS);
+    let mut bits = [false; 512];
+    bits[..FIXED_BITS].copy_from_slice(prefix);
+    for i in 0..NONCE_BITS {
+        bits[FIXED_BITS + i] = (nonce >> (NONCE_BITS - 1 - i)) & 1 == 1;
+    }
+    // SHA padding: a single '1' bit, zeros, then the 64-bit message length
+    // (448 bits) in the last 64 bits.
+    bits[FIXED_BITS + NONCE_BITS] = true;
+    let length: u64 = 448;
+    for i in 0..64 {
+        bits[448 + i] = (length >> (63 - i)) & 1 == 1;
+    }
+    let mut words = [0u32; 16];
+    for (i, bit) in bits.iter().enumerate() {
+        if *bit {
+            words[i / 32] |= 1 << (31 - (i % 32));
+        }
+    }
+    words
+}
+
+/// Searches for a nonce whose (round-reduced) digest starts with `difficulty`
+/// zero bits, trying at most `budget` candidates.
+pub fn find_nonce(prefix: &[bool], params: BitcoinParams, budget: u64) -> Option<u32> {
+    for candidate in 0..budget.min(1 << 32) {
+        let nonce = candidate as u32;
+        let words = build_block_words(prefix, nonce);
+        let digest = compress(H0, words, params.rounds);
+        if leading_zero_bits(&digest) >= params.difficulty {
+            return Some(nonce);
+        }
+    }
+    None
+}
+
+/// Number of leading zero bits of a digest given as eight big-endian words.
+pub fn leading_zero_bits(digest: &[u32; 8]) -> usize {
+    let mut count = 0usize;
+    for &word in digest {
+        if word == 0 {
+            count += 32;
+        } else {
+            count += word.leading_zeros() as usize;
+            break;
+        }
+    }
+    count
+}
+
+/// Generates a nonce-finding instance.
+///
+/// The fixed prefix is drawn from `rng`; generation retries with fresh
+/// prefixes until a witness nonce exists (searching up to `2^(difficulty+4)`
+/// candidates per prefix), so the returned instance is satisfiable and its
+/// `solution_nonce` is a valid proof of work.
+pub fn generate<R: Rng>(params: BitcoinParams, rng: &mut R) -> BitcoinInstance {
+    assert!(params.difficulty <= 64, "difficulty beyond 64 bits is not supported");
+    loop {
+        let prefix: Vec<bool> = (0..FIXED_BITS).map(|_| rng.gen()).collect();
+        let search_budget = 1u64 << (params.difficulty as u64 + 4).min(26);
+        let Some(nonce) = find_nonce(&prefix, params, search_budget) else {
+            continue;
+        };
+        return generate_with_prefix(&prefix, Some(nonce), params);
+    }
+}
+
+/// Builds the instance for a specific prefix (and optional known solution
+/// nonce used as the encoder witness).
+pub fn generate_with_prefix(
+    prefix: &[bool],
+    solution_nonce: Option<u32>,
+    params: BitcoinParams,
+) -> BitcoinInstance {
+    let witness_nonce = solution_nonce.unwrap_or(0);
+    let block: Vec<MessageBit> = {
+        let words = build_block_words(prefix, witness_nonce);
+        (0..512)
+            .map(|i| {
+                let bit = (words[i / 32] >> (31 - (i % 32))) & 1 == 1;
+                if (FIXED_BITS..FIXED_BITS + NONCE_BITS).contains(&i) {
+                    MessageBit::Free { witness: bit }
+                } else {
+                    MessageBit::Known(bit)
+                }
+            })
+            .collect()
+    };
+    let encoding = encode_compression(&block, params.rounds);
+    let mut system = encoding.system.clone();
+    for bit in 0..params.difficulty {
+        // The digest bit must be zero: the defining polynomial itself is the
+        // constraint.
+        let constraint: Polynomial = encoding.output_bits[bit].clone();
+        system.push(constraint);
+    }
+    BitcoinInstance {
+        system,
+        encoding,
+        solution_nonce,
+        params,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn leading_zero_count() {
+        assert_eq!(leading_zero_bits(&[0, 0, 0, 0, 0, 0, 0, 0]), 256);
+        assert_eq!(leading_zero_bits(&[1, 0, 0, 0, 0, 0, 0, 0]), 31);
+        assert_eq!(leading_zero_bits(&[0, 0x8000_0000, 0, 0, 0, 0, 0, 0]), 32);
+    }
+
+    #[test]
+    fn block_layout_matches_fig5() {
+        let prefix = vec![true; FIXED_BITS];
+        let words = build_block_words(&prefix, 0xDEADBEEF);
+        // Bit 415 starts the nonce: check the nonce round-trips.
+        let mut nonce = 0u32;
+        for i in 0..NONCE_BITS {
+            let global = FIXED_BITS + i;
+            let bit = (words[global / 32] >> (31 - (global % 32))) & 1;
+            nonce = (nonce << 1) | bit;
+        }
+        assert_eq!(nonce, 0xDEADBEEF);
+        // Bit 447 is the padding '1'.
+        assert_eq!((words[13] >> (31 - 31)) & 1, 1);
+        // The final word holds the length 448.
+        assert_eq!(words[15], 448);
+        assert_eq!(words[14], 0);
+    }
+
+    #[test]
+    fn generated_instance_witness_is_a_proof_of_work() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let params = BitcoinParams {
+            difficulty: 4,
+            rounds: 4,
+        };
+        let instance = generate(params, &mut rng);
+        let nonce = instance.solution_nonce.expect("generation guarantees a witness");
+        // The encoder witness satisfies the full system, including the
+        // leading-zero constraints.
+        assert!(instance.system.is_satisfied_by(&instance.encoding.witness));
+        // And the nonce really is a proof of work for the reduced hash.
+        assert!(leading_zero_bits(&instance.encoding.witness_digest) >= params.difficulty);
+        let _ = nonce;
+    }
+
+    #[test]
+    fn difficulty_adds_constraints() {
+        let prefix = vec![false; FIXED_BITS];
+        let easy = generate_with_prefix(&prefix, None, BitcoinParams { difficulty: 2, rounds: 2 });
+        let hard = generate_with_prefix(&prefix, None, BitcoinParams { difficulty: 10, rounds: 2 });
+        assert_eq!(hard.system.len(), easy.system.len() + 8);
+    }
+
+    #[test]
+    fn table2_families_have_increasing_difficulty() {
+        let families = BitcoinParams::table2_families(8);
+        assert_eq!(families.len(), 3);
+        assert!(families.windows(2).all(|w| w[0].difficulty < w[1].difficulty));
+    }
+}

@@ -1,0 +1,31 @@
+//! Benchmark instance generators for the Bosphorus reproduction.
+//!
+//! The paper evaluates Bosphorus on three families of ANF problems and one
+//! family of CNF problems. This crate regenerates all four:
+//!
+//! * [`aes`] — round-reduced small-scale AES, SR(n, r, c, e), replacing the
+//!   SageMath encoder of the paper's Appendix A;
+//! * [`simon`] — round-reduced Simon32/64 in the Similar-Plaintexts /
+//!   Random-Ciphertexts setting of Appendix B;
+//! * [`sha256`] + [`bitcoin`] — the weakened Bitcoin nonce-finding problem of
+//!   Appendix C, built on a from-scratch SHA-256 ANF encoder;
+//! * [`satcomp`] — a synthetic CNF suite standing in for the SAT Competition
+//!   2017 instances of Appendix D (random 3-SAT, pigeonhole, XOR chains,
+//!   graph colouring and bounded-model-checking style circuits).
+//!
+//! Every generator returns plain [`PolynomialSystem`]s or
+//! [`CnfFormula`]s from the companion crates, plus enough ground truth (keys,
+//! expected satisfiability) for the test suite to validate the encodings
+//! against reference implementations.
+//!
+//! [`PolynomialSystem`]: bosphorus_anf::PolynomialSystem
+//! [`CnfFormula`]: bosphorus_cnf::CnfFormula
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod bitcoin;
+pub mod satcomp;
+pub mod sha256;
+pub mod simon;

@@ -1,0 +1,560 @@
+//! SHA-256: reference implementation and ANF encoder (Appendix C substrate).
+//!
+//! The Bitcoin nonce-finding benchmark needs the SHA-256 compression function
+//! both as ordinary software (to build instances and check witnesses) and as
+//! a system of Boolean polynomial equations (so Bosphorus can reason about
+//! it). The encoder introduces fresh variables for every adder output and
+//! carry, keeping all equations at degree two, and supports round reduction
+//! so laptop-scale instances remain solvable.
+
+use bosphorus_anf::{Assignment, Polynomial, PolynomialSystem, Var};
+
+/// Number of compression rounds in full SHA-256.
+pub const FULL_ROUNDS: usize = 64;
+
+/// SHA-256 round constants.
+pub const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// SHA-256 initial hash state.
+pub const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+// ----- reference implementation ---------------------------------------------
+
+fn ch(e: u32, f: u32, g: u32) -> u32 {
+    (e & f) ^ (!e & g)
+}
+
+fn maj(a: u32, b: u32, c: u32) -> u32 {
+    (a & b) ^ (a & c) ^ (b & c)
+}
+
+fn big_sigma0(x: u32) -> u32 {
+    x.rotate_right(2) ^ x.rotate_right(13) ^ x.rotate_right(22)
+}
+
+fn big_sigma1(x: u32) -> u32 {
+    x.rotate_right(6) ^ x.rotate_right(11) ^ x.rotate_right(25)
+}
+
+fn small_sigma0(x: u32) -> u32 {
+    x.rotate_right(7) ^ x.rotate_right(18) ^ (x >> 3)
+}
+
+fn small_sigma1(x: u32) -> u32 {
+    x.rotate_right(17) ^ x.rotate_right(19) ^ (x >> 10)
+}
+
+/// The SHA-256 compression function restricted to the first `rounds` rounds
+/// (64 for the real thing), starting from `state` and absorbing one 512-bit
+/// `block` given as 16 big-endian words.
+///
+/// # Panics
+///
+/// Panics if `rounds` is outside `1..=64`.
+pub fn compress(state: [u32; 8], block: [u32; 16], rounds: usize) -> [u32; 8] {
+    assert!(rounds >= 1 && rounds <= FULL_ROUNDS, "1..=64 rounds");
+    let mut w = [0u32; 64];
+    w[..16].copy_from_slice(&block);
+    for t in 16..FULL_ROUNDS {
+        w[t] = small_sigma1(w[t - 2])
+            .wrapping_add(w[t - 7])
+            .wrapping_add(small_sigma0(w[t - 15]))
+            .wrapping_add(w[t - 16]);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = state;
+    for t in 0..rounds {
+        let t1 = h
+            .wrapping_add(big_sigma1(e))
+            .wrapping_add(ch(e, f, g))
+            .wrapping_add(K[t])
+            .wrapping_add(w[t]);
+        let t2 = big_sigma0(a).wrapping_add(maj(a, b, c));
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    [
+        state[0].wrapping_add(a),
+        state[1].wrapping_add(b),
+        state[2].wrapping_add(c),
+        state[3].wrapping_add(d),
+        state[4].wrapping_add(e),
+        state[5].wrapping_add(f),
+        state[6].wrapping_add(g),
+        state[7].wrapping_add(h),
+    ]
+}
+
+/// Full SHA-256 of an arbitrary byte message (padding included).
+///
+/// # Examples
+///
+/// ```
+/// use bosphorus_ciphers::sha256::sha256;
+/// let digest = sha256(b"abc");
+/// assert_eq!(digest[0], 0xba);
+/// ```
+pub fn sha256(message: &[u8]) -> [u8; 32] {
+    let mut data = message.to_vec();
+    let bit_len = (message.len() as u64) * 8;
+    data.push(0x80);
+    while data.len() % 64 != 56 {
+        data.push(0);
+    }
+    data.extend_from_slice(&bit_len.to_be_bytes());
+    let mut state = H0;
+    for chunk in data.chunks(64) {
+        let mut block = [0u32; 16];
+        for (i, word) in chunk.chunks(4).enumerate() {
+            block[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        state = compress(state, block, FULL_ROUNDS);
+    }
+    let mut out = [0u8; 32];
+    for (i, word) in state.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+// ----- ANF encoder -----------------------------------------------------------
+
+/// One bit of the 512-bit message block handed to the encoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageBit {
+    /// A bit whose value is fixed in the instance.
+    Known(bool),
+    /// A bit left free (it becomes an ANF variable); `witness` is the value
+    /// used to build a satisfying assignment for validation.
+    Free {
+        /// The concrete value used when constructing the witness assignment.
+        witness: bool,
+    },
+}
+
+/// The ANF encoding of a (round-reduced) SHA-256 compression call.
+#[derive(Debug, Clone)]
+pub struct EncodedCompression {
+    /// The polynomial system; every adder output/carry is a fresh variable,
+    /// so all equations have degree at most two.
+    pub system: PolynomialSystem,
+    /// Variables of the free message bits, indexed by their position in the
+    /// 512-bit block (big-endian bit order: bit 0 is the MSB of word 0).
+    pub free_bits: Vec<(usize, Var)>,
+    /// The 256 output bits in big-endian bit order (bit 0 is the MSB of the
+    /// first output word), as polynomials over the system's variables.
+    pub output_bits: Vec<Polynomial>,
+    /// A satisfying assignment built from the witness values of the free
+    /// bits.
+    pub witness: Assignment,
+    /// The reference value of the (round-reduced) hash under the witness.
+    pub witness_digest: [u32; 8],
+    /// Number of rounds encoded.
+    pub rounds: usize,
+}
+
+/// A 32-bit word during encoding: per-bit polynomial plus its concrete value
+/// under the witness (bit 0 = least significant bit).
+#[derive(Clone)]
+struct SymWord {
+    bits: Vec<(Polynomial, bool)>,
+}
+
+impl SymWord {
+    fn constant(value: u32) -> Self {
+        SymWord {
+            bits: (0..32)
+                .map(|i| {
+                    let b = (value >> i) & 1 == 1;
+                    (Polynomial::constant(b), b)
+                })
+                .collect(),
+        }
+    }
+
+    fn value(&self) -> u32 {
+        self.bits
+            .iter()
+            .enumerate()
+            .fold(0u32, |acc, (i, &(_, b))| acc | (u32::from(b) << i))
+    }
+
+    fn rotate_right(&self, r: usize) -> SymWord {
+        SymWord {
+            bits: (0..32).map(|i| self.bits[(i + r) % 32].clone()).collect(),
+        }
+    }
+
+    fn shift_right(&self, r: usize) -> SymWord {
+        SymWord {
+            bits: (0..32)
+                .map(|i| {
+                    if i + r < 32 {
+                        self.bits[i + r].clone()
+                    } else {
+                        (Polynomial::zero(), false)
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    fn xor(&self, other: &SymWord) -> SymWord {
+        SymWord {
+            bits: (0..32)
+                .map(|i| {
+                    let mut p = self.bits[i].0.clone();
+                    p += &other.bits[i].0;
+                    (p, self.bits[i].1 ^ other.bits[i].1)
+                })
+                .collect(),
+        }
+    }
+}
+
+struct Encoder {
+    system: PolynomialSystem,
+    witness: Assignment,
+}
+
+impl Encoder {
+    /// Introduces a fresh variable constrained to equal `poly`, recording its
+    /// witness value. Constants and bare variables pass through unchanged.
+    fn materialize_bit(&mut self, poly: Polynomial, value: bool) -> (Polynomial, bool) {
+        if poly.is_constant() || (poly.len() == 1 && poly.degree() == 1) {
+            return (poly, value);
+        }
+        let v = self.system.new_var();
+        self.witness.set(v, value);
+        let mut eq = Polynomial::variable(v);
+        eq += &poly;
+        self.system.push(eq);
+        (Polynomial::variable(v), value)
+    }
+
+    fn materialize(&mut self, word: SymWord) -> SymWord {
+        SymWord {
+            bits: word
+                .bits
+                .into_iter()
+                .map(|(p, b)| self.materialize_bit(p, b))
+                .collect(),
+        }
+    }
+
+    /// Ripple-carry addition modulo 2^32: sum and carry bits become fresh
+    /// variables with quadratic defining equations.
+    fn add(&mut self, a: &SymWord, b: &SymWord) -> SymWord {
+        let a = self.materialize(a.clone());
+        let b = self.materialize(b.clone());
+        let mut carry: (Polynomial, bool) = (Polynomial::zero(), false);
+        let mut out = Vec::with_capacity(32);
+        for i in 0..32 {
+            let (pa, va) = (&a.bits[i].0, a.bits[i].1);
+            let (pb, vb) = (&b.bits[i].0, b.bits[i].1);
+            // Sum bit.
+            let mut sum_poly = pa.clone();
+            sum_poly += pb;
+            sum_poly += &carry.0;
+            let sum_val = va ^ vb ^ carry.1;
+            out.push(self.materialize_bit(sum_poly, sum_val));
+            // Carry out (the last carry is discarded modulo 2^32).
+            if i < 31 {
+                let mut carry_poly = pa.mul(pb);
+                carry_poly += &pa.mul(&carry.0);
+                carry_poly += &pb.mul(&carry.0);
+                let carry_val = (va & vb) | (va & carry.1) | (vb & carry.1);
+                carry = self.materialize_bit(carry_poly, carry_val);
+            }
+        }
+        SymWord { bits: out }
+    }
+
+    fn ch(&mut self, e: &SymWord, f: &SymWord, g: &SymWord) -> SymWord {
+        let bits = (0..32)
+            .map(|i| {
+                let (pe, ve) = (&e.bits[i].0, e.bits[i].1);
+                let (pf, vf) = (&f.bits[i].0, f.bits[i].1);
+                let (pg, vg) = (&g.bits[i].0, g.bits[i].1);
+                // ch = e·f ⊕ (e ⊕ 1)·g = e·f ⊕ e·g ⊕ g
+                let mut p = pe.mul(pf);
+                p += &pe.mul(pg);
+                p += pg;
+                let v = (ve & vf) ^ (!ve & vg);
+                (p, v)
+            })
+            .collect();
+        SymWord { bits }
+    }
+
+    fn maj(&mut self, a: &SymWord, b: &SymWord, c: &SymWord) -> SymWord {
+        let bits = (0..32)
+            .map(|i| {
+                let (pa, va) = (&a.bits[i].0, a.bits[i].1);
+                let (pb, vb) = (&b.bits[i].0, b.bits[i].1);
+                let (pc, vc) = (&c.bits[i].0, c.bits[i].1);
+                let mut p = pa.mul(pb);
+                p += &pa.mul(pc);
+                p += &pb.mul(pc);
+                let v = (va & vb) ^ (va & vc) ^ (vb & vc);
+                (p, v)
+            })
+            .collect();
+        SymWord { bits }
+    }
+}
+
+fn big_sigma0_sym(x: &SymWord) -> SymWord {
+    x.rotate_right(2).xor(&x.rotate_right(13)).xor(&x.rotate_right(22))
+}
+
+fn big_sigma1_sym(x: &SymWord) -> SymWord {
+    x.rotate_right(6).xor(&x.rotate_right(11)).xor(&x.rotate_right(25))
+}
+
+fn small_sigma0_sym(x: &SymWord) -> SymWord {
+    x.rotate_right(7).xor(&x.rotate_right(18)).xor(&x.shift_right(3))
+}
+
+fn small_sigma1_sym(x: &SymWord) -> SymWord {
+    x.rotate_right(17).xor(&x.rotate_right(19)).xor(&x.shift_right(10))
+}
+
+/// Encodes one (round-reduced) SHA-256 compression of a 512-bit block over
+/// the standard initial state [`H0`].
+///
+/// `block_bits` gives the 512 message bits in big-endian bit order (bit 0 is
+/// the most significant bit of the first word). Free bits become ANF
+/// variables; the witness values are used to construct a model of the system
+/// for validation.
+///
+/// # Panics
+///
+/// Panics if `block_bits.len() != 512` or `rounds` is outside `1..=64`.
+pub fn encode_compression(block_bits: &[MessageBit], rounds: usize) -> EncodedCompression {
+    assert_eq!(block_bits.len(), 512, "a SHA-256 block has 512 bits");
+    assert!(rounds >= 1 && rounds <= FULL_ROUNDS, "1..=64 rounds");
+
+    let mut encoder = Encoder {
+        system: PolynomialSystem::new(),
+        witness: Assignment::all_false(0),
+    };
+    let mut free_bits = Vec::new();
+
+    // Build the 16 message words; big-endian bit order means block bit
+    // 32*w + j corresponds to bit (31 - j) of word w.
+    let mut w: Vec<SymWord> = Vec::with_capacity(16);
+    for word_idx in 0..16 {
+        let mut bits: Vec<(Polynomial, bool)> = vec![(Polynomial::zero(), false); 32];
+        for j in 0..32 {
+            let global = word_idx * 32 + j;
+            let target = 31 - j; // LSB-first internal order
+            match block_bits[global] {
+                MessageBit::Known(b) => bits[target] = (Polynomial::constant(b), b),
+                MessageBit::Free { witness } => {
+                    let v = encoder.system.new_var();
+                    encoder.witness.set(v, witness);
+                    free_bits.push((global, v));
+                    bits[target] = (Polynomial::variable(v), witness);
+                }
+            }
+        }
+        w.push(SymWord { bits });
+    }
+
+    // Message schedule (only as far as the encoded rounds need).
+    let schedule_len = rounds.max(16);
+    for t in 16..schedule_len {
+        let s1 = small_sigma1_sym(&w[t - 2]);
+        let s0 = small_sigma0_sym(&w[t - 15]);
+        let sum = {
+            let partial = encoder.add(&s1, &w[t - 7]);
+            let partial = encoder.add(&partial, &s0);
+            encoder.add(&partial, &w[t - 16])
+        };
+        w.push(sum);
+    }
+
+    // Compression rounds.
+    let initial: Vec<SymWord> = H0.iter().map(|&h| SymWord::constant(h)).collect();
+    let mut state = initial.clone();
+    for t in 0..rounds {
+        let (a, b, c, d) = (
+            state[0].clone(),
+            state[1].clone(),
+            state[2].clone(),
+            state[3].clone(),
+        );
+        let (e, f, g, h) = (
+            state[4].clone(),
+            state[5].clone(),
+            state[6].clone(),
+            state[7].clone(),
+        );
+        let ch = encoder.ch(&e, &f, &g);
+        let maj = encoder.maj(&a, &b, &c);
+        let t1 = {
+            let s = encoder.add(&h, &big_sigma1_sym(&e));
+            let s = encoder.add(&s, &ch);
+            let s = encoder.add(&s, &SymWord::constant(K[t]));
+            encoder.add(&s, &w[t])
+        };
+        let t2 = encoder.add(&big_sigma0_sym(&a), &maj);
+        let new_e = encoder.add(&d, &t1);
+        let new_a = encoder.add(&t1, &t2);
+        state = vec![new_a, a, b, c, new_e, e, f, g];
+    }
+    // Final feed-forward addition.
+    let finals: Vec<SymWord> = (0..8)
+        .map(|i| encoder.add(&initial[i], &state[i]))
+        .collect();
+
+    let witness_digest: [u32; 8] = {
+        let mut d = [0u32; 8];
+        for (i, word) in finals.iter().enumerate() {
+            d[i] = word.value();
+        }
+        d
+    };
+
+    // Output bits in big-endian bit order.
+    let output_bits: Vec<Polynomial> = (0..256)
+        .map(|i| {
+            let word = i / 32;
+            let j = i % 32;
+            finals[word].bits[31 - j].0.clone()
+        })
+        .collect();
+
+    // Every variable received its witness value the moment it was created,
+    // so the witness already covers the whole system.
+    EncodedCompression {
+        system: encoder.system,
+        free_bits,
+        output_bits,
+        witness: encoder.witness,
+        witness_digest,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips_test_vector_abc() {
+        let digest = sha256(b"abc");
+        let expected: [u8; 32] = [
+            0xba, 0x78, 0x16, 0xbf, 0x8f, 0x01, 0xcf, 0xea, 0x41, 0x41, 0x40, 0xde, 0x5d, 0xae,
+            0x22, 0x23, 0xb0, 0x03, 0x61, 0xa3, 0x96, 0x17, 0x7a, 0x9c, 0xb4, 0x10, 0xff, 0x61,
+            0xf2, 0x00, 0x15, 0xad,
+        ];
+        assert_eq!(digest, expected);
+    }
+
+    #[test]
+    fn fips_test_vector_empty_string() {
+        let digest = sha256(b"");
+        assert_eq!(
+            digest[..4],
+            [0xe3, 0xb0, 0xc4, 0x42],
+            "e3b0c442... is the empty-string digest"
+        );
+    }
+
+    fn block_from_words(words: [u32; 16], free: &[usize]) -> Vec<MessageBit> {
+        (0..512)
+            .map(|i| {
+                let word = i / 32;
+                let j = i % 32;
+                let bit = (words[word] >> (31 - j)) & 1 == 1;
+                if free.contains(&i) {
+                    MessageBit::Free { witness: bit }
+                } else {
+                    MessageBit::Known(bit)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encoder_matches_reference_with_all_bits_known() {
+        // The padded "abc" block.
+        let words: [u32; 16] = [0x61626380, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x18];
+        for rounds in [1usize, 4, 17] {
+            let encoded = encode_compression(&block_from_words(words, &[]), rounds);
+            let reference = compress(H0, words, rounds);
+            assert_eq!(encoded.witness_digest, reference, "rounds = {rounds}");
+            assert!(encoded.system.is_satisfied_by(&encoded.witness));
+        }
+    }
+
+    #[test]
+    fn encoder_witness_satisfies_system_with_free_bits() {
+        let words: [u32; 16] = [0x01234567; 16];
+        let free: Vec<usize> = (96..128).collect(); // one full word left free
+        let encoded = encode_compression(&block_from_words(words, &free), 6);
+        assert_eq!(encoded.free_bits.len(), 32);
+        assert!(encoded.system.is_satisfied_by(&encoded.witness));
+        assert_eq!(encoded.witness_digest, compress(H0, words, 6));
+        assert!(encoded.system.max_degree() <= 2, "adder equations are quadratic");
+    }
+
+    #[test]
+    fn output_bits_evaluate_to_the_digest_under_the_witness() {
+        let words: [u32; 16] = [0xdeadbeef; 16];
+        let encoded = encode_compression(&block_from_words(words, &[5, 6, 7]), 3);
+        for (i, bit_poly) in encoded.output_bits.iter().enumerate() {
+            let word = i / 32;
+            let j = i % 32;
+            let expected = (encoded.witness_digest[word] >> (31 - j)) & 1 == 1;
+            let actual = bit_poly.evaluate(|v| {
+                (v as usize) < encoded.witness.len() && encoded.witness.get(v)
+            });
+            assert_eq!(actual, expected, "output bit {i}");
+        }
+    }
+
+    #[test]
+    fn more_rounds_mean_more_equations() {
+        // With every message bit known the encoder constant-folds the whole
+        // hash away, so leave a few bits free to force symbolic reasoning.
+        let words = [0u32; 16];
+        let free: Vec<usize> = (0..8).collect();
+        let small = encode_compression(&block_from_words(words, &free), 2);
+        let large = encode_compression(&block_from_words(words, &free), 8);
+        assert!(large.system.len() > small.system.len());
+        assert!(large.system.num_vars() > small.system.num_vars());
+    }
+
+    #[test]
+    fn fully_known_block_constant_folds_to_an_empty_system() {
+        let words = [0u32; 16];
+        let encoded = encode_compression(&block_from_words(words, &[]), 2);
+        assert!(encoded.system.is_empty());
+        assert_eq!(encoded.witness_digest, compress(H0, words, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "512 bits")]
+    fn wrong_block_length_is_rejected() {
+        let _ = encode_compression(&[MessageBit::Known(false); 100], 4);
+    }
+}

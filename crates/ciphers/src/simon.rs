@@ -1,0 +1,400 @@
+//! Round-reduced Simon32/64 (Appendix B of the paper).
+//!
+//! Simon32/64 is a Feistel cipher with a 32-bit block (two 16-bit words) and
+//! a 64-bit key, whose round function uses only AND, XOR and rotations — so
+//! it has a natural quadratic ANF encoding. The benchmark instances encode
+//! key recovery: `n` plaintexts with low Hamming distance (the
+//! Similar-Plaintexts / Random-Ciphertexts setting) are encrypted for `r`
+//! rounds under one random key; the key bits and all intermediate round
+//! states are unknowns.
+
+use bosphorus_anf::{Assignment, Polynomial, PolynomialSystem, Var};
+use rand::Rng;
+
+const WORD_BITS: usize = 16;
+const KEY_WORDS: usize = 4;
+/// Full Simon32/64 has 32 rounds.
+pub const FULL_ROUNDS: usize = 32;
+
+/// The z0 constant sequence used by Simon32/64's key schedule.
+const Z0: [u8; 62] = [
+    1, 1, 1, 1, 1, 0, 1, 0, 0, 0, 1, 0, 0, 1, 0, 1, 0, 1, 1, 0, 0, 0, 0, 1, 1, 1, 0, 0, 1, 1, 0,
+    1, 1, 1, 1, 1, 0, 1, 0, 0, 0, 1, 0, 0, 1, 0, 1, 0, 1, 1, 0, 0, 0, 0, 1, 1, 1, 0, 0, 1, 1, 0,
+];
+
+fn rotl16(x: u16, r: u32) -> u16 {
+    x.rotate_left(r)
+}
+
+/// The Simon round function `f(x) = (x <<< 1) & (x <<< 8) ⊕ (x <<< 2)`.
+fn round_function(x: u16) -> u16 {
+    (rotl16(x, 1) & rotl16(x, 8)) ^ rotl16(x, 2)
+}
+
+/// Expands a 64-bit key (four 16-bit words, `key[0]` used first) into
+/// `rounds` round keys.
+pub fn key_schedule(key: [u16; KEY_WORDS], rounds: usize) -> Vec<u16> {
+    let mut k: Vec<u16> = vec![key[0], key[1], key[2], key[3]];
+    while k.len() < rounds {
+        let i = k.len();
+        let mut tmp = k[i - 1].rotate_right(3);
+        tmp ^= k[i - 3];
+        tmp ^= tmp.rotate_right(1);
+        // k_i = c ⊕ z ⊕ k_{i-4} ⊕ (I ⊕ S^{-1})(S^{-3} k_{i-1} ⊕ k_{i-3}),
+        // with c = 2^16 − 4 = 0xFFFC.
+        let z = u16::from(Z0[(i - KEY_WORDS) % 62]);
+        k.push(0xFFFC ^ z ^ k[i - KEY_WORDS] ^ tmp);
+    }
+    k.truncate(rounds);
+    k
+}
+
+/// Encrypts one 32-bit block `(x, y)` for `rounds` rounds under the given
+/// round keys, returning the resulting state.
+pub fn encrypt_block(mut x: u16, mut y: u16, round_keys: &[u16]) -> (u16, u16) {
+    for &k in round_keys {
+        let new_x = y ^ round_function(x) ^ k;
+        y = x;
+        x = new_x;
+    }
+    (x, y)
+}
+
+/// A generated Simon key-recovery instance.
+#[derive(Debug, Clone)]
+pub struct SimonInstance {
+    /// The ANF system encoding the key recovery problem.
+    pub system: PolynomialSystem,
+    /// The secret key used to generate the plaintext/ciphertext pairs
+    /// (ground truth for validation; a real attacker would not have it).
+    pub key: [u16; KEY_WORDS],
+    /// The plaintext blocks.
+    pub plaintexts: Vec<(u16, u16)>,
+    /// The corresponding ciphertext states after `rounds` rounds.
+    pub ciphertexts: Vec<(u16, u16)>,
+    /// Number of rounds encoded.
+    pub rounds: usize,
+    /// A satisfying assignment of the system derived from the key and the
+    /// reference implementation (useful for tests).
+    pub witness: Assignment,
+}
+
+/// Parameters `(n, r)` of the benchmark family: `n` plaintexts, `r` rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimonParams {
+    /// Number of plaintexts encrypted under the same key.
+    pub num_plaintexts: usize,
+    /// Number of Feistel rounds.
+    pub rounds: usize,
+}
+
+impl SimonParams {
+    /// The `Simon-[n, r]` families used in Table II.
+    pub fn table2_families() -> Vec<SimonParams> {
+        vec![
+            SimonParams { num_plaintexts: 8, rounds: 6 },
+            SimonParams { num_plaintexts: 9, rounds: 7 },
+            SimonParams { num_plaintexts: 10, rounds: 8 },
+        ]
+    }
+}
+
+/// Variable layout of the encoding.
+///
+/// * Variables `0..64` are the key bits: word `w`, bit `b` is `16*w + b`.
+/// * For each plaintext `p` and each round `i` in `1..rounds`, sixteen fresh
+///   variables hold the new left word after round `i` (the final round's
+///   output is pinned to the known ciphertext instead of getting variables).
+struct Layout {
+    rounds: usize,
+    state_base: Var,
+}
+
+impl Layout {
+    fn new(rounds: usize) -> Self {
+        Layout {
+            rounds,
+            state_base: (KEY_WORDS * WORD_BITS) as Var,
+        }
+    }
+
+    fn key_bit(&self, word: usize, bit: usize) -> Var {
+        (word * WORD_BITS + bit) as Var
+    }
+
+    /// Variable for bit `bit` of the left word after round `round`
+    /// (1-based; only rounds `1..rounds` have variables).
+    fn state_bit(&self, plaintext: usize, round: usize, bit: usize) -> Var {
+        debug_assert!(round >= 1 && round < self.rounds);
+        self.state_base
+            + (plaintext * (self.rounds - 1) * WORD_BITS + (round - 1) * WORD_BITS + bit) as Var
+    }
+
+    fn num_vars(&self, num_plaintexts: usize) -> usize {
+        KEY_WORDS * WORD_BITS + num_plaintexts * (self.rounds - 1) * WORD_BITS
+    }
+}
+
+/// Bit `b` of a constant word as a constant polynomial.
+fn const_bit(word: u16, bit: usize) -> Polynomial {
+    Polynomial::constant((word >> bit) & 1 == 1)
+}
+
+/// The round keys as vectors of polynomials over the key variables. The key
+/// schedule of Simon is GF(2)-linear in the key bits, so no new variables are
+/// needed.
+fn symbolic_round_keys(layout: &Layout, rounds: usize) -> Vec<Vec<Polynomial>> {
+    // Word i bit b as polynomial.
+    let mut words: Vec<Vec<Polynomial>> = (0..KEY_WORDS)
+        .map(|w| {
+            (0..WORD_BITS)
+                .map(|b| Polynomial::variable(layout.key_bit(w, b)))
+                .collect()
+        })
+        .collect();
+    while words.len() < rounds {
+        let i = words.len();
+        // tmp = S^{-3}(k_{i-1}) ⊕ k_{i-3}
+        let mut tmp: Vec<Polynomial> = (0..WORD_BITS)
+            .map(|b| {
+                let mut p = words[i - 1][(b + 3) % WORD_BITS].clone();
+                p += &words[i - 3][b];
+                p
+            })
+            .collect();
+        // tmp = tmp ⊕ S^{-1}(tmp)
+        tmp = (0..WORD_BITS)
+            .map(|b| {
+                let mut p = tmp[b].clone();
+                p += &tmp[(b + 1) % WORD_BITS];
+                p
+            })
+            .collect();
+        // k_i = ~k_{i-4} ⊕ tmp ⊕ z ⊕ 3   (i.e. 0xFFFC ⊕ z ⊕ k_{i-4} ⊕ tmp)
+        let z = Z0[(i - KEY_WORDS) % 62];
+        let constant = 0xFFFCu16 ^ u16::from(z);
+        let new_word: Vec<Polynomial> = (0..WORD_BITS)
+            .map(|b| {
+                let mut p = words[i - KEY_WORDS][b].clone();
+                p += &tmp[b];
+                p += &const_bit(constant, b);
+                p
+            })
+            .collect();
+        words.push(new_word);
+    }
+    words.truncate(rounds);
+    words
+}
+
+/// Generates a Simon key-recovery instance for the given parameters.
+///
+/// Plaintexts follow the SP/RC setting: the first plaintext is uniformly
+/// random and plaintext `i+1` toggles bit `i` of the right half of the first
+/// plaintext, giving pairwise low Hamming distance.
+pub fn generate<R: Rng>(params: SimonParams, rng: &mut R) -> SimonInstance {
+    assert!(params.rounds >= 2, "at least two rounds are required");
+    assert!(
+        params.num_plaintexts >= 1 && params.num_plaintexts <= 17,
+        "the SP/RC setting supports 1..=17 plaintexts"
+    );
+    let key = [rng.gen(), rng.gen(), rng.gen(), rng.gen()];
+    let round_keys = key_schedule(key, params.rounds);
+
+    let first: (u16, u16) = (rng.gen(), rng.gen());
+    let mut plaintexts = vec![first];
+    for i in 1..params.num_plaintexts {
+        plaintexts.push((first.0, first.1 ^ (1u16 << ((i - 1) % WORD_BITS))));
+    }
+    let ciphertexts: Vec<(u16, u16)> = plaintexts
+        .iter()
+        .map(|&(x, y)| encrypt_block(x, y, &round_keys))
+        .collect();
+
+    let layout = Layout::new(params.rounds);
+    let mut system = PolynomialSystem::with_num_vars(layout.num_vars(params.num_plaintexts));
+    let symbolic_keys = symbolic_round_keys(&layout, params.rounds);
+
+    // Witness assignment: key bits plus all intermediate states.
+    let mut witness = Assignment::all_false(layout.num_vars(params.num_plaintexts));
+    for w in 0..KEY_WORDS {
+        for b in 0..WORD_BITS {
+            witness.set(layout.key_bit(w, b), (key[w] >> b) & 1 == 1);
+        }
+    }
+
+    for (p_idx, (&(px, py), &(cx, cy))) in plaintexts.iter().zip(&ciphertexts).enumerate() {
+        // Symbolic state: bit polynomials of the left and right words.
+        let mut x_bits: Vec<Polynomial> = (0..WORD_BITS).map(|b| const_bit(px, b)).collect();
+        let mut y_bits: Vec<Polynomial> = (0..WORD_BITS).map(|b| const_bit(py, b)).collect();
+        // Concrete state for the witness.
+        let (mut wx, mut wy) = (px, py);
+        for round in 1..=params.rounds {
+            // f(x) bit b = x_{b-1} & x_{b-8} ⊕ x_{b-2}  (indices mod 16,
+            // left rotation by r maps bit b to source bit b - r).
+            let f_bits: Vec<Polynomial> = (0..WORD_BITS)
+                .map(|b| {
+                    let a = &x_bits[(b + WORD_BITS - 1) % WORD_BITS];
+                    let c = &x_bits[(b + WORD_BITS - 8) % WORD_BITS];
+                    let mut p = a.mul(c);
+                    p += &x_bits[(b + WORD_BITS - 2) % WORD_BITS];
+                    p
+                })
+                .collect();
+            let new_x_value = wy ^ round_function(wx) ^ round_keys[round - 1];
+            if round < params.rounds {
+                // Introduce fresh variables for the new left word and add the
+                // defining equations  v ⊕ y ⊕ f(x) ⊕ k = 0.
+                let new_x_bits: Vec<Polynomial> = (0..WORD_BITS)
+                    .map(|b| {
+                        let v = layout.state_bit(p_idx, round, b);
+                        witness.set(v, (new_x_value >> b) & 1 == 1);
+                        let mut eq = Polynomial::variable(v);
+                        eq += &y_bits[b];
+                        eq += &f_bits[b];
+                        eq += &symbolic_keys[round - 1][b];
+                        system.push(eq);
+                        Polynomial::variable(v)
+                    })
+                    .collect();
+                y_bits = x_bits;
+                x_bits = new_x_bits;
+            } else {
+                // Final round: pin the output to the known ciphertext.
+                for b in 0..WORD_BITS {
+                    let mut eq = const_bit(cx, b);
+                    eq += &y_bits[b];
+                    eq += &f_bits[b];
+                    eq += &symbolic_keys[round - 1][b];
+                    system.push(eq);
+                    // The new right word is the old left word; it must match
+                    // the ciphertext's right half.
+                    let mut eq_y = const_bit(cy, b);
+                    eq_y += &x_bits[b];
+                    system.push(eq_y);
+                }
+            }
+            wy = wx;
+            wx = new_x_value;
+        }
+        debug_assert_eq!((wx, wy), (cx, cy));
+    }
+
+    SimonInstance {
+        system,
+        key,
+        plaintexts,
+        ciphertexts,
+        rounds: params.rounds,
+        witness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn official_test_vector() {
+        // Simon32/64 test vector from the NSA specification:
+        // key = 0x1918 0x1110 0x0908 0x0100, plaintext = 0x6565 0x6877,
+        // ciphertext = 0xc69b 0xe9bb.
+        let key = [0x0100u16, 0x0908, 0x1110, 0x1918];
+        let round_keys = key_schedule(key, FULL_ROUNDS);
+        let (cx, cy) = encrypt_block(0x6565, 0x6877, &round_keys);
+        assert_eq!((cx, cy), (0xc69b, 0xe9bb));
+    }
+
+    #[test]
+    fn key_schedule_prefix_is_the_key_itself() {
+        let key = [1u16, 2, 3, 4];
+        let ks = key_schedule(key, 4);
+        assert_eq!(ks, vec![1, 2, 3, 4]);
+        assert_eq!(key_schedule(key, 10).len(), 10);
+    }
+
+    #[test]
+    fn witness_satisfies_generated_system() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let instance = generate(
+            SimonParams {
+                num_plaintexts: 2,
+                rounds: 4,
+            },
+            &mut rng,
+        );
+        assert!(instance.system.is_satisfied_by(&instance.witness));
+        assert_eq!(instance.system.max_degree(), 2, "Simon's ANF is quadratic");
+    }
+
+    #[test]
+    fn symbolic_key_schedule_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let key: [u16; 4] = [rng.gen(), rng.gen(), rng.gen(), rng.gen()];
+        let rounds = 9;
+        let reference = key_schedule(key, rounds);
+        let layout = Layout::new(rounds);
+        let symbolic = symbolic_round_keys(&layout, rounds);
+        let key_value = |v: Var| {
+            let word = (v as usize) / WORD_BITS;
+            let bit = (v as usize) % WORD_BITS;
+            (key[word] >> bit) & 1 == 1
+        };
+        for (i, word) in symbolic.iter().enumerate() {
+            for (b, poly) in word.iter().enumerate() {
+                assert_eq!(
+                    poly.evaluate(key_value),
+                    (reference[i] >> b) & 1 == 1,
+                    "round key {i} bit {b} mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plaintexts_follow_sp_rc_setting() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let instance = generate(
+            SimonParams {
+                num_plaintexts: 5,
+                rounds: 3,
+            },
+            &mut rng,
+        );
+        assert_eq!(instance.plaintexts.len(), 5);
+        for (i, &(x, y)) in instance.plaintexts.iter().enumerate().skip(1) {
+            assert_eq!(x, instance.plaintexts[0].0, "left halves are identical");
+            assert_eq!(
+                (y ^ instance.plaintexts[0].1).count_ones(),
+                1,
+                "plaintext {i} differs from the first in exactly one bit"
+            );
+        }
+    }
+
+    #[test]
+    fn instance_size_scales_with_parameters() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let small = generate(SimonParams { num_plaintexts: 1, rounds: 3 }, &mut rng);
+        let large = generate(SimonParams { num_plaintexts: 4, rounds: 6 }, &mut rng);
+        assert!(large.system.len() > small.system.len());
+        assert!(large.system.num_vars() > small.system.num_vars());
+    }
+
+    #[test]
+    fn table2_families_match_the_paper() {
+        let families = SimonParams::table2_families();
+        assert_eq!(families.len(), 3);
+        assert_eq!(families[0], SimonParams { num_plaintexts: 8, rounds: 6 });
+        assert_eq!(families[2], SimonParams { num_plaintexts: 10, rounds: 8 });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two rounds")]
+    fn one_round_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = generate(SimonParams { num_plaintexts: 1, rounds: 1 }, &mut rng);
+    }
+}

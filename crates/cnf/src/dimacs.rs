@@ -1,0 +1,206 @@
+//! DIMACS CNF text format parsing and printing.
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::{CnfFormula, Lit};
+
+/// Error returned when a DIMACS CNF document fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseDimacsError {
+    /// The `p cnf <vars> <clauses>` header is missing or malformed.
+    InvalidHeader {
+        /// The offending line (1-based).
+        line: usize,
+    },
+    /// A token that should be an integer literal is not.
+    InvalidLiteral {
+        /// The offending line (1-based).
+        line: usize,
+        /// The token that failed to parse.
+        token: String,
+    },
+    /// The final clause is missing its terminating `0`.
+    UnterminatedClause,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDimacsError::InvalidHeader { line } => {
+                write!(f, "invalid or missing DIMACS header at line {line}")
+            }
+            ParseDimacsError::InvalidLiteral { line, token } => {
+                write!(f, "invalid literal {token:?} at line {line}")
+            }
+            ParseDimacsError::UnterminatedClause => {
+                write!(f, "last clause is not terminated by 0")
+            }
+        }
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+impl CnfFormula {
+    /// Parses a CNF formula from DIMACS text.
+    ///
+    /// Comment lines (`c ...`) and the problem line (`p cnf V C`) are
+    /// handled; the declared variable count is honoured even when some
+    /// variables do not occur in any clause. The declared clause count is not
+    /// enforced (many real-world files get it wrong).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDimacsError`] when the header or a literal is
+    /// malformed, or when the final clause is not `0`-terminated.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bosphorus_cnf::CnfFormula;
+    /// let cnf = CnfFormula::parse_dimacs("p cnf 2 2\n1 -2 0\n2 0\n")?;
+    /// assert_eq!(cnf.num_vars(), 2);
+    /// assert_eq!(cnf.num_clauses(), 2);
+    /// # Ok::<(), bosphorus_cnf::ParseDimacsError>(())
+    /// ```
+    pub fn parse_dimacs(input: &str) -> Result<Self, ParseDimacsError> {
+        let mut cnf = CnfFormula::new(0);
+        let mut declared_vars: Option<usize> = None;
+        let mut current: Vec<Lit> = Vec::new();
+        for (line_idx, line) in input.lines().enumerate() {
+            let line_no = line_idx + 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('c') || trimmed.starts_with('%') {
+                continue;
+            }
+            if trimmed.starts_with('p') {
+                let mut parts = trimmed.split_whitespace();
+                let _p = parts.next();
+                let format = parts.next();
+                let vars = parts.next().and_then(|t| t.parse::<usize>().ok());
+                if format != Some("cnf") || vars.is_none() {
+                    return Err(ParseDimacsError::InvalidHeader { line: line_no });
+                }
+                declared_vars = vars;
+                continue;
+            }
+            for token in trimmed.split_whitespace() {
+                let value: i64 = token.parse().map_err(|_| ParseDimacsError::InvalidLiteral {
+                    line: line_no,
+                    token: token.to_string(),
+                })?;
+                match Lit::from_dimacs(value) {
+                    Some(lit) => current.push(lit),
+                    None => {
+                        // A bare `0` with no pending literals (e.g. the SATLIB
+                        // trailing "%\n0" idiom) is ignored rather than read
+                        // as an empty clause.
+                        if !current.is_empty() {
+                            cnf.add_clause(current.drain(..));
+                        }
+                    }
+                }
+            }
+        }
+        if !current.is_empty() {
+            return Err(ParseDimacsError::UnterminatedClause);
+        }
+        if let Some(v) = declared_vars {
+            cnf.ensure_num_vars(v);
+        }
+        Ok(cnf)
+    }
+
+    /// Renders the formula as DIMACS text, including a `p cnf` header.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bosphorus_cnf::{CnfFormula, Lit};
+    /// let mut cnf = CnfFormula::new(2);
+    /// cnf.add_clause([Lit::positive(0), Lit::negative(1)]);
+    /// assert_eq!(cnf.to_dimacs(), "p cnf 2 1\n1 -2 0\n");
+    /// ```
+    pub fn to_dimacs(&self) -> String {
+        write_dimacs(self)
+    }
+}
+
+/// Renders a formula as DIMACS text. Equivalent to [`CnfFormula::to_dimacs`].
+pub fn write_dimacs(cnf: &CnfFormula) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars(), cnf.num_clauses());
+    for clause in cnf.iter() {
+        for lit in clause.iter() {
+            let _ = write!(out, "{} ", lit.to_dimacs());
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Clause;
+
+    #[test]
+    fn parse_basic_document() {
+        let text = "c comment\np cnf 3 2\n1 -3 0\n2 3 -1 0\n";
+        let cnf = CnfFormula::parse_dimacs(text).expect("parses");
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(
+            cnf.clauses()[0],
+            Clause::from_lits([Lit::positive(0), Lit::negative(2)])
+        );
+    }
+
+    #[test]
+    fn parse_multiline_clause_and_trailing_percent() {
+        let text = "p cnf 2 1\n1\n-2\n0\n%\n0\n";
+        // The trailing "%\n0" idiom from SATLIB files: '%' is skipped and the
+        // stray 0 is ignored instead of being read as an empty clause.
+        let cnf = CnfFormula::parse_dimacs(text).expect("parses");
+        assert_eq!(cnf.num_clauses(), 1);
+        assert_eq!(
+            cnf.clauses()[0],
+            Clause::from_lits([Lit::positive(0), Lit::negative(1)])
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            CnfFormula::parse_dimacs("p cnf x 2\n1 0\n"),
+            Err(ParseDimacsError::InvalidHeader { line: 1 })
+        ));
+        assert!(matches!(
+            CnfFormula::parse_dimacs("p cnf 2 1\n1 foo 0\n"),
+            Err(ParseDimacsError::InvalidLiteral { line: 2, .. })
+        ));
+        assert!(matches!(
+            CnfFormula::parse_dimacs("p cnf 2 1\n1 2\n"),
+            Err(ParseDimacsError::UnterminatedClause)
+        ));
+    }
+
+    #[test]
+    fn declared_vars_override_inferred() {
+        let cnf = CnfFormula::parse_dimacs("p cnf 10 1\n1 0\n").expect("parses");
+        assert_eq!(cnf.num_vars(), 10);
+    }
+
+    #[test]
+    fn roundtrip_through_dimacs() {
+        let mut cnf = CnfFormula::new(4);
+        cnf.add_clause([Lit::positive(0), Lit::negative(3)]);
+        cnf.add_clause([Lit::negative(1), Lit::positive(2), Lit::positive(3)]);
+        let text = cnf.to_dimacs();
+        let reparsed = CnfFormula::parse_dimacs(&text).expect("round-trip parses");
+        assert_eq!(reparsed.num_vars(), cnf.num_vars());
+        assert_eq!(reparsed.clauses(), cnf.clauses());
+    }
+}

@@ -1,0 +1,180 @@
+//! Literals: a Boolean variable or its negation.
+
+use std::fmt;
+
+use crate::CnfVar;
+
+/// A literal: a CNF variable together with a sign.
+///
+/// Internally encoded as `2*var + sign` (sign bit set for negative literals),
+/// the classic MiniSat encoding, so a literal fits in a `u32` and indexing
+/// watch lists by literal is a simple array access.
+///
+/// # Examples
+///
+/// ```
+/// use bosphorus_cnf::Lit;
+///
+/// let a = Lit::positive(3);
+/// let not_a = !a;
+/// assert_eq!(a.var(), 3);
+/// assert!(!a.is_negative());
+/// assert!(not_a.is_negative());
+/// assert_eq!(a, !not_a);
+/// assert_eq!(a.to_dimacs(), 4);
+/// assert_eq!(not_a.to_dimacs(), -4);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn positive(var: CnfVar) -> Self {
+        Lit(var << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn negative(var: CnfVar) -> Self {
+        Lit((var << 1) | 1)
+    }
+
+    /// A literal of `var` with the given sign (`negated = true` gives `¬var`).
+    pub fn new(var: CnfVar, negated: bool) -> Self {
+        Lit((var << 1) | u32::from(negated))
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> CnfVar {
+        self.0 >> 1
+    }
+
+    /// Returns `true` if the literal is negated.
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns `true` if the literal is not negated.
+    pub fn is_positive(self) -> bool {
+        !self.is_negative()
+    }
+
+    /// The raw `2*var + sign` code, usable as an array index.
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from its [`Lit::code`] value.
+    pub fn from_code(code: usize) -> Self {
+        Lit(code as u32)
+    }
+
+    /// DIMACS representation: `var + 1` with a minus sign when negated.
+    pub fn to_dimacs(self) -> i64 {
+        let v = i64::from(self.var()) + 1;
+        if self.is_negative() {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Parses a literal from a non-zero DIMACS integer.
+    ///
+    /// Returns `None` for zero (the DIMACS clause terminator).
+    pub fn from_dimacs(value: i64) -> Option<Self> {
+        if value == 0 {
+            return None;
+        }
+        let var = (value.unsigned_abs() - 1) as CnfVar;
+        Some(Lit::new(var, value < 0))
+    }
+
+    /// Evaluates the literal under a variable valuation.
+    pub fn evaluate(self, var_value: bool) -> bool {
+        var_value ^ self.is_negative()
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "¬x{}", self.var())
+        } else {
+            write!(f, "x{}", self.var())
+        }
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Lit({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_sign() {
+        let p = Lit::positive(7);
+        let n = Lit::negative(7);
+        assert_eq!(p.var(), 7);
+        assert_eq!(n.var(), 7);
+        assert!(p.is_positive() && !p.is_negative());
+        assert!(n.is_negative() && !n.is_positive());
+        assert_eq!(Lit::new(7, false), p);
+        assert_eq!(Lit::new(7, true), n);
+    }
+
+    #[test]
+    fn negation_is_involution() {
+        let l = Lit::negative(3);
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+        assert_eq!((!l).var(), l.var());
+    }
+
+    #[test]
+    fn code_roundtrip_and_ordering() {
+        for v in 0..5u32 {
+            for neg in [false, true] {
+                let l = Lit::new(v, neg);
+                assert_eq!(Lit::from_code(l.code()), l);
+            }
+        }
+        assert!(Lit::positive(0) < Lit::negative(0));
+        assert!(Lit::negative(0) < Lit::positive(1));
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        for value in [1i64, -1, 5, -42] {
+            let l = Lit::from_dimacs(value).expect("non-zero parses");
+            assert_eq!(l.to_dimacs(), value);
+        }
+        assert_eq!(Lit::from_dimacs(0), None);
+    }
+
+    #[test]
+    fn evaluation() {
+        assert!(Lit::positive(0).evaluate(true));
+        assert!(!Lit::positive(0).evaluate(false));
+        assert!(Lit::negative(0).evaluate(false));
+        assert!(!Lit::negative(0).evaluate(true));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Lit::positive(2).to_string(), "x2");
+        assert_eq!(Lit::negative(2).to_string(), "¬x2");
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the CNF data structures and DIMACS I/O.
+
+use proptest::prelude::*;
+
+use crate::{Clause, CnfFormula, Lit};
+
+const MAX_VARS: u32 = 12;
+
+fn arb_lit() -> impl Strategy<Value = Lit> {
+    (0..MAX_VARS, any::<bool>()).prop_map(|(v, n)| Lit::new(v, n))
+}
+
+fn arb_clause() -> impl Strategy<Value = Clause> {
+    proptest::collection::vec(arb_lit(), 0..6).prop_map(Clause::from_lits)
+}
+
+fn arb_formula() -> impl Strategy<Value = CnfFormula> {
+    proptest::collection::vec(arb_clause(), 0..20).prop_map(|clauses| {
+        let mut cnf = CnfFormula::from_clauses(clauses.into_iter().filter(|c| !c.is_empty()));
+        cnf.ensure_num_vars(MAX_VARS as usize);
+        cnf
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Literal negation is an involution and flips evaluation.
+    #[test]
+    fn literal_negation_laws(lit in arb_lit(), value in any::<bool>()) {
+        prop_assert_eq!(!!lit, lit);
+        prop_assert_eq!((!lit).var(), lit.var());
+        prop_assert_ne!((!lit).evaluate(value), lit.evaluate(value));
+    }
+
+    /// DIMACS literal encoding round-trips.
+    #[test]
+    fn dimacs_literal_roundtrip(lit in arb_lit()) {
+        let encoded = lit.to_dimacs();
+        prop_assert_ne!(encoded, 0);
+        prop_assert_eq!(Lit::from_dimacs(encoded), Some(lit));
+    }
+
+    /// Clause construction is order-insensitive and idempotent under
+    /// duplication of literals.
+    #[test]
+    fn clause_construction_normalises(lits in proptest::collection::vec(arb_lit(), 0..6)) {
+        let a = Clause::from_lits(lits.clone());
+        let mut reversed = lits.clone();
+        reversed.reverse();
+        let b = Clause::from_lits(reversed);
+        let doubled = Clause::from_lits(lits.iter().copied().chain(lits.iter().copied()));
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &doubled);
+    }
+
+    /// A clause evaluates to true exactly when one of its literals does.
+    #[test]
+    fn clause_evaluation_matches_literals(clause in arb_clause(), seed in any::<u64>()) {
+        let value = |v: u32| (seed >> (v % 64)) & 1 == 1;
+        let expected = clause.iter().any(|l| l.evaluate(value(l.var())));
+        prop_assert_eq!(clause.evaluate(value), expected);
+    }
+
+    /// Formulas survive a DIMACS print/parse round trip: same variable
+    /// count, same clauses.
+    #[test]
+    fn dimacs_formula_roundtrip(cnf in arb_formula()) {
+        let text = cnf.to_dimacs();
+        let reparsed = CnfFormula::parse_dimacs(&text).expect("printed DIMACS reparses");
+        prop_assert_eq!(reparsed.num_vars(), cnf.num_vars());
+        prop_assert_eq!(reparsed.clauses(), cnf.clauses());
+    }
+
+    /// Evaluation after a round trip is unchanged on every assignment.
+    #[test]
+    fn roundtrip_preserves_semantics(cnf in arb_formula(), seed in any::<u64>()) {
+        let reparsed = CnfFormula::parse_dimacs(&cnf.to_dimacs()).expect("reparses");
+        let assignment: Vec<bool> = (0..cnf.num_vars()).map(|i| (seed >> (i % 64)) & 1 == 1).collect();
+        prop_assert_eq!(cnf.evaluate(&assignment), reparsed.evaluate(&assignment));
+    }
+
+    /// `simplify_trivial` never changes the set of satisfying assignments.
+    #[test]
+    fn simplify_trivial_is_semantics_preserving(cnf in arb_formula(), seed in any::<u64>()) {
+        let mut simplified = cnf.clone();
+        simplified.simplify_trivial();
+        let assignment: Vec<bool> = (0..cnf.num_vars()).map(|i| (seed >> (i % 64)) & 1 == 1).collect();
+        prop_assert_eq!(cnf.evaluate(&assignment), simplified.evaluate(&assignment));
+        prop_assert!(simplified.num_clauses() <= cnf.num_clauses());
+    }
+
+    /// Tautology detection agrees with a semantic check over all assignments
+    /// of the clause's (few) variables.
+    #[test]
+    fn tautology_detection_is_semantic(clause in arb_clause()) {
+        let vars: Vec<u32> = {
+            let mut v: Vec<u32> = clause.iter().map(|l| l.var()).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let all_assignments_true = !clause.is_empty()
+            && (0u32..(1 << vars.len())).all(|bits| {
+                clause.evaluate(|v| {
+                    let idx = vars.iter().position(|&w| w == v).expect("var in support");
+                    (bits >> idx) & 1 == 1
+                })
+            });
+        prop_assert_eq!(clause.is_tautology(), all_assignments_true);
+    }
+}

@@ -1,0 +1,444 @@
+//! ANF → CNF conversion (Section III-C of the paper).
+//!
+//! Every ANF monomial gets (at most) one auxiliary CNF variable, tracked in a
+//! bidirectional map. Determined variables become unit clauses, equivalences
+//! become two binary clauses, and each polynomial is either converted through
+//! the Karnaugh-map minimiser (when its support has at most `K` variables) or
+//! through an XOR/Tseitin encoding: monomials are replaced by their auxiliary
+//! variables, the resulting XOR is cut into pieces of at most `L` terms, and
+//! each piece is expanded into its 2^(l−1) clauses.
+
+use std::collections::BTreeMap;
+
+use bosphorus_anf::{Monomial, Polynomial, PolynomialSystem, Var};
+use bosphorus_cnf::{CnfFormula, CnfVar, Lit};
+use bosphorus_sat::XorConstraint;
+
+use crate::minimize::karnaugh_clauses;
+use crate::propagate::{AnfPropagator, VarKnowledge};
+use crate::BosphorusConfig;
+
+/// The product of an ANF → CNF conversion.
+///
+/// Besides the formula itself, the conversion records which CNF variable
+/// stands for which ANF monomial (the bidirectional map of Section III-C), so
+/// that facts learnt on the CNF side can be translated back into ANF.
+#[derive(Debug, Clone)]
+pub struct CnfConversion {
+    /// The CNF formula.
+    pub cnf: CnfFormula,
+    /// Monomial represented by each CNF variable that has an ANF meaning.
+    /// CNF variables introduced purely for XOR cutting do not appear here
+    /// (the paper: auxiliary variables "do not participate in learnt facts").
+    pub monomial_of_var: BTreeMap<CnfVar, Monomial>,
+    /// CNF variable representing each ANF monomial of degree ≥ 1 that was
+    /// materialised during the conversion.
+    pub var_of_monomial: BTreeMap<Monomial, CnfVar>,
+    /// Native XOR constraints mirroring the encoded polynomials, for
+    /// XOR-aware solvers (emitted only when the configuration asks for them).
+    pub xors: Vec<XorConstraint>,
+    /// Number of clauses produced through the Karnaugh-map path.
+    pub karnaugh_clauses: usize,
+    /// Number of clauses produced through the Tseitin/XOR path.
+    pub tseitin_clauses: usize,
+}
+
+impl CnfConversion {
+    /// The ANF monomial behind a CNF variable, if it has one.
+    pub fn monomial(&self, var: CnfVar) -> Option<&Monomial> {
+        self.monomial_of_var.get(&var)
+    }
+
+    /// Translates a CNF literal into the ANF fact it asserts, when the
+    /// literal's variable has an ANF meaning: `m ⊕ 1` for a positive literal
+    /// (the monomial is 1) and `m` for a negative literal (the monomial
+    /// is 0).
+    pub fn literal_fact(&self, lit: Lit) -> Option<Polynomial> {
+        let monomial = self.monomial(lit.var())?.clone();
+        let mut fact = Polynomial::from_monomial(monomial);
+        if lit.is_positive() {
+            fact += &Polynomial::one();
+        }
+        Some(fact)
+    }
+}
+
+/// Converts a (propagated) polynomial system to CNF.
+///
+/// `propagator` supplies the determined variables and equivalence literals
+/// accumulated so far; they are encoded as unit and binary clauses exactly as
+/// described in the paper. Pass a fresh propagator when no such knowledge
+/// exists.
+pub fn anf_to_cnf(
+    system: &PolynomialSystem,
+    propagator: &AnfPropagator,
+    config: &BosphorusConfig,
+) -> CnfConversion {
+    let mut converter = Converter::new(system.num_vars(), config);
+    // Determined variables -> unit clauses; equivalences -> two binary
+    // clauses (x ∨ y)(¬x ∨ ¬y) for x = ¬y, (x ∨ ¬y)(¬x ∨ y) for x = y.
+    for var in 0..system.num_vars() as Var {
+        match propagator.knowledge(var) {
+            VarKnowledge::Free => {}
+            VarKnowledge::Value(value) => {
+                converter.cnf.add_clause([Lit::new(var, !value)]);
+            }
+            VarKnowledge::Equivalent { other, negated } => {
+                converter
+                    .cnf
+                    .add_clause([Lit::positive(var), Lit::new(other, !negated)]);
+                converter
+                    .cnf
+                    .add_clause([Lit::negative(var), Lit::new(other, negated)]);
+            }
+        }
+    }
+    for poly in system.iter() {
+        converter.convert_polynomial(poly);
+    }
+    converter.finish()
+}
+
+struct Converter<'a> {
+    cnf: CnfFormula,
+    config: &'a BosphorusConfig,
+    var_of_monomial: BTreeMap<Monomial, CnfVar>,
+    monomial_of_var: BTreeMap<CnfVar, Monomial>,
+    xors: Vec<XorConstraint>,
+    karnaugh_clauses: usize,
+    tseitin_clauses: usize,
+}
+
+impl<'a> Converter<'a> {
+    fn new(num_anf_vars: usize, config: &'a BosphorusConfig) -> Self {
+        let mut monomial_of_var = BTreeMap::new();
+        let mut var_of_monomial = BTreeMap::new();
+        // ANF variable x_i is CNF variable i; record the identity mapping so
+        // facts about plain variables translate back.
+        for v in 0..num_anf_vars as Var {
+            monomial_of_var.insert(v as CnfVar, Monomial::variable(v));
+            var_of_monomial.insert(Monomial::variable(v), v as CnfVar);
+        }
+        Converter {
+            cnf: CnfFormula::new(num_anf_vars),
+            config,
+            var_of_monomial,
+            monomial_of_var,
+            xors: Vec::new(),
+            karnaugh_clauses: 0,
+            tseitin_clauses: 0,
+        }
+    }
+
+    /// The CNF variable standing for a monomial, creating it (together with
+    /// its AND-definition clauses) on first use.
+    fn monomial_var(&mut self, monomial: &Monomial) -> CnfVar {
+        if let Some(&v) = self.var_of_monomial.get(monomial) {
+            return v;
+        }
+        debug_assert!(monomial.degree() >= 2, "degree-1 monomials are pre-mapped");
+        let aux = self.cnf.new_var();
+        // aux ↔ x_{i1} ∧ … ∧ x_{ip}
+        for &v in monomial.vars() {
+            self.cnf
+                .add_clause([Lit::negative(aux), Lit::positive(v as CnfVar)]);
+        }
+        let mut long: Vec<Lit> = monomial
+            .vars()
+            .iter()
+            .map(|&v| Lit::negative(v as CnfVar))
+            .collect();
+        long.push(Lit::positive(aux));
+        self.cnf.add_clause(long);
+        self.var_of_monomial.insert(monomial.clone(), aux);
+        self.monomial_of_var.insert(aux, monomial.clone());
+        aux
+    }
+
+    fn convert_polynomial(&mut self, poly: &Polynomial) {
+        if poly.is_zero() {
+            return;
+        }
+        if poly.is_one() {
+            self.cnf.push_clause(bosphorus_cnf::Clause::empty());
+            return;
+        }
+        // Karnaugh path: small support, no auxiliary variables.
+        if let Some(clauses) = karnaugh_clauses(poly, self.config.karnaugh_vars) {
+            self.karnaugh_clauses += clauses.len();
+            for c in clauses {
+                self.cnf.push_clause(c);
+            }
+            if self.config.emit_xor_constraints && poly.is_linear() {
+                if let Some((vars, constant)) = poly.as_linear() {
+                    self.xors.push(XorConstraint::new(
+                        vars.iter().map(|&v| v as CnfVar),
+                        constant,
+                    ));
+                }
+            }
+            return;
+        }
+        // Tseitin path: replace monomials by their CNF variables, then cut
+        // the XOR into pieces of at most L terms.
+        let mut terms: Vec<CnfVar> = Vec::new();
+        let mut constant = false;
+        for m in poly.monomials() {
+            if m.is_one() {
+                constant = !constant;
+            } else if m.degree() == 1 {
+                terms.push(m.vars()[0] as CnfVar);
+            } else {
+                let v = self.monomial_var(m);
+                terms.push(v);
+            }
+        }
+        self.encode_xor(terms, constant);
+    }
+
+    /// Encodes `t_1 ⊕ … ⊕ t_n = constant` (over CNF variables), cutting into
+    /// chunks of at most `L` terms with fresh auxiliary variables.
+    fn encode_xor(&mut self, mut terms: Vec<CnfVar>, constant: bool) {
+        let cut = self.config.xor_cut_length.max(2);
+        while terms.len() > cut {
+            // Take (cut - 1) terms plus a fresh auxiliary output variable:
+            // t_1 ⊕ … ⊕ t_{cut-1} ⊕ aux = 0, and aux replaces them.
+            let chunk: Vec<CnfVar> = terms.drain(..cut - 1).collect();
+            let aux = self.cnf.new_var();
+            let mut piece = chunk.clone();
+            piece.push(aux);
+            self.emit_xor_clauses(&piece, false);
+            terms.insert(0, aux);
+        }
+        self.emit_xor_clauses(&terms, constant);
+    }
+
+    /// Emits the 2^(n−1) CNF clauses of `v_1 ⊕ … ⊕ v_n = rhs`.
+    fn emit_xor_clauses(&mut self, vars: &[CnfVar], rhs: bool) {
+        if vars.is_empty() {
+            if rhs {
+                self.cnf.push_clause(bosphorus_cnf::Clause::empty());
+            }
+            return;
+        }
+        if self.config.emit_xor_constraints {
+            self.xors
+                .push(XorConstraint::new(vars.iter().copied(), rhs));
+        }
+        let n = vars.len();
+        for pattern in 0u32..(1 << n) {
+            // Forbid every assignment whose parity differs from rhs.
+            let parity = (pattern.count_ones() % 2 == 1) != rhs;
+            if !parity {
+                continue;
+            }
+            let clause = bosphorus_cnf::Clause::from_lits(
+                (0..n).map(|i| Lit::new(vars[i], (pattern >> i) & 1 == 1)),
+            );
+            self.tseitin_clauses += 1;
+            self.cnf.push_clause(clause);
+        }
+    }
+
+    fn finish(self) -> CnfConversion {
+        CnfConversion {
+            cnf: self.cnf,
+            monomial_of_var: self.monomial_of_var,
+            var_of_monomial: self.var_of_monomial,
+            xors: self.xors,
+            karnaugh_clauses: self.karnaugh_clauses,
+            tseitin_clauses: self.tseitin_clauses,
+        }
+    }
+}
+
+/// Counts the clauses a pure Tseitin-style conversion of `poly` would
+/// produce, without the Karnaugh-map path. Used by the Fig. 2 reproduction to
+/// compare the two approaches on the same polynomial.
+pub fn tseitin_clause_count(poly: &Polynomial, config: &BosphorusConfig) -> usize {
+    let mut tseitin_config = config.clone();
+    // Force the Tseitin path by disabling the Karnaugh route.
+    tseitin_config.karnaugh_vars = 0;
+    let system = PolynomialSystem::from_polynomials([poly.clone()]);
+    let propagator = AnfPropagator::new(system.num_vars());
+    let conversion = anf_to_cnf(&system, &propagator, &tseitin_config);
+    conversion.cnf.num_clauses()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bosphorus_sat::{SolveResult, Solver, SolverConfig};
+
+    fn config() -> BosphorusConfig {
+        BosphorusConfig::default()
+    }
+
+    fn convert(text: &str) -> (PolynomialSystem, CnfConversion) {
+        let system = PolynomialSystem::parse(text).expect("test system parses");
+        let propagator = AnfPropagator::new(system.num_vars());
+        let conversion = anf_to_cnf(&system, &propagator, &config());
+        (system, conversion)
+    }
+
+    /// Exhaustively checks that the CNF is equisatisfiable with the ANF and
+    /// model-preserving on the original variables.
+    fn assert_faithful(system: &PolynomialSystem, conversion: &CnfConversion) {
+        let n = system.num_vars();
+        let cnf = &conversion.cnf;
+        for bits in 0u64..(1 << n) {
+            let anf_assign: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+            let anf_ok = system
+                .iter()
+                .all(|p| !p.evaluate(|v| anf_assign[v as usize]));
+            // Extend to the CNF variables: monomial variables take the value
+            // of their monomial; cutting auxiliaries are searched over.
+            let mut forced: Vec<Option<bool>> = vec![None; cnf.num_vars()];
+            for (i, &b) in anf_assign.iter().enumerate() {
+                forced[i] = Some(b);
+            }
+            for (&v, m) in &conversion.monomial_of_var {
+                forced[v as usize] = Some(m.evaluate(|w| anf_assign[w as usize]));
+            }
+            let free: Vec<usize> = (0..cnf.num_vars()).filter(|&i| forced[i].is_none()).collect();
+            let mut cnf_ok = false;
+            for aux_bits in 0u64..(1 << free.len()) {
+                let mut full: Vec<bool> = forced.iter().map(|o| o.unwrap_or(false)).collect();
+                for (j, &idx) in free.iter().enumerate() {
+                    full[idx] = (aux_bits >> j) & 1 == 1;
+                }
+                if cnf.evaluate(&full) == Ok(true) {
+                    cnf_ok = true;
+                    break;
+                }
+            }
+            assert_eq!(
+                anf_ok, cnf_ok,
+                "ANF/CNF disagree on assignment {bits:b} of {system:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_polynomials_use_karnaugh_and_are_faithful() {
+        let (system, conversion) = convert("x0*x1 + x2 + 1; x0 + x2;");
+        assert!(conversion.karnaugh_clauses > 0);
+        assert_eq!(conversion.tseitin_clauses, 0);
+        assert_faithful(&system, &conversion);
+    }
+
+    #[test]
+    fn wide_xor_uses_tseitin_and_is_faithful() {
+        // Eleven variables exceed K = 8, forcing the XOR path with cutting.
+        let (system, conversion) =
+            convert("x0 + x1 + x2 + x3 + x4 + x5 + x6 + x7 + x8 + x9 + x10 + 1;");
+        assert!(conversion.tseitin_clauses > 0);
+        assert!(
+            conversion.cnf.num_vars() > system.num_vars(),
+            "XOR cutting introduces auxiliary variables"
+        );
+        assert_faithful(&system, &conversion);
+    }
+
+    #[test]
+    fn high_degree_monomials_get_auxiliary_variables() {
+        // Ten distinct variables in one polynomial forces the Tseitin path;
+        // the degree-3 monomial gets a definition variable.
+        let (system, conversion) =
+            convert("x0*x1*x2 + x3 + x4 + x5 + x6 + x7 + x8 + x9;");
+        let m = Monomial::from_vars([0, 1, 2]);
+        assert!(conversion.var_of_monomial.contains_key(&m));
+        let v = conversion.var_of_monomial[&m];
+        assert_eq!(conversion.monomial(v), Some(&m));
+        assert_faithful(&system, &conversion);
+    }
+
+    #[test]
+    fn determined_variables_and_equivalences_become_clauses() {
+        let system = PolynomialSystem::parse("x0*x3 + x1;").expect("parses");
+        let mut propagator = AnfPropagator::new(system.num_vars());
+        propagator.assign(2, true);
+        propagator.equate(0, 1, true);
+        let conversion = anf_to_cnf(&system, &propagator, &config());
+        // x2 = 1 appears as a unit clause.
+        assert!(conversion
+            .cnf
+            .clauses()
+            .iter()
+            .any(|c| c.is_unit() && c.contains(Lit::positive(2))));
+        // The equivalence contributes two binary clauses.
+        assert!(conversion.cnf.clauses().iter().filter(|c| c.is_binary()).count() >= 2);
+    }
+
+    #[test]
+    fn fig2_karnaugh_beats_tseitin() {
+        let poly: Polynomial = "x1*x3 + x1 + x2 + x4 + 1".parse().expect("parses");
+        let system = PolynomialSystem::from_polynomials([poly.clone()]);
+        let propagator = AnfPropagator::new(system.num_vars());
+        let karnaugh = anf_to_cnf(&system, &propagator, &config());
+        let tseitin_count = tseitin_clause_count(&poly, &config());
+        assert_eq!(karnaugh.cnf.num_clauses(), 6, "Fig. 2 left-hand side");
+        assert_eq!(tseitin_count, 11, "Fig. 2 right-hand side");
+        assert!(karnaugh.cnf.num_clauses() < tseitin_count);
+    }
+
+    #[test]
+    fn literal_fact_translation() {
+        let (_, conversion) = convert("x0*x1*x2 + x3 + x4 + x5 + x6 + x7 + x8 + x9;");
+        let m = Monomial::from_vars([0, 1, 2]);
+        let v = conversion.var_of_monomial[&m];
+        assert_eq!(
+            conversion.literal_fact(Lit::positive(v)),
+            Some("x0*x1*x2 + 1".parse().expect("parses"))
+        );
+        assert_eq!(
+            conversion.literal_fact(Lit::negative(v)),
+            Some("x0*x1*x2".parse().expect("parses"))
+        );
+        assert_eq!(
+            conversion.literal_fact(Lit::positive(3)),
+            Some("x3 + 1".parse().expect("parses"))
+        );
+    }
+
+    #[test]
+    fn contradiction_produces_empty_clause() {
+        let (_, conversion) = convert("1;");
+        assert!(conversion.cnf.has_empty_clause());
+    }
+
+    #[test]
+    fn xor_constraints_emitted_when_requested() {
+        let system = PolynomialSystem::parse(
+            "x0 + x1 + x2 + x3 + x4 + x5 + x6 + x7 + x8 + x9 + 1;",
+        )
+        .expect("parses");
+        let propagator = AnfPropagator::new(system.num_vars());
+        let mut cfg = config();
+        cfg.emit_xor_constraints = true;
+        let conversion = anf_to_cnf(&system, &propagator, &cfg);
+        assert!(!conversion.xors.is_empty());
+    }
+
+    #[test]
+    fn converted_instance_is_solvable_end_to_end() {
+        // The Section II-E system converted to CNF must be satisfiable, and
+        // the model restricted to the original variables must satisfy the ANF.
+        let (system, conversion) = convert(
+            "x1*x2 + x3 + x4 + 1;
+             x1*x2*x3 + x1 + x3 + 1;
+             x1*x3 + x3*x4*x5 + x3;
+             x2*x3 + x3*x5 + 1;
+             x2*x3 + x5 + 1;",
+        );
+        let mut solver = Solver::from_formula(SolverConfig::aggressive(), &conversion.cnf);
+        assert_eq!(solver.solve(), SolveResult::Sat);
+        let model = solver.model().expect("model");
+        let anf_satisfied = system
+            .iter()
+            .all(|p| !p.evaluate(|v| model[v as usize]));
+        assert!(anf_satisfied);
+        // The paper's unique solution: x1..x4 = 1, x5 = 0.
+        assert!(model[1] && model[2] && model[3] && model[4] && !model[5]);
+    }
+}

@@ -1,0 +1,258 @@
+//! ElimLin (Section II-C of the paper).
+//!
+//! ElimLin iterates three steps until a fixed point: (1) Gauss–Jordan
+//! elimination on the linearisation of the system; (2) extraction of the
+//! linear equations; (3) elimination of one variable per linear equation by
+//! substitution (choosing the variable that occurs in the fewest remaining
+//! equations). Every linear equation found along the way is a consequence of
+//! the original system and is reported as a learnt fact.
+
+use bosphorus_anf::{Polynomial, PolynomialSystem, Var};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::linearize::Linearization;
+use crate::BosphorusConfig;
+
+/// Outcome of one ElimLin round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElimLinOutcome {
+    /// Learnt linear facts (including any derived in later substitution
+    /// rounds), expressed over the original variables.
+    pub facts: Vec<Polynomial>,
+    /// Number of GJE/substitution rounds executed before the fixed point.
+    pub rounds: usize,
+    /// Number of variables eliminated by substitution.
+    pub eliminated_vars: usize,
+    /// `true` if a contradiction (`1 = 0`) was derived.
+    pub contradiction: bool,
+}
+
+/// Runs ElimLin fact learning on (a subsample of) `system`.
+///
+/// Like XL, ElimLin operates on a random subset of polynomials whose
+/// linearised size is roughly `2^M` (see
+/// [`BosphorusConfig::subsample_m`]); the substitutions are performed on a
+/// local copy, so the input system is not modified.
+pub fn elimlin_learn<R: Rng>(
+    system: &PolynomialSystem,
+    config: &BosphorusConfig,
+    rng: &mut R,
+) -> ElimLinOutcome {
+    let budget = 1u128 << config.subsample_m.min(126);
+    let mut selected: Vec<&Polynomial> = system.iter().collect();
+    selected.shuffle(rng);
+    let mut working: Vec<Polynomial> = Vec::new();
+    let mut terms = 0u128;
+    for poly in selected {
+        working.push(poly.clone());
+        terms += poly.len() as u128;
+        if working.len() as u128 * terms >= budget {
+            break;
+        }
+    }
+    elimlin_on(working)
+}
+
+/// Runs ElimLin on exactly the given polynomials (no subsampling).
+pub fn elimlin_on(mut working: Vec<Polynomial>) -> ElimLinOutcome {
+    let mut outcome = ElimLinOutcome {
+        facts: Vec::new(),
+        rounds: 0,
+        eliminated_vars: 0,
+        contradiction: false,
+    };
+    loop {
+        outcome.rounds += 1;
+        working.retain(|p| !p.is_zero());
+        if working.iter().any(Polynomial::is_one) {
+            outcome.contradiction = true;
+            outcome.facts.push(Polynomial::one());
+            return outcome;
+        }
+        // Step (1): Gauss–Jordan elimination on the linearisation.
+        let mut lin = Linearization::build(working.iter());
+        let reduced = lin.eliminate();
+        if reduced.iter().any(Polynomial::is_one) {
+            outcome.contradiction = true;
+            outcome.facts.push(Polynomial::one());
+            return outcome;
+        }
+        // Step (2): gather the linear equations.
+        let (linear, mut nonlinear): (Vec<Polynomial>, Vec<Polynomial>) =
+            reduced.into_iter().partition(Polynomial::is_linear);
+        if linear.is_empty() {
+            return outcome;
+        }
+        for fact in &linear {
+            if !outcome.facts.contains(fact) {
+                outcome.facts.push(fact.clone());
+            }
+        }
+        // Step (3): for each linear equation pick the variable occurring in
+        // the fewest remaining equations and eliminate it by substitution.
+        for equation in &linear {
+            let Some((vars, constant)) = equation.as_linear() else {
+                continue;
+            };
+            if vars.is_empty() {
+                continue;
+            }
+            let occurrences = |v: Var| nonlinear.iter().filter(|p| p.contains_var(v)).count();
+            let &victim = vars
+                .iter()
+                .min_by_key(|&&v| occurrences(v))
+                .expect("vars is non-empty");
+            // replacement = sum of the other variables (+ constant).
+            let mut replacement = Polynomial::constant(constant);
+            for &v in vars.iter().filter(|&&v| v != victim) {
+                replacement += &Polynomial::variable(v);
+            }
+            for poly in &mut nonlinear {
+                if poly.contains_var(victim) {
+                    *poly = poly.substitute_poly(victim, &replacement);
+                }
+            }
+            outcome.eliminated_vars += 1;
+        }
+        working = nonlinear;
+        if working.is_empty() {
+            return outcome;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn polys(s: &str) -> Vec<Polynomial> {
+        PolynomialSystem::parse(s)
+            .expect("test system parses")
+            .into_polynomials()
+    }
+
+    #[test]
+    fn section_2c_worked_example() {
+        // {x1+x2+x3, x1x2 + x2x3 + 1}: substituting x1 = x2 + x3 gives
+        // x2 + 1, so ElimLin learns both x1+x2+x3 and x2+1.
+        let outcome = elimlin_on(polys("x1 + x2 + x3; x1*x2 + x2*x3 + 1;"));
+        assert!(!outcome.contradiction);
+        assert!(outcome.facts.contains(&"x1 + x2 + x3".parse().expect("parses")));
+        assert!(outcome.facts.contains(&"x2 + 1".parse().expect("parses")));
+        assert!(outcome.eliminated_vars >= 1);
+        assert!(outcome.rounds >= 2);
+    }
+
+    #[test]
+    fn section_2e_example_learns_x1_equals_one() {
+        // Section II-E: in the Bosphorus pipeline ElimLin sees the master
+        // copy, i.e. the original system augmented with the linear facts XL
+        // already contributed. Its initial GJE then reports those four
+        // linear equations, and after substituting them it learns a unit
+        // fact (the paper derives x1 + 1).
+        let outcome = elimlin_on(polys(
+            "x1*x2 + x3 + x4 + 1;
+             x1*x2*x3 + x1 + x3 + 1;
+             x1*x3 + x3*x4*x5 + x3;
+             x2*x3 + x3*x5 + 1;
+             x2*x3 + x5 + 1;
+             x1 + x5 + 1;
+             x1 + x4;
+             x3 + 1;
+             x1 + x2;",
+        ));
+        assert!(!outcome.contradiction);
+        // The four linear equations from the initial GJE...
+        for expected in ["x1 + x5 + 1", "x1 + x4", "x3 + 1", "x1 + x2"] {
+            assert!(
+                outcome.facts.contains(&expected.parse().expect("parses")),
+                "missing initial linear fact {expected}; facts: {:?}",
+                outcome.facts
+            );
+        }
+        // ...and a second-round unit fact. The paper derives x1 + 1; which
+        // variable ends up pinned depends on the elimination order, but a
+        // single-variable assignment must be learnt, and combined with the
+        // four linear equations it forces x1 = 1.
+        let unit_fact = outcome
+            .facts
+            .iter()
+            .find(|f| f.as_linear().is_some_and(|(vars, _)| vars.len() == 1));
+        assert!(
+            unit_fact.is_some(),
+            "ElimLin should learn a unit fact; facts: {:?}",
+            outcome.facts
+        );
+        // All facts must hold in the system's unique solution
+        // x1=x2=x3=x4=1, x5=0.
+        for fact in &outcome.facts {
+            assert!(!fact.evaluate(|v| v != 5 && v != 0));
+        }
+    }
+
+    #[test]
+    fn contradiction_is_detected() {
+        let outcome = elimlin_on(polys("x0 + x1; x0 + x1 + 1;"));
+        assert!(outcome.contradiction);
+        assert!(outcome.facts.contains(&Polynomial::one()));
+    }
+
+    #[test]
+    fn facts_are_consequences() {
+        let source = polys("x0*x1 + x2; x0 + x1 + 1; x1*x2 + x0 + 1;");
+        let outcome = elimlin_on(source.clone());
+        let n = 3usize;
+        for bits in 0u64..(1 << n) {
+            let assign: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+            if source.iter().all(|p| !p.evaluate(|v| assign[v as usize])) {
+                for fact in &outcome.facts {
+                    assert!(
+                        !fact.evaluate(|v| assign[v as usize]),
+                        "fact {fact} violated by a solution"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn purely_nonlinear_system_terminates_quickly() {
+        let outcome = elimlin_on(polys("x0*x1 + x1*x2; x0*x2 + x1*x2;"));
+        assert!(!outcome.contradiction);
+        assert!(outcome.rounds >= 1);
+        assert_eq!(outcome.eliminated_vars, 0);
+    }
+
+    #[test]
+    fn empty_input_is_a_noop() {
+        let outcome = elimlin_on(Vec::new());
+        assert!(outcome.facts.is_empty());
+        assert!(!outcome.contradiction);
+    }
+
+    #[test]
+    fn subsampled_variant_is_sound() {
+        let system = PolynomialSystem::parse(
+            "x0*x1 + x2; x1 + x2 + 1; x0*x2 + x0 + x1; x2*x3 + x0; x3 + x1;",
+        )
+        .expect("parses");
+        let config = BosphorusConfig {
+            subsample_m: 3,
+            ..BosphorusConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let outcome = elimlin_learn(&system, &config, &mut rng);
+        let n = system.num_vars();
+        for bits in 0u64..(1 << n) {
+            let assign: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+            if system.iter().all(|p| !p.evaluate(|v| assign[v as usize])) {
+                for fact in &outcome.facts {
+                    assert!(!fact.evaluate(|v| assign[v as usize]));
+                }
+            }
+        }
+    }
+}

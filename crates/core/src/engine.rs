@@ -1,0 +1,488 @@
+//! The Bosphorus engine: the XL–ElimLin–SAT fact-learning loop of Fig. 1.
+
+use bosphorus_anf::{Assignment, Polynomial, PolynomialSystem, Var};
+use bosphorus_cnf::CnfFormula;
+use bosphorus_sat::{SolveResult, Solver, SolverConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::anf_to_cnf::{anf_to_cnf, CnfConversion};
+use crate::cnf_to_anf::cnf_to_anf;
+use crate::elimlin::elimlin_learn;
+use crate::propagate::AnfPropagator;
+use crate::satstep::{sat_step, SatStepStatus};
+use crate::xl::{is_retainable_fact, xl_learn};
+use crate::{BosphorusConfig, EngineStats};
+
+/// Outcome of [`Bosphorus::preprocess`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PreprocessStatus {
+    /// Preprocessing alone found a satisfying assignment (over the original
+    /// variables).
+    Solved(Assignment),
+    /// Preprocessing proved the instance unsatisfiable.
+    Unsat,
+    /// The fixed point was reached without deciding the instance; the
+    /// simplified ANF/CNF should be handed to a SAT solver.
+    Simplified,
+}
+
+/// Outcome of [`Bosphorus::solve`] (preprocessing followed by a final,
+/// unbounded SAT call).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// A satisfying assignment over the original variables.
+    Sat(Assignment),
+    /// The instance is unsatisfiable.
+    Unsat,
+}
+
+/// The Bosphorus preprocessing and solving engine.
+///
+/// The engine owns the *master* ANF copy of the problem; only ANF propagation
+/// rewrites it, while XL, ElimLin and the conflict-bounded SAT step operate
+/// on copies and feed learnt facts back (Section III-A of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use bosphorus::{Bosphorus, BosphorusConfig, PreprocessStatus};
+/// use bosphorus_anf::PolynomialSystem;
+///
+/// // The worked example of Section II-E; preprocessing alone solves it.
+/// let system = PolynomialSystem::parse(
+///     "x1*x2 + x3 + x4 + 1;
+///      x1*x2*x3 + x1 + x3 + 1;
+///      x1*x3 + x3*x4*x5 + x3;
+///      x2*x3 + x3*x5 + 1;
+///      x2*x3 + x5 + 1;",
+/// )?;
+/// let mut engine = Bosphorus::new(system, BosphorusConfig::default());
+/// match engine.preprocess() {
+///     PreprocessStatus::Solved(assignment) => {
+///         assert!(assignment.get(1) && !assignment.get(5));
+///     }
+///     other => panic!("expected a solution, got {other:?}"),
+/// }
+/// # Ok::<(), bosphorus_anf::ParseSystemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bosphorus {
+    original: PolynomialSystem,
+    master: PolynomialSystem,
+    original_num_vars: usize,
+    original_cnf: Option<CnfFormula>,
+    propagator: AnfPropagator,
+    config: BosphorusConfig,
+    learnt_facts: Vec<Polynomial>,
+    solution: Option<Assignment>,
+    unsat: bool,
+    stats: EngineStats,
+    rng: StdRng,
+}
+
+impl Bosphorus {
+    /// Creates an engine for a problem given in ANF.
+    pub fn new(system: PolynomialSystem, config: BosphorusConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.rng_seed);
+        let num_vars = system.num_vars();
+        Bosphorus {
+            original: system.clone(),
+            master: system,
+            original_num_vars: num_vars,
+            original_cnf: None,
+            propagator: AnfPropagator::new(num_vars),
+            config,
+            learnt_facts: Vec::new(),
+            solution: None,
+            unsat: false,
+            stats: EngineStats::default(),
+            rng,
+        }
+    }
+
+    /// Creates an engine for a problem given in CNF (the CNF-preprocessor
+    /// use-case of Section III-D). The clauses are converted to ANF with the
+    /// configured clause-cutting length; the original CNF is kept and
+    /// returned alongside the processed one by [`Bosphorus::output_cnf`].
+    pub fn from_cnf(cnf: &CnfFormula, config: BosphorusConfig) -> Self {
+        let conversion = cnf_to_anf(cnf, &config);
+        let mut engine = Bosphorus::new(conversion.system, config);
+        engine.original_num_vars = conversion.original_vars;
+        engine.original_cnf = Some(cnf.clone());
+        engine
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &BosphorusConfig {
+        &self.config
+    }
+
+    /// The master ANF after the preprocessing performed so far.
+    pub fn processed_system(&self) -> &PolynomialSystem {
+        &self.master
+    }
+
+    /// The ANF propagation state (determined variables and equivalences).
+    pub fn propagator(&self) -> &AnfPropagator {
+        &self.propagator
+    }
+
+    /// All facts learnt so far (in the order they were added to the master
+    /// copy).
+    pub fn learnt_facts(&self) -> &[Polynomial] {
+        &self.learnt_facts
+    }
+
+    /// Statistics of the run so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The satisfying assignment found during preprocessing, if any.
+    pub fn solution(&self) -> Option<&Assignment> {
+        self.solution.as_ref()
+    }
+
+    /// Runs the fact-learning loop of Fig. 1 until the fixed point (no new
+    /// facts), a solution, a contradiction, or the iteration limit.
+    pub fn preprocess(&mut self) -> PreprocessStatus {
+        // Initial ANF propagation on the input.
+        if self.propagate_master() {
+            return PreprocessStatus::Unsat;
+        }
+        let mut budget = self.config.sat_conflict_budget;
+        for _ in 0..self.config.max_iterations {
+            self.stats.iterations += 1;
+            let mut new_facts = 0usize;
+
+            // --- XL ---------------------------------------------------
+            let xl = xl_learn(&self.master, &self.config, &mut self.rng);
+            let added = self.add_facts(xl.facts);
+            self.stats.facts_from_xl += added;
+            new_facts += added;
+            if self.propagate_master() {
+                return PreprocessStatus::Unsat;
+            }
+
+            // --- ElimLin ----------------------------------------------
+            let elimlin = elimlin_learn(&self.master, &self.config, &mut self.rng);
+            if elimlin.contradiction {
+                self.unsat = true;
+                return PreprocessStatus::Unsat;
+            }
+            let added = self.add_facts(elimlin.facts);
+            self.stats.facts_from_elimlin += added;
+            new_facts += added;
+            if self.propagate_master() {
+                return PreprocessStatus::Unsat;
+            }
+
+            // --- Conflict-bounded SAT ---------------------------------
+            let sat = sat_step(
+                &self.master,
+                &self.propagator,
+                &self.config,
+                &SolverConfig::aggressive(),
+                budget,
+            );
+            self.stats.sat_conflicts += sat.conflicts;
+            match sat.status {
+                SatStepStatus::Unsatisfiable => {
+                    self.unsat = true;
+                    return PreprocessStatus::Unsat;
+                }
+                SatStepStatus::Satisfiable(assignment) => {
+                    // The paper exits the loop and provides the solution when
+                    // the SAT solver finds one; the solution is not used to
+                    // simplify the ANF because it may not be unique.
+                    let full = self.reconstruct_assignment(&assignment);
+                    self.solution = Some(full.clone());
+                    self.stats.decided_during_preprocessing = true;
+                    return PreprocessStatus::Solved(full);
+                }
+                SatStepStatus::Undecided => {}
+            }
+            let added = self.add_facts(sat.facts);
+            self.stats.facts_from_sat += added;
+            if added == 0 {
+                // No new facts from the SAT solver: increase the budget, as
+                // described in Section IV.
+                budget = (budget + self.config.sat_budget_increment)
+                    .min(self.config.sat_budget_max);
+            }
+            new_facts += added;
+            if self.propagate_master() {
+                return PreprocessStatus::Unsat;
+            }
+
+            if new_facts == 0 {
+                break;
+            }
+        }
+        if self.master.is_empty() && !self.propagator.has_contradiction() {
+            // Everything is determined: read the solution off the propagator.
+            let assignment = self.reconstruct_assignment(&Assignment::all_false(
+                self.original_num_vars,
+            ));
+            if self.original.is_satisfied_by(&assignment) {
+                self.solution = Some(assignment.clone());
+                self.stats.decided_during_preprocessing = true;
+                return PreprocessStatus::Solved(assignment);
+            }
+        }
+        PreprocessStatus::Simplified
+    }
+
+    /// Converts the current master ANF (plus the propagation state) to CNF.
+    pub fn to_cnf(&self) -> CnfConversion {
+        anf_to_cnf(&self.master, &self.propagator, &self.config)
+    }
+
+    /// The CNF output of the preprocessor: the processed CNF (with learnt
+    /// facts), plus the original CNF when the engine was built with
+    /// [`Bosphorus::from_cnf`] (the paper returns both, since a
+    /// CNF→ANF→CNF round-trip alone can be a suboptimal description).
+    pub fn output_cnf(&self) -> (CnfFormula, Option<&CnfFormula>) {
+        (self.to_cnf().cnf, self.original_cnf.as_ref())
+    }
+
+    /// Runs preprocessing and then a final (unbounded) SAT call on the
+    /// processed CNF with the given solver configuration.
+    pub fn solve(&mut self, solver_config: &SolverConfig) -> SolveStatus {
+        match self.preprocess() {
+            PreprocessStatus::Solved(a) => return SolveStatus::Sat(a),
+            PreprocessStatus::Unsat => return SolveStatus::Unsat,
+            PreprocessStatus::Simplified => {}
+        }
+        let conversion = self.to_cnf();
+        let mut solver = Solver::from_formula(solver_config.clone(), &conversion.cnf);
+        if solver_config.xor_reasoning {
+            for xor in &conversion.xors {
+                solver.add_xor(xor.clone());
+            }
+        }
+        match solver.solve() {
+            SolveResult::Sat => {
+                let model = solver.model().expect("SAT implies a model");
+                let partial = Assignment::from_bits(
+                    (0..self.original_num_vars).map(|v| model.get(v).copied().unwrap_or(false)),
+                );
+                let full = self.reconstruct_assignment(&partial);
+                self.solution = Some(full.clone());
+                SolveStatus::Sat(full)
+            }
+            SolveResult::Unsat => {
+                self.unsat = true;
+                SolveStatus::Unsat
+            }
+            SolveResult::Unknown => {
+                unreachable!("the final SAT call runs without a conflict budget")
+            }
+        }
+    }
+
+    /// Completes a partial assignment of the remaining free variables into an
+    /// assignment of every original variable, filling in values that
+    /// propagation determined and following equivalence chains.
+    pub fn reconstruct_assignment(&self, partial: &Assignment) -> Assignment {
+        let value_of = |v: Var| -> bool {
+            if let Some(value) = self.propagator.value(v) {
+                value
+            } else if let Some((root, negated)) = self.propagator.equivalence(v) {
+                let base = if (root as usize) < partial.len() {
+                    partial.get(root)
+                } else {
+                    false
+                };
+                base ^ negated
+            } else if (v as usize) < partial.len() {
+                partial.get(v)
+            } else {
+                false
+            }
+        };
+        Assignment::from_bits((0..self.original_num_vars as Var).map(value_of))
+    }
+
+    /// Adds facts to the master copy (if not already present) and to the
+    /// learnt-fact log. Returns how many were new.
+    fn add_facts(&mut self, facts: Vec<Polynomial>) -> usize {
+        let mut added = 0;
+        for fact in facts {
+            if !is_retainable_fact(&fact) && !fact.is_one() {
+                continue;
+            }
+            if self.master.push_unique(fact.clone()) {
+                self.learnt_facts.push(fact);
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Runs ANF propagation on the master copy; returns `true` when a
+    /// contradiction was found.
+    fn propagate_master(&mut self) -> bool {
+        let outcome = self.propagator.propagate(&mut self.master);
+        self.stats.propagated_assignments += outcome.new_assignments;
+        self.stats.propagated_equivalences += outcome.new_equivalences;
+        if outcome.contradiction {
+            self.unsat = true;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn section_2e() -> PolynomialSystem {
+        PolynomialSystem::parse(
+            "x1*x2 + x3 + x4 + 1;
+             x1*x2*x3 + x1 + x3 + 1;
+             x1*x3 + x3*x4*x5 + x3;
+             x2*x3 + x3*x5 + 1;
+             x2*x3 + x5 + 1;",
+        )
+        .expect("paper system parses")
+    }
+
+    #[test]
+    fn section_2e_example_is_solved_by_preprocessing() {
+        let mut engine = Bosphorus::new(section_2e(), BosphorusConfig::default());
+        match engine.preprocess() {
+            PreprocessStatus::Solved(assignment) => {
+                assert!(assignment.get(1));
+                assert!(assignment.get(2));
+                assert!(assignment.get(3));
+                assert!(assignment.get(4));
+                assert!(!assignment.get(5));
+            }
+            other => panic!("expected Solved, got {other:?}"),
+        }
+        assert!(engine.stats().total_facts() > 0);
+        assert!(engine.stats().iterations >= 1);
+    }
+
+    #[test]
+    fn unsatisfiable_system_is_detected() {
+        let system = PolynomialSystem::parse("x0*x1 + 1; x0 + x1 + 1;").expect("parses");
+        let mut engine = Bosphorus::new(system, BosphorusConfig::default());
+        assert_eq!(engine.preprocess(), PreprocessStatus::Unsat);
+    }
+
+    #[test]
+    fn solve_agrees_with_brute_force_on_small_systems() {
+        let texts = [
+            "x0*x1 + x2; x1 + x2 + 1; x0*x2 + x0 + x1;",
+            "x0 + x1; x1 + x2; x0*x2 + 1;",
+            "x0*x1*x2 + 1; x0 + x1;",
+            "x0*x1 + x0 + x1; x2 + 1; x0*x2 + x1;",
+        ];
+        for text in texts {
+            let system = PolynomialSystem::parse(text).expect("parses");
+            let n = system.num_vars();
+            let expected_sat = (0u64..(1 << n)).any(|bits| {
+                let a = Assignment::from_bits((0..n).map(|i| (bits >> i) & 1 == 1));
+                system.is_satisfied_by(&a)
+            });
+            let mut engine = Bosphorus::new(system.clone(), BosphorusConfig::default());
+            match engine.solve(&SolverConfig::aggressive()) {
+                SolveStatus::Sat(assignment) => {
+                    assert!(expected_sat, "engine claimed SAT on {text}");
+                    assert!(
+                        system.is_satisfied_by(&assignment),
+                        "returned assignment violates {text}"
+                    );
+                }
+                SolveStatus::Unsat => assert!(!expected_sat, "engine claimed UNSAT on {text}"),
+            }
+        }
+    }
+
+    #[test]
+    fn learnt_facts_are_consequences_of_the_original_system() {
+        let system = PolynomialSystem::parse(
+            "x0*x1 + x2; x1 + x2 + 1; x0*x2 + x0 + x1; x2*x3 + x0; x3 + x1;",
+        )
+        .expect("parses");
+        let mut engine = Bosphorus::new(system.clone(), BosphorusConfig::default());
+        let _ = engine.preprocess();
+        let n = system.num_vars();
+        for bits in 0u64..(1 << n) {
+            let a = Assignment::from_bits((0..n).map(|i| (bits >> i) & 1 == 1));
+            if system.is_satisfied_by(&a) {
+                for fact in engine.learnt_facts() {
+                    assert!(
+                        !fact.evaluate(|v| a.get(v)),
+                        "learnt fact {fact} violated by a solution of the input"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cnf_preprocessor_mode_roundtrip() {
+        // A small satisfiable CNF; preprocessing must preserve
+        // satisfiability and the output CNF must include the original one.
+        let cnf = CnfFormula::parse_dimacs(
+            "p cnf 4 5\n1 2 0\n-1 3 0\n-2 -3 0\n3 4 0\n-3 -4 0\n",
+        )
+        .expect("parses");
+        let mut engine = Bosphorus::from_cnf(&cnf, BosphorusConfig::default());
+        let status = engine.preprocess();
+        assert_ne!(status, PreprocessStatus::Unsat);
+        let (processed, original) = engine.output_cnf();
+        assert!(original.is_some());
+        // The processed CNF must be satisfiable (the original is).
+        let mut solver = Solver::from_formula(SolverConfig::aggressive(), &processed);
+        assert_eq!(solver.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn cnf_preprocessor_detects_unsat() {
+        let cnf = CnfFormula::parse_dimacs("p cnf 1 2\n1 0\n-1 0\n").expect("parses");
+        let mut engine = Bosphorus::from_cnf(&cnf, BosphorusConfig::default());
+        assert_eq!(engine.preprocess(), PreprocessStatus::Unsat);
+    }
+
+    #[test]
+    fn table1_system_is_fully_determined_by_preprocessing() {
+        let system = PolynomialSystem::parse("x1*x2 + x1 + 1; x2*x3 + x3;").expect("parses");
+        let mut engine = Bosphorus::new(system, BosphorusConfig::default());
+        match engine.preprocess() {
+            PreprocessStatus::Solved(a) => {
+                assert!(a.get(1));
+                assert!(!a.get(2));
+                assert!(!a.get(3));
+            }
+            other => panic!("expected Solved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_track_fact_sources() {
+        let mut engine = Bosphorus::new(section_2e(), BosphorusConfig::default());
+        let _ = engine.preprocess();
+        let stats = engine.stats();
+        assert!(stats.facts_from_xl > 0, "XL learns facts on the paper example");
+        assert_eq!(
+            stats.total_facts(),
+            stats.facts_from_xl + stats.facts_from_elimlin + stats.facts_from_sat
+        );
+    }
+
+    #[test]
+    fn empty_system_is_trivially_solved() {
+        let mut engine = Bosphorus::new(PolynomialSystem::new(), BosphorusConfig::default());
+        match engine.preprocess() {
+            PreprocessStatus::Solved(a) => assert_eq!(a.len(), 0),
+            other => panic!("expected Solved, got {other:?}"),
+        }
+    }
+}

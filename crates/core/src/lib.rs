@@ -1,0 +1,72 @@
+//! Bosphorus: bridging ANF and CNF solvers.
+//!
+//! This crate is a from-scratch reproduction of the Bosphorus tool described
+//! in *"BOSPHORUS: Bridging ANF and CNF Solvers"* (DATE 2019). Problems stated
+//! as Boolean polynomial systems (ANF) or as CNF formulas are iteratively
+//! simplified by a fact-learning loop that alternates between algebraic and
+//! SAT-based reasoning:
+//!
+//! 1. **ANF propagation** ([`AnfPropagator`]) — value and equivalence
+//!    assignments extracted from unit-like polynomials, applied to a fixed
+//!    point (Section II-A).
+//! 2. **XL** ([`xl_learn`]) — eXtended Linearization: multiply equations by
+//!    low-degree monomials, linearise, run Gauss–Jordan elimination and keep
+//!    the linear / "all-ones monomial" rows (Section II-B).
+//! 3. **ElimLin** ([`elimlin_learn`]) — iterated GJE + variable elimination
+//!    by substitution of linear equations (Section II-C).
+//! 4. **Conflict-bounded SAT** ([`sat_step`]) — convert to CNF, run a CDCL
+//!    solver with a conflict budget, harvest unit and binary learnt clauses
+//!    (Section II-D).
+//!
+//! The [`Bosphorus`] engine runs this loop until no new facts are produced
+//! (Fig. 1 of the paper), then emits a processed ANF and CNF that downstream
+//! solvers decide faster. Conversions in both directions are provided:
+//! [`anf_to_cnf`] (Karnaugh-map minimisation for small-support polynomials,
+//! XOR cutting plus Tseitin expansion otherwise) and [`cnf_to_anf`]
+//! (clause products with clause cutting).
+//!
+//! # Quick start
+//!
+//! ```
+//! use bosphorus::{Bosphorus, BosphorusConfig, SolveStatus};
+//! use bosphorus_anf::PolynomialSystem;
+//! use bosphorus_sat::SolverConfig;
+//!
+//! let system = PolynomialSystem::parse("x0*x1 + x2 + 1; x1 + x2; x0*x2 + x1;")?;
+//! let mut engine = Bosphorus::new(system.clone(), BosphorusConfig::default());
+//! match engine.solve(&SolverConfig::aggressive()) {
+//!     SolveStatus::Sat(assignment) => assert!(system.is_satisfied_by(&assignment)),
+//!     SolveStatus::Unsat => println!("unsatisfiable"),
+//! }
+//! # Ok::<(), bosphorus_anf::ParseSystemError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod anf_to_cnf;
+mod cnf_to_anf;
+mod config;
+mod elimlin;
+mod engine;
+mod linearize;
+mod minimize;
+mod propagate;
+mod satstep;
+mod stats;
+mod xl;
+
+pub use anf_to_cnf::{anf_to_cnf, tseitin_clause_count, CnfConversion};
+pub use cnf_to_anf::{clause_to_polynomial, cnf_to_anf, AnfConversion};
+pub use config::BosphorusConfig;
+pub use elimlin::{elimlin_learn, elimlin_on, ElimLinOutcome};
+pub use engine::{Bosphorus, PreprocessStatus, SolveStatus};
+pub use linearize::Linearization;
+pub use minimize::karnaugh_clauses;
+pub use propagate::{AnfPropagator, PropagationOutcome, VarKnowledge};
+pub use satstep::{sat_step, sat_step_on_conversion, SatStepOutcome, SatStepStatus};
+pub use stats::EngineStats;
+pub use xl::{expansion_monomials, xl_learn, XlOutcome};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,209 @@
+//! Linearisation: treating each monomial as an independent variable so that a
+//! polynomial system becomes a GF(2) linear system.
+//!
+//! Both XL and ElimLin rest on this transformation: the polynomials become
+//! rows of a [`BitMatrix`], Gauss–Jordan elimination is applied, and the rows
+//! are mapped back to polynomials.
+
+use std::collections::BTreeMap;
+
+use bosphorus_anf::{Monomial, Polynomial};
+use bosphorus_gf2::{BitMatrix, BitVec};
+
+/// A linearised view of a set of polynomials: a column ordering over the
+/// monomials that occur, and the corresponding GF(2) matrix.
+///
+/// Columns are ordered by *descending* graded-lexicographic monomial order,
+/// so that after Gauss–Jordan elimination each row's pivot is its leading
+/// monomial — exactly the layout of Table I in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use bosphorus::Linearization;
+/// use bosphorus_anf::PolynomialSystem;
+///
+/// let system = PolynomialSystem::parse("x1*x2 + x1 + 1; x2*x3 + x3;")?;
+/// let lin = Linearization::build(system.polynomials().iter());
+/// assert_eq!(lin.num_columns(), 5); // x2x3, x1x2, x3, x1 and the constant 1
+/// # Ok::<(), bosphorus_anf::ParseSystemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linearization {
+    /// Monomials in column order (descending graded lex).
+    columns: Vec<Monomial>,
+    /// Monomial → column index.
+    index: BTreeMap<Monomial, usize>,
+    /// The linearised coefficient matrix, one row per polynomial.
+    matrix: BitMatrix,
+}
+
+impl Linearization {
+    /// Builds the linearisation of the given polynomials.
+    pub fn build<'a, I: IntoIterator<Item = &'a Polynomial>>(polynomials: I) -> Self {
+        let polys: Vec<&Polynomial> = polynomials.into_iter().collect();
+        let mut columns: Vec<Monomial> = polys
+            .iter()
+            .flat_map(|p| p.monomials().iter().cloned())
+            .collect();
+        columns.sort();
+        columns.dedup();
+        columns.reverse(); // descending graded lex: largest monomial first
+        let index: BTreeMap<Monomial, usize> = columns
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.clone(), i))
+            .collect();
+        let mut matrix = BitMatrix::zero(polys.len(), columns.len());
+        for (row, poly) in polys.iter().enumerate() {
+            for m in poly.monomials() {
+                matrix.set(row, index[m], true);
+            }
+        }
+        Linearization {
+            columns,
+            index,
+            matrix,
+        }
+    }
+
+    /// Number of monomial columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of polynomial rows.
+    pub fn num_rows(&self) -> usize {
+        self.matrix.nrows()
+    }
+
+    /// The monomial of column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn column_monomial(&self, col: usize) -> &Monomial {
+        &self.columns[col]
+    }
+
+    /// The column of a monomial, if it occurs in the linearised system.
+    pub fn column_of(&self, monomial: &Monomial) -> Option<usize> {
+        self.index.get(monomial).copied()
+    }
+
+    /// Borrow the coefficient matrix.
+    pub fn matrix(&self) -> &BitMatrix {
+        &self.matrix
+    }
+
+    /// Mutable access to the coefficient matrix (e.g. to run GJE in place).
+    pub fn matrix_mut(&mut self) -> &mut BitMatrix {
+        &mut self.matrix
+    }
+
+    /// Converts a row vector back into a polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the number of columns.
+    pub fn row_to_polynomial(&self, row: &BitVec) -> Polynomial {
+        assert_eq!(row.len(), self.columns.len(), "row/column count mismatch");
+        Polynomial::from_monomials(row.iter_ones().map(|c| self.columns[c].clone()))
+    }
+
+    /// Runs Gauss–Jordan elimination in place and returns the non-zero rows
+    /// as polynomials (the reduced system), in matrix row order.
+    pub fn eliminate(&mut self) -> Vec<Polynomial> {
+        self.matrix.gauss_jordan();
+        self.matrix
+            .iter()
+            .filter(|r| !r.is_zero())
+            .map(|r| self.row_to_polynomial(r))
+            .collect()
+    }
+
+    /// Estimated memory footprint in bits (rows × columns), the quantity the
+    /// paper bounds by `2^M` when subsampling.
+    pub fn size_bits(&self) -> u128 {
+        self.num_rows() as u128 * self.num_columns() as u128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bosphorus_anf::PolynomialSystem;
+
+    fn polys(s: &str) -> Vec<Polynomial> {
+        PolynomialSystem::parse(s)
+            .expect("test system parses")
+            .into_polynomials()
+    }
+
+    #[test]
+    fn columns_are_descending_graded_lex() {
+        let ps = polys("x1*x2 + x1 + 1; x2*x3 + x3;");
+        let lin = Linearization::build(ps.iter());
+        let names: Vec<String> = (0..lin.num_columns())
+            .map(|c| lin.column_monomial(c).to_string())
+            .collect();
+        assert_eq!(names, vec!["x2*x3", "x1*x2", "x3", "x1", "1"]);
+        assert_eq!(lin.num_rows(), 2);
+    }
+
+    #[test]
+    fn roundtrip_row_to_polynomial() {
+        let ps = polys("x0*x1 + x2 + 1; x2 + x0;");
+        let lin = Linearization::build(ps.iter());
+        for (i, p) in ps.iter().enumerate() {
+            assert_eq!(&lin.row_to_polynomial(lin.matrix().row(i)), p);
+        }
+    }
+
+    #[test]
+    fn eliminate_reproduces_paper_table_1_facts() {
+        // The fully expanded Table I system (degree-1 expansion of
+        // {x1x2+x1+1, x2x3+x3}); after GJE the facts x1+1, x2, x3 appear.
+        let ps = polys(
+            "x1*x2 + x1 + 1;
+             x1*x2;
+             x2;
+             x1*x2*x3 + x1*x3 + x3;
+             x2*x3 + x3;
+             x1*x2*x3 + x1*x3;",
+        );
+        let mut lin = Linearization::build(ps.iter());
+        let reduced = lin.eliminate();
+        assert!(reduced.contains(&"x1 + 1".parse().expect("parses")));
+        assert!(reduced.contains(&"x2".parse().expect("parses")));
+        assert!(reduced.contains(&"x3".parse().expect("parses")));
+    }
+
+    #[test]
+    fn column_of_lookup() {
+        let ps = polys("x0*x1 + x2;");
+        let lin = Linearization::build(ps.iter());
+        let m: Polynomial = "x0*x1".parse().expect("parses");
+        let mono = m.leading_monomial().expect("non-zero").clone();
+        assert_eq!(lin.column_of(&mono), Some(0));
+        let absent: Polynomial = "x9".parse().expect("parses");
+        assert_eq!(
+            lin.column_of(absent.leading_monomial().expect("non-zero")),
+            None
+        );
+    }
+
+    #[test]
+    fn size_bits_is_rows_times_cols() {
+        let ps = polys("x0 + x1; x1 + x2;");
+        let lin = Linearization::build(ps.iter());
+        assert_eq!(lin.size_bits(), (lin.num_rows() * lin.num_columns()) as u128);
+    }
+
+    #[test]
+    fn empty_input_builds_empty_linearization() {
+        let lin = Linearization::build(std::iter::empty());
+        assert_eq!(lin.num_rows(), 0);
+        assert_eq!(lin.num_columns(), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests for the Bosphorus engine and its conversions.
+
+use proptest::prelude::*;
+
+use bosphorus_anf::{Assignment, Monomial, Polynomial, PolynomialSystem};
+use bosphorus_cnf::{Clause, CnfFormula, Lit};
+use bosphorus_sat::{SolveResult, Solver, SolverConfig};
+
+use crate::{
+    anf_to_cnf, cnf_to_anf, elimlin_on, karnaugh_clauses, xl_learn, AnfPropagator, Bosphorus,
+    BosphorusConfig, SolveStatus,
+};
+
+const MAX_VARS: u32 = 5;
+
+fn arb_polynomial() -> impl Strategy<Value = Polynomial> {
+    proptest::collection::vec(
+        proptest::collection::vec(0..MAX_VARS, 0..3).prop_map(Monomial::from_vars),
+        1..5,
+    )
+    .prop_map(Polynomial::from_monomials)
+}
+
+fn arb_system() -> impl Strategy<Value = PolynomialSystem> {
+    proptest::collection::vec(arb_polynomial(), 1..6).prop_map(|mut polys| {
+        polys.retain(|p| !p.is_zero());
+        let mut s = PolynomialSystem::from_polynomials(polys);
+        s.ensure_num_vars(MAX_VARS as usize);
+        s
+    })
+}
+
+fn arb_cnf() -> impl Strategy<Value = CnfFormula> {
+    proptest::collection::vec(
+        proptest::collection::vec((0..MAX_VARS, any::<bool>()), 1..4),
+        1..10,
+    )
+    .prop_map(|clauses| {
+        let mut cnf = CnfFormula::from_clauses(
+            clauses
+                .into_iter()
+                .map(|lits| Clause::from_lits(lits.into_iter().map(|(v, n)| Lit::new(v, n)))),
+        );
+        cnf.ensure_num_vars(MAX_VARS as usize);
+        cnf
+    })
+}
+
+fn brute_force_sat(system: &PolynomialSystem) -> bool {
+    let n = system.num_vars();
+    (0u64..(1 << n)).any(|bits| {
+        let a = Assignment::from_bits((0..n).map(|i| (bits >> i) & 1 == 1));
+        system.is_satisfied_by(&a)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The full engine agrees with brute force and returns genuine models.
+    #[test]
+    fn engine_agrees_with_brute_force(system in arb_system()) {
+        let expected = brute_force_sat(&system);
+        let mut engine = Bosphorus::new(system.clone(), BosphorusConfig::default());
+        match engine.solve(&SolverConfig::aggressive()) {
+            SolveStatus::Sat(a) => {
+                prop_assert!(expected, "engine claimed SAT on an UNSAT system");
+                prop_assert!(system.is_satisfied_by(&a), "model violates the input system");
+            }
+            SolveStatus::Unsat => prop_assert!(!expected, "engine claimed UNSAT on a SAT system"),
+        }
+    }
+
+    /// Every learnt fact is a consequence of the input system.
+    #[test]
+    fn learnt_facts_are_consequences(system in arb_system()) {
+        let mut engine = Bosphorus::new(system.clone(), BosphorusConfig::default());
+        let _ = engine.preprocess();
+        let n = system.num_vars();
+        for bits in 0u64..(1 << n) {
+            let a = Assignment::from_bits((0..n).map(|i| (bits >> i) & 1 == 1));
+            if system.is_satisfied_by(&a) {
+                for fact in engine.learnt_facts() {
+                    prop_assert!(!fact.evaluate(|v| a.get(v)), "fact {} violated", fact);
+                }
+            }
+        }
+    }
+
+    /// ANF → CNF conversion is equisatisfiable and model-preserving on the
+    /// original variables.
+    #[test]
+    fn anf_to_cnf_is_equisatisfiable(system in arb_system()) {
+        let propagator = AnfPropagator::new(system.num_vars());
+        let conversion = anf_to_cnf(&system, &propagator, &BosphorusConfig::default());
+        let anf_sat = brute_force_sat(&system);
+        let mut solver = Solver::from_formula(SolverConfig::minimal(), &conversion.cnf);
+        match solver.solve() {
+            SolveResult::Sat => {
+                prop_assert!(anf_sat, "CNF SAT but ANF UNSAT");
+                let model = solver.model().expect("model");
+                let restricted = Assignment::from_bits(
+                    (0..system.num_vars()).map(|v| model.get(v).copied().unwrap_or(false)),
+                );
+                prop_assert!(system.is_satisfied_by(&restricted), "CNF model violates the ANF");
+            }
+            SolveResult::Unsat => prop_assert!(!anf_sat, "CNF UNSAT but ANF SAT"),
+            SolveResult::Unknown => prop_assert!(false, "no budget was set"),
+        }
+    }
+
+    /// CNF → ANF conversion preserves satisfiability (auxiliary splitting
+    /// variables are existentially quantified by the SAT check).
+    #[test]
+    fn cnf_to_anf_is_equisatisfiable(cnf in arb_cnf()) {
+        let conversion = cnf_to_anf(&cnf, &BosphorusConfig { clause_cut_length: 2, ..BosphorusConfig::default() });
+        let cnf_sat = {
+            let mut solver = Solver::from_formula(SolverConfig::minimal(), &cnf);
+            solver.solve() == SolveResult::Sat
+        };
+        let anf_sat = brute_force_sat(&conversion.system);
+        prop_assert_eq!(cnf_sat, anf_sat);
+    }
+
+    /// The Karnaugh-map conversion of a small polynomial is logically
+    /// equivalent to the polynomial.
+    #[test]
+    fn karnaugh_conversion_is_equivalent(p in arb_polynomial()) {
+        let Some(clauses) = karnaugh_clauses(&p, 8) else {
+            return Ok(());
+        };
+        let vars = p.variables();
+        for bits in 0u32..(1 << vars.len()) {
+            let value = |v: u32| {
+                let idx = vars.iter().position(|&w| w == v).expect("in support");
+                (bits >> idx) & 1 == 1
+            };
+            let poly_zero = !p.evaluate(value);
+            let clauses_ok = clauses.iter().all(|c| c.evaluate(value));
+            prop_assert_eq!(poly_zero, clauses_ok);
+        }
+    }
+
+    /// XL and ElimLin facts are consequences of the system they were learnt
+    /// from.
+    #[test]
+    fn xl_and_elimlin_facts_are_consequences(system in arb_system(), seed in any::<u64>()) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xl = xl_learn(&system, &BosphorusConfig::exhaustive(), &mut rng);
+        let el = elimlin_on(system.polynomials().to_vec());
+        let n = system.num_vars();
+        for bits in 0u64..(1 << n) {
+            let a = Assignment::from_bits((0..n).map(|i| (bits >> i) & 1 == 1));
+            if system.is_satisfied_by(&a) {
+                for fact in xl.facts.iter().chain(&el.facts) {
+                    prop_assert!(!fact.evaluate(|v| a.get(v)), "fact {} violated", fact);
+                }
+            }
+        }
+    }
+
+    /// Preprocessing a CNF never changes its satisfiability (the
+    /// CNF-preprocessor use-case).
+    #[test]
+    fn cnf_preprocessing_preserves_satisfiability(cnf in arb_cnf()) {
+        let original_sat = {
+            let mut solver = Solver::from_formula(SolverConfig::minimal(), &cnf);
+            solver.solve() == SolveResult::Sat
+        };
+        let mut engine = Bosphorus::from_cnf(&cnf, BosphorusConfig::default());
+        match engine.solve(&SolverConfig::minimal()) {
+            SolveStatus::Sat(_) => prop_assert!(original_sat),
+            SolveStatus::Unsat => prop_assert!(!original_sat),
+        }
+    }
+}

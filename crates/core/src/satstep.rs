@@ -1,0 +1,265 @@
+//! Conflict-bounded SAT solving (Section II-D of the paper).
+//!
+//! The current ANF is converted to CNF and handed to the CDCL solver with a
+//! conflict budget. Three outcomes are possible: UNSAT (the learnt fact is
+//! the contradiction `1 = 0`), SAT (a satisfying assignment is stored), or
+//! undecided within the budget. In the last two cases, unit and binary learnt
+//! clauses over variables with an ANF meaning are harvested and turned into
+//! ANF facts.
+
+use std::collections::BTreeSet;
+
+use bosphorus_anf::{Assignment, Polynomial, PolynomialSystem};
+use bosphorus_cnf::Lit;
+use bosphorus_sat::{SolveResult, Solver, SolverConfig};
+
+use crate::anf_to_cnf::{anf_to_cnf, CnfConversion};
+use crate::propagate::AnfPropagator;
+use crate::BosphorusConfig;
+
+/// How the conflict-bounded SAT call ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatStepStatus {
+    /// The CNF (and hence the ANF) is unsatisfiable.
+    Unsatisfiable,
+    /// A satisfying assignment of the converted CNF was found; the values of
+    /// the original ANF variables are reported.
+    Satisfiable(Assignment),
+    /// The conflict budget ran out before a decision.
+    Undecided,
+}
+
+/// Result of one conflict-bounded SAT round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SatStepOutcome {
+    /// Termination status.
+    pub status: SatStepStatus,
+    /// ANF facts harvested from top-level assignments and from unit/binary
+    /// learnt clauses whose variables have an ANF meaning.
+    pub facts: Vec<Polynomial>,
+    /// Conflicts spent by the solver in this round.
+    pub conflicts: u64,
+    /// Number of clauses of the converted CNF.
+    pub cnf_clauses: usize,
+    /// Number of variables of the converted CNF.
+    pub cnf_vars: usize,
+}
+
+/// Runs one conflict-bounded SAT round on `system`.
+///
+/// `propagator` carries the determined variables and equivalences that must
+/// be encoded alongside the polynomials; `budget` is the conflict budget `C`.
+pub fn sat_step(
+    system: &PolynomialSystem,
+    propagator: &AnfPropagator,
+    config: &BosphorusConfig,
+    solver_config: &SolverConfig,
+    budget: u64,
+) -> SatStepOutcome {
+    let conversion = anf_to_cnf(system, propagator, config);
+    sat_step_on_conversion(&conversion, system.num_vars(), solver_config, budget)
+}
+
+/// Like [`sat_step`], but reuses an existing conversion.
+pub fn sat_step_on_conversion(
+    conversion: &CnfConversion,
+    num_anf_vars: usize,
+    solver_config: &SolverConfig,
+    budget: u64,
+) -> SatStepOutcome {
+    let mut solver = Solver::from_formula(solver_config.clone(), &conversion.cnf);
+    if solver_config.xor_reasoning {
+        for xor in &conversion.xors {
+            solver.add_xor(xor.clone());
+        }
+    }
+    let conflicts_before = solver.stats().conflicts;
+    solver.set_conflict_budget(Some(budget));
+    let result = solver.solve();
+    let conflicts = solver.stats().conflicts - conflicts_before;
+
+    let mut facts: Vec<Polynomial> = Vec::new();
+    let status = match result {
+        SolveResult::Unsat => {
+            facts.push(Polynomial::one());
+            SatStepStatus::Unsatisfiable
+        }
+        SolveResult::Sat => {
+            let model = solver.model().expect("SAT implies a model");
+            let assignment = Assignment::from_bits(
+                (0..num_anf_vars).map(|v| model.get(v).copied().unwrap_or(false)),
+            );
+            harvest_facts(&mut facts, &solver, conversion);
+            SatStepStatus::Satisfiable(assignment)
+        }
+        SolveResult::Unknown => {
+            harvest_facts(&mut facts, &solver, conversion);
+            SatStepStatus::Undecided
+        }
+    };
+    SatStepOutcome {
+        status,
+        facts,
+        conflicts,
+        cnf_clauses: conversion.cnf.num_clauses(),
+        cnf_vars: conversion.cnf.num_vars(),
+    }
+}
+
+/// Extracts ANF facts from the solver state: every top-level assignment of a
+/// variable with an ANF meaning becomes a value fact, and complementary
+/// pairs of binary learnt clauses become (linear or monomial) equations.
+fn harvest_facts(facts: &mut Vec<Polynomial>, solver: &Solver, conversion: &CnfConversion) {
+    // Unit facts from decision-level-zero assignments (this subsumes the
+    // learnt unit clauses).
+    for lit in solver.top_level_assignments() {
+        if let Some(fact) = conversion.literal_fact(lit) {
+            if !facts.contains(&fact) {
+                facts.push(fact);
+            }
+        }
+    }
+    // Binary learnt clauses: (a ∨ b) together with (¬a ∨ ¬b) yields
+    // A ⊕ B ⊕ 1 = 0; (a ∨ ¬b) with (¬a ∨ b) yields A ⊕ B = 0, where A and B
+    // are the ANF monomials of the two CNF variables.
+    let binaries: BTreeSet<(Lit, Lit)> = solver
+        .learnt_binaries()
+        .into_iter()
+        .map(|[a, b]| if a <= b { (a, b) } else { (b, a) })
+        .collect();
+    for &(a, b) in &binaries {
+        let complement = {
+            let (na, nb) = (!a, !b);
+            if na <= nb {
+                (na, nb)
+            } else {
+                (nb, na)
+            }
+        };
+        if !binaries.contains(&complement) || a.var() == b.var() {
+            continue;
+        }
+        let (Some(ma), Some(mb)) = (conversion.monomial(a.var()), conversion.monomial(b.var()))
+        else {
+            continue;
+        };
+        // (a ∨ b) ∧ (¬a ∨ ¬b): exactly one of the two literals holds, i.e.
+        // value(a.var) ⊕ value(b.var) = 1 ⊕ a.neg ⊕ b.neg.
+        let constant = !(a.is_negative() ^ b.is_negative());
+        let mut fact = Polynomial::from_monomial(ma.clone());
+        fact += &Polynomial::from_monomial(mb.clone());
+        if constant {
+            fact += &Polynomial::one();
+        }
+        if !fact.is_zero() && !facts.contains(&fact) {
+            facts.push(fact);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(text: &str, budget: u64) -> (PolynomialSystem, SatStepOutcome) {
+        let system = PolynomialSystem::parse(text).expect("test system parses");
+        let propagator = AnfPropagator::new(system.num_vars());
+        let outcome = sat_step(
+            &system,
+            &propagator,
+            &BosphorusConfig::default(),
+            &SolverConfig::aggressive(),
+            budget,
+        );
+        (system, outcome)
+    }
+
+    #[test]
+    fn satisfiable_system_returns_model_over_anf_vars() {
+        let (system, outcome) = run(
+            "x1*x2 + x3 + x4 + 1;
+             x1*x2*x3 + x1 + x3 + 1;
+             x1*x3 + x3*x4*x5 + x3;
+             x2*x3 + x3*x5 + 1;
+             x2*x3 + x5 + 1;",
+            10_000,
+        );
+        match outcome.status {
+            SatStepStatus::Satisfiable(assignment) => {
+                assert!(system.is_satisfied_by(&assignment));
+                assert!(assignment.get(1) && assignment.get(2) && !assignment.get(5));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_system_learns_the_contradiction() {
+        let (_, outcome) = run("x0 + 1; x0; x1*x2 + x1;", 10_000);
+        assert_eq!(outcome.status, SatStepStatus::Unsatisfiable);
+        assert!(outcome.facts.contains(&Polynomial::one()));
+    }
+
+    #[test]
+    fn harvested_facts_are_consequences() {
+        let (system, outcome) = run(
+            "x0*x1 + x2; x1 + x2 + 1; x0*x2 + x0 + x1; x2*x3 + x0; x3 + x1;",
+            10_000,
+        );
+        let n = system.num_vars();
+        for bits in 0u64..(1 << n) {
+            let assign: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+            if system.iter().all(|p| !p.evaluate(|v| assign[v as usize])) {
+                for fact in &outcome.facts {
+                    assert!(
+                        !fact.evaluate(|v| assign[v as usize]),
+                        "fact {fact} violated by an ANF solution"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_reports_progress_only() {
+        // With essentially no budget the solver may still finish instances it
+        // can decide by propagation alone, but must never mislabel them.
+        let (system, outcome) = run("x0 + x1; x1 + 1;", 1);
+        match outcome.status {
+            SatStepStatus::Satisfiable(a) => assert!(system.is_satisfied_by(&a)),
+            SatStepStatus::Undecided => {}
+            SatStepStatus::Unsatisfiable => panic!("system is satisfiable"),
+        }
+    }
+
+    #[test]
+    fn conversion_statistics_are_reported() {
+        let (_, outcome) = run("x0*x1 + x2 + 1;", 100);
+        assert!(outcome.cnf_clauses > 0);
+        assert!(outcome.cnf_vars >= 3);
+    }
+
+    #[test]
+    fn xor_reasoning_configuration_accepts_native_xors() {
+        let system = PolynomialSystem::parse(
+            "x0 + x1 + x2 + x3 + x4 + x5 + x6 + x7 + x8 + x9 + 1;",
+        )
+        .expect("parses");
+        let propagator = AnfPropagator::new(system.num_vars());
+        let config = BosphorusConfig {
+            emit_xor_constraints: true,
+            ..BosphorusConfig::default()
+        };
+        let outcome = sat_step(
+            &system,
+            &propagator,
+            &config,
+            &SolverConfig::xor_gauss(),
+            10_000,
+        );
+        match outcome.status {
+            SatStepStatus::Satisfiable(a) => assert!(system.is_satisfied_by(&a)),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+}

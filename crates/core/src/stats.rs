@@ -1,0 +1,67 @@
+//! Statistics of a Bosphorus preprocessing run.
+
+use std::fmt;
+
+/// Counters describing what the fact-learning loop did.
+///
+/// Returned by [`Bosphorus::stats`](crate::Bosphorus::stats) and printed by
+/// the benchmark harness next to each PAR-2 row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Number of XL–ElimLin–SAT iterations executed.
+    pub iterations: usize,
+    /// Facts contributed by the XL step.
+    pub facts_from_xl: usize,
+    /// Facts contributed by the ElimLin step.
+    pub facts_from_elimlin: usize,
+    /// Facts contributed by the conflict-bounded SAT step.
+    pub facts_from_sat: usize,
+    /// Value assignments made by ANF propagation.
+    pub propagated_assignments: usize,
+    /// Equivalences recorded by ANF propagation.
+    pub propagated_equivalences: usize,
+    /// Total SAT conflicts spent across all SAT steps.
+    pub sat_conflicts: u64,
+    /// `true` if preprocessing alone decided the instance.
+    pub decided_during_preprocessing: bool,
+}
+
+impl EngineStats {
+    /// Total number of learnt facts across all techniques.
+    pub fn total_facts(&self) -> usize {
+        self.facts_from_xl + self.facts_from_elimlin + self.facts_from_sat
+    }
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "iterations={} facts(xl={}, elimlin={}, sat={}) propagation(values={}, equivalences={}) conflicts={}",
+            self.iterations,
+            self.facts_from_xl,
+            self.facts_from_elimlin,
+            self.facts_from_sat,
+            self.propagated_assignments,
+            self.propagated_equivalences,
+            self.sat_conflicts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let stats = EngineStats {
+            facts_from_xl: 2,
+            facts_from_elimlin: 3,
+            facts_from_sat: 4,
+            ..EngineStats::default()
+        };
+        assert_eq!(stats.total_facts(), 9);
+        assert!(stats.to_string().contains("xl=2"));
+    }
+}

@@ -1,0 +1,298 @@
+//! eXtended Linearization (XL), Section II-B of the paper.
+//!
+//! XL expands a polynomial system by multiplying each equation with all
+//! monomials up to a chosen degree `D`, linearises the expanded system
+//! (treating each monomial as an independent variable) and applies
+//! Gauss–Jordan elimination. Rows of the reduced system that are linear
+//! equations or "all-ones" monomial facts are retained as learnt facts.
+//!
+//! To bound memory, the equations are uniformly subsampled so the linearised
+//! size stays near `2^M`, and expansion stops near `2^(M + δM)` — the scheme
+//! described in the paper. Because the purpose is to *learn facts*, not to
+//! solve the system, working on a subsample is acceptable.
+
+use bosphorus_anf::{Monomial, Polynomial, PolynomialSystem, Var};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::linearize::Linearization;
+use crate::BosphorusConfig;
+
+/// Outcome of one XL round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XlOutcome {
+    /// Learnt facts: linear polynomials and `monomial ⊕ 1` facts found in
+    /// the reduced system.
+    pub facts: Vec<Polynomial>,
+    /// Number of rows of the expanded linearised system.
+    pub expanded_rows: usize,
+    /// Number of monomial columns of the expanded linearised system.
+    pub expanded_columns: usize,
+    /// Rank of the expanded system after Gauss–Jordan elimination.
+    pub rank: usize,
+}
+
+/// Enumerates all monomials of degree 1..=`degree` over the given variables
+/// (the constant monomial is excluded; multiplying by it reproduces the
+/// original equation, which is already present).
+pub fn expansion_monomials(vars: &[Var], degree: usize) -> Vec<Monomial> {
+    let mut result = Vec::new();
+    let mut current: Vec<Var> = Vec::new();
+    fn recurse(
+        vars: &[Var],
+        degree: usize,
+        start: usize,
+        current: &mut Vec<Var>,
+        out: &mut Vec<Monomial>,
+    ) {
+        if !current.is_empty() {
+            out.push(Monomial::from_vars(current.iter().copied()));
+        }
+        if current.len() == degree {
+            return;
+        }
+        for (offset, &v) in vars.iter().enumerate().skip(start) {
+            current.push(v);
+            recurse(vars, degree, offset + 1, current, out);
+            current.pop();
+        }
+    }
+    recurse(vars, degree, 0, &mut current, &mut result);
+    result.sort();
+    result
+}
+
+/// Runs one round of XL fact learning on `system`.
+///
+/// The polynomials are subsampled and expanded according to
+/// [`BosphorusConfig::subsample_m`], [`BosphorusConfig::expansion_delta_m`]
+/// and [`BosphorusConfig::xl_degree`]; the random source drives the uniform
+/// subsampling.
+///
+/// Every returned fact is a GF(2) linear combination of (multiples of) input
+/// equations, hence a consequence of the system.
+pub fn xl_learn<R: Rng>(
+    system: &PolynomialSystem,
+    config: &BosphorusConfig,
+    rng: &mut R,
+) -> XlOutcome {
+    if system.is_empty() {
+        return XlOutcome {
+            facts: Vec::new(),
+            expanded_rows: 0,
+            expanded_columns: 0,
+            rank: 0,
+        };
+    }
+    let budget = 1u128 << config.subsample_m.min(126);
+    let expansion_budget = 1u128 << (config.subsample_m + config.expansion_delta_m).min(126);
+
+    // Uniformly subsample equations until the linearised size reaches ~2^M.
+    let mut selected: Vec<&Polynomial> = system.iter().collect();
+    selected.shuffle(rng);
+    let mut subsample: Vec<Polynomial> = Vec::new();
+    let mut columns_estimate = 0u128;
+    for poly in selected {
+        subsample.push(poly.clone());
+        columns_estimate += poly.len() as u128;
+        let size = subsample.len() as u128 * columns_estimate;
+        if size >= budget {
+            break;
+        }
+    }
+
+    // Expand in ascending degree order (the paper selects equations in
+    // ascending degree order) by all monomials of degree <= D over the
+    // variables that actually occur, stopping when the estimated size
+    // exceeds 2^(M + δM).
+    subsample.sort_by_key(Polynomial::degree);
+    let occurring: Vec<Var> = {
+        let mut vars: Vec<Var> = system.iter().flat_map(Polynomial::variables).collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    };
+    let multipliers = expansion_monomials(&occurring, config.xl_degree);
+    let mut expanded: Vec<Polynomial> = subsample.clone();
+    let mut terms_estimate: u128 = subsample.iter().map(|p| p.len() as u128).sum();
+    'expansion: for base in &subsample {
+        for m in &multipliers {
+            let product = base.mul_monomial(m);
+            if product.is_zero() {
+                continue;
+            }
+            terms_estimate += product.len() as u128;
+            expanded.push(product);
+            let size = expanded.len() as u128 * terms_estimate;
+            if size >= expansion_budget {
+                break 'expansion;
+            }
+        }
+    }
+
+    let mut lin = Linearization::build(expanded.iter());
+    let expanded_rows = lin.num_rows();
+    let expanded_columns = lin.num_columns();
+    let reduced = lin.eliminate();
+    let rank = reduced.len();
+    let facts = reduced
+        .into_iter()
+        .filter(|p| is_retainable_fact(p))
+        .collect();
+    XlOutcome {
+        facts,
+        expanded_rows,
+        expanded_columns,
+        rank,
+    }
+}
+
+/// The two learnt-fact shapes of Section II: linear equations and
+/// `monomial ⊕ 1` facts. The contradiction `1` is also retained so the engine
+/// can conclude UNSAT.
+pub(crate) fn is_retainable_fact(p: &Polynomial) -> bool {
+    !p.is_zero() && (p.is_linear() || p.as_monomial_plus_one().is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn system(s: &str) -> PolynomialSystem {
+        PolynomialSystem::parse(s).expect("test system parses")
+    }
+
+    fn exhaustive_config() -> BosphorusConfig {
+        BosphorusConfig::exhaustive()
+    }
+
+    #[test]
+    fn expansion_monomials_degree_one() {
+        let ms = expansion_monomials(&[0, 1, 2], 1);
+        assert_eq!(ms.len(), 3);
+        assert!(ms.contains(&Monomial::variable(0)));
+        assert!(ms.contains(&Monomial::variable(2)));
+    }
+
+    #[test]
+    fn expansion_monomials_degree_two() {
+        let ms = expansion_monomials(&[0, 1, 2, 3], 2);
+        // 4 singletons + C(4,2) = 6 pairs.
+        assert_eq!(ms.len(), 10);
+        assert!(ms.contains(&Monomial::from_vars([1, 3])));
+    }
+
+    #[test]
+    fn expansion_monomials_respect_variable_subset() {
+        let ms = expansion_monomials(&[2, 5], 2);
+        assert_eq!(ms.len(), 3);
+        assert!(ms.contains(&Monomial::from_vars([2, 5])));
+        assert!(!ms.iter().any(|m| m.contains(0)));
+    }
+
+    #[test]
+    fn table1_example_learns_unit_facts() {
+        // Table I: XL with D = 1 on {x1x2 + x1 + 1, x2x3 + x3} learns
+        // x1 + 1, x2 and x3.
+        let s = system("x1*x2 + x1 + 1; x2*x3 + x3;");
+        let mut rng = StdRng::seed_from_u64(7);
+        let outcome = xl_learn(&s, &exhaustive_config(), &mut rng);
+        assert!(outcome.facts.contains(&"x1 + 1".parse().expect("parses")));
+        assert!(outcome.facts.contains(&"x2".parse().expect("parses")));
+        assert!(outcome.facts.contains(&"x3".parse().expect("parses")));
+        assert_eq!(outcome.rank, 6, "Table I(b) has six non-zero rows");
+    }
+
+    #[test]
+    fn section_2e_example_learns_documented_facts() {
+        // Section II-E: XL with D = 1 learns x2x3x4+1, x1x3x4+1, x1+x5+1,
+        // x1+x4, x3+1 and x1+x2.
+        let s = system(
+            "x1*x2 + x3 + x4 + 1;
+             x1*x2*x3 + x1 + x3 + 1;
+             x1*x3 + x3*x4*x5 + x3;
+             x2*x3 + x3*x5 + 1;
+             x2*x3 + x5 + 1;",
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        let outcome = xl_learn(&s, &exhaustive_config(), &mut rng);
+        for expected in [
+            "x2*x3*x4 + 1",
+            "x1*x3*x4 + 1",
+            "x1 + x5 + 1",
+            "x1 + x4",
+            "x3 + 1",
+            "x1 + x2",
+        ] {
+            let fact: Polynomial = expected.parse().expect("parses");
+            assert!(
+                outcome.facts.contains(&fact),
+                "expected XL to learn {expected}, facts: {:?}",
+                outcome.facts
+            );
+        }
+    }
+
+    #[test]
+    fn facts_are_consequences_of_the_system() {
+        // Every learnt fact must vanish on every solution of the system.
+        let s = system("x0*x1 + x2; x1 + x2 + 1; x0*x2 + x0 + x1;");
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcome = xl_learn(&s, &exhaustive_config(), &mut rng);
+        let n = s.num_vars();
+        for bits in 0u64..(1 << n) {
+            let assign: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+            let satisfies = s.iter().all(|p| !p.evaluate(|v| assign[v as usize]));
+            if satisfies {
+                for fact in &outcome.facts {
+                    assert!(
+                        !fact.evaluate(|v| assign[v as usize]),
+                        "fact {fact} violated by a solution"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_system_learns_nothing() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = xl_learn(&PolynomialSystem::new(), &exhaustive_config(), &mut rng);
+        assert!(outcome.facts.is_empty());
+        assert_eq!(outcome.expanded_rows, 0);
+    }
+
+    #[test]
+    fn tiny_subsample_budget_still_sound() {
+        let s = system("x0*x1 + x0 + 1; x1*x2 + x2; x0 + x2;");
+        let config = BosphorusConfig {
+            subsample_m: 2,
+            expansion_delta_m: 1,
+            ..BosphorusConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let outcome = xl_learn(&s, &config, &mut rng);
+        // With such a small budget little may be learnt, but whatever is
+        // learnt must still be a consequence.
+        let n = s.num_vars();
+        for bits in 0u64..(1 << n) {
+            let assign: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+            if s.iter().all(|p| !p.evaluate(|v| assign[v as usize])) {
+                for fact in &outcome.facts {
+                    assert!(!fact.evaluate(|v| assign[v as usize]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retainable_fact_classification() {
+        assert!(is_retainable_fact(&"x0 + x3 + 1".parse().expect("parses")));
+        assert!(is_retainable_fact(&"x0*x1*x2 + 1".parse().expect("parses")));
+        assert!(is_retainable_fact(&Polynomial::one()));
+        assert!(!is_retainable_fact(&Polynomial::zero()));
+        assert!(!is_retainable_fact(&"x0*x1 + x2".parse().expect("parses")));
+    }
+}

@@ -1,0 +1,356 @@
+//! Gauss–Jordan elimination, rank, kernel and linear-system solving.
+
+use crate::{BitMatrix, BitVec};
+
+/// Statistics reported by [`BitMatrix::gauss_jordan_with_stats`].
+///
+/// The Bosphorus engine uses these to report how much work each XL / ElimLin
+/// round performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GaussStats {
+    /// Rank of the matrix (number of pivot rows after elimination).
+    pub rank: usize,
+    /// Number of row XOR operations performed.
+    pub row_xors: usize,
+    /// Number of row swaps performed.
+    pub row_swaps: usize,
+}
+
+/// Result of solving a linear system `A x = b` over GF(2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// The system has at least one solution; a particular solution is given.
+    Solution(BitVec),
+    /// The system is inconsistent (a row reduces to `0 = 1`).
+    Inconsistent,
+}
+
+impl BitMatrix {
+    /// Performs in-place Gauss–Jordan elimination, bringing the matrix into
+    /// reduced row-echelon form (RREF), and returns the rank.
+    ///
+    /// Pivot columns are chosen left to right; after the call every pivot
+    /// column contains exactly one `1` and pivot rows are sorted by pivot
+    /// column, followed by all-zero rows.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bosphorus_gf2::BitMatrix;
+    /// let mut m = BitMatrix::from_dense(&[
+    ///     vec![true, true, false],
+    ///     vec![true, true, true],
+    ///     vec![false, false, true],
+    /// ]);
+    /// assert_eq!(m.gauss_jordan(), 2);
+    /// ```
+    pub fn gauss_jordan(&mut self) -> usize {
+        self.gauss_jordan_with_stats().rank
+    }
+
+    /// Like [`BitMatrix::gauss_jordan`] but also reports operation counts.
+    pub fn gauss_jordan_with_stats(&mut self) -> GaussStats {
+        let mut stats = GaussStats::default();
+        let nrows = self.nrows();
+        let ncols = self.ncols();
+        let mut pivot_row = 0usize;
+        for col in 0..ncols {
+            if pivot_row >= nrows {
+                break;
+            }
+            // Find a row at or below pivot_row with a 1 in this column.
+            let Some(found) = (pivot_row..nrows).find(|&r| self.get(r, col)) else {
+                continue;
+            };
+            if found != pivot_row {
+                self.swap_rows(found, pivot_row);
+                stats.row_swaps += 1;
+            }
+            // Eliminate the column from every other row.
+            for r in 0..nrows {
+                if r != pivot_row && self.get(r, col) {
+                    self.xor_row_into(pivot_row, r);
+                    stats.row_xors += 1;
+                }
+            }
+            pivot_row += 1;
+        }
+        stats.rank = pivot_row;
+        stats
+    }
+
+    /// Returns the rank of the matrix without modifying it.
+    pub fn rank(&self) -> usize {
+        self.clone().gauss_jordan()
+    }
+
+    /// Returns the reduced row-echelon form of the matrix without modifying
+    /// it, together with its rank.
+    pub fn rref(&self) -> (BitMatrix, usize) {
+        let mut m = self.clone();
+        let rank = m.gauss_jordan();
+        (m, rank)
+    }
+
+    /// Returns the pivot column index of each pivot row, assuming the matrix
+    /// is already in reduced row-echelon form (e.g. after
+    /// [`BitMatrix::gauss_jordan`]).
+    pub fn pivot_columns(&self) -> Vec<usize> {
+        self.iter().filter_map(BitVec::first_one).collect()
+    }
+
+    /// Computes a basis of the right kernel (null space) of the matrix.
+    ///
+    /// Every returned vector `v` satisfies `self * v = 0`. The basis has
+    /// `ncols - rank` elements.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bosphorus_gf2::BitMatrix;
+    /// let m = BitMatrix::from_dense(&[vec![true, true, false]]);
+    /// let kernel = m.kernel();
+    /// assert_eq!(kernel.len(), 2);
+    /// for v in &kernel {
+    ///     assert!(m.mul_vec(v).is_zero());
+    /// }
+    /// ```
+    pub fn kernel(&self) -> Vec<BitVec> {
+        let (rref, rank) = self.rref();
+        let ncols = self.ncols();
+        let pivots = rref.pivot_columns();
+        let is_pivot: Vec<bool> = {
+            let mut v = vec![false; ncols];
+            for &p in &pivots {
+                v[p] = true;
+            }
+            v
+        };
+        let mut basis = Vec::with_capacity(ncols - rank);
+        for free_col in (0..ncols).filter(|&c| !is_pivot[c]) {
+            let mut v = BitVec::zero(ncols);
+            v.set(free_col, true);
+            for (row_idx, &pivot_col) in pivots.iter().enumerate() {
+                if rref.get(row_idx, free_col) {
+                    v.set(pivot_col, true);
+                }
+            }
+            basis.push(v);
+        }
+        basis
+    }
+
+    /// Solves `self * x = b` over GF(2), returning a particular solution when
+    /// one exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.nrows()`.
+    pub fn solve(&self, b: &BitVec) -> SolveOutcome {
+        assert_eq!(
+            b.len(),
+            self.nrows(),
+            "right-hand side length must equal the row count"
+        );
+        // Build the augmented matrix [A | b].
+        let ncols = self.ncols();
+        let mut aug = BitMatrix::zero(self.nrows(), ncols + 1);
+        for (i, row) in self.iter().enumerate() {
+            for j in row.iter_ones() {
+                aug.set(i, j, true);
+            }
+            if b.get(i) {
+                aug.set(i, ncols, true);
+            }
+        }
+        aug.gauss_jordan();
+        let mut x = BitVec::zero(ncols);
+        for row in aug.iter() {
+            match row.first_one() {
+                None => {}
+                Some(p) if p == ncols => return SolveOutcome::Inconsistent,
+                Some(p) => {
+                    if row.get(ncols) {
+                        x.set(p, true);
+                    }
+                }
+            }
+        }
+        SolveOutcome::Solution(x)
+    }
+
+    /// Blocked Gauss–Jordan elimination in the spirit of the Method of the
+    /// Four Russians (M4RM): pivots are established in column blocks so that
+    /// elimination below/above a block touches each row once per block.
+    ///
+    /// The result (RREF and rank) is identical to [`BitMatrix::gauss_jordan`];
+    /// only the operation schedule differs. The block width is clamped to
+    /// `[1, 16]`.
+    pub fn gauss_jordan_blocked(&mut self, block: usize) -> usize {
+        let block = block.clamp(1, 16);
+        let nrows = self.nrows();
+        let ncols = self.ncols();
+        let mut pivot_row = 0usize;
+        let mut col_start = 0usize;
+        while col_start < ncols && pivot_row < nrows {
+            let col_end = (col_start + block).min(ncols);
+            // Establish pivots inside the block using plain elimination.
+            let block_pivot_start = pivot_row;
+            for col in col_start..col_end {
+                if pivot_row >= nrows {
+                    break;
+                }
+                let Some(found) = (pivot_row..nrows).find(|&r| self.get(r, col)) else {
+                    continue;
+                };
+                self.swap_rows(found, pivot_row);
+                for r in block_pivot_start..nrows {
+                    if r != pivot_row && self.get(r, col) {
+                        self.xor_row_into(pivot_row, r);
+                    }
+                }
+                pivot_row += 1;
+            }
+            // Back-substitute block pivots into the rows above the block.
+            for pr in block_pivot_start..pivot_row {
+                let pivot_col = self
+                    .row(pr)
+                    .first_one()
+                    .expect("pivot rows are non-zero by construction");
+                for r in 0..block_pivot_start {
+                    if self.get(r, pivot_col) {
+                        self.xor_row_into(pr, r);
+                    }
+                }
+            }
+            col_start = col_end;
+        }
+        // Rows may not be sorted by pivot column across blocks; sort pivot
+        // rows so that the output matches canonical RREF row order.
+        let rows = self.rows_mut();
+        rows.sort_by_key(|r| r.first_one().unwrap_or(usize::MAX));
+        pivot_row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_table1_matrix() -> BitMatrix {
+        // Columns: x1x2x3, x2x3, x1x3, x1x2, x3, x2, x1, 1 (Table I(a)).
+        BitMatrix::from_dense(&[
+            // x1x2 + x1 + 1
+            vec![false, false, false, true, false, false, true, true],
+            // (x1x2 + x1 + 1) * x1 = x1x2 + x1 + x1 = x1x2  ... wait: x1*x1x2=x1x2, x1*x1=x1, x1*1=x1 -> x1x2
+            vec![false, false, false, true, false, false, false, false],
+            // (x1x2 + x1 + 1) * x2 = x1x2 + x1x2 + x2 = x2
+            vec![false, false, false, false, false, true, false, false],
+            // (x1x2 + x1 + 1) * x3 = x1x2x3 + x1x3 + x3
+            vec![true, false, true, false, true, false, false, false],
+            // x2x3 + x3
+            vec![false, true, false, false, true, false, false, false],
+            // (x2x3 + x3) * x1 = x1x2x3 + x1x3
+            vec![true, false, true, false, false, false, false, false],
+            // (x2x3 + x3) * x3 = x2x3 + x3
+            vec![false, true, false, false, true, false, false, false],
+        ])
+    }
+
+    #[test]
+    fn table1_gje_learns_unit_facts() {
+        // Reproduces Table I(b): after GJE the last three non-zero rows are
+        // x1 + 1, x2, and x3 (i.e. facts x1=1, x2=0, x3=0).
+        let mut m = paper_table1_matrix();
+        let rank = m.gauss_jordan();
+        assert_eq!(rank, 6);
+        let rows: Vec<String> = m
+            .iter()
+            .filter(|r| !r.is_zero())
+            .map(BitVec::to_string)
+            .collect();
+        assert!(rows.contains(&"00000011".to_string()), "x1 + 1 learnt");
+        assert!(rows.contains(&"00000100".to_string()), "x2 learnt");
+        assert!(rows.contains(&"00001000".to_string()), "x3 learnt");
+    }
+
+    #[test]
+    fn gje_idempotent() {
+        let mut m = paper_table1_matrix();
+        m.gauss_jordan();
+        let once = m.clone();
+        m.gauss_jordan();
+        assert_eq!(m, once);
+    }
+
+    #[test]
+    fn rank_of_identity_and_zero() {
+        assert_eq!(BitMatrix::identity(17).rank(), 17);
+        assert_eq!(BitMatrix::zero(5, 9).rank(), 0);
+    }
+
+    #[test]
+    fn kernel_dimension_and_membership() {
+        let m = BitMatrix::from_dense(&[
+            vec![true, true, false, false],
+            vec![false, true, true, false],
+        ]);
+        let k = m.kernel();
+        assert_eq!(k.len(), 2);
+        for v in &k {
+            assert!(m.mul_vec(v).is_zero());
+        }
+    }
+
+    #[test]
+    fn solve_consistent_system() {
+        // x0 + x1 = 1, x1 = 1  ->  x0 = 0, x1 = 1
+        let m = BitMatrix::from_dense(&[vec![true, true], vec![false, true]]);
+        let b = BitVec::from_bits([true, true]);
+        match m.solve(&b) {
+            SolveOutcome::Solution(x) => {
+                assert_eq!(m.mul_vec(&x), b);
+                assert!(!x.get(0));
+                assert!(x.get(1));
+            }
+            SolveOutcome::Inconsistent => panic!("system should be consistent"),
+        }
+    }
+
+    #[test]
+    fn solve_inconsistent_system() {
+        // x0 = 0 and x0 = 1.
+        let m = BitMatrix::from_dense(&[vec![true], vec![true]]);
+        let b = BitVec::from_bits([false, true]);
+        assert_eq!(m.solve(&b), SolveOutcome::Inconsistent);
+    }
+
+    #[test]
+    fn blocked_gje_matches_plain() {
+        let m = paper_table1_matrix();
+        let (plain, rank_plain) = m.rref();
+        for block in [1usize, 2, 3, 8] {
+            let mut b = m.clone();
+            let rank_b = b.gauss_jordan_blocked(block);
+            assert_eq!(rank_b, rank_plain, "rank mismatch for block {block}");
+            assert_eq!(b, plain, "RREF mismatch for block {block}");
+        }
+    }
+
+    #[test]
+    fn stats_counts_operations() {
+        let mut m = BitMatrix::from_dense(&[vec![false, true], vec![true, false]]);
+        let stats = m.gauss_jordan_with_stats();
+        assert_eq!(stats.rank, 2);
+        assert_eq!(stats.row_swaps, 1);
+        assert_eq!(stats.row_xors, 0);
+    }
+
+    #[test]
+    fn pivot_columns_after_rref() {
+        let (rref, _) = paper_table1_matrix().rref();
+        let pivots = rref.pivot_columns();
+        assert_eq!(pivots.len(), 6);
+        assert!(pivots.windows(2).all(|w| w[0] < w[1]));
+    }
+}

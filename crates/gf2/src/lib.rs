@@ -1,0 +1,40 @@
+//! Dense linear algebra over GF(2), the Galois field of two elements.
+//!
+//! This crate is the reproduction's stand-in for the M4RI library used by the
+//! original Bosphorus tool. It provides a bit-packed dense matrix type,
+//! [`BitMatrix`], together with plain and blocked (Method-of-Four-Russians
+//! style) Gauss–Jordan elimination, rank computation, kernel bases and linear
+//! system solving. Everything operates on rows packed 64 columns per `u64`
+//! word, so elementary row operations are word-parallel XORs.
+//!
+//! # Examples
+//!
+//! ```
+//! use bosphorus_gf2::BitMatrix;
+//!
+//! // The linearised system from Table I of the paper has 7 rows over
+//! // 8 monomial columns; here is a tiny 3x4 system instead.
+//! let mut m = BitMatrix::zero(3, 4);
+//! m.set(0, 0, true);
+//! m.set(0, 3, true);
+//! m.set(1, 1, true);
+//! m.set(1, 3, true);
+//! m.set(2, 0, true);
+//! m.set(2, 1, true);
+//! let rank = m.gauss_jordan();
+//! assert_eq!(rank, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gje;
+mod matrix;
+mod vector;
+
+pub use gje::{GaussStats, SolveOutcome};
+pub use matrix::BitMatrix;
+pub use vector::BitVec;
+
+#[cfg(test)]
+mod proptests;

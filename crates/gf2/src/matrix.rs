@@ -1,0 +1,334 @@
+//! Bit-packed dense GF(2) matrices.
+
+use std::fmt;
+
+use crate::BitVec;
+
+/// A dense matrix over GF(2) with rows packed 64 columns per `u64` word.
+///
+/// The matrix supports the elementary row operations needed by Gauss–Jordan
+/// elimination (row swap, row XOR) as word-parallel operations, which is what
+/// makes linearisation-based reasoning (XL, ElimLin) practical on systems with
+/// tens of thousands of monomial columns.
+///
+/// # Examples
+///
+/// ```
+/// use bosphorus_gf2::BitMatrix;
+///
+/// let m = BitMatrix::identity(4);
+/// assert_eq!(m.rank(), 4);
+/// assert!(m.get(2, 2));
+/// assert!(!m.get(2, 3));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: Vec<BitVec>,
+    cols: usize,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero matrix with `rows` rows and `cols` columns.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        BitMatrix {
+            rows: vec![BitVec::zero(cols); rows],
+            cols,
+        }
+    }
+
+    /// Creates the `n`-by-`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = BitMatrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Builds a matrix from row vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all have the same length.
+    pub fn from_rows(rows: Vec<BitVec>) -> Self {
+        let cols = rows.first().map_or(0, BitVec::len);
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "all rows must have the same number of columns"
+        );
+        BitMatrix { rows, cols }
+    }
+
+    /// Builds a matrix from a nested boolean slice (row major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths.
+    pub fn from_dense(data: &[Vec<bool>]) -> Self {
+        BitMatrix::from_rows(
+            data.iter()
+                .map(|r| BitVec::from_bits(r.iter().copied()))
+                .collect(),
+        )
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix has no rows or no columns.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty() || self.cols == 0
+    }
+
+    /// Returns the entry at (`row`, `col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        self.rows[row].get(col)
+    }
+
+    /// Sets the entry at (`row`, `col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        self.rows[row].set(col, value);
+    }
+
+    /// Borrows row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row(&self, row: usize) -> &BitVec {
+        &self.rows[row]
+    }
+
+    /// Iterates over the rows in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, BitVec> {
+        self.rows.iter()
+    }
+
+    /// Appends a row to the matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.ncols()`.
+    pub fn push_row(&mut self, row: BitVec) {
+        assert_eq!(row.len(), self.cols, "row length must equal column count");
+        self.rows.push(row);
+    }
+
+    /// Swaps two rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        self.rows.swap(a, b);
+    }
+
+    /// XORs row `src` into row `dst` (`dst ^= src`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range or `src == dst`.
+    pub fn xor_row_into(&mut self, src: usize, dst: usize) {
+        assert_ne!(src, dst, "cannot XOR a row into itself");
+        let (a, b) = if src < dst {
+            let (lo, hi) = self.rows.split_at_mut(dst);
+            (&lo[src], &mut hi[0])
+        } else {
+            let (lo, hi) = self.rows.split_at_mut(src);
+            (&hi[0], &mut lo[dst])
+        };
+        for (d, s) in b.words_mut().iter_mut().zip(a.words()) {
+            *d ^= s;
+        }
+    }
+
+    /// Multiplies the matrix by a column vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.ncols()`.
+    pub fn mul_vec(&self, v: &BitVec) -> BitVec {
+        assert_eq!(v.len(), self.cols, "vector length must equal column count");
+        BitVec::from_bits(self.rows.iter().map(|r| r.dot(v)))
+    }
+
+    /// Returns the transpose of the matrix.
+    pub fn transpose(&self) -> BitMatrix {
+        let mut t = BitMatrix::zero(self.cols, self.nrows());
+        for (i, row) in self.rows.iter().enumerate() {
+            for j in row.iter_ones() {
+                t.set(j, i, true);
+            }
+        }
+        t
+    }
+
+    /// Matrix product over GF(2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.ncols() != other.nrows()`.
+    pub fn mul(&self, other: &BitMatrix) -> BitMatrix {
+        assert_eq!(
+            self.cols,
+            other.nrows(),
+            "inner dimensions must agree in matrix product"
+        );
+        let mut out = BitMatrix::zero(self.nrows(), other.ncols());
+        for (i, row) in self.rows.iter().enumerate() {
+            for k in row.iter_ones() {
+                out.rows[i].xor_assign(&other.rows[k]);
+            }
+        }
+        out
+    }
+
+    /// Removes and returns rows that are entirely zero, keeping the rest in
+    /// their original order.
+    pub fn drop_zero_rows(&mut self) -> usize {
+        let before = self.rows.len();
+        self.rows.retain(|r| !r.is_zero());
+        before - self.rows.len()
+    }
+
+    /// Consumes the matrix and returns its rows.
+    pub fn into_rows(self) -> Vec<BitVec> {
+        self.rows
+    }
+
+    pub(crate) fn rows_mut(&mut self) -> &mut Vec<BitVec> {
+        &mut self.rows
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BitMatrix {}x{} [", self.nrows(), self.cols)?;
+        for row in &self.rows {
+            writeln!(f, "  {row}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{row}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_properties() {
+        let id = BitMatrix::identity(5);
+        assert_eq!(id.nrows(), 5);
+        assert_eq!(id.ncols(), 5);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(id.get(i, j), i == j);
+            }
+        }
+    }
+
+    #[test]
+    fn from_dense_roundtrip() {
+        let m = BitMatrix::from_dense(&[
+            vec![true, false, true],
+            vec![false, true, true],
+        ]);
+        assert_eq!(m.nrows(), 2);
+        assert_eq!(m.ncols(), 3);
+        assert!(m.get(0, 0) && m.get(0, 2) && m.get(1, 1) && m.get(1, 2));
+        assert!(!m.get(0, 1) && !m.get(1, 0));
+    }
+
+    #[test]
+    fn xor_row_into_both_directions() {
+        let mut m = BitMatrix::from_dense(&[vec![true, false], vec![true, true]]);
+        m.xor_row_into(0, 1);
+        assert_eq!(m.row(1).to_string(), "01");
+        m.xor_row_into(1, 0);
+        assert_eq!(m.row(0).to_string(), "11");
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let m = BitMatrix::from_dense(&[
+            vec![true, true, false],
+            vec![false, true, true],
+            vec![true, false, true],
+        ]);
+        let v = BitVec::from_bits([true, true, true]);
+        let out = m.mul_vec(&v);
+        // each row has exactly two ones -> parity 0
+        assert_eq!(out.to_string(), "000");
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = BitMatrix::from_dense(&[
+            vec![true, false, true, true],
+            vec![false, true, false, false],
+        ]);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().nrows(), 4);
+    }
+
+    #[test]
+    fn matrix_product_with_identity() {
+        let m = BitMatrix::from_dense(&[
+            vec![true, false, true],
+            vec![false, true, true],
+        ]);
+        let id = BitMatrix::identity(3);
+        assert_eq!(m.mul(&id), m);
+    }
+
+    #[test]
+    fn drop_zero_rows_counts() {
+        let mut m = BitMatrix::zero(3, 4);
+        m.set(1, 2, true);
+        assert_eq!(m.drop_zero_rows(), 2);
+        assert_eq!(m.nrows(), 1);
+        assert!(m.get(0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn push_row_wrong_length_panics() {
+        let mut m = BitMatrix::zero(1, 4);
+        m.push_row(BitVec::zero(3));
+    }
+
+    #[test]
+    fn mul_associativity_small() {
+        let a = BitMatrix::from_dense(&[vec![true, true], vec![false, true]]);
+        let b = BitMatrix::from_dense(&[vec![true, false], vec![true, true]]);
+        let c = BitMatrix::from_dense(&[vec![false, true], vec![true, false]]);
+        assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+}

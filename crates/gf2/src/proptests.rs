@@ -1,0 +1,143 @@
+//! Property-based tests for the GF(2) linear algebra kernels.
+
+use proptest::prelude::*;
+
+use crate::{BitMatrix, BitVec, SolveOutcome};
+
+fn arb_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = BitMatrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(proptest::collection::vec(any::<bool>(), c), r)
+            .prop_map(move |rows| BitMatrix::from_dense(&rows))
+    })
+}
+
+fn arb_vec(len: usize) -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(any::<bool>(), len).prop_map(BitVec::from_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The rank never exceeds either dimension and GJE is idempotent.
+    #[test]
+    fn rank_bounded_and_gje_idempotent(m in arb_matrix(12, 20)) {
+        let mut a = m.clone();
+        let rank = a.gauss_jordan();
+        prop_assert!(rank <= m.nrows());
+        prop_assert!(rank <= m.ncols());
+        let frozen = a.clone();
+        a.gauss_jordan();
+        prop_assert_eq!(a, frozen);
+    }
+
+    /// GJE preserves the row space: every original row is a GF(2) combination
+    /// of the RREF pivot rows (checked by reducing it against them).
+    #[test]
+    fn gje_preserves_row_space(m in arb_matrix(10, 16)) {
+        let (rref, _) = m.rref();
+        let pivot_rows: Vec<&BitVec> = rref.iter().filter(|r| !r.is_zero()).collect();
+        for row in m.iter() {
+            let mut residual = row.clone();
+            for p in &pivot_rows {
+                let pivot_col = p.first_one().expect("pivot row is non-zero");
+                if residual.get(pivot_col) {
+                    residual.xor_assign(p);
+                }
+            }
+            prop_assert!(residual.is_zero(), "row {row} not in RREF row space");
+        }
+    }
+
+    /// RREF structure: each pivot column has exactly one set bit.
+    #[test]
+    fn rref_pivot_columns_are_unit(m in arb_matrix(10, 16)) {
+        let (rref, rank) = m.rref();
+        let pivots = rref.pivot_columns();
+        prop_assert_eq!(pivots.len(), rank);
+        for &p in &pivots {
+            let ones = rref.iter().filter(|r| r.get(p)).count();
+            prop_assert_eq!(ones, 1, "pivot column {} not unit", p);
+        }
+    }
+
+    /// Kernel vectors really are in the kernel, and the rank–nullity theorem
+    /// holds.
+    #[test]
+    fn kernel_membership_and_rank_nullity(m in arb_matrix(10, 14)) {
+        let kernel = m.kernel();
+        prop_assert_eq!(kernel.len(), m.ncols() - m.rank());
+        for v in &kernel {
+            prop_assert!(m.mul_vec(v).is_zero());
+        }
+    }
+
+    /// Any solution returned by `solve` satisfies the system, and a
+    /// right-hand side built from a known assignment is always solvable.
+    #[test]
+    fn solve_known_consistent_systems(m in arb_matrix(10, 14), seed in any::<u64>()) {
+        let mut x = BitVec::zero(m.ncols());
+        for i in 0..m.ncols() {
+            x.set(i, (seed >> (i % 64)) & 1 == 1);
+        }
+        let b = m.mul_vec(&x);
+        match m.solve(&b) {
+            SolveOutcome::Solution(sol) => prop_assert_eq!(m.mul_vec(&sol), b),
+            SolveOutcome::Inconsistent => prop_assert!(false, "constructed system must be consistent"),
+        }
+    }
+
+    /// Blocked GJE computes the same RREF and rank as the plain algorithm.
+    #[test]
+    fn blocked_gje_agrees_with_plain(m in arb_matrix(12, 20), block in 1usize..10) {
+        let (plain, rank) = m.rref();
+        let mut blocked = m.clone();
+        let blocked_rank = blocked.gauss_jordan_blocked(block);
+        prop_assert_eq!(blocked_rank, rank);
+        prop_assert_eq!(blocked, plain);
+    }
+
+    /// Matrix-vector product distributes over vector XOR.
+    #[test]
+    fn mul_vec_is_linear(m in arb_matrix(8, 12), seed in any::<u64>()) {
+        let n = m.ncols();
+        let u = BitVec::from_bits((0..n).map(|i| (seed >> (i % 64)) & 1 == 1));
+        let v = BitVec::from_bits((0..n).map(|i| (seed >> ((i + 17) % 64)) & 1 == 1));
+        let sum = &u ^ &v;
+        let lhs = m.mul_vec(&sum);
+        let rhs = &m.mul_vec(&u) ^ &m.mul_vec(&v);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Transpose reverses products: (AB)^T = B^T A^T.
+    #[test]
+    fn transpose_reverses_products(a in arb_matrix(6, 8), seed in any::<u64>()) {
+        // Build B with compatible dimensions from the seed.
+        let rows = a.ncols();
+        let cols = 5usize;
+        let mut b = BitMatrix::zero(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                if (seed >> ((i * cols + j) % 64)) & 1 == 1 {
+                    b.set(i, j, true);
+                }
+            }
+        }
+        prop_assert_eq!(a.mul(&b).transpose(), b.transpose().mul(&a.transpose()));
+    }
+
+    /// XOR of vectors is associative and has the zero vector as identity.
+    #[test]
+    fn bitvec_xor_group_laws(len in 1usize..100, s1 in any::<u64>(), s2 in any::<u64>(), s3 in any::<u64>()) {
+        let gen = |s: u64| BitVec::from_bits((0..len).map(|i| (s >> (i % 64)) & 1 == 1));
+        let (a, b, c) = (gen(s1), gen(s2), gen(s3));
+        prop_assert_eq!(&(&a ^ &b) ^ &c, &a ^ &(&b ^ &c));
+        prop_assert_eq!(&a ^ &BitVec::zero(len), a.clone());
+        prop_assert!((&a ^ &a).is_zero());
+    }
+}
+
+#[allow(dead_code)]
+fn arb_vec_unused() {
+    // Keep the helper referenced so future tests can use it without warnings.
+    let _ = arb_vec(4);
+}

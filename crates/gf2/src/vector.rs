@@ -1,0 +1,301 @@
+//! Bit-packed GF(2) vectors.
+
+use std::fmt;
+use std::ops::{BitXor, BitXorAssign};
+
+/// A fixed-length vector over GF(2), packed 64 bits per word.
+///
+/// `BitVec` is used both as a matrix row view (owned) and as a standalone
+/// vector for right-hand sides, solutions and kernel basis elements.
+///
+/// # Examples
+///
+/// ```
+/// use bosphorus_gf2::BitVec;
+///
+/// let mut v = BitVec::zero(10);
+/// v.set(3, true);
+/// v.set(7, true);
+/// assert_eq!(v.count_ones(), 2);
+/// assert!(v.get(3));
+/// assert!(!v.get(4));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of `len` bits.
+    pub fn zero(len: usize) -> Self {
+        BitVec {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates a vector from an iterator of booleans.
+    ///
+    /// ```
+    /// use bosphorus_gf2::BitVec;
+    /// let v = BitVec::from_bits([true, false, true]);
+    /// assert_eq!(v.len(), 3);
+    /// assert!(v.get(0) && !v.get(1) && v.get(2));
+    /// ```
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let bits: Vec<bool> = bits.into_iter().collect();
+        let mut v = BitVec::zero(bits.len());
+        for (i, b) in bits.into_iter().enumerate() {
+            v.set(i, b);
+        }
+        v
+    }
+
+    /// Number of bits in the vector.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        (self.words[index / 64] >> (index % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at `index` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn set(&mut self, index: usize, value: bool) {
+        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        let mask = 1u64 << (index % 64);
+        if value {
+            self.words[index / 64] |= mask;
+        } else {
+            self.words[index / 64] &= !mask;
+        }
+    }
+
+    /// Flips the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn flip(&mut self, index: usize) {
+        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        self.words[index / 64] ^= 1u64 << (index % 64);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Index of the first set bit, if any.
+    pub fn first_one(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterates over the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// XORs `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch in BitVec XOR");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// Dot product over GF(2) (parity of the AND of the two vectors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "length mismatch in BitVec dot");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .fold(0u32, |acc, (a, b)| acc ^ (a & b).count_ones())
+            & 1
+            == 1
+    }
+
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[")?;
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        Ok(())
+    }
+}
+
+impl BitXorAssign<&BitVec> for BitVec {
+    fn bitxor_assign(&mut self, rhs: &BitVec) {
+        self.xor_assign(rhs);
+    }
+}
+
+impl BitXor<&BitVec> for &BitVec {
+    type Output = BitVec;
+
+    fn bitxor(self, rhs: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.xor_assign(rhs);
+        out
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        BitVec::from_bits(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_vector_has_no_ones() {
+        let v = BitVec::zero(130);
+        assert_eq!(v.len(), 130);
+        assert_eq!(v.count_ones(), 0);
+        assert!(v.is_zero());
+        assert_eq!(v.first_one(), None);
+    }
+
+    #[test]
+    fn set_get_flip_roundtrip() {
+        let mut v = BitVec::zero(70);
+        v.set(0, true);
+        v.set(63, true);
+        v.set(64, true);
+        v.set(69, true);
+        assert!(v.get(0) && v.get(63) && v.get(64) && v.get(69));
+        assert_eq!(v.count_ones(), 4);
+        v.flip(64);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 3);
+        v.set(0, false);
+        assert!(!v.get(0));
+    }
+
+    #[test]
+    fn iter_ones_is_sorted_and_complete() {
+        let mut v = BitVec::zero(200);
+        let idx = [0usize, 1, 63, 64, 65, 127, 128, 199];
+        for &i in &idx {
+            v.set(i, true);
+        }
+        let got: Vec<usize> = v.iter_ones().collect();
+        assert_eq!(got, idx);
+        assert_eq!(v.first_one(), Some(0));
+    }
+
+    #[test]
+    fn xor_is_involution() {
+        let a = BitVec::from_bits((0..100).map(|i| i % 3 == 0));
+        let b = BitVec::from_bits((0..100).map(|i| i % 5 == 0));
+        let mut c = a.clone();
+        c.xor_assign(&b);
+        c.xor_assign(&b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn dot_product_parity() {
+        let a = BitVec::from_bits([true, true, false, true]);
+        let b = BitVec::from_bits([true, false, true, true]);
+        // overlap at indices 0 and 3 -> even parity
+        assert!(!a.dot(&b));
+        let c = BitVec::from_bits([true, false, false, false]);
+        assert!(a.dot(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let v = BitVec::zero(3);
+        let _ = v.get(3);
+    }
+
+    #[test]
+    fn bitxor_operator() {
+        let a = BitVec::from_bits([true, false, true]);
+        let b = BitVec::from_bits([true, true, false]);
+        let c = &a ^ &b;
+        assert_eq!(c, BitVec::from_bits([false, true, true]));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let v = BitVec::from_bits([true, false, true]);
+        assert_eq!(v.to_string(), "101");
+        assert_eq!(format!("{v:?}"), "BitVec[101]");
+    }
+
+    #[test]
+    fn from_iterator_collect() {
+        let v: BitVec = (0..5).map(|i| i % 2 == 0).collect();
+        assert_eq!(v.to_string(), "10101");
+    }
+}

@@ -1,0 +1,106 @@
+//! Multivariate division (normal-form computation) in the Boolean ring.
+
+use bosphorus_anf::Polynomial;
+
+/// Reduces `p` to normal form with respect to `basis`: repeatedly cancels any
+/// monomial of `p` that is divisible by the leading monomial of a basis
+/// element.
+///
+/// The result contains no monomial divisible by any basis leading monomial.
+/// Reduction terminates because each step strictly decreases the polynomial
+/// in the graded-lexicographic term order.
+///
+/// # Examples
+///
+/// ```
+/// use bosphorus_anf::Polynomial;
+/// use bosphorus_groebner::normal_form;
+///
+/// let basis: Vec<Polynomial> = vec!["x0 + 1".parse()?];
+/// let p: Polynomial = "x0*x1 + x2".parse()?;
+/// // x0 ≡ 1 modulo the basis, so x0*x1 reduces to x1.
+/// assert_eq!(normal_form(&p, &basis), "x1 + x2".parse()?);
+/// # Ok::<(), bosphorus_anf::ParsePolynomialError>(())
+/// ```
+pub fn normal_form(p: &Polynomial, basis: &[Polynomial]) -> Polynomial {
+    let mut result = p.clone();
+    'outer: loop {
+        // Scan monomials from the largest downwards looking for a reducible
+        // one; restart after every reduction step.
+        for m in result.monomials().iter().rev() {
+            for g in basis {
+                if g.is_zero() {
+                    continue;
+                }
+                let lm = g
+                    .leading_monomial()
+                    .expect("non-zero polynomial has a leading monomial");
+                if lm.divides(m) {
+                    let cofactor = lm.divide(m).expect("divisibility was just checked");
+                    // result += cofactor * g cancels the monomial m (and
+                    // possibly introduces smaller ones).
+                    let update = g.mul_monomial(&cofactor);
+                    let mut next = result.clone();
+                    next += &update;
+                    debug_assert!(!next.contains_monomial(m) || cofactor.degree() > 0);
+                    result = next;
+                    continue 'outer;
+                }
+            }
+        }
+        return result;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly(s: &str) -> Polynomial {
+        s.parse().expect("test polynomial parses")
+    }
+
+    #[test]
+    fn reduction_by_empty_basis_is_identity() {
+        let p = poly("x0*x1 + x2 + 1");
+        assert_eq!(normal_form(&p, &[]), p);
+    }
+
+    #[test]
+    fn reduction_by_unit_fact() {
+        let basis = vec![poly("x0 + 1")];
+        assert_eq!(normal_form(&poly("x0"), &basis), poly("1"));
+        assert_eq!(normal_form(&poly("x0*x1"), &basis), poly("x1"));
+        assert_eq!(normal_form(&poly("x0 + x1"), &basis), poly("x1 + 1"));
+    }
+
+    #[test]
+    fn reduction_is_idempotent() {
+        let basis = vec![poly("x0*x1 + x2"), poly("x2 + 1")];
+        let p = poly("x0*x1*x3 + x0");
+        let once = normal_form(&p, &basis);
+        assert_eq!(normal_form(&once, &basis), once);
+        // No monomial of the normal form is divisible by a basis LM.
+        for m in once.monomials() {
+            for g in &basis {
+                assert!(!g.leading_monomial().expect("non-zero").divides(m));
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_respects_ideal_membership() {
+        // Against the (already interreduced) basis {x1 + 1, x2 + 1}, the
+        // ideal member x1 + x2 reduces to zero.
+        let basis = vec![poly("x1 + 1"), poly("x2 + 1")];
+        assert!(normal_form(&poly("x1 + x2"), &basis).is_zero());
+        // A non-member keeps a non-zero normal form.
+        assert_eq!(normal_form(&poly("x0 + x1"), &basis), poly("x0 + 1"));
+    }
+
+    #[test]
+    fn zero_basis_elements_are_ignored() {
+        let basis = vec![Polynomial::zero(), poly("x0")];
+        assert_eq!(normal_form(&poly("x0 + x1"), &basis), poly("x1"));
+    }
+}

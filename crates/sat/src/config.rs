@@ -1,0 +1,128 @@
+//! Solver configuration presets.
+
+/// Restart strategy used by the CDCL search loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartStrategy {
+    /// Restart after `base`, then `base * 1.5`, `base * 1.5²`, ... conflicts
+    /// (the MiniSat 2.2 scheme).
+    Geometric,
+    /// Restart after `base * luby(i)` conflicts following the Luby sequence
+    /// (1, 1, 2, 1, 1, 2, 4, ...).
+    Luby,
+    /// Never restart.
+    Never,
+}
+
+/// Tunable parameters of the [`Solver`](crate::Solver).
+///
+/// Use one of the three presets — [`SolverConfig::minimal`],
+/// [`SolverConfig::aggressive`] or [`SolverConfig::xor_gauss`] — as a starting
+/// point and override individual fields as needed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverConfig {
+    /// Human-readable name of the configuration, reported in benchmark rows.
+    pub name: &'static str,
+    /// Exponential decay applied to variable activities (0 < decay < 1).
+    pub var_decay: f64,
+    /// Exponential decay applied to learnt-clause activities.
+    pub clause_decay: f64,
+    /// Restart strategy.
+    pub restart: RestartStrategy,
+    /// Base interval (in conflicts) between restarts.
+    pub restart_base: u64,
+    /// Whether the learnt-clause database is periodically reduced.
+    pub reduce_db: bool,
+    /// Initial ratio of learnt clauses to problem clauses that triggers a
+    /// database reduction (grows geometrically afterwards).
+    pub learnt_ratio: f64,
+    /// Whether the saved phase of a variable is reused when deciding it.
+    pub phase_saving: bool,
+    /// Default polarity used when no phase has been saved.
+    pub default_phase: bool,
+    /// Whether native XOR constraints are propagated and periodically
+    /// combined by top-level Gauss–Jordan elimination.
+    pub xor_reasoning: bool,
+    /// Perform top-level XOR Gauss–Jordan every this many conflicts
+    /// (ignored when `xor_reasoning` is false).
+    pub xor_gauss_interval: u64,
+}
+
+impl SolverConfig {
+    /// A minimalistic configuration comparable to MiniSat 2.2: geometric
+    /// restarts, no clause-database reduction, no XOR reasoning.
+    pub fn minimal() -> Self {
+        SolverConfig {
+            name: "minisat-like",
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            restart: RestartStrategy::Geometric,
+            restart_base: 100,
+            reduce_db: false,
+            learnt_ratio: f64::INFINITY,
+            phase_saving: false,
+            default_phase: false,
+            xor_reasoning: false,
+            xor_gauss_interval: 4000,
+        }
+    }
+
+    /// A high-performance configuration standing in for Lingeling: Luby
+    /// restarts, clause-database reduction and phase saving.
+    pub fn aggressive() -> Self {
+        SolverConfig {
+            name: "lingeling-like",
+            var_decay: 0.92,
+            clause_decay: 0.999,
+            restart: RestartStrategy::Luby,
+            restart_base: 64,
+            reduce_db: true,
+            learnt_ratio: 0.4,
+            phase_saving: true,
+            default_phase: false,
+            xor_reasoning: false,
+            xor_gauss_interval: 4000,
+        }
+    }
+
+    /// The aggressive configuration plus native XOR reasoning, standing in
+    /// for CryptoMiniSat 5 (which "natively performs Gauss–Jordan
+    /// elimination" in the paper's evaluation).
+    pub fn xor_gauss() -> Self {
+        SolverConfig {
+            name: "cryptominisat-like",
+            xor_reasoning: true,
+            ..SolverConfig::aggressive()
+        }
+    }
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig::aggressive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_the_documented_ways() {
+        let minimal = SolverConfig::minimal();
+        let aggressive = SolverConfig::aggressive();
+        let xor = SolverConfig::xor_gauss();
+        assert!(!minimal.reduce_db);
+        assert!(aggressive.reduce_db);
+        assert!(!minimal.xor_reasoning && !aggressive.xor_reasoning);
+        assert!(xor.xor_reasoning);
+        assert_eq!(minimal.restart, RestartStrategy::Geometric);
+        assert_eq!(aggressive.restart, RestartStrategy::Luby);
+        assert_ne!(minimal.name, aggressive.name);
+        assert_ne!(aggressive.name, xor.name);
+    }
+
+    #[test]
+    fn default_is_aggressive() {
+        assert_eq!(SolverConfig::default(), SolverConfig::aggressive());
+    }
+}

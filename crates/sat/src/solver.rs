@@ -1,0 +1,1180 @@
+//! The CDCL search engine.
+
+use bosphorus_cnf::{Clause, CnfFormula, CnfVar, Lit};
+
+use crate::varorder::VarOrderHeap;
+use crate::{RestartStrategy, SolverConfig, SolverStats, XorConstraint};
+
+/// Truth value of a variable during search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+impl LBool {
+    fn from_bool(b: bool) -> Self {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; retrieve it with
+    /// [`Solver::model`].
+    Sat,
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before a decision was reached.
+    Unknown,
+}
+
+type ClauseRef = usize;
+
+#[derive(Debug, Clone)]
+struct ClauseData {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+    deleted: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reason {
+    Decision,
+    Clause(ClauseRef),
+    Xor(usize),
+}
+
+/// State of an XOR constraint under the current partial assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum XorStatus {
+    /// Two or more variables are still unassigned.
+    Open,
+    /// Exactly one variable is unassigned; `parity` is the XOR of the
+    /// assigned variables' values.
+    Unit { var: CnfVar, parity: bool },
+    /// Every variable is assigned; `parity` is the XOR of their values.
+    Assigned { parity: bool },
+}
+
+/// A conflict-driven clause learning SAT solver with conflict budgets,
+/// learnt-fact extraction and optional native XOR reasoning.
+///
+/// See the [crate-level documentation](crate) for an overview and an example.
+#[derive(Debug, Clone)]
+pub struct Solver {
+    config: SolverConfig,
+    ok: bool,
+
+    clauses: Vec<ClauseData>,
+    num_original_clauses: usize,
+    watches: Vec<Vec<Watcher>>,
+
+    assigns: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Reason>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    order: VarOrderHeap,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+
+    xors: Vec<XorConstraint>,
+    xor_occ: Vec<Vec<usize>>,
+    conflicts_since_gauss: u64,
+
+    conflict_budget: Option<u64>,
+    model: Option<Vec<bool>>,
+    learnt_unit_lits: Vec<Lit>,
+
+    stats: SolverStats,
+}
+
+impl Solver {
+    /// Creates an empty solver with the given configuration.
+    pub fn new(config: SolverConfig) -> Self {
+        Solver {
+            config,
+            ok: true,
+            clauses: Vec::new(),
+            num_original_clauses: 0,
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            order: VarOrderHeap::new(),
+            phase: Vec::new(),
+            seen: Vec::new(),
+            xors: Vec::new(),
+            xor_occ: Vec::new(),
+            conflicts_since_gauss: 0,
+            conflict_budget: None,
+            model: None,
+            learnt_unit_lits: Vec::new(),
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Creates a solver pre-loaded with the clauses of a CNF formula.
+    pub fn from_formula(config: SolverConfig, formula: &CnfFormula) -> Self {
+        let mut solver = Solver::new(config);
+        solver.new_vars(formula.num_vars());
+        for clause in formula.iter() {
+            solver.add_clause(clause.iter().copied());
+        }
+        solver
+    }
+
+    /// The configuration this solver was built with.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Number of variables known to the solver.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Adds a single fresh variable and returns its index.
+    pub fn new_var(&mut self) -> CnfVar {
+        let v = self.assigns.len() as CnfVar;
+        self.assigns.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(Reason::Decision);
+        self.activity.push(0.0);
+        self.phase.push(self.config.default_phase);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.xor_occ.push(Vec::new());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Ensures at least `n` variables exist.
+    pub fn new_vars(&mut self, n: usize) {
+        while self.num_vars() < n {
+            self.new_var();
+        }
+    }
+
+    /// Adds a clause. Returns `false` if the solver is already in an
+    /// unsatisfiable state after adding it (e.g. the clause is empty or
+    /// contradicts top-level assignments).
+    ///
+    /// Clauses may only be added at decision level zero (i.e. before or
+    /// between `solve` calls).
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        assert_eq!(
+            self.decision_level(),
+            0,
+            "clauses can only be added at decision level zero"
+        );
+        if !self.ok {
+            return false;
+        }
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        if let Some(max) = lits.iter().map(|l| l.var()).max() {
+            self.new_vars(max as usize + 1);
+        }
+        lits.sort_unstable();
+        lits.dedup();
+        // Tautology or satisfied at top level: nothing to do.
+        if lits.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return true;
+        }
+        lits.retain(|&l| self.value_lit(l) != LBool::False);
+        if lits.iter().any(|&l| self.value_lit(l) == LBool::True) {
+            return true;
+        }
+        match lits.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(lits[0], Reason::Decision);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_clause(lits, false);
+                true
+            }
+        }
+    }
+
+    /// Adds a native XOR constraint (only meaningful for configurations with
+    /// [`SolverConfig::xor_reasoning`] enabled, but always recorded).
+    ///
+    /// Returns `false` if the constraint is immediately contradictory.
+    pub fn add_xor(&mut self, xor: XorConstraint) -> bool {
+        if !self.ok {
+            return false;
+        }
+        if let Some(max) = xor.max_var() {
+            self.new_vars(max as usize + 1);
+        }
+        if xor.is_trivial() {
+            return true;
+        }
+        if xor.is_contradiction() {
+            self.ok = false;
+            return false;
+        }
+        let idx = self.xors.len();
+        for &v in xor.vars() {
+            self.xor_occ[v as usize].push(idx);
+        }
+        self.xors.push(xor);
+        true
+    }
+
+    /// Limits the next [`Solver::solve`] call to at most `budget` conflicts;
+    /// `None` removes the limit.
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    /// Search statistics accumulated so far.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// The satisfying assignment found by the most recent successful
+    /// [`Solver::solve`] call, indexed by variable.
+    pub fn model(&self) -> Option<&[bool]> {
+        self.model.as_deref()
+    }
+
+    /// All literals known to hold at decision level zero (facts implied by
+    /// the formula). Bosphorus turns these into unit ANF facts.
+    pub fn top_level_assignments(&self) -> Vec<Lit> {
+        self.trail
+            .iter()
+            .copied()
+            .filter(|&l| self.level[l.var() as usize] == 0)
+            .collect()
+    }
+
+    /// Unit clauses learnt by conflict analysis (a subset of
+    /// [`Solver::top_level_assignments`], kept separately so callers can see
+    /// exactly what conflict analysis derived).
+    pub fn learnt_units(&self) -> &[Lit] {
+        &self.learnt_unit_lits
+    }
+
+    /// Binary learnt clauses currently in the database.
+    pub fn learnt_binaries(&self) -> Vec<[Lit; 2]> {
+        self.clauses
+            .iter()
+            .filter(|c| c.learnt && !c.deleted && c.lits.len() == 2)
+            .map(|c| [c.lits[0], c.lits[1]])
+            .collect()
+    }
+
+    /// All learnt clauses currently in the database.
+    pub fn learnt_clauses(&self) -> Vec<Clause> {
+        self.clauses
+            .iter()
+            .filter(|c| c.learnt && !c.deleted)
+            .map(|c| Clause::from_lits(c.lits.iter().copied()))
+            .collect()
+    }
+
+    /// Runs the CDCL search until a result is reached or the conflict budget
+    /// is exhausted.
+    pub fn solve(&mut self) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        self.model = None;
+        let budget_start = self.stats.conflicts;
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+        if self.config.xor_reasoning && !self.xor_gauss_top_level() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+        let mut conflicts_since_restart: u64 = 0;
+        let mut restart_limit = self.restart_limit();
+        let mut max_learnts = if self.config.reduce_db {
+            (self.num_original_clauses as f64 * self.config.learnt_ratio).max(100.0)
+        } else {
+            f64::INFINITY
+        };
+
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                self.conflicts_since_gauss += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SolveResult::Unsat;
+                }
+                let (learnt, backtrack_level) = self.analyze(&conflict);
+                self.cancel_until(backtrack_level);
+                self.record_learnt(learnt);
+                self.decay_activities();
+                if let Some(budget) = self.conflict_budget {
+                    if self.stats.conflicts - budget_start >= budget {
+                        self.cancel_until(0);
+                        return SolveResult::Unknown;
+                    }
+                }
+            } else {
+                // No conflict.
+                if conflicts_since_restart >= restart_limit
+                    && self.config.restart != RestartStrategy::Never
+                {
+                    self.stats.restarts += 1;
+                    conflicts_since_restart = 0;
+                    restart_limit = self.restart_limit();
+                    self.cancel_until(0);
+                    continue;
+                }
+                if self.decision_level() == 0 {
+                    if self.config.xor_reasoning
+                        && self.conflicts_since_gauss >= self.config.xor_gauss_interval
+                    {
+                        if !self.xor_gauss_top_level() {
+                            self.ok = false;
+                            return SolveResult::Unsat;
+                        }
+                        self.conflicts_since_gauss = 0;
+                    }
+                }
+                if self.config.reduce_db
+                    && (self.stats.learnt_clauses as f64) >= max_learnts
+                {
+                    self.reduce_db();
+                    max_learnts *= 1.5;
+                }
+                match self.pick_branch_var() {
+                    None => {
+                        // Every variable is assigned: we have a model.
+                        self.model = Some(
+                            self.assigns
+                                .iter()
+                                .map(|&a| a == LBool::True)
+                                .collect(),
+                        );
+                        self.cancel_until(0);
+                        return SolveResult::Sat;
+                    }
+                    Some(var) => {
+                        self.stats.decisions += 1;
+                        let phase = if self.config.phase_saving {
+                            self.phase[var as usize]
+                        } else {
+                            self.config.default_phase
+                        };
+                        let lit = Lit::new(var, !phase);
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(lit, Reason::Decision);
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- internal helpers -------------------------------------------------
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn value_var(&self, var: CnfVar) -> LBool {
+        self.assigns[var as usize]
+    }
+
+    fn value_lit(&self, lit: Lit) -> LBool {
+        match self.assigns[lit.var() as usize] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if lit.is_positive() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+            LBool::False => {
+                if lit.is_positive() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len();
+        self.watches[lits[0].code()].push(Watcher {
+            cref,
+            blocker: lits[1],
+        });
+        self.watches[lits[1].code()].push(Watcher {
+            cref,
+            blocker: lits[0],
+        });
+        if learnt {
+            self.stats.learnt_clauses += 1;
+        } else {
+            self.num_original_clauses += 1;
+        }
+        self.clauses.push(ClauseData {
+            lits,
+            learnt,
+            activity: 0.0,
+            deleted: false,
+        });
+        cref
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: Reason) {
+        debug_assert_eq!(self.value_lit(lit), LBool::Undef);
+        let var = lit.var() as usize;
+        self.assigns[var] = LBool::from_bool(lit.is_positive());
+        self.level[var] = self.decision_level();
+        self.reason[var] = reason;
+        if self.config.phase_saving {
+            self.phase[var] = lit.is_positive();
+        }
+        self.trail.push(lit);
+        self.stats.propagations += 1;
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let keep = self.trail_lim[level as usize];
+        while self.trail.len() > keep {
+            let lit = self.trail.pop().expect("trail is non-empty");
+            let var = lit.var() as usize;
+            self.phase[var] = lit.is_positive();
+            self.assigns[var] = LBool::Undef;
+            self.reason[var] = Reason::Decision;
+            self.order.insert(lit.var(), &self.activity);
+        }
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<CnfVar> {
+        while let Some(var) = self.order.pop_max(&self.activity) {
+            if self.value_var(var) == LBool::Undef {
+                return Some(var);
+            }
+        }
+        None
+    }
+
+    /// Unit propagation over clauses and XOR constraints. Returns the
+    /// literals of a conflicting constraint (all false) when a conflict is
+    /// found.
+    fn propagate(&mut self) -> Option<Vec<Lit>> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            if let Some(conflict) = self.propagate_clauses(p) {
+                self.qhead = self.trail.len();
+                return Some(conflict);
+            }
+            if self.config.xor_reasoning && !self.xors.is_empty() {
+                if let Some(conflict) = self.propagate_xors(p) {
+                    self.qhead = self.trail.len();
+                    return Some(conflict);
+                }
+            }
+        }
+        None
+    }
+
+    fn propagate_clauses(&mut self, p: Lit) -> Option<Vec<Lit>> {
+        let false_lit = !p;
+        let watchers = std::mem::take(&mut self.watches[false_lit.code()]);
+        let mut kept: Vec<Watcher> = Vec::with_capacity(watchers.len());
+        let mut conflict: Option<Vec<Lit>> = None;
+        let mut idx = 0;
+        while idx < watchers.len() {
+            let w = watchers[idx];
+            idx += 1;
+            if self.clauses[w.cref].deleted {
+                continue;
+            }
+            if self.value_lit(w.blocker) == LBool::True {
+                kept.push(w);
+                continue;
+            }
+            // Ensure the falsified literal is at position 1.
+            if self.clauses[w.cref].lits[0] == false_lit {
+                self.clauses[w.cref].lits.swap(0, 1);
+            }
+            debug_assert_eq!(self.clauses[w.cref].lits[1], false_lit);
+            let first = self.clauses[w.cref].lits[0];
+            if self.value_lit(first) == LBool::True {
+                kept.push(Watcher {
+                    cref: w.cref,
+                    blocker: first,
+                });
+                continue;
+            }
+            // Look for a replacement watch among the remaining literals.
+            let mut found_new_watch = false;
+            for k in 2..self.clauses[w.cref].lits.len() {
+                let candidate = self.clauses[w.cref].lits[k];
+                if self.value_lit(candidate) != LBool::False {
+                    self.clauses[w.cref].lits.swap(1, k);
+                    self.watches[candidate.code()].push(Watcher {
+                        cref: w.cref,
+                        blocker: first,
+                    });
+                    found_new_watch = true;
+                    break;
+                }
+            }
+            if found_new_watch {
+                continue;
+            }
+            // The clause is unit or conflicting under the current assignment.
+            kept.push(Watcher {
+                cref: w.cref,
+                blocker: first,
+            });
+            if self.value_lit(first) == LBool::False {
+                conflict = Some(self.clauses[w.cref].lits.clone());
+                // Keep the remaining, unprocessed watchers.
+                kept.extend_from_slice(&watchers[idx..]);
+                break;
+            }
+            self.enqueue(first, Reason::Clause(w.cref));
+        }
+        self.watches[false_lit.code()] = kept;
+        conflict
+    }
+
+    fn propagate_xors(&mut self, p: Lit) -> Option<Vec<Lit>> {
+        let var = p.var() as usize;
+        let touched = self.xor_occ[var].clone();
+        for xi in touched {
+            match self.xor_status(xi) {
+                XorStatus::Open => {}
+                XorStatus::Unit { var: v, parity } => {
+                    // Exactly one variable left: it is forced to make the
+                    // parity match the right-hand side.
+                    let forced_value = parity ^ self.xors[xi].rhs();
+                    let lit = Lit::new(v, !forced_value);
+                    if self.value_lit(lit) == LBool::Undef {
+                        self.stats.xor_propagations += 1;
+                        self.enqueue(lit, Reason::Xor(xi));
+                    }
+                }
+                XorStatus::Assigned { parity } => {
+                    if parity != self.xors[xi].rhs() {
+                        return Some(self.xor_falsified_lits(xi));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Classifies XOR constraint `xi` under the current assignment.
+    fn xor_status(&self, xi: usize) -> XorStatus {
+        let mut unassigned: Option<CnfVar> = None;
+        let mut count_unassigned = 0usize;
+        let mut parity = false;
+        for &v in self.xors[xi].vars() {
+            match self.value_var(v) {
+                LBool::Undef => {
+                    count_unassigned += 1;
+                    unassigned = Some(v);
+                    if count_unassigned > 1 {
+                        // Two or more unassigned variables: nothing to do yet.
+                        return XorStatus::Open;
+                    }
+                }
+                LBool::True => parity ^= true,
+                LBool::False => {}
+            }
+        }
+        match unassigned {
+            Some(var) => XorStatus::Unit { var, parity },
+            None => XorStatus::Assigned { parity },
+        }
+    }
+
+    /// The currently-false literals describing why XOR `xi` is violated or
+    /// why it propagated (excluding the propagated literal itself).
+    fn xor_falsified_lits(&self, xi: usize) -> Vec<Lit> {
+        self.xors[xi]
+            .vars()
+            .iter()
+            .filter(|&&v| self.value_var(v) != LBool::Undef)
+            .map(|&v| Lit::new(v, self.value_var(v) == LBool::True))
+            .collect()
+    }
+
+    /// The literals of the constraint that forced `lit` (used as the reason
+    /// clause during conflict analysis).
+    fn reason_lits(&self, lit: Lit) -> Vec<Lit> {
+        match self.reason[lit.var() as usize] {
+            Reason::Decision => Vec::new(),
+            Reason::Clause(cref) => self.clauses[cref].lits.clone(),
+            Reason::Xor(xi) => {
+                let mut lits = vec![lit];
+                lits.extend(
+                    self.xors[xi]
+                        .vars()
+                        .iter()
+                        .filter(|&&v| v != lit.var())
+                        .map(|&v| Lit::new(v, self.value_var(v) == LBool::True)),
+                );
+                lits
+            }
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the decision level to backtrack to.
+    fn analyze(&mut self, conflict: &[Lit]) -> (Vec<Lit>, u32) {
+        let current_level = self.decision_level();
+        let mut learnt: Vec<Lit> = vec![Lit::positive(0)]; // placeholder for the asserting literal
+        let mut path_count: u32 = 0;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut clause_lits: Vec<Lit> = conflict.to_vec();
+
+        loop {
+            for &q in &clause_lits {
+                if Some(q) == p {
+                    continue;
+                }
+                let v = q.var() as usize;
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] >= current_level {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next trail literal to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var() as usize] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var() as usize] = false;
+            path_count -= 1;
+            p = Some(pl);
+            if path_count == 0 {
+                break;
+            }
+            clause_lits = self.reason_lits(pl);
+        }
+        learnt[0] = !p.expect("analysis terminates with an asserting literal");
+
+        // Clause minimisation: drop literals whose reason is entirely
+        // subsumed by the rest of the learnt clause (local minimisation).
+        let keep_mask: Vec<bool> = learnt
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| i == 0 || !self.literal_is_redundant(l, &learnt))
+            .collect();
+        let minimised: Vec<Lit> = learnt
+            .iter()
+            .zip(&keep_mask)
+            .filter(|(_, &keep)| keep)
+            .map(|(&l, _)| l)
+            .collect();
+        for &l in &learnt {
+            self.seen[l.var() as usize] = false;
+        }
+        let mut learnt = minimised;
+
+        // Compute the backtrack level and place a literal of that level at
+        // position 1 (the second watch).
+        let backtrack_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var() as usize] > self.level[learnt[max_i].var() as usize] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var() as usize]
+        };
+        (learnt, backtrack_level)
+    }
+
+    /// Local learnt-clause minimisation: `lit` is redundant if it was
+    /// propagated and every literal of its reason is either at level zero or
+    /// already present (seen) in the learnt clause.
+    fn literal_is_redundant(&self, lit: Lit, _learnt: &[Lit]) -> bool {
+        match self.reason[lit.var() as usize] {
+            Reason::Decision => false,
+            _ => {
+                let reason = self.reason_lits(!lit);
+                reason.iter().all(|&q| {
+                    q == !lit
+                        || self.level[q.var() as usize] == 0
+                        || self.seen[q.var() as usize]
+                })
+            }
+        }
+    }
+
+    fn record_learnt(&mut self, learnt: Vec<Lit>) {
+        debug_assert!(!learnt.is_empty());
+        if learnt.len() == 1 {
+            debug_assert_eq!(self.decision_level(), 0);
+            self.learnt_unit_lits.push(learnt[0]);
+            if self.value_lit(learnt[0]) == LBool::Undef {
+                self.enqueue(learnt[0], Reason::Decision);
+            }
+        } else {
+            let asserting = learnt[0];
+            let cref = self.attach_clause(learnt, true);
+            self.bump_clause(cref);
+            self.enqueue(asserting, Reason::Clause(cref));
+        }
+    }
+
+    fn bump_var(&mut self, var: CnfVar) {
+        self.activity[var as usize] += self.var_inc;
+        if self.activity[var as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.bumped(var, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        self.clauses[cref].activity += self.cla_inc;
+        if self.clauses[cref].activity > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= self.config.var_decay;
+        self.cla_inc /= self.config.clause_decay;
+    }
+
+    fn restart_limit(&self) -> u64 {
+        match self.config.restart {
+            RestartStrategy::Never => u64::MAX,
+            RestartStrategy::Geometric => {
+                let factor = 1.5f64.powi(self.stats.restarts as i32);
+                (self.config.restart_base as f64 * factor) as u64
+            }
+            RestartStrategy::Luby => self.config.restart_base * luby(self.stats.restarts),
+        }
+    }
+
+    /// Removes roughly half of the learnt clauses, keeping binary clauses
+    /// and clauses that are the reason for a current assignment.
+    fn reduce_db(&mut self) {
+        let mut learnt_refs: Vec<ClauseRef> = (0..self.clauses.len())
+            .filter(|&i| self.clauses[i].learnt && !self.clauses[i].deleted)
+            .collect();
+        learnt_refs.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let target = learnt_refs.len() / 2;
+        let mut removed = 0usize;
+        for &cref in learnt_refs.iter() {
+            if removed >= target {
+                break;
+            }
+            if self.clauses[cref].lits.len() <= 2 || self.clause_is_locked(cref) {
+                continue;
+            }
+            self.clauses[cref].deleted = true;
+            removed += 1;
+        }
+        self.stats.removed_clauses += removed as u64;
+        self.stats.learnt_clauses -= removed as u64;
+        self.rebuild_watches();
+    }
+
+    fn clause_is_locked(&self, cref: ClauseRef) -> bool {
+        let first = self.clauses[cref].lits[0];
+        self.value_lit(first) == LBool::True
+            && self.reason[first.var() as usize] == Reason::Clause(cref)
+    }
+
+    fn rebuild_watches(&mut self) {
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for cref in 0..self.clauses.len() {
+            if self.clauses[cref].deleted {
+                continue;
+            }
+            let l0 = self.clauses[cref].lits[0];
+            let l1 = self.clauses[cref].lits[1];
+            self.watches[l0.code()].push(Watcher { cref, blocker: l1 });
+            self.watches[l1.code()].push(Watcher { cref, blocker: l0 });
+        }
+    }
+
+    /// Top-level Gauss–Jordan elimination over the XOR constraints: combines
+    /// constraints to expose forced assignments and contradictions. Returns
+    /// `false` when the XOR system is inconsistent with the current top-level
+    /// assignment.
+    fn xor_gauss_top_level(&mut self) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        if self.xors.is_empty() {
+            return true;
+        }
+        self.stats.xor_gauss_rounds += 1;
+        // Reduce each XOR by the current top-level assignment.
+        let mut rows: Vec<XorConstraint> = Vec::with_capacity(self.xors.len());
+        for xor in &self.xors {
+            let mut vars = Vec::new();
+            let mut rhs = xor.rhs();
+            for &v in xor.vars() {
+                match self.value_var(v) {
+                    LBool::Undef => vars.push(v),
+                    LBool::True => rhs = !rhs,
+                    LBool::False => {}
+                }
+            }
+            rows.push(XorConstraint::new(vars, rhs));
+        }
+        // Forward elimination on the sparse rows.
+        let mut pivots: Vec<(CnfVar, usize)> = Vec::new();
+        for i in 0..rows.len() {
+            let mut row = rows[i].clone();
+            loop {
+                let Some(&lead) = row.vars().first() else { break };
+                if let Some(&(_, j)) = pivots.iter().find(|&&(p, _)| p == lead) {
+                    row = row.combine(&rows[j]);
+                } else {
+                    break;
+                }
+            }
+            rows[i] = row.clone();
+            if row.is_contradiction() {
+                return false;
+            }
+            if let Some(&lead) = row.vars().first() {
+                pivots.push((lead, i));
+            }
+        }
+        // Extract forced assignments from single-variable rows.
+        for row in &rows {
+            if row.len() == 1 {
+                let v = row.vars()[0];
+                let lit = Lit::new(v, !row.rhs());
+                match self.value_lit(lit) {
+                    LBool::Undef => self.enqueue(lit, Reason::Decision),
+                    LBool::False => return false,
+                    LBool::True => {}
+                }
+            }
+        }
+        self.propagate().is_none()
+    }
+}
+
+/// The Luby sequence (1, 1, 2, 1, 1, 2, 4, ...), 0-indexed: `luby(0) = 1`.
+fn luby(i: u64) -> u64 {
+    // Find the finite subsequence that contains index i, and the index within.
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut i = i;
+    let mut size = size;
+    let mut seq = seq;
+    while size - 1 != i {
+        size = (size - 1) / 2;
+        seq -= 1;
+        i %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_configs() -> Vec<SolverConfig> {
+        vec![
+            SolverConfig::minimal(),
+            SolverConfig::aggressive(),
+            SolverConfig::xor_gauss(),
+        ]
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let prefix: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(prefix, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        for config in all_configs() {
+            let mut s = Solver::new(config);
+            assert_eq!(s.solve(), SolveResult::Sat);
+            assert_eq!(s.model().map(<[bool]>::len), Some(0));
+        }
+    }
+
+    #[test]
+    fn unit_clauses_propagate() {
+        let mut s = Solver::new(SolverConfig::minimal());
+        s.new_vars(3);
+        s.add_clause([Lit::positive(0)]);
+        s.add_clause([Lit::negative(0), Lit::positive(1)]);
+        s.add_clause([Lit::negative(1), Lit::negative(2)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let model = s.model().expect("model");
+        assert!(model[0] && model[1] && !model[2]);
+        assert_eq!(s.top_level_assignments().len(), 3);
+    }
+
+    #[test]
+    fn simple_unsat_detected() {
+        for config in all_configs() {
+            let mut s = Solver::new(config);
+            s.new_vars(1);
+            s.add_clause([Lit::positive(0)]);
+            let ok = s.add_clause([Lit::negative(0)]);
+            assert!(!ok || s.solve() == SolveResult::Unsat);
+        }
+    }
+
+    #[test]
+    fn empty_clause_makes_unsat() {
+        let mut s = Solver::new(SolverConfig::minimal());
+        s.new_vars(1);
+        assert!(!s.add_clause([]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_three_pigeons_two_holes_is_unsat() {
+        // Variables p_{i,j}: pigeon i in hole j, i in 0..3, j in 0..2.
+        let var = |i: u32, j: u32| i * 2 + j;
+        for config in all_configs() {
+            let mut s = Solver::new(config);
+            s.new_vars(6);
+            for i in 0..3 {
+                s.add_clause([Lit::positive(var(i, 0)), Lit::positive(var(i, 1))]);
+            }
+            for j in 0..2 {
+                for i1 in 0..3 {
+                    for i2 in (i1 + 1)..3 {
+                        s.add_clause([Lit::negative(var(i1, j)), Lit::negative(var(i2, j))]);
+                    }
+                }
+            }
+            assert_eq!(s.solve(), SolveResult::Unsat, "config {}", s.config().name);
+        }
+    }
+
+    #[test]
+    fn satisfiable_chain_has_model_satisfying_all_clauses() {
+        for config in all_configs() {
+            let mut s = Solver::new(config);
+            let n = 20u32;
+            s.new_vars(n as usize + 1);
+            let mut clauses: Vec<Vec<Lit>> = Vec::new();
+            for i in 0..n {
+                clauses.push(vec![Lit::negative(i), Lit::positive(i + 1)]);
+            }
+            clauses.push(vec![Lit::positive(0)]);
+            for c in &clauses {
+                s.add_clause(c.iter().copied());
+            }
+            assert_eq!(s.solve(), SolveResult::Sat);
+            let model = s.model().expect("model");
+            for c in &clauses {
+                assert!(c.iter().any(|l| l.evaluate(model[l.var() as usize])));
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown() {
+        // A hard unsatisfiable pigeonhole instance with a tiny budget.
+        let pigeons = 7u32;
+        let holes = 6u32;
+        let var = |i: u32, j: u32| i * holes + j;
+        let mut s = Solver::new(SolverConfig::minimal());
+        s.new_vars((pigeons * holes) as usize);
+        for i in 0..pigeons {
+            s.add_clause((0..holes).map(|j| Lit::positive(var(i, j))));
+        }
+        for j in 0..holes {
+            for i1 in 0..pigeons {
+                for i2 in (i1 + 1)..pigeons {
+                    s.add_clause([Lit::negative(var(i1, j)), Lit::negative(var(i2, j))]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(5));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert!(s.stats().conflicts >= 5);
+        // Removing the budget lets the solver finish.
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn xor_constraints_propagate_and_conflict() {
+        let mut s = Solver::new(SolverConfig::xor_gauss());
+        s.new_vars(3);
+        // x0 ⊕ x1 ⊕ x2 = 1, x0 = 1, x1 = 0  =>  x2 = 0.
+        s.add_xor(XorConstraint::new([0, 1, 2], true));
+        s.add_clause([Lit::positive(0)]);
+        s.add_clause([Lit::negative(1)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let model = s.model().expect("model");
+        assert!(model[0] && !model[1] && !model[2]);
+    }
+
+    #[test]
+    fn inconsistent_xor_system_is_unsat() {
+        let mut s = Solver::new(SolverConfig::xor_gauss());
+        s.new_vars(2);
+        s.add_xor(XorConstraint::new([0, 1], true));
+        s.add_xor(XorConstraint::new([0, 1], false));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn xor_with_clauses_mix() {
+        let mut s = Solver::new(SolverConfig::xor_gauss());
+        s.new_vars(4);
+        s.add_xor(XorConstraint::new([0, 1, 2, 3], false));
+        s.add_clause([Lit::positive(0)]);
+        s.add_clause([Lit::positive(1)]);
+        s.add_clause([Lit::positive(2)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let model = s.model().expect("model");
+        assert!(model[3], "x3 must be 1 to keep even parity");
+    }
+
+    #[test]
+    fn learnt_units_are_exposed() {
+        // Force the solver to learn x0 must be false:
+        // (¬x0 ∨ x1) (¬x0 ∨ ¬x1) plus chaff to require search.
+        let mut s = Solver::new(SolverConfig::minimal());
+        s.new_vars(4);
+        s.add_clause([Lit::negative(0), Lit::positive(1)]);
+        s.add_clause([Lit::negative(0), Lit::negative(1)]);
+        s.add_clause([Lit::positive(2), Lit::positive(3)]);
+        s.add_clause([Lit::positive(0), Lit::positive(2)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let model = s.model().expect("model");
+        assert!(!model[0]);
+        // Whether a unit was learnt depends on the search path, but top-level
+        // assignments must at least be consistent with the model.
+        for lit in s.top_level_assignments() {
+            assert!(lit.evaluate(model[lit.var() as usize]));
+        }
+    }
+
+    #[test]
+    fn from_formula_roundtrip() {
+        let cnf = bosphorus_cnf::CnfFormula::parse_dimacs("p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n")
+            .expect("parses");
+        let mut s = Solver::from_formula(SolverConfig::aggressive(), &cnf);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let model = s.model().expect("model");
+        assert_eq!(cnf.evaluate(model), Ok(true));
+    }
+
+    #[test]
+    fn repeated_solve_calls_are_consistent() {
+        let mut s = Solver::new(SolverConfig::aggressive());
+        s.new_vars(3);
+        s.add_clause([Lit::positive(0), Lit::positive(1), Lit::positive(2)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Adding a contradiction afterwards flips the result.
+        s.add_clause([Lit::negative(0)]);
+        s.add_clause([Lit::negative(1)]);
+        s.add_clause([Lit::negative(2)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert_eq!(s.solve(), SolveResult::Unsat, "unsat is remembered");
+    }
+
+    #[test]
+    fn tautological_clause_is_ignored() {
+        let mut s = Solver::new(SolverConfig::minimal());
+        s.new_vars(2);
+        assert!(s.add_clause([Lit::positive(0), Lit::negative(0)]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut s = Solver::new(SolverConfig::aggressive());
+        s.new_vars(9);
+        // 3-colouring-ish random-ish clauses to force a few decisions.
+        for i in 0..3u32 {
+            s.add_clause([
+                Lit::positive(3 * i),
+                Lit::positive(3 * i + 1),
+                Lit::positive(3 * i + 2),
+            ]);
+            s.add_clause([Lit::negative(3 * i), Lit::negative(3 * i + 1)]);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.stats().decisions > 0);
+        assert!(s.stats().propagations > 0);
+    }
+}

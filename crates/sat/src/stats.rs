@@ -1,0 +1,50 @@
+//! Search statistics.
+
+use std::fmt;
+
+/// Counters accumulated during a [`Solver`](crate::Solver) run.
+///
+/// The counters are cumulative across multiple [`solve`](crate::Solver::solve)
+/// calls on the same solver instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolverStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated by unit propagation.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently kept in the database.
+    pub learnt_clauses: u64,
+    /// Number of learnt clauses removed by database reductions.
+    pub removed_clauses: u64,
+    /// Number of literals propagated by XOR constraints.
+    pub xor_propagations: u64,
+    /// Number of top-level Gauss–Jordan rounds over the XOR constraints.
+    pub xor_gauss_rounds: u64,
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conflicts={} decisions={} propagations={} restarts={} learnt={}",
+            self.conflicts, self.decisions, self.propagations, self.restarts, self.learnt_clauses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_all_zero() {
+        let s = SolverStats::default();
+        assert_eq!(s.conflicts, 0);
+        assert_eq!(s.decisions, 0);
+        assert!(s.to_string().contains("conflicts=0"));
+    }
+}

@@ -1,0 +1,174 @@
+//! VSIDS variable ordering: a max-heap over variable activities.
+
+/// A binary max-heap of variables keyed by an external activity array.
+///
+/// This mirrors MiniSat's `VarOrder` heap: variables are pushed when they
+/// become unassigned and popped (highest activity first) when the solver
+/// needs a decision variable. `rebuild_after_bump` restores the heap
+/// property for a single variable whose activity increased.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct VarOrderHeap {
+    /// Heap of variable indices.
+    heap: Vec<u32>,
+    /// Position of each variable in `heap`, or `usize::MAX` if absent.
+    indices: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarOrderHeap {
+    pub(crate) fn new() -> Self {
+        VarOrderHeap::default()
+    }
+
+    pub(crate) fn grow_to(&mut self, num_vars: usize) {
+        if self.indices.len() < num_vars {
+            self.indices.resize(num_vars, ABSENT);
+        }
+    }
+
+    pub(crate) fn contains(&self, var: u32) -> bool {
+        self.indices
+            .get(var as usize)
+            .is_some_and(|&pos| pos != ABSENT)
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Inserts `var` if it is not already present.
+    pub(crate) fn insert(&mut self, var: u32, activity: &[f64]) {
+        self.grow_to(var as usize + 1);
+        if self.contains(var) {
+            return;
+        }
+        let pos = self.heap.len();
+        self.heap.push(var);
+        self.indices[var as usize] = pos;
+        self.sift_up(pos, activity);
+    }
+
+    /// Removes and returns the variable with the highest activity.
+    pub(crate) fn pop_max(&mut self, activity: &[f64]) -> Option<u32> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("heap is non-empty");
+        self.indices[top as usize] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.indices[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores the heap property after `var`'s activity increased.
+    pub(crate) fn bumped(&mut self, var: u32, activity: &[f64]) {
+        if let Some(&pos) = self.indices.get(var as usize) {
+            if pos != ABSENT {
+                self.sift_up(pos, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut pos: usize, activity: &[f64]) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if activity[self.heap[pos] as usize] > activity[self.heap[parent] as usize] {
+                self.swap(pos, parent);
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * pos + 1;
+            let right = 2 * pos + 2;
+            let mut largest = pos;
+            if left < self.heap.len()
+                && activity[self.heap[left] as usize] > activity[self.heap[largest] as usize]
+            {
+                largest = left;
+            }
+            if right < self.heap.len()
+                && activity[self.heap[right] as usize] > activity[self.heap[largest] as usize]
+            {
+                largest = right;
+            }
+            if largest == pos {
+                break;
+            }
+            self.swap(pos, largest);
+            pos = largest;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.indices[self.heap[a] as usize] = a;
+        self.indices[self.heap[b] as usize] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![0.5, 3.0, 1.0, 2.0];
+        let mut heap = VarOrderHeap::new();
+        for v in 0..4u32 {
+            heap.insert(v, &activity);
+        }
+        assert_eq!(heap.len(), 4);
+        let order: Vec<u32> = std::iter::from_fn(|| heap.pop_max(&activity)).collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+        assert!(heap.is_empty());
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let activity = vec![1.0, 2.0];
+        let mut heap = VarOrderHeap::new();
+        heap.insert(1, &activity);
+        heap.insert(1, &activity);
+        assert_eq!(heap.len(), 1);
+    }
+
+    #[test]
+    fn bumped_restores_order() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut heap = VarOrderHeap::new();
+        for v in 0..3u32 {
+            heap.insert(v, &activity);
+        }
+        // Bump variable 0 above everything else.
+        activity[0] = 10.0;
+        heap.bumped(0, &activity);
+        assert_eq!(heap.pop_max(&activity), Some(0));
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let activity = vec![1.0; 3];
+        let mut heap = VarOrderHeap::new();
+        heap.insert(2, &activity);
+        assert!(heap.contains(2));
+        assert!(!heap.contains(0));
+        heap.pop_max(&activity);
+        assert!(!heap.contains(2));
+    }
+}

@@ -1,0 +1,169 @@
+//! Native XOR constraints.
+//!
+//! CryptoMiniSat — the GJE-enabled solver of the paper's evaluation — treats
+//! XOR constraints as first-class citizens instead of expanding them to
+//! exponentially many CNF clauses. This module provides the constraint type
+//! used by the [`xor_gauss`](crate::SolverConfig::xor_gauss) configuration:
+//! the solver propagates them with a watched-variable scheme and periodically
+//! combines them by Gauss–Jordan elimination at decision level zero.
+
+use std::fmt;
+
+use bosphorus_cnf::CnfVar;
+
+/// An XOR constraint `x_{i1} ⊕ x_{i2} ⊕ … ⊕ x_{ik} = rhs`.
+///
+/// Variables are stored sorted and de-duplicated; a variable appearing twice
+/// cancels out. An empty constraint with `rhs = true` is unsatisfiable.
+///
+/// # Examples
+///
+/// ```
+/// use bosphorus_sat::XorConstraint;
+///
+/// let c = XorConstraint::new([0, 2, 2, 1], true);
+/// assert_eq!(c.vars(), &[0, 1]);
+/// assert!(c.rhs());
+/// assert!(c.evaluate(|v| v == 0));   // 1 ⊕ 0 = 1 ✓
+/// assert!(!c.evaluate(|_| false));   // 0 ⊕ 0 ≠ 1 ✗
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct XorConstraint {
+    vars: Vec<CnfVar>,
+    rhs: bool,
+}
+
+impl XorConstraint {
+    /// Builds a constraint from variables and a right-hand side; duplicated
+    /// variables cancel in pairs.
+    pub fn new<I: IntoIterator<Item = CnfVar>>(vars: I, rhs: bool) -> Self {
+        let mut vars: Vec<CnfVar> = vars.into_iter().collect();
+        vars.sort_unstable();
+        // Cancel pairs: x ⊕ x = 0.
+        let mut out: Vec<CnfVar> = Vec::with_capacity(vars.len());
+        for v in vars {
+            if out.last() == Some(&v) {
+                out.pop();
+            } else {
+                out.push(v);
+            }
+        }
+        XorConstraint { vars: out, rhs }
+    }
+
+    /// The sorted, de-duplicated variables.
+    pub fn vars(&self) -> &[CnfVar] {
+        &self.vars
+    }
+
+    /// The right-hand side constant.
+    pub fn rhs(&self) -> bool {
+        self.rhs
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Returns `true` if the constraint has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Returns `true` if the constraint can never be satisfied
+    /// (no variables but `rhs = 1`).
+    pub fn is_contradiction(&self) -> bool {
+        self.vars.is_empty() && self.rhs
+    }
+
+    /// Returns `true` if the constraint is trivially satisfied
+    /// (no variables and `rhs = 0`).
+    pub fn is_trivial(&self) -> bool {
+        self.vars.is_empty() && !self.rhs
+    }
+
+    /// The largest variable index, if any.
+    pub fn max_var(&self) -> Option<CnfVar> {
+        self.vars.last().copied()
+    }
+
+    /// XOR-combines two constraints (adds the GF(2) equations).
+    pub fn combine(&self, other: &XorConstraint) -> XorConstraint {
+        XorConstraint::new(
+            self.vars.iter().chain(other.vars.iter()).copied(),
+            self.rhs ^ other.rhs,
+        )
+    }
+
+    /// Evaluates the constraint under a variable valuation.
+    pub fn evaluate<F: Fn(CnfVar) -> bool>(&self, value: F) -> bool {
+        let parity = self
+            .vars
+            .iter()
+            .fold(false, |acc, &v| acc ^ value(v));
+        parity == self.rhs
+    }
+}
+
+impl fmt::Display for XorConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.vars.is_empty() {
+            return write!(f, "0 = {}", u8::from(self.rhs));
+        }
+        for (i, v) in self.vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ⊕ ")?;
+            }
+            write!(f, "x{v}")?;
+        }
+        write!(f, " = {}", u8::from(self.rhs))
+    }
+}
+
+impl fmt::Debug for XorConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XorConstraint({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_cancel() {
+        let c = XorConstraint::new([3, 1, 3, 3], false);
+        assert_eq!(c.vars(), &[1, 3]);
+        let d = XorConstraint::new([2, 2], true);
+        assert!(d.is_empty());
+        assert!(d.is_contradiction());
+        assert!(!d.is_trivial());
+    }
+
+    #[test]
+    fn combine_adds_equations() {
+        let a = XorConstraint::new([0, 1], true);
+        let b = XorConstraint::new([1, 2], false);
+        let c = a.combine(&b);
+        assert_eq!(c.vars(), &[0, 2]);
+        assert!(c.rhs());
+        // Combining with itself yields the trivial constraint.
+        assert!(a.combine(&a).is_trivial());
+    }
+
+    #[test]
+    fn evaluation() {
+        let c = XorConstraint::new([0, 1, 2], false);
+        assert!(c.evaluate(|_| false));
+        assert!(c.evaluate(|v| v < 2), "two ones -> even parity");
+        assert!(!c.evaluate(|v| v == 0));
+    }
+
+    #[test]
+    fn display() {
+        let c = XorConstraint::new([0, 2], true);
+        assert_eq!(c.to_string(), "x0 ⊕ x2 = 1");
+        assert_eq!(XorConstraint::new([], false).to_string(), "0 = 0");
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: parse an ANF system, run the Bosphorus fact-learning loop and
+//! solve the result.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use bosphorus_repro::anf::PolynomialSystem;
+use bosphorus_repro::core::{Bosphorus, BosphorusConfig, SolveStatus};
+use bosphorus_repro::sat::SolverConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The worked example from Section II-E of the paper.
+    let system = PolynomialSystem::parse(
+        "x1*x2 + x3 + x4 + 1;
+         x1*x2*x3 + x1 + x3 + 1;
+         x1*x3 + x3*x4*x5 + x3;
+         x2*x3 + x3*x5 + 1;
+         x2*x3 + x5 + 1;",
+    )?;
+    println!("input ANF ({} equations, {} variables):", system.len(), system.num_vars());
+    print!("{system}");
+
+    let mut engine = Bosphorus::new(system.clone(), BosphorusConfig::default());
+    match engine.solve(&SolverConfig::aggressive()) {
+        SolveStatus::Sat(assignment) => {
+            println!("\nsatisfying assignment: {assignment}");
+            println!("(the paper's unique solution is x1=x2=x3=x4=1, x5=0)");
+            assert!(system.is_satisfied_by(&assignment));
+        }
+        SolveStatus::Unsat => println!("\nthe system is unsatisfiable"),
+    }
+
+    println!("\nlearnt facts:");
+    for fact in engine.learnt_facts() {
+        println!("  {fact}");
+    }
+    println!("\nstatistics: {}", engine.stats());
+
+    // The processed CNF that a downstream SAT solver would receive.
+    let conversion = engine.to_cnf();
+    println!(
+        "\nprocessed CNF: {} variables, {} clauses",
+        conversion.cnf.num_vars(),
+        conversion.cnf.num_clauses()
+    );
+    Ok(())
+}

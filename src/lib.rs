@@ -1,0 +1,24 @@
+//! Umbrella crate for the Bosphorus reproduction workspace.
+//!
+//! This crate re-exports the member crates so examples and integration tests
+//! can reach the whole system through a single dependency. Library users
+//! should normally depend on the individual crates ([`bosphorus`],
+//! [`bosphorus_anf`], [`bosphorus_sat`], ...) directly.
+//!
+//! # Examples
+//!
+//! ```
+//! use bosphorus_repro::anf::PolynomialSystem;
+//!
+//! let system = PolynomialSystem::parse("x0*x1 + x2 + 1; x1 + x2;")?;
+//! assert_eq!(system.len(), 2);
+//! # Ok::<(), bosphorus_repro::anf::ParseSystemError>(())
+//! ```
+
+pub use bosphorus as core;
+pub use bosphorus_anf as anf;
+pub use bosphorus_ciphers as ciphers;
+pub use bosphorus_cnf as cnf;
+pub use bosphorus_gf2 as gf2;
+pub use bosphorus_groebner as groebner;
+pub use bosphorus_sat as sat;

@@ -1,0 +1,130 @@
+//! Integration tests for the ANF↔CNF conversions on realistic (cipher)
+//! polynomials rather than toy systems.
+
+use bosphorus_repro::anf::{Assignment, PolynomialSystem};
+use bosphorus_repro::cnf::CnfFormula;
+use bosphorus_repro::ciphers::{satcomp, simon};
+use bosphorus_repro::core::{anf_to_cnf, cnf_to_anf, AnfPropagator, BosphorusConfig};
+use bosphorus_repro::sat::{SolveResult, Solver, SolverConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Converting a Simon instance to CNF and solving it yields a model whose
+/// restriction to the ANF variables satisfies the original system — i.e. the
+/// conversion is model-preserving on real cryptographic instances, not just
+/// on the random systems covered by the property tests.
+#[test]
+fn simon_instance_cnf_models_restrict_to_anf_models() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let instance = simon::generate(
+        simon::SimonParams {
+            num_plaintexts: 1,
+            rounds: 3,
+        },
+        &mut rng,
+    );
+    let config = BosphorusConfig::default();
+    let conversion = anf_to_cnf(
+        &instance.system,
+        &AnfPropagator::new(instance.system.num_vars()),
+        &config,
+    );
+    let mut solver = Solver::from_formula(SolverConfig::xor_gauss(), &conversion.cnf);
+    for xor in &conversion.xors {
+        solver.add_xor(xor.clone());
+    }
+    assert_eq!(solver.solve(), SolveResult::Sat);
+    let model = solver.model().expect("model");
+    let restricted = Assignment::from_bits(
+        (0..instance.system.num_vars()).map(|v| model.get(v).copied().unwrap_or(false)),
+    );
+    assert!(instance.system.is_satisfied_by(&restricted));
+}
+
+/// CNF → ANF → CNF round trip on the synthetic SAT-competition suite keeps
+/// the answer of every instance.
+#[test]
+fn cnf_anf_cnf_roundtrip_preserves_answers() {
+    let mut rng = StdRng::seed_from_u64(10);
+    let config = BosphorusConfig::default();
+    for family in satcomp::default_suite(1) {
+        let cnf = satcomp::generate(family, &mut rng);
+        let expected = {
+            let mut solver = Solver::from_formula(SolverConfig::aggressive(), &cnf);
+            solver.solve()
+        };
+        // CNF -> ANF.
+        let anf = cnf_to_anf(&cnf, &config);
+        // ANF -> CNF again.
+        let back = anf_to_cnf(
+            &anf.system,
+            &AnfPropagator::new(anf.system.num_vars()),
+            &config,
+        );
+        let roundtrip = {
+            let mut solver = Solver::from_formula(SolverConfig::aggressive(), &back.cnf);
+            solver.solve()
+        };
+        assert_eq!(expected, roundtrip, "family {family:?}");
+    }
+}
+
+/// The DIMACS writer/parser round-trips the generated CNF suite.
+#[test]
+fn generated_suite_survives_dimacs_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for family in satcomp::default_suite(1) {
+        let cnf = satcomp::generate(family, &mut rng);
+        let reparsed = CnfFormula::parse_dimacs(&cnf.to_dimacs()).expect("round-trip parses");
+        assert_eq!(reparsed.num_vars(), cnf.num_vars());
+        assert_eq!(reparsed.clauses(), cnf.clauses());
+    }
+}
+
+/// The textual ANF format round-trips a full cipher instance.
+#[test]
+fn simon_system_survives_text_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let instance = simon::generate(
+        simon::SimonParams {
+            num_plaintexts: 1,
+            rounds: 3,
+        },
+        &mut rng,
+    );
+    let text = instance.system.to_string();
+    let reparsed = PolynomialSystem::parse(&text).expect("round-trip parses");
+    assert_eq!(reparsed.polynomials(), instance.system.polynomials());
+    assert!(reparsed.is_satisfied_by(&instance.witness));
+}
+
+/// Conversion statistics: cipher systems with small-support polynomials go
+/// through the Karnaugh path, long XOR-ish polynomials through Tseitin.
+#[test]
+fn conversion_paths_match_polynomial_shape() {
+    let config = BosphorusConfig::default();
+    // Simon equations have at most ~8-variable support: Karnaugh path.
+    let mut rng = StdRng::seed_from_u64(13);
+    let simon_instance = simon::generate(
+        simon::SimonParams {
+            num_plaintexts: 1,
+            rounds: 3,
+        },
+        &mut rng,
+    );
+    let simon_conv = anf_to_cnf(
+        &simon_instance.system,
+        &AnfPropagator::new(simon_instance.system.num_vars()),
+        &config,
+    );
+    assert!(simon_conv.karnaugh_clauses > 0);
+
+    // A wide parity constraint must take the Tseitin path with XOR cutting.
+    let wide = PolynomialSystem::parse(
+        "x0 + x1 + x2 + x3 + x4 + x5 + x6 + x7 + x8 + x9 + x10 + x11 + 1;",
+    )
+    .expect("parses");
+    let wide_conv = anf_to_cnf(&wide, &AnfPropagator::new(wide.num_vars()), &config);
+    assert!(wide_conv.tseitin_clauses > 0);
+    assert!(wide_conv.cnf.num_vars() > wide.num_vars());
+}

@@ -1,0 +1,167 @@
+//! Integration tests spanning the whole pipeline: benchmark generators →
+//! Bosphorus preprocessing → SAT solving, plus the Gröbner baseline.
+
+use bosphorus_repro::anf::Assignment;
+use bosphorus_repro::ciphers::{aes, bitcoin, satcomp, simon};
+use bosphorus_repro::core::{anf_to_cnf, AnfPropagator, Bosphorus, BosphorusConfig, SolveStatus};
+use bosphorus_repro::groebner::{groebner_basis, GroebnerConfig, GroebnerOutcome};
+use bosphorus_repro::sat::{SolveResult, Solver, SolverConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn simon_key_recovery_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(2019);
+    let instance = simon::generate(
+        simon::SimonParams {
+            num_plaintexts: 2,
+            rounds: 3,
+        },
+        &mut rng,
+    );
+    let mut engine = Bosphorus::new(instance.system.clone(), BosphorusConfig::default());
+    match engine.solve(&SolverConfig::xor_gauss()) {
+        SolveStatus::Sat(assignment) => {
+            assert!(instance.system.is_satisfied_by(&assignment));
+        }
+        SolveStatus::Unsat => panic!("the instance has a witness by construction"),
+    }
+}
+
+#[test]
+fn aes_small_scale_end_to_end_direct_vs_bosphorus() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let instance = aes::generate(aes::AesParams::small(1), &mut rng);
+    let config = BosphorusConfig::default();
+
+    // Direct: ANF -> CNF -> SAT.
+    let conversion = anf_to_cnf(
+        &instance.system,
+        &AnfPropagator::new(instance.system.num_vars()),
+        &config,
+    );
+    let mut solver = Solver::from_formula(SolverConfig::aggressive(), &conversion.cnf);
+    assert_eq!(solver.solve(), SolveResult::Sat);
+
+    // Through Bosphorus.
+    let mut engine = Bosphorus::new(instance.system.clone(), config);
+    match engine.solve(&SolverConfig::aggressive()) {
+        SolveStatus::Sat(assignment) => assert!(instance.system.is_satisfied_by(&assignment)),
+        SolveStatus::Unsat => panic!("satisfiable by construction"),
+    }
+}
+
+#[test]
+fn bitcoin_nonce_finding_is_satisfiable_and_verified() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let params = bitcoin::BitcoinParams {
+        difficulty: 4,
+        rounds: 3,
+    };
+    let instance = bitcoin::generate(params, &mut rng);
+    // The generator's witness satisfies the system, and solving recovers a
+    // (possibly different) valid nonce.
+    assert!(instance.system.is_satisfied_by(&instance.encoding.witness));
+    let mut engine = Bosphorus::new(instance.system.clone(), BosphorusConfig::default());
+    match engine.solve(&SolverConfig::aggressive()) {
+        SolveStatus::Sat(assignment) => assert!(instance.system.is_satisfied_by(&assignment)),
+        SolveStatus::Unsat => panic!("a witness nonce exists by construction"),
+    }
+}
+
+#[test]
+fn satcomp_suite_preprocessing_preserves_answers() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for family in [
+        satcomp::CnfFamily::Pigeonhole { pigeons: 4 },
+        satcomp::CnfFamily::XorChain {
+            length: 16,
+            contradictory: true,
+        },
+        satcomp::CnfFamily::XorChain {
+            length: 16,
+            contradictory: false,
+        },
+        satcomp::CnfFamily::Random3Sat {
+            vars: 12,
+            clauses: 40,
+        },
+    ] {
+        let cnf = satcomp::generate(family, &mut rng);
+        let mut direct = Solver::from_formula(SolverConfig::aggressive(), &cnf);
+        let expected = direct.solve();
+        let mut engine = Bosphorus::from_cnf(&cnf, BosphorusConfig::default());
+        let through = match engine.solve(&SolverConfig::aggressive()) {
+            SolveStatus::Sat(_) => SolveResult::Sat,
+            SolveStatus::Unsat => SolveResult::Unsat,
+        };
+        assert_eq!(expected, through, "family {family:?}");
+    }
+}
+
+#[test]
+fn groebner_baseline_cross_checks_bosphorus_on_toy_systems() {
+    // On systems small enough for the Buchberger baseline to finish, its
+    // consistency verdict must agree with the Bosphorus engine's.
+    let texts = [
+        "x0*x1 + 1; x0 + x1 + 1;",
+        "x0*x1 + x2; x1 + x2 + 1; x0 + 1;",
+        "x0 + x1; x1 + x2; x0 + x2 + 1;",
+    ];
+    for text in texts {
+        let system = bosphorus_repro::anf::PolynomialSystem::parse(text).expect("parses");
+        let groebner = groebner_basis(&system, &GroebnerConfig::default());
+        let mut engine = Bosphorus::new(system.clone(), BosphorusConfig::default());
+        let bosphorus_sat = matches!(engine.solve(&SolverConfig::minimal()), SolveStatus::Sat(_));
+        match groebner.outcome {
+            GroebnerOutcome::Inconsistent => assert!(!bosphorus_sat, "disagreement on {text}"),
+            GroebnerOutcome::Complete => assert!(bosphorus_sat, "disagreement on {text}"),
+            GroebnerOutcome::BudgetExhausted => {}
+        }
+    }
+}
+
+#[test]
+fn simon_witness_round_trips_through_preprocessing() {
+    // The generator's witness must stay a model of the *processed* system
+    // plus the propagator's assignments (preprocessing preserves solutions).
+    let mut rng = StdRng::seed_from_u64(21);
+    let instance = simon::generate(
+        simon::SimonParams {
+            num_plaintexts: 1,
+            rounds: 3,
+        },
+        &mut rng,
+    );
+    let mut engine = Bosphorus::new(instance.system.clone(), BosphorusConfig::default());
+    let _ = engine.preprocess();
+    let witness = &instance.witness;
+    // Every learnt fact must hold under the witness.
+    for fact in engine.learnt_facts() {
+        assert!(
+            !fact.evaluate(|v| witness.get(v)),
+            "learnt fact {fact} violated by the generator's witness"
+        );
+    }
+    // The propagator's determined values must agree with the witness.
+    for v in 0..instance.system.num_vars() as u32 {
+        if let Some(value) = engine.propagator().value(v) {
+            assert_eq!(value, witness.get(v), "variable x{v}");
+        }
+    }
+}
+
+#[test]
+fn reconstructed_assignments_cover_eliminated_variables() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let instance = aes::generate(aes::AesParams::small(1), &mut rng);
+    let num_vars = instance.system.num_vars();
+    let mut engine = Bosphorus::new(instance.system.clone(), BosphorusConfig::default());
+    if let SolveStatus::Sat(assignment) = engine.solve(&SolverConfig::minimal()) {
+        assert_eq!(assignment.len(), num_vars);
+        assert!(instance.system.is_satisfied_by(&assignment));
+    } else {
+        panic!("satisfiable by construction");
+    }
+    let _ = Assignment::all_false(0);
+}
