@@ -75,10 +75,7 @@ impl Assignment {
 
     /// Iterates over `(variable, value)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (Var, bool)> + '_ {
-        self.values
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| (i as Var, b))
+        self.values.iter().enumerate().map(|(i, &b)| (i as Var, b))
     }
 
     /// Number of variables assigned `true`.

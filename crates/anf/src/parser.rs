@@ -144,12 +144,10 @@ impl PolynomialSystem {
             if chunk.trim().is_empty() {
                 continue;
             }
-            let poly: Polynomial = chunk
-                .parse()
-                .map_err(|source| ParseSystemError {
-                    equation_index,
-                    source,
-                })?;
+            let poly: Polynomial = chunk.parse().map_err(|source| ParseSystemError {
+                equation_index,
+                source,
+            })?;
             system.push(poly);
         }
         Ok(system)
@@ -211,10 +209,8 @@ mod tests {
 
     #[test]
     fn parse_system_with_comments_and_trailing_separator() {
-        let s = PolynomialSystem::parse(
-            "# the Table I system\nx1*x2 + x1 + 1;\nx2*x3 + x3;\n",
-        )
-        .expect("parses");
+        let s = PolynomialSystem::parse("# the Table I system\nx1*x2 + x1 + 1;\nx2*x3 + x3;\n")
+            .expect("parses");
         assert_eq!(s.len(), 2);
         assert_eq!(s.num_vars(), 4);
     }
@@ -228,12 +224,7 @@ mod tests {
 
     #[test]
     fn polynomial_display_parse_roundtrip() {
-        for text in [
-            "x0*x1*x2 + x0*x2 + x5 + 1",
-            "x10 + x2",
-            "1",
-            "x7",
-        ] {
+        for text in ["x0*x1*x2 + x0*x2 + x5 + 1", "x10 + x2", "1", "x7"] {
             let p: Polynomial = text.parse().expect("parses");
             let reparsed: Polynomial = p.to_string().parse().expect("round-trip parses");
             assert_eq!(p, reparsed);

@@ -66,9 +66,7 @@ impl Polynomial {
 
     /// The polynomial consisting of a single monomial.
     pub fn from_monomial(m: Monomial) -> Self {
-        Polynomial {
-            monomials: vec![m],
-        }
+        Polynomial { monomials: vec![m] }
     }
 
     /// Builds a polynomial by XOR-ing together the given monomials; pairs of

@@ -138,7 +138,11 @@ impl PolynomialSystem {
 
     /// The maximum total degree over all equations (0 for an empty system).
     pub fn max_degree(&self) -> usize {
-        self.polynomials.iter().map(Polynomial::degree).max().unwrap_or(0)
+        self.polynomials
+            .iter()
+            .map(Polynomial::degree)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total number of monomial occurrences across all equations.
@@ -336,7 +340,10 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let polys: Vec<Polynomial> = vec!["x0".parse().expect("parses"), "x3 + 1".parse().expect("parses")];
+        let polys: Vec<Polynomial> = vec![
+            "x0".parse().expect("parses"),
+            "x3 + 1".parse().expect("parses"),
+        ];
         let s: PolynomialSystem = polys.into_iter().collect();
         assert_eq!(s.len(), 2);
         assert_eq!(s.num_vars(), 4);

@@ -34,7 +34,11 @@ fn bench_example(c: &mut Criterion) {
     let elimlin = elimlin_on(system.polynomials().to_vec());
     println!(
         "Section II-E — ElimLin facts: {:?}",
-        elimlin.facts.iter().map(ToString::to_string).collect::<Vec<_>>()
+        elimlin
+            .facts
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
     );
     let mut engine = Bosphorus::new(system.clone(), BosphorusConfig::default());
     match engine.preprocess() {
@@ -48,7 +52,11 @@ fn bench_example(c: &mut Criterion) {
     c.bench_function("sec2e_xl_step", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(1);
-            black_box(xl_learn(black_box(&system), &BosphorusConfig::exhaustive(), &mut rng))
+            black_box(xl_learn(
+                black_box(&system),
+                &BosphorusConfig::exhaustive(),
+                &mut rng,
+            ))
         })
     });
     c.bench_function("sec2e_elimlin_step", |b| {

@@ -5,11 +5,15 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use bosphorus::{anf_to_cnf, karnaugh_clauses, tseitin_clause_count, AnfPropagator, BosphorusConfig};
+use bosphorus::{
+    anf_to_cnf, karnaugh_clauses, tseitin_clause_count, AnfPropagator, BosphorusConfig,
+};
 use bosphorus_anf::{Polynomial, PolynomialSystem};
 
 fn fig2_polynomial() -> Polynomial {
-    "x1*x3 + x1 + x2 + x4 + 1".parse().expect("Fig. 2 polynomial parses")
+    "x1*x3 + x1 + x2 + x4 + 1"
+        .parse()
+        .expect("Fig. 2 polynomial parses")
 }
 
 fn bench_fig2(c: &mut Criterion) {
@@ -19,7 +23,10 @@ fn bench_fig2(c: &mut Criterion) {
     let karnaugh = karnaugh_clauses(&poly, config.karnaugh_vars).expect("within K");
     let tseitin = tseitin_clause_count(&poly, &config);
     println!("Fig. 2 reproduction for {poly}:");
-    println!("  Karnaugh-map conversion: {} clauses (paper: 6)", karnaugh.len());
+    println!(
+        "  Karnaugh-map conversion: {} clauses (paper: 6)",
+        karnaugh.len()
+    );
     println!("  Tseitin-based conversion: {tseitin} clauses (paper: 11)");
     assert_eq!(karnaugh.len(), 6);
     assert_eq!(tseitin, 11);

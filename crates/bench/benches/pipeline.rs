@@ -18,11 +18,17 @@ fn bench_pipeline(c: &mut Criterion) {
 
     let aes_instance = aes::generate(aes::AesParams::small(1), &mut rng);
     let simon_instance = simon::generate(
-        simon::SimonParams { num_plaintexts: 2, rounds: 3 },
+        simon::SimonParams {
+            num_plaintexts: 2,
+            rounds: 3,
+        },
         &mut rng,
     );
     let bitcoin_instance = bitcoin::generate(
-        bitcoin::BitcoinParams { difficulty: 4, rounds: 3 },
+        bitcoin::BitcoinParams {
+            difficulty: 4,
+            rounds: 3,
+        },
         &mut rng,
     );
 

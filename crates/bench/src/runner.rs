@@ -206,8 +206,18 @@ mod tests {
     fn both_approaches_agree_on_unsat_cnf() {
         let cnf = CnfFormula::parse_dimacs("p cnf 2 4\n1 2 0\n-1 2 0\n1 -2 0\n-1 -2 0\n")
             .expect("parses");
-        let direct = solve_cnf_instance(&cnf, Approach::Direct, &SolverConfig::aggressive(), &settings());
-        let with = solve_cnf_instance(&cnf, Approach::WithBosphorus, &SolverConfig::aggressive(), &settings());
+        let direct = solve_cnf_instance(
+            &cnf,
+            Approach::Direct,
+            &SolverConfig::aggressive(),
+            &settings(),
+        );
+        let with = solve_cnf_instance(
+            &cnf,
+            Approach::WithBosphorus,
+            &SolverConfig::aggressive(),
+            &settings(),
+        );
         assert_eq!(direct.result, Some(false));
         assert_eq!(with.result, Some(false));
     }

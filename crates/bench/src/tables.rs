@@ -4,8 +4,8 @@
 use std::time::Instant;
 
 use bosphorus_anf::PolynomialSystem;
-use bosphorus_cnf::CnfFormula;
 use bosphorus_ciphers::{aes, bitcoin, satcomp, simon};
+use bosphorus_cnf::CnfFormula;
 use bosphorus_groebner::{groebner_basis, GroebnerConfig, GroebnerOutcome};
 use bosphorus_sat::SolverConfig;
 use rand::rngs::StdRng;
@@ -159,9 +159,27 @@ pub fn run_table2(options: &Table2Options) -> Vec<Table2Row> {
 
     if options.include_simon {
         for (label, params) in [
-            ("Simon-[2,3]", simon::SimonParams { num_plaintexts: 2, rounds: 3 }),
-            ("Simon-[2,4]", simon::SimonParams { num_plaintexts: 2, rounds: 4 }),
-            ("Simon-[3,5]", simon::SimonParams { num_plaintexts: 3, rounds: 5 }),
+            (
+                "Simon-[2,3]",
+                simon::SimonParams {
+                    num_plaintexts: 2,
+                    rounds: 3,
+                },
+            ),
+            (
+                "Simon-[2,4]",
+                simon::SimonParams {
+                    num_plaintexts: 2,
+                    rounds: 4,
+                },
+            ),
+            (
+                "Simon-[3,5]",
+                simon::SimonParams {
+                    num_plaintexts: 3,
+                    rounds: 5,
+                },
+            ),
         ] {
             let instances: Vec<Instance> = (0..n)
                 .map(|_| Instance::Anf(simon::generate(params, &mut rng).system))
@@ -211,7 +229,10 @@ pub fn run_groebner_baseline(options: &Table2Options) -> (usize, usize, f64) {
     let start = Instant::now();
     for _ in 0..options.instances_per_family {
         let instance = simon::generate(
-            simon::SimonParams { num_plaintexts: 2, rounds: 3 },
+            simon::SimonParams {
+                num_plaintexts: 2,
+                rounds: 3,
+            },
             &mut rng,
         );
         total += 1;

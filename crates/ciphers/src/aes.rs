@@ -37,13 +37,23 @@ pub struct AesParams {
 impl AesParams {
     /// The paper's SR(1, 4, 4, 8) configuration (one-round AES-128).
     pub fn paper_sr_1_4_4_8() -> Self {
-        AesParams { rounds: 1, rows: 4, cols: 4, word_bits: 8 }
+        AesParams {
+            rounds: 1,
+            rows: 4,
+            cols: 4,
+            word_bits: 8,
+        }
     }
 
     /// A scaled-down configuration used by the reproduction's default
     /// benchmark runs: SR(n, 2, 2, 4).
     pub fn small(rounds: usize) -> Self {
-        AesParams { rounds, rows: 2, cols: 2, word_bits: 4 }
+        AesParams {
+            rounds,
+            rows: 2,
+            cols: 2,
+            word_bits: 4,
+        }
     }
 
     /// Number of field words in the state (and in the key).
@@ -61,8 +71,8 @@ impl AesParams {
 
 fn modulus(word_bits: usize) -> u16 {
     match word_bits {
-        4 => 0b1_0011,        // x^4 + x + 1
-        8 => 0b1_0001_1011,   // x^8 + x^4 + x^3 + x + 1 (the AES polynomial)
+        4 => 0b1_0011,      // x^4 + x + 1
+        8 => 0b1_0001_1011, // x^8 + x^4 + x^3 + x + 1 (the AES polynomial)
         _ => panic!("supported word sizes are 4 and 8 bits"),
     }
 }
@@ -129,9 +139,8 @@ pub fn sbox(x: u16, word_bits: usize) -> u16 {
             // Circulant (1,1,1,0) affine map plus 0x6.
             let mut out = 0u16;
             for i in 0..4 {
-                let bit = ((inv >> i) ^ (inv >> ((i + 1) % 4)) ^ (inv >> ((i + 2) % 4))
-                    ^ (0x6 >> i))
-                    & 1;
+                let bit =
+                    ((inv >> i) ^ (inv >> ((i + 1) % 4)) ^ (inv >> ((i + 2) % 4)) ^ (0x6 >> i)) & 1;
                 out |= bit << i;
             }
             out
@@ -198,7 +207,8 @@ pub fn key_schedule(key: &[u16], params: &AesParams) -> Vec<Vec<u16>> {
         let rcon = round_constant(round, params.word_bits);
         for row in 0..r {
             let rotated = prev[(c - 1) * r + (row + 1) % r];
-            next[row] = prev[row] ^ sbox(rotated, params.word_bits) ^ if row == 0 { rcon } else { 0 };
+            next[row] =
+                prev[row] ^ sbox(rotated, params.word_bits) ^ if row == 0 { rcon } else { 0 };
         }
         for col in 1..c {
             for row in 0..r {
@@ -229,10 +239,7 @@ pub fn encrypt(plaintext: &[u16], key: &[u16], params: &AesParams) -> Vec<u16> {
         .map(|(&p, &k)| p ^ k)
         .collect();
     for round in 1..=params.rounds {
-        state = state
-            .iter()
-            .map(|&x| sbox(x, params.word_bits))
-            .collect();
+        state = state.iter().map(|&x| sbox(x, params.word_bits)).collect();
         state = shift_rows(&state, params);
         // The final round of AES omits MixColumns; the small-scale SR*
         // variant keeps it, and so do we (it only changes the linear layer).
@@ -322,7 +329,11 @@ impl AesEncoder {
     /// Introduces S-box input/output variables for a word whose input is the
     /// given bit polynomials, adds the linking equations, and returns the
     /// output bit polynomials (fresh variables).
-    fn encode_sbox(&mut self, input_bits: &[Polynomial], input_value: u16) -> (Vec<Polynomial>, u16) {
+    fn encode_sbox(
+        &mut self,
+        input_bits: &[Polynomial],
+        input_value: u16,
+    ) -> (Vec<Polynomial>, u16) {
         let e = self.params.word_bits;
         // Input variables u, pinned to the incoming polynomials.
         let u_vars: Vec<Var> = (0..e)
@@ -413,8 +424,12 @@ fn word_scale(word: &SymAesWord, constant: u16, word_bits: usize) -> SymAesWord 
 /// plaintext and key.
 pub fn generate<R: Rng>(params: AesParams, rng: &mut R) -> AesInstance {
     let mask = ((1u32 << params.word_bits) - 1) as u16;
-    let key: Vec<u16> = (0..params.words()).map(|_| rng.gen::<u16>() & mask).collect();
-    let plaintext: Vec<u16> = (0..params.words()).map(|_| rng.gen::<u16>() & mask).collect();
+    let key: Vec<u16> = (0..params.words())
+        .map(|_| rng.gen::<u16>() & mask)
+        .collect();
+    let plaintext: Vec<u16> = (0..params.words())
+        .map(|_| rng.gen::<u16>() & mask)
+        .collect();
     generate_with(params, &key, &plaintext)
 }
 
@@ -451,7 +466,10 @@ pub fn generate_with(params: AesParams, key: &[u16], plaintext: &[u16]) -> AesIn
         for row in 0..r {
             let rotated = &prev[(c - 1) * r + (row + 1) % r];
             let (sbox_bits, sbox_value) = encoder.encode_sbox(&rotated.bits, rotated.value);
-            let sboxed = SymAesWord { bits: sbox_bits, value: sbox_value };
+            let sboxed = SymAesWord {
+                bits: sbox_bits,
+                value: sbox_value,
+            };
             let mut word = word_xor(&prev[row], &sboxed);
             if row == 0 {
                 word = word_xor(&word, &word_const(rcon, params.word_bits));
@@ -631,7 +649,12 @@ mod tests {
 
     #[test]
     fn shift_rows_permutes_rows_by_offset() {
-        let params = AesParams { rounds: 1, rows: 2, cols: 2, word_bits: 4 };
+        let params = AesParams {
+            rounds: 1,
+            rows: 2,
+            cols: 2,
+            word_bits: 4,
+        };
         // Column-major: [ (r0,c0), (r1,c0), (r0,c1), (r1,c1) ]
         let state = vec![1, 2, 3, 4];
         let shifted = shift_rows(&state, &params);

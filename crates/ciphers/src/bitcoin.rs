@@ -113,7 +113,10 @@ pub fn leading_zero_bits(digest: &[u32; 8]) -> usize {
 /// candidates per prefix), so the returned instance is satisfiable and its
 /// `solution_nonce` is a valid proof of work.
 pub fn generate<R: Rng>(params: BitcoinParams, rng: &mut R) -> BitcoinInstance {
-    assert!(params.difficulty <= 64, "difficulty beyond 64 bits is not supported");
+    assert!(
+        params.difficulty <= 64,
+        "difficulty beyond 64 bits is not supported"
+    );
     loop {
         let prefix: Vec<bool> = (0..FIXED_BITS).map(|_| rng.gen()).collect();
         let search_budget = 1u64 << (params.difficulty as u64 + 4).min(26);
@@ -187,7 +190,7 @@ mod tests {
         }
         assert_eq!(nonce, 0xDEADBEEF);
         // Bit 447 is the padding '1'.
-        assert_eq!((words[13] >> (31 - 31)) & 1, 1);
+        assert_eq!(words[13] & 1, 1);
         // The final word holds the length 448.
         assert_eq!(words[15], 448);
         assert_eq!(words[14], 0);
@@ -201,7 +204,9 @@ mod tests {
             rounds: 4,
         };
         let instance = generate(params, &mut rng);
-        let nonce = instance.solution_nonce.expect("generation guarantees a witness");
+        let nonce = instance
+            .solution_nonce
+            .expect("generation guarantees a witness");
         // The encoder witness satisfies the full system, including the
         // leading-zero constraints.
         assert!(instance.system.is_satisfied_by(&instance.encoding.witness));
@@ -213,8 +218,22 @@ mod tests {
     #[test]
     fn difficulty_adds_constraints() {
         let prefix = vec![false; FIXED_BITS];
-        let easy = generate_with_prefix(&prefix, None, BitcoinParams { difficulty: 2, rounds: 2 });
-        let hard = generate_with_prefix(&prefix, None, BitcoinParams { difficulty: 10, rounds: 2 });
+        let easy = generate_with_prefix(
+            &prefix,
+            None,
+            BitcoinParams {
+                difficulty: 2,
+                rounds: 2,
+            },
+        );
+        let hard = generate_with_prefix(
+            &prefix,
+            None,
+            BitcoinParams {
+                difficulty: 10,
+                rounds: 2,
+            },
+        );
         assert_eq!(hard.system.len(), easy.system.len() + 8);
     }
 
@@ -222,6 +241,8 @@ mod tests {
     fn table2_families_have_increasing_difficulty() {
         let families = BitcoinParams::table2_families(8);
         assert_eq!(families.len(), 3);
-        assert!(families.windows(2).all(|w| w[0].difficulty < w[1].difficulty));
+        assert!(families
+            .windows(2)
+            .all(|w| w[0].difficulty < w[1].difficulty));
     }
 }

@@ -64,10 +64,15 @@ pub fn generate<R: Rng>(family: CnfFamily, rng: &mut R) -> CnfFormula {
     match family {
         CnfFamily::Random3Sat { vars, clauses } => random_3sat(vars, clauses, rng),
         CnfFamily::Pigeonhole { pigeons } => pigeonhole(pigeons),
-        CnfFamily::XorChain { length, contradictory } => xor_chain(length, contradictory, rng),
-        CnfFamily::GraphColouring { vertices, edges, colours } => {
-            graph_colouring(vertices, edges, colours, rng)
-        }
+        CnfFamily::XorChain {
+            length,
+            contradictory,
+        } => xor_chain(length, contradictory, rng),
+        CnfFamily::GraphColouring {
+            vertices,
+            edges,
+            colours,
+        } => graph_colouring(vertices, edges, colours, rng),
         CnfFamily::CounterBmc { width, steps } => counter_bmc(width, steps),
     }
 }
@@ -77,13 +82,32 @@ pub fn generate<R: Rng>(family: CnfFamily, rng: &mut R) -> CnfFormula {
 pub fn default_suite(scale: usize) -> Vec<CnfFamily> {
     let scale = scale.max(1);
     vec![
-        CnfFamily::Random3Sat { vars: 20 * scale, clauses: 80 * scale },
-        CnfFamily::Random3Sat { vars: 20 * scale, clauses: 91 * scale },
+        CnfFamily::Random3Sat {
+            vars: 20 * scale,
+            clauses: 80 * scale,
+        },
+        CnfFamily::Random3Sat {
+            vars: 20 * scale,
+            clauses: 91 * scale,
+        },
         CnfFamily::Pigeonhole { pigeons: 4 + scale },
-        CnfFamily::XorChain { length: 24 * scale, contradictory: false },
-        CnfFamily::XorChain { length: 24 * scale, contradictory: true },
-        CnfFamily::GraphColouring { vertices: 10 * scale, edges: 20 * scale, colours: 3 },
-        CnfFamily::CounterBmc { width: 3 + scale, steps: 4 * scale },
+        CnfFamily::XorChain {
+            length: 24 * scale,
+            contradictory: false,
+        },
+        CnfFamily::XorChain {
+            length: 24 * scale,
+            contradictory: true,
+        },
+        CnfFamily::GraphColouring {
+            vertices: 10 * scale,
+            edges: 20 * scale,
+            colours: 3,
+        },
+        CnfFamily::CounterBmc {
+            width: 3 + scale,
+            steps: 4 * scale,
+        },
     ]
 }
 
@@ -147,7 +171,12 @@ fn xor_chain<R: Rng>(length: usize, contradictory: bool, rng: &mut R) -> CnfForm
     cnf
 }
 
-fn graph_colouring<R: Rng>(vertices: usize, edges: usize, colours: usize, rng: &mut R) -> CnfFormula {
+fn graph_colouring<R: Rng>(
+    vertices: usize,
+    edges: usize,
+    colours: usize,
+    rng: &mut R,
+) -> CnfFormula {
     assert!(vertices >= 2 && colours >= 2);
     let var = |v: usize, c: usize| (v * colours + c) as u32;
     let mut cnf = CnfFormula::new(vertices * colours);

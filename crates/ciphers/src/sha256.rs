@@ -63,7 +63,7 @@ fn small_sigma1(x: u32) -> u32 {
 ///
 /// Panics if `rounds` is outside `1..=64`.
 pub fn compress(state: [u32; 8], block: [u32; 16], rounds: usize) -> [u32; 8] {
-    assert!(rounds >= 1 && rounds <= FULL_ROUNDS, "1..=64 rounds");
+    assert!((1..=FULL_ROUNDS).contains(&rounds), "1..=64 rounds");
     let mut w = [0u32; 64];
     w[..16].copy_from_slice(&block);
     for t in 16..FULL_ROUNDS {
@@ -321,19 +321,27 @@ impl Encoder {
 }
 
 fn big_sigma0_sym(x: &SymWord) -> SymWord {
-    x.rotate_right(2).xor(&x.rotate_right(13)).xor(&x.rotate_right(22))
+    x.rotate_right(2)
+        .xor(&x.rotate_right(13))
+        .xor(&x.rotate_right(22))
 }
 
 fn big_sigma1_sym(x: &SymWord) -> SymWord {
-    x.rotate_right(6).xor(&x.rotate_right(11)).xor(&x.rotate_right(25))
+    x.rotate_right(6)
+        .xor(&x.rotate_right(11))
+        .xor(&x.rotate_right(25))
 }
 
 fn small_sigma0_sym(x: &SymWord) -> SymWord {
-    x.rotate_right(7).xor(&x.rotate_right(18)).xor(&x.shift_right(3))
+    x.rotate_right(7)
+        .xor(&x.rotate_right(18))
+        .xor(&x.shift_right(3))
 }
 
 fn small_sigma1_sym(x: &SymWord) -> SymWord {
-    x.rotate_right(17).xor(&x.rotate_right(19)).xor(&x.shift_right(10))
+    x.rotate_right(17)
+        .xor(&x.rotate_right(19))
+        .xor(&x.shift_right(10))
 }
 
 /// Encodes one (round-reduced) SHA-256 compression of a 512-bit block over
@@ -349,7 +357,7 @@ fn small_sigma1_sym(x: &SymWord) -> SymWord {
 /// Panics if `block_bits.len() != 512` or `rounds` is outside `1..=64`.
 pub fn encode_compression(block_bits: &[MessageBit], rounds: usize) -> EncodedCompression {
     assert_eq!(block_bits.len(), 512, "a SHA-256 block has 512 bits");
-    assert!(rounds >= 1 && rounds <= FULL_ROUNDS, "1..=64 rounds");
+    assert!((1..=FULL_ROUNDS).contains(&rounds), "1..=64 rounds");
 
     let mut encoder = Encoder {
         system: PolynomialSystem::new(),
@@ -514,7 +522,10 @@ mod tests {
         assert_eq!(encoded.free_bits.len(), 32);
         assert!(encoded.system.is_satisfied_by(&encoded.witness));
         assert_eq!(encoded.witness_digest, compress(H0, words, 6));
-        assert!(encoded.system.max_degree() <= 2, "adder equations are quadratic");
+        assert!(
+            encoded.system.max_degree() <= 2,
+            "adder equations are quadratic"
+        );
     }
 
     #[test]
@@ -525,9 +536,8 @@ mod tests {
             let word = i / 32;
             let j = i % 32;
             let expected = (encoded.witness_digest[word] >> (31 - j)) & 1 == 1;
-            let actual = bit_poly.evaluate(|v| {
-                (v as usize) < encoded.witness.len() && encoded.witness.get(v)
-            });
+            let actual = bit_poly
+                .evaluate(|v| (v as usize) < encoded.witness.len() && encoded.witness.get(v));
             assert_eq!(actual, expected, "output bit {i}");
         }
     }

@@ -18,8 +18,8 @@ pub const FULL_ROUNDS: usize = 32;
 
 /// The z0 constant sequence used by Simon32/64's key schedule.
 const Z0: [u8; 62] = [
-    1, 1, 1, 1, 1, 0, 1, 0, 0, 0, 1, 0, 0, 1, 0, 1, 0, 1, 1, 0, 0, 0, 0, 1, 1, 1, 0, 0, 1, 1, 0,
-    1, 1, 1, 1, 1, 0, 1, 0, 0, 0, 1, 0, 0, 1, 0, 1, 0, 1, 1, 0, 0, 0, 0, 1, 1, 1, 0, 0, 1, 1, 0,
+    1, 1, 1, 1, 1, 0, 1, 0, 0, 0, 1, 0, 0, 1, 0, 1, 0, 1, 1, 0, 0, 0, 0, 1, 1, 1, 0, 0, 1, 1, 0, 1,
+    1, 1, 1, 1, 0, 1, 0, 0, 0, 1, 0, 0, 1, 0, 1, 0, 1, 1, 0, 0, 0, 0, 1, 1, 1, 0, 0, 1, 1, 0,
 ];
 
 fn rotl16(x: u16, r: u32) -> u16 {
@@ -92,9 +92,18 @@ impl SimonParams {
     /// The `Simon-[n, r]` families used in Table II.
     pub fn table2_families() -> Vec<SimonParams> {
         vec![
-            SimonParams { num_plaintexts: 8, rounds: 6 },
-            SimonParams { num_plaintexts: 9, rounds: 7 },
-            SimonParams { num_plaintexts: 10, rounds: 8 },
+            SimonParams {
+                num_plaintexts: 8,
+                rounds: 6,
+            },
+            SimonParams {
+                num_plaintexts: 9,
+                rounds: 7,
+            },
+            SimonParams {
+                num_plaintexts: 10,
+                rounds: 8,
+            },
         ]
     }
 }
@@ -377,8 +386,20 @@ mod tests {
     #[test]
     fn instance_size_scales_with_parameters() {
         let mut rng = StdRng::seed_from_u64(3);
-        let small = generate(SimonParams { num_plaintexts: 1, rounds: 3 }, &mut rng);
-        let large = generate(SimonParams { num_plaintexts: 4, rounds: 6 }, &mut rng);
+        let small = generate(
+            SimonParams {
+                num_plaintexts: 1,
+                rounds: 3,
+            },
+            &mut rng,
+        );
+        let large = generate(
+            SimonParams {
+                num_plaintexts: 4,
+                rounds: 6,
+            },
+            &mut rng,
+        );
         assert!(large.system.len() > small.system.len());
         assert!(large.system.num_vars() > small.system.num_vars());
     }
@@ -387,14 +408,32 @@ mod tests {
     fn table2_families_match_the_paper() {
         let families = SimonParams::table2_families();
         assert_eq!(families.len(), 3);
-        assert_eq!(families[0], SimonParams { num_plaintexts: 8, rounds: 6 });
-        assert_eq!(families[2], SimonParams { num_plaintexts: 10, rounds: 8 });
+        assert_eq!(
+            families[0],
+            SimonParams {
+                num_plaintexts: 8,
+                rounds: 6
+            }
+        );
+        assert_eq!(
+            families[2],
+            SimonParams {
+                num_plaintexts: 10,
+                rounds: 8
+            }
+        );
     }
 
     #[test]
     #[should_panic(expected = "at least two rounds")]
     fn one_round_is_rejected() {
         let mut rng = StdRng::seed_from_u64(0);
-        let _ = generate(SimonParams { num_plaintexts: 1, rounds: 1 }, &mut rng);
+        let _ = generate(
+            SimonParams {
+                num_plaintexts: 1,
+                rounds: 1,
+            },
+            &mut rng,
+        );
     }
 }

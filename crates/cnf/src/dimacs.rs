@@ -87,10 +87,12 @@ impl CnfFormula {
                 continue;
             }
             for token in trimmed.split_whitespace() {
-                let value: i64 = token.parse().map_err(|_| ParseDimacsError::InvalidLiteral {
-                    line: line_no,
-                    token: token.to_string(),
-                })?;
+                let value: i64 = token
+                    .parse()
+                    .map_err(|_| ParseDimacsError::InvalidLiteral {
+                        line: line_no,
+                        token: token.to_string(),
+                    })?;
                 match Lit::from_dimacs(value) {
                     Some(lit) => current.push(lit),
                     None => {

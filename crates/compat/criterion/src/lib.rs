@@ -1,0 +1,185 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of `criterion` its benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (with `sample_size` and `finish`),
+//! [`Bencher::iter`], and the `criterion_group!` / `criterion_main!`
+//! macros. Benches are compiled with `harness = false`, so each bench
+//! target is an ordinary binary whose `main` this crate's macros provide.
+//!
+//! Instead of criterion's full sampling/outlier analysis, the shim warms
+//! up briefly, runs a fixed batch of timed iterations, and prints the
+//! mean wall-clock time per iteration. That keeps `cargo bench` output
+//! meaningful (and the asserts inside the benches executable) without any
+//! statistics dependencies.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], which real criterion also offers.
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 100;
+
+/// The benchmark manager handed to every `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints its mean iteration time.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id.as_ref(), self.sample_size, f);
+        self
+    }
+
+    /// Starts a named group of benchmarks sharing configuration.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        println!("group: {}", name.as_ref());
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            parent: self,
+            sample_size,
+        }
+    }
+}
+
+/// A group of related benchmarks, mirroring criterion's `BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    #[allow(dead_code)]
+    parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `f` as a named benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id.as_ref(), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group. (Analysis-free in the shim; exists for API parity.)
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, discarding each iteration's return value after
+    /// preventing it from being optimised away.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up pass, untimed.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        iterations: sample_size as u64,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iterations > 0 && bencher.elapsed > Duration::ZERO {
+        let per_iter = bencher.elapsed / bencher.iterations as u32;
+        println!(
+            "bench: {id:<40} {per_iter:>12.2?}/iter ({} iters)",
+            bencher.iterations
+        );
+    } else {
+        println!("bench: {id:<40} (no timing recorded)");
+    }
+}
+
+/// Declares a function that runs each listed benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        // One warm-up call plus `sample_size` timed calls.
+        assert_eq!(runs, DEFAULT_SAMPLE_SIZE as u64 + 1);
+    }
+
+    #[test]
+    fn group_sample_size_applies() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("sized", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 11);
+    }
+}

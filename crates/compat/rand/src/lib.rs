@@ -1,0 +1,298 @@
+//! Minimal offline stand-in for the `rand` crate (0.8-era API surface).
+//!
+//! The build environment for this repository has no network access, so the
+//! workspace vendors the small slice of `rand` the code actually uses:
+//!
+//! * [`RngCore`] / [`Rng`] with `gen`, `gen::<T>()`, `gen_range` and
+//!   `gen_bool`;
+//! * [`SeedableRng::seed_from_u64`] and [`rngs::StdRng`] (xoshiro256++
+//!   seeded through SplitMix64 — deterministic across platforms, which is
+//!   all the benchmark generators need);
+//! * [`seq::SliceRandom`] with Fisher–Yates `shuffle` and `choose`.
+//!
+//! The streams produced are *not* bit-compatible with the real `rand`
+//! crate; everything in this workspace that cares about reproducibility
+//! seeds its own generator and only relies on self-consistency.
+
+#![forbid(unsafe_code)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A random number generator that can be seeded deterministically.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing extension methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the "standard" distribution
+    /// (uniform over all values; `bool` is a fair coin).
+    fn gen<T: SampleStandard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from `range`, which may be half-open (`a..b`) or
+    /// inclusive (`a..=b`). Panics on an empty range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        // 53 random bits give a uniform float in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable uniformly over their whole value range.
+pub trait SampleStandard {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_standard_int {
+    ($($t:ty),*) => {$(
+        impl SampleStandard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleStandard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can produce one uniform sample.
+pub trait SampleRange<T> {
+    /// Draws one value from `rng`; panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Returns a uniform value in `[0, bound)` by rejection sampling; panics if
+/// `bound` is zero. Public so the sibling `proptest` shim shares one
+/// correct wide-integer sampler instead of maintaining its own.
+pub fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u128) -> u128 {
+    assert!(bound > 0, "uniform_below: bound must be positive");
+    // Rejection sampling over the smallest covering power of two keeps the
+    // distribution exactly uniform.
+    let mask = bound.next_power_of_two().wrapping_sub(1);
+    loop {
+        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        let candidate = wide & mask;
+        if candidate < bound {
+            return candidate;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = uniform_below(rng, span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = uniform_below(rng, span) as i128;
+                (start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++ with
+    /// SplitMix64 seed expansion.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                state: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.state = s;
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::Rng;
+
+    fn index_below<R: Rng + ?Sized>(rng: &mut R, bound: usize) -> usize {
+        super::uniform_below(rng, bound as u128) as usize
+    }
+
+    /// Extension trait for slices: random shuffling and element choice.
+    pub trait SliceRandom {
+        /// The element type of the slice.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly random element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = index_below(rng, i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[index_below(rng, self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i32 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut data: Vec<u32> = (0..50).collect();
+        data.shuffle(&mut rng);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(data, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn generic_rng_arguments_accept_mut_refs() {
+        fn takes_generic<R: Rng>(rng: &mut R) -> u64 {
+            let inner = |r: &mut R| r.gen::<u64>();
+            inner(rng) ^ rng.gen::<u64>()
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        takes_generic(&mut rng);
+    }
+}

@@ -300,7 +300,9 @@ mod tests {
             for (&v, m) in &conversion.monomial_of_var {
                 forced[v as usize] = Some(m.evaluate(|w| anf_assign[w as usize]));
             }
-            let free: Vec<usize> = (0..cnf.num_vars()).filter(|&i| forced[i].is_none()).collect();
+            let free: Vec<usize> = (0..cnf.num_vars())
+                .filter(|&i| forced[i].is_none())
+                .collect();
             let mut cnf_ok = false;
             for aux_bits in 0u64..(1 << free.len()) {
                 let mut full: Vec<bool> = forced.iter().map(|o| o.unwrap_or(false)).collect();
@@ -344,8 +346,7 @@ mod tests {
     fn high_degree_monomials_get_auxiliary_variables() {
         // Ten distinct variables in one polynomial forces the Tseitin path;
         // the degree-3 monomial gets a definition variable.
-        let (system, conversion) =
-            convert("x0*x1*x2 + x3 + x4 + x5 + x6 + x7 + x8 + x9;");
+        let (system, conversion) = convert("x0*x1*x2 + x3 + x4 + x5 + x6 + x7 + x8 + x9;");
         let m = Monomial::from_vars([0, 1, 2]);
         assert!(conversion.var_of_monomial.contains_key(&m));
         let v = conversion.var_of_monomial[&m];
@@ -367,7 +368,15 @@ mod tests {
             .iter()
             .any(|c| c.is_unit() && c.contains(Lit::positive(2))));
         // The equivalence contributes two binary clauses.
-        assert!(conversion.cnf.clauses().iter().filter(|c| c.is_binary()).count() >= 2);
+        assert!(
+            conversion
+                .cnf
+                .clauses()
+                .iter()
+                .filter(|c| c.is_binary())
+                .count()
+                >= 2
+        );
     }
 
     #[test]
@@ -409,10 +418,9 @@ mod tests {
 
     #[test]
     fn xor_constraints_emitted_when_requested() {
-        let system = PolynomialSystem::parse(
-            "x0 + x1 + x2 + x3 + x4 + x5 + x6 + x7 + x8 + x9 + 1;",
-        )
-        .expect("parses");
+        let system =
+            PolynomialSystem::parse("x0 + x1 + x2 + x3 + x4 + x5 + x6 + x7 + x8 + x9 + 1;")
+                .expect("parses");
         let propagator = AnfPropagator::new(system.num_vars());
         let mut cfg = config();
         cfg.emit_xor_constraints = true;
@@ -434,9 +442,7 @@ mod tests {
         let mut solver = Solver::from_formula(SolverConfig::aggressive(), &conversion.cnf);
         assert_eq!(solver.solve(), SolveResult::Sat);
         let model = solver.model().expect("model");
-        let anf_satisfied = system
-            .iter()
-            .all(|p| !p.evaluate(|v| model[v as usize]));
+        let anf_satisfied = system.iter().all(|p| !p.evaluate(|v| model[v as usize]));
         assert!(anf_satisfied);
         // The paper's unique solution: x1..x4 = 1, x5 = 0.
         assert!(model[1] && model[2] && model[3] && model[4] && !model[5]);

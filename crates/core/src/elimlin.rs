@@ -140,7 +140,9 @@ mod tests {
         // x2 + 1, so ElimLin learns both x1+x2+x3 and x2+1.
         let outcome = elimlin_on(polys("x1 + x2 + x3; x1*x2 + x2*x3 + 1;"));
         assert!(!outcome.contradiction);
-        assert!(outcome.facts.contains(&"x1 + x2 + x3".parse().expect("parses")));
+        assert!(outcome
+            .facts
+            .contains(&"x1 + x2 + x3".parse().expect("parses")));
         assert!(outcome.facts.contains(&"x2 + 1".parse().expect("parses")));
         assert!(outcome.eliminated_vars >= 1);
         assert!(outcome.rounds >= 2);

@@ -208,8 +208,8 @@ impl Bosphorus {
             if added == 0 {
                 // No new facts from the SAT solver: increase the budget, as
                 // described in Section IV.
-                budget = (budget + self.config.sat_budget_increment)
-                    .min(self.config.sat_budget_max);
+                budget =
+                    (budget + self.config.sat_budget_increment).min(self.config.sat_budget_max);
             }
             new_facts += added;
             if self.propagate_master() {
@@ -222,9 +222,8 @@ impl Bosphorus {
         }
         if self.master.is_empty() && !self.propagator.has_contradiction() {
             // Everything is determined: read the solution off the propagator.
-            let assignment = self.reconstruct_assignment(&Assignment::all_false(
-                self.original_num_vars,
-            ));
+            let assignment =
+                self.reconstruct_assignment(&Assignment::all_false(self.original_num_vars));
             if self.original.is_satisfied_by(&assignment) {
                 self.solution = Some(assignment.clone());
                 self.stats.decided_during_preprocessing = true;
@@ -430,10 +429,8 @@ mod tests {
     fn cnf_preprocessor_mode_roundtrip() {
         // A small satisfiable CNF; preprocessing must preserve
         // satisfiability and the output CNF must include the original one.
-        let cnf = CnfFormula::parse_dimacs(
-            "p cnf 4 5\n1 2 0\n-1 3 0\n-2 -3 0\n3 4 0\n-3 -4 0\n",
-        )
-        .expect("parses");
+        let cnf = CnfFormula::parse_dimacs("p cnf 4 5\n1 2 0\n-1 3 0\n-2 -3 0\n3 4 0\n-3 -4 0\n")
+            .expect("parses");
         let mut engine = Bosphorus::from_cnf(&cnf, BosphorusConfig::default());
         let status = engine.preprocess();
         assert_ne!(status, PreprocessStatus::Unsat);
@@ -470,7 +467,10 @@ mod tests {
         let mut engine = Bosphorus::new(section_2e(), BosphorusConfig::default());
         let _ = engine.preprocess();
         let stats = engine.stats();
-        assert!(stats.facts_from_xl > 0, "XL learns facts on the paper example");
+        assert!(
+            stats.facts_from_xl > 0,
+            "XL learns facts on the paper example"
+        );
         assert_eq!(
             stats.total_facts(),
             stats.facts_from_xl + stats.facts_from_elimlin + stats.facts_from_sat

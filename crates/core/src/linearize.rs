@@ -197,7 +197,10 @@ mod tests {
     fn size_bits_is_rows_times_cols() {
         let ps = polys("x0 + x1; x1 + x2;");
         let lin = Linearization::build(ps.iter());
-        assert_eq!(lin.size_bits(), (lin.num_rows() * lin.num_columns()) as u128);
+        assert_eq!(
+            lin.size_bits(),
+            (lin.num_rows() * lin.num_columns()) as u128
+        );
     }
 
     #[test]

@@ -240,10 +240,7 @@ mod tests {
 
     #[test]
     fn constants_and_limits() {
-        assert_eq!(
-            karnaugh_clauses(&Polynomial::zero(), 8),
-            Some(Vec::new())
-        );
+        assert_eq!(karnaugh_clauses(&Polynomial::zero(), 8), Some(Vec::new()));
         assert_eq!(
             karnaugh_clauses(&Polynomial::one(), 8),
             Some(vec![Clause::empty()])

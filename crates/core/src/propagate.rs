@@ -304,8 +304,14 @@ impl AnfPropagator {
                     let (a, b) = (vars[0], vars[1]);
                     let already = match (self.resolve(a), self.resolve(b)) {
                         (
-                            Resolved::Literal { root: ra, negated: na },
-                            Resolved::Literal { root: rb, negated: nb },
+                            Resolved::Literal {
+                                root: ra,
+                                negated: na,
+                            },
+                            Resolved::Literal {
+                                root: rb,
+                                negated: nb,
+                            },
                         ) => ra == rb && (na ^ nb) == constant,
                         (Resolved::Value(va), Resolved::Value(vb)) => (va ^ vb) == constant,
                         _ => false,

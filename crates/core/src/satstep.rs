@@ -241,10 +241,9 @@ mod tests {
 
     #[test]
     fn xor_reasoning_configuration_accepts_native_xors() {
-        let system = PolynomialSystem::parse(
-            "x0 + x1 + x2 + x3 + x4 + x5 + x6 + x7 + x8 + x9 + 1;",
-        )
-        .expect("parses");
+        let system =
+            PolynomialSystem::parse("x0 + x1 + x2 + x3 + x4 + x5 + x6 + x7 + x8 + x9 + 1;")
+                .expect("parses");
         let propagator = AnfPropagator::new(system.num_vars());
         let config = BosphorusConfig {
             emit_xor_constraints: true,

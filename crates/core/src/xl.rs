@@ -135,10 +135,7 @@ pub fn xl_learn<R: Rng>(
     let expanded_columns = lin.num_columns();
     let reduced = lin.eliminate();
     let rank = reduced.len();
-    let facts = reduced
-        .into_iter()
-        .filter(|p| is_retainable_fact(p))
-        .collect();
+    let facts = reduced.into_iter().filter(is_retainable_fact).collect();
     XlOutcome {
         facts,
         expanded_rows,

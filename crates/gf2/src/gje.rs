@@ -169,11 +169,8 @@ impl BitMatrix {
             match row.first_one() {
                 None => {}
                 Some(p) if p == ncols => return SolveOutcome::Inconsistent,
-                Some(p) => {
-                    if row.get(ncols) {
-                        x.set(p, true);
-                    }
-                }
+                Some(p) if row.get(ncols) => x.set(p, true),
+                Some(_) => {}
             }
         }
         SolveOutcome::Solution(x)

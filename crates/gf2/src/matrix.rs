@@ -256,10 +256,7 @@ mod tests {
 
     #[test]
     fn from_dense_roundtrip() {
-        let m = BitMatrix::from_dense(&[
-            vec![true, false, true],
-            vec![false, true, true],
-        ]);
+        let m = BitMatrix::from_dense(&[vec![true, false, true], vec![false, true, true]]);
         assert_eq!(m.nrows(), 2);
         assert_eq!(m.ncols(), 3);
         assert!(m.get(0, 0) && m.get(0, 2) && m.get(1, 1) && m.get(1, 2));
@@ -300,10 +297,7 @@ mod tests {
 
     #[test]
     fn matrix_product_with_identity() {
-        let m = BitMatrix::from_dense(&[
-            vec![true, false, true],
-            vec![false, true, true],
-        ]);
+        let m = BitMatrix::from_dense(&[vec![true, false, true], vec![false, true, true]]);
         let id = BitMatrix::identity(3);
         assert_eq!(m.mul(&id), m);
     }

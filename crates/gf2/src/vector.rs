@@ -68,7 +68,11 @@ impl BitVec {
     ///
     /// Panics if `index >= self.len()`.
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         (self.words[index / 64] >> (index % 64)) & 1 == 1
     }
 
@@ -78,7 +82,11 @@ impl BitVec {
     ///
     /// Panics if `index >= self.len()`.
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         let mask = 1u64 << (index % 64);
         if value {
             self.words[index / 64] |= mask;
@@ -93,7 +101,11 @@ impl BitVec {
     ///
     /// Panics if `index >= self.len()`.
     pub fn flip(&mut self, index: usize) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         self.words[index / 64] ^= 1u64 << (index % 64);
     }
 

@@ -360,32 +360,24 @@ impl Solver {
                     self.cancel_until(0);
                     continue;
                 }
-                if self.decision_level() == 0 {
-                    if self.config.xor_reasoning
-                        && self.conflicts_since_gauss >= self.config.xor_gauss_interval
-                    {
-                        if !self.xor_gauss_top_level() {
-                            self.ok = false;
-                            return SolveResult::Unsat;
-                        }
-                        self.conflicts_since_gauss = 0;
-                    }
-                }
-                if self.config.reduce_db
-                    && (self.stats.learnt_clauses as f64) >= max_learnts
+                if self.decision_level() == 0
+                    && self.config.xor_reasoning
+                    && self.conflicts_since_gauss >= self.config.xor_gauss_interval
                 {
+                    if !self.xor_gauss_top_level() {
+                        self.ok = false;
+                        return SolveResult::Unsat;
+                    }
+                    self.conflicts_since_gauss = 0;
+                }
+                if self.config.reduce_db && (self.stats.learnt_clauses as f64) >= max_learnts {
                     self.reduce_db();
                     max_learnts *= 1.5;
                 }
                 match self.pick_branch_var() {
                     None => {
                         // Every variable is assigned: we have a model.
-                        self.model = Some(
-                            self.assigns
-                                .iter()
-                                .map(|&a| a == LBool::True)
-                                .collect(),
-                        );
+                        self.model = Some(self.assigns.iter().map(|&a| a == LBool::True).collect());
                         self.cancel_until(0);
                         return SolveResult::Sat;
                     }
@@ -753,9 +745,7 @@ impl Solver {
             _ => {
                 let reason = self.reason_lits(!lit);
                 reason.iter().all(|&q| {
-                    q == !lit
-                        || self.level[q.var() as usize] == 0
-                        || self.seen[q.var() as usize]
+                    q == !lit || self.level[q.var() as usize] == 0 || self.seen[q.var() as usize]
                 })
             }
         }
@@ -892,8 +882,7 @@ impl Solver {
         let mut pivots: Vec<(CnfVar, usize)> = Vec::new();
         for i in 0..rows.len() {
             let mut row = rows[i].clone();
-            loop {
-                let Some(&lead) = row.vars().first() else { break };
+            while let Some(&lead) = row.vars().first() {
                 if let Some(&(_, j)) = pivots.iter().find(|&&(p, _)| p == lead) {
                     row = row.combine(&rows[j]);
                 } else {
@@ -934,8 +923,6 @@ fn luby(i: u64) -> u64 {
         size = 2 * size + 1;
     }
     let mut i = i;
-    let mut size = size;
-    let mut seq = seq;
     while size - 1 != i {
         size = (size - 1) / 2;
         seq -= 1;

@@ -98,10 +98,7 @@ impl XorConstraint {
 
     /// Evaluates the constraint under a variable valuation.
     pub fn evaluate<F: Fn(CnfVar) -> bool>(&self, value: F) -> bool {
-        let parity = self
-            .vars
-            .iter()
-            .fold(false, |acc, &v| acc ^ value(v));
+        let parity = self.vars.iter().fold(false, |acc, &v| acc ^ value(v));
         parity == self.rhs
     }
 }

@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          x2*x3 + x3*x5 + 1;
          x2*x3 + x5 + 1;",
     )?;
-    println!("input ANF ({} equations, {} variables):", system.len(), system.num_vars());
+    println!(
+        "input ANF ({} equations, {} variables):",
+        system.len(),
+        system.num_vars()
+    );
     print!("{system}");
 
     let mut engine = Bosphorus::new(system.clone(), BosphorusConfig::default());

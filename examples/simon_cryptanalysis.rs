@@ -11,7 +11,9 @@
 use std::time::Instant;
 
 use bosphorus_repro::ciphers::simon;
-use bosphorus_repro::core::{anf_to_cnf, AnfPropagator, Bosphorus, BosphorusConfig, PreprocessStatus};
+use bosphorus_repro::core::{
+    anf_to_cnf, AnfPropagator, Bosphorus, BosphorusConfig, PreprocessStatus,
+};
 use bosphorus_repro::sat::{SolveResult, Solver, SolverConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -2,8 +2,8 @@
 //! polynomials rather than toy systems.
 
 use bosphorus_repro::anf::{Assignment, PolynomialSystem};
-use bosphorus_repro::cnf::CnfFormula;
 use bosphorus_repro::ciphers::{satcomp, simon};
+use bosphorus_repro::cnf::CnfFormula;
 use bosphorus_repro::core::{anf_to_cnf, cnf_to_anf, AnfPropagator, BosphorusConfig};
 use bosphorus_repro::sat::{SolveResult, Solver, SolverConfig};
 use rand::rngs::StdRng;
@@ -120,10 +120,9 @@ fn conversion_paths_match_polynomial_shape() {
     assert!(simon_conv.karnaugh_clauses > 0);
 
     // A wide parity constraint must take the Tseitin path with XOR cutting.
-    let wide = PolynomialSystem::parse(
-        "x0 + x1 + x2 + x3 + x4 + x5 + x6 + x7 + x8 + x9 + x10 + x11 + 1;",
-    )
-    .expect("parses");
+    let wide =
+        PolynomialSystem::parse("x0 + x1 + x2 + x3 + x4 + x5 + x6 + x7 + x8 + x9 + x10 + x11 + 1;")
+            .expect("parses");
     let wide_conv = anf_to_cnf(&wide, &AnfPropagator::new(wide.num_vars()), &config);
     assert!(wide_conv.tseitin_clauses > 0);
     assert!(wide_conv.cnf.num_vars() > wide.num_vars());

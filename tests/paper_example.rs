@@ -28,7 +28,10 @@ fn table1_xl_learns_the_three_unit_facts() {
     let outcome = xl_learn(&system, &BosphorusConfig::exhaustive(), &mut rng);
     for expected in ["x1 + 1", "x2", "x3"] {
         let fact: Polynomial = expected.parse().expect("parses");
-        assert!(outcome.facts.contains(&fact), "missing Table I fact {expected}");
+        assert!(
+            outcome.facts.contains(&fact),
+            "missing Table I fact {expected}"
+        );
     }
     assert_eq!(outcome.rank, 6, "Table I(b) has six non-zero rows");
 }
@@ -46,7 +49,11 @@ fn section_2c_elimlin_worked_example() {
 #[test]
 fn section_2e_xl_learns_the_six_documented_facts() {
     let mut rng = StdRng::seed_from_u64(1);
-    let outcome = xl_learn(&section_2e_system(), &BosphorusConfig::exhaustive(), &mut rng);
+    let outcome = xl_learn(
+        &section_2e_system(),
+        &BosphorusConfig::exhaustive(),
+        &mut rng,
+    );
     for expected in [
         "x2*x3*x4 + 1",
         "x1*x3*x4 + 1",
@@ -56,7 +63,10 @@ fn section_2e_xl_learns_the_six_documented_facts() {
         "x1 + x2",
     ] {
         let fact: Polynomial = expected.parse().expect("parses");
-        assert!(outcome.facts.contains(&fact), "missing Section II-E XL fact {expected}");
+        assert!(
+            outcome.facts.contains(&fact),
+            "missing Section II-E XL fact {expected}"
+        );
     }
 }
 
@@ -88,7 +98,10 @@ fn section_2e_full_solve_and_fact_soundness() {
     // Every learnt fact holds in the system's unique solution.
     let solution = Assignment::from_bits([false, true, true, true, true, false]);
     for fact in engine.learnt_facts() {
-        assert!(!fact.evaluate(|v| solution.get(v)), "fact {fact} is not a consequence");
+        assert!(
+            !fact.evaluate(|v| solution.get(v)),
+            "fact {fact} is not a consequence"
+        );
     }
 }
 
