@@ -1,0 +1,55 @@
+//! Benchmarks the GF(2) elimination kernels against each other: schoolbook
+//! ("plain"), the legacy blocked entry point (now a wrapper over M4RM with a
+//! fixed block width), and M4RM with the automatic block-size heuristic.
+//!
+//! Sizes straddle 64-bit word boundaries on purpose; the 1024×1024 case is
+//! the headline comparison recorded in `BENCH_gje.json` by the `gje_bench`
+//! binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bosphorus_bench::random_dense_matrix;
+use bosphorus_gf2::m4rm_block_size;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2019);
+    let mut group = c.benchmark_group("gje_kernels");
+    group.sample_size(10);
+    for &n in &[65usize, 129, 256, 1024] {
+        let m = random_dense_matrix(&mut rng, n, n);
+
+        // The three kernels must agree before being compared.
+        let plain_rank = m.clone().gauss_jordan_plain_with_stats().rank;
+        let m4rm_rank = m
+            .clone()
+            .gauss_jordan_m4rm_with_stats(m4rm_block_size(n, n))
+            .rank;
+        assert_eq!(plain_rank, m4rm_rank, "kernels disagree at {n}x{n}");
+
+        group.bench_function(format!("plain/{n}x{n}"), |b| {
+            b.iter(|| {
+                let mut a = black_box(&m).clone();
+                black_box(a.gauss_jordan_plain_with_stats().rank)
+            })
+        });
+        group.bench_function(format!("blocked4/{n}x{n}"), |b| {
+            b.iter(|| {
+                let mut a = black_box(&m).clone();
+                black_box(a.gauss_jordan_blocked_with_stats(4).rank)
+            })
+        });
+        group.bench_function(format!("m4rm_auto/{n}x{n}"), |b| {
+            b.iter(|| {
+                let mut a = black_box(&m).clone();
+                black_box(a.gauss_jordan_with_stats().rank)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

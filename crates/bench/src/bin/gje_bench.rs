@@ -1,0 +1,170 @@
+//! Records the GF(2) elimination-kernel baseline: schoolbook ("plain", the
+//! seed kernel) vs the legacy blocked entry point vs M4RM with automatic
+//! block selection, across matrix sizes spanning 64-bit word boundaries.
+//!
+//! Emits a machine-readable `BENCH_gje.json` next to the human-readable
+//! table — the repo's recorded perf baseline for the XL/ElimLin hot path.
+//!
+//! ```text
+//! cargo run --release -p bosphorus-bench --bin gje_bench -- [--quick] [--out PATH] [--seed N]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bosphorus_bench::random_dense_matrix;
+use bosphorus_gf2::{m4rm_block_size, BitMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One (size, kernel-comparison) measurement.
+struct SizeResult {
+    rows: usize,
+    cols: usize,
+    rank: usize,
+    m4rm_k: usize,
+    plain_ns: u128,
+    blocked_ns: u128,
+    m4rm_ns: u128,
+}
+
+impl SizeResult {
+    fn speedup_m4rm_vs_plain(&self) -> f64 {
+        self.plain_ns as f64 / self.m4rm_ns.max(1) as f64
+    }
+}
+
+/// Best-of-`reps` wall clock of `f` on a fresh clone per repetition.
+fn time_best<F: Fn(&mut BitMatrix) -> usize>(m: &BitMatrix, reps: usize, f: F) -> (u128, usize) {
+    let mut best = u128::MAX;
+    let mut rank = 0usize;
+    for _ in 0..reps {
+        let mut a = m.clone();
+        let start = Instant::now();
+        rank = f(&mut a);
+        best = best.min(start.elapsed().as_nanos());
+    }
+    (best, rank)
+}
+
+fn measure(m: &BitMatrix, reps: usize) -> SizeResult {
+    let (rows, cols) = (m.nrows(), m.ncols());
+    let m4rm_k = m4rm_block_size(rows, cols);
+    let (plain_ns, plain_rank) = time_best(m, reps, |a| a.gauss_jordan_plain_with_stats().rank);
+    let (blocked_ns, blocked_rank) =
+        time_best(m, reps, |a| a.gauss_jordan_blocked_with_stats(4).rank);
+    let (m4rm_ns, m4rm_rank) = time_best(m, reps, |a| a.gauss_jordan_m4rm_with_stats(m4rm_k).rank);
+    assert_eq!(plain_rank, blocked_rank, "blocked kernel disagrees");
+    assert_eq!(plain_rank, m4rm_rank, "M4RM kernel disagrees");
+    SizeResult {
+        rows,
+        cols,
+        rank: plain_rank,
+        m4rm_k,
+        plain_ns,
+        blocked_ns,
+        m4rm_ns,
+    }
+}
+
+fn to_json(results: &[SizeResult], mode: &str, seed: u64, reps: usize) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"gje_kernels\",");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"reps\": {reps},");
+    let _ = writeln!(out, "  \"time_metric\": \"best_of_reps_ns\",");
+    out.push_str("  \"sizes\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"rows\": {}, \"cols\": {}, \"rank\": {}, \"m4rm_k\": {}, \
+             \"plain_ns\": {}, \"blocked_ns\": {}, \"m4rm_ns\": {}, \
+             \"speedup_m4rm_vs_plain\": {:.2}}}",
+            r.rows,
+            r.cols,
+            r.rank,
+            r.m4rm_k,
+            r.plain_ns,
+            r.blocked_ns,
+            r.m4rm_ns,
+            r.speedup_m4rm_vs_plain()
+        );
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    let headline = results
+        .iter()
+        .find(|r| r.rows == 1024 && r.cols == 1024)
+        .map(SizeResult::speedup_m4rm_vs_plain);
+    match headline {
+        Some(s) => {
+            let _ = writeln!(out, "  \"speedup_1024_m4rm_vs_plain\": {s:.2}");
+        }
+        None => {
+            let _ = writeln!(out, "  \"speedup_1024_m4rm_vs_plain\": null");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_gje.json".to_string();
+    let mut seed = 2019u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = args.next().unwrap_or(out_path),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--help" | "-h" => {
+                println!("usage: gje_bench [--quick] [--out PATH] [--seed N]");
+                return;
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    // 1024x1024 stays in quick mode: it is the headline number the recorded
+    // baseline (and CI smoke check) relies on.
+    let (sizes, reps, mode): (&[usize], usize, &str) = if quick {
+        (&[64, 129, 1024], 2, "quick")
+    } else {
+        (&[63, 64, 65, 127, 129, 256, 512, 1024], 5, "full")
+    };
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut results = Vec::new();
+    println!("GF(2) Gauss-Jordan kernels, dense random matrices (best of {reps} reps):");
+    println!(
+        "{:>10} {:>6} {:>4} {:>14} {:>14} {:>14} {:>9}",
+        "size", "rank", "k", "plain", "blocked(4)", "m4rm(auto)", "speedup"
+    );
+    for &n in sizes {
+        let m = random_dense_matrix(&mut rng, n, n);
+        let r = measure(&m, reps);
+        println!(
+            "{:>10} {:>6} {:>4} {:>12}ns {:>12}ns {:>12}ns {:>8.2}x",
+            format!("{n}x{n}"),
+            r.rank,
+            r.m4rm_k,
+            r.plain_ns,
+            r.blocked_ns,
+            r.m4rm_ns,
+            r.speedup_m4rm_vs_plain()
+        );
+        results.push(r);
+    }
+
+    let json = to_json(&results, mode, seed, reps);
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("\nwrote {out_path}");
+    if let Some(headline) = results
+        .iter()
+        .find(|r| r.rows == 1024 && r.cols == 1024)
+        .map(SizeResult::speedup_m4rm_vs_plain)
+    {
+        println!("1024x1024 M4RM speedup over the seed kernel: {headline:.2}x");
+    }
+}

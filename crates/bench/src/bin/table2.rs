@@ -2,7 +2,7 @@
 //! and without Bosphorus, for three solver configurations).
 //!
 //! ```text
-//! cargo run --release -p bosphorus-bench --bin table2 -- [--family all|sr|simon|bitcoin|satcomp|groebner-baseline] [--instances N]
+//! cargo run --release -p bosphorus-bench --bin table2 -- [--family all|sr|simon|bitcoin|satcomp|groebner-baseline] [--instances N] [--jobs N]
 //! ```
 
 use std::time::Duration;
@@ -14,6 +14,7 @@ fn main() {
     let mut family = "all".to_string();
     let mut instances = 3usize;
     let mut timeout_secs = 5u64;
+    let mut jobs = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -30,10 +31,11 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(timeout_secs)
             }
+            "--jobs" => jobs = args.next().and_then(|v| v.parse().ok()).unwrap_or(jobs),
             "--help" | "-h" => {
                 println!(
                     "usage: table2 [--family all|sr|simon|bitcoin|satcomp|groebner-baseline] \
-                     [--instances N] [--timeout SECONDS]"
+                     [--instances N] [--timeout SECONDS] [--jobs N]"
                 );
                 return;
             }
@@ -52,19 +54,30 @@ fn main() {
             nominal_timeout: Duration::from_secs(timeout_secs),
             ..RunSettings::default()
         },
+        jobs,
         ..Table2Options::default()
     };
 
     println!("Table II reproduction (PAR-2 in seconds, lower is better; (sat+unsat) solved)");
     println!(
-        "instances per family: {}, nominal timeout: {}s, final conflict cap: {}",
+        "instances per family: {}, nominal timeout: {}s, final conflict cap: {}, jobs: {}",
         options.instances_per_family,
         options.settings.nominal_timeout.as_secs(),
-        options.settings.final_conflict_cap
+        options.settings.final_conflict_cap,
+        options.jobs
     );
     println!();
 
     if family != "groebner-baseline" {
+        if options.jobs > 1 {
+            println!(
+                "note: --jobs {} — solved counts stay deterministic, but measured \
+                 runtimes (and PAR-2) inflate under CPU contention; use --jobs 1 \
+                 for PAR-2 values comparable to a sequential baseline",
+                options.jobs
+            );
+            println!();
+        }
         let rows = run_table2(&options);
         println!("{}", format_table2(&rows));
     }

@@ -17,9 +17,30 @@
 #![warn(missing_docs)]
 
 pub mod par2;
+pub mod parallel;
 pub mod runner;
 pub mod tables;
 
 pub use par2::{Par2Scorer, ScoredRun};
+pub use parallel::run_indexed;
+
+use bosphorus_gf2::BitMatrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Builds a dense uniform random GF(2) matrix — the shared input generator
+/// of the `gje_kernels` bench and the `gje_bench` baseline binary, so both
+/// measure the same distribution for a given seed.
+pub fn random_dense_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> BitMatrix {
+    let mut m = BitMatrix::zero(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if rng.gen::<bool>() {
+                m.set(r, c, true);
+            }
+        }
+    }
+    m
+}
 pub use runner::{solve_anf_instance, solve_cnf_instance, Approach, InstanceOutcome, RunSettings};
 pub use tables::{run_table2, Table2Options, Table2Row};

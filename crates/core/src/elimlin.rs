@@ -8,6 +8,7 @@
 //! the original system and is reported as a learnt fact.
 
 use bosphorus_anf::{Polynomial, PolynomialSystem, Var};
+use bosphorus_gf2::GaussStats;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -26,6 +27,9 @@ pub struct ElimLinOutcome {
     pub eliminated_vars: usize,
     /// `true` if a contradiction (`1 = 0`) was derived.
     pub contradiction: bool,
+    /// Cumulative elimination-kernel operation counts across all rounds
+    /// (the `rank` field is the *sum* of per-round ranks).
+    pub gauss: GaussStats,
 }
 
 /// Runs ElimLin fact learning on (a subsample of) `system`.
@@ -61,6 +65,7 @@ pub fn elimlin_on(mut working: Vec<Polynomial>) -> ElimLinOutcome {
         rounds: 0,
         eliminated_vars: 0,
         contradiction: false,
+        gauss: GaussStats::default(),
     };
     loop {
         outcome.rounds += 1;
@@ -72,7 +77,8 @@ pub fn elimlin_on(mut working: Vec<Polynomial>) -> ElimLinOutcome {
         }
         // Step (1): Gauss–Jordan elimination on the linearisation.
         let mut lin = Linearization::build(working.iter());
-        let reduced = lin.eliminate();
+        let (reduced, round_stats) = lin.eliminate_with_stats();
+        outcome.gauss.merge(round_stats);
         if reduced.iter().any(Polynomial::is_one) {
             outcome.contradiction = true;
             outcome.facts.push(Polynomial::one());
@@ -146,6 +152,10 @@ mod tests {
         assert!(outcome.facts.contains(&"x2 + 1".parse().expect("parses")));
         assert!(outcome.eliminated_vars >= 1);
         assert!(outcome.rounds >= 2);
+        assert!(
+            outcome.gauss.rank >= 2,
+            "cumulative rank spans every GJE round"
+        );
     }
 
     #[test]

@@ -158,6 +158,7 @@ impl Bosphorus {
 
             // --- XL ---------------------------------------------------
             let xl = xl_learn(&self.master, &self.config, &mut self.rng);
+            self.stats.gauss_row_xors += xl.gauss.row_xors as u64;
             let added = self.add_facts(xl.facts);
             self.stats.facts_from_xl += added;
             new_facts += added;
@@ -167,6 +168,7 @@ impl Bosphorus {
 
             // --- ElimLin ----------------------------------------------
             let elimlin = elimlin_learn(&self.master, &self.config, &mut self.rng);
+            self.stats.gauss_row_xors += elimlin.gauss.row_xors as u64;
             if elimlin.contradiction {
                 self.unsat = true;
                 return PreprocessStatus::Unsat;

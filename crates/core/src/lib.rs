@@ -57,6 +57,7 @@ mod stats;
 mod xl;
 
 pub use anf_to_cnf::{anf_to_cnf, tseitin_clause_count, CnfConversion};
+pub use bosphorus_gf2::GaussStats;
 pub use cnf_to_anf::{clause_to_polynomial, cnf_to_anf, AnfConversion};
 pub use config::BosphorusConfig;
 pub use elimlin::{elimlin_learn, elimlin_on, ElimLinOutcome};

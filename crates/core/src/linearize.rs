@@ -8,7 +8,7 @@
 use std::collections::BTreeMap;
 
 use bosphorus_anf::{Monomial, Polynomial};
-use bosphorus_gf2::{BitMatrix, BitVec};
+use bosphorus_gf2::{BitMatrix, BitVec, GaussStats};
 
 /// A linearised view of a set of polynomials: a column ordering over the
 /// monomials that occur, and the corresponding GF(2) matrix.
@@ -114,12 +114,21 @@ impl Linearization {
     /// Runs Gauss–Jordan elimination in place and returns the non-zero rows
     /// as polynomials (the reduced system), in matrix row order.
     pub fn eliminate(&mut self) -> Vec<Polynomial> {
-        self.matrix.gauss_jordan();
-        self.matrix
+        self.eliminate_with_stats().0
+    }
+
+    /// Like [`Linearization::eliminate`], but also reports the elimination
+    /// kernel's operation counts ([`GaussStats`]) so callers on the XL /
+    /// ElimLin hot path can surface how much work each round performed.
+    pub fn eliminate_with_stats(&mut self) -> (Vec<Polynomial>, GaussStats) {
+        let stats = self.matrix.gauss_jordan_with_stats();
+        let reduced = self
+            .matrix
             .iter()
             .filter(|r| !r.is_zero())
             .map(|r| self.row_to_polynomial(r))
-            .collect()
+            .collect();
+        (reduced, stats)
     }
 
     /// Estimated memory footprint in bits (rows × columns), the quantity the
@@ -177,6 +186,23 @@ mod tests {
         assert!(reduced.contains(&"x1 + 1".parse().expect("parses")));
         assert!(reduced.contains(&"x2".parse().expect("parses")));
         assert!(reduced.contains(&"x3".parse().expect("parses")));
+    }
+
+    #[test]
+    fn eliminate_with_stats_reports_rank_and_work() {
+        let ps = polys(
+            "x1*x2 + x1 + 1;
+             x1*x2;
+             x2;
+             x1*x2*x3 + x1*x3 + x3;
+             x2*x3 + x3;
+             x1*x2*x3 + x1*x3;",
+        );
+        let mut lin = Linearization::build(ps.iter());
+        let (reduced, stats) = lin.eliminate_with_stats();
+        assert_eq!(stats.rank, 6, "Table I(b) rank");
+        assert_eq!(reduced.len(), stats.rank);
+        assert!(stats.row_xors > 0, "elimination work must be counted");
     }
 
     #[test]

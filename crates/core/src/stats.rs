@@ -22,6 +22,9 @@ pub struct EngineStats {
     pub propagated_equivalences: usize,
     /// Total SAT conflicts spent across all SAT steps.
     pub sat_conflicts: u64,
+    /// Total row XOR operations performed by the GF(2) elimination kernel
+    /// across all XL and ElimLin rounds — the dominant cost of the loop.
+    pub gauss_row_xors: u64,
     /// `true` if preprocessing alone decided the instance.
     pub decided_during_preprocessing: bool,
 }
@@ -37,14 +40,15 @@ impl fmt::Display for EngineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "iterations={} facts(xl={}, elimlin={}, sat={}) propagation(values={}, equivalences={}) conflicts={}",
+            "iterations={} facts(xl={}, elimlin={}, sat={}) propagation(values={}, equivalences={}) conflicts={} gauss_row_xors={}",
             self.iterations,
             self.facts_from_xl,
             self.facts_from_elimlin,
             self.facts_from_sat,
             self.propagated_assignments,
             self.propagated_equivalences,
-            self.sat_conflicts
+            self.sat_conflicts,
+            self.gauss_row_xors
         )
     }
 }

@@ -12,6 +12,7 @@
 //! solve the system, working on a subsample is acceptable.
 
 use bosphorus_anf::{Monomial, Polynomial, PolynomialSystem, Var};
+use bosphorus_gf2::GaussStats;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -30,6 +31,9 @@ pub struct XlOutcome {
     pub expanded_columns: usize,
     /// Rank of the expanded system after Gauss–Jordan elimination.
     pub rank: usize,
+    /// Operation counts of the elimination kernel (the dominant cost of the
+    /// round).
+    pub gauss: GaussStats,
 }
 
 /// Enumerates all monomials of degree 1..=`degree` over the given variables
@@ -82,6 +86,7 @@ pub fn xl_learn<R: Rng>(
             expanded_rows: 0,
             expanded_columns: 0,
             rank: 0,
+            gauss: GaussStats::default(),
         };
     }
     let budget = 1u128 << config.subsample_m.min(126);
@@ -133,14 +138,16 @@ pub fn xl_learn<R: Rng>(
     let mut lin = Linearization::build(expanded.iter());
     let expanded_rows = lin.num_rows();
     let expanded_columns = lin.num_columns();
-    let reduced = lin.eliminate();
+    let (reduced, gauss) = lin.eliminate_with_stats();
     let rank = reduced.len();
+    debug_assert_eq!(rank, gauss.rank, "non-zero RREF rows must equal rank");
     let facts = reduced.into_iter().filter(is_retainable_fact).collect();
     XlOutcome {
         facts,
         expanded_rows,
         expanded_columns,
         rank,
+        gauss,
     }
 }
 
@@ -200,6 +207,8 @@ mod tests {
         assert!(outcome.facts.contains(&"x2".parse().expect("parses")));
         assert!(outcome.facts.contains(&"x3".parse().expect("parses")));
         assert_eq!(outcome.rank, 6, "Table I(b) has six non-zero rows");
+        assert_eq!(outcome.gauss.rank, 6, "kernel stats agree with the rank");
+        assert!(outcome.gauss.row_xors > 0, "elimination work is reported");
     }
 
     #[test]

@@ -1,8 +1,17 @@
 //! Gauss–Jordan elimination, rank, kernel and linear-system solving.
+//!
+//! Two elimination kernels sit behind one API: the schoolbook kernel
+//! ([`BitMatrix::gauss_jordan_plain_with_stats`], kept as the reference
+//! baseline) and the Method-of-Four-Russians kernel
+//! ([`BitMatrix::gauss_jordan_m4rm_with_stats`], the default). Both produce
+//! bit-identical RREF; [`BitMatrix::gauss_jordan_with_stats`] selects the
+//! kernel and block width automatically from the matrix shape, so `rank`,
+//! `rref`, `kernel` and `solve` all ride on the fast path.
 
+use crate::m4rm::{m4rm_block_size, M4RM_MAX_BLOCK, M4RM_MIN_DIM};
 use crate::{BitMatrix, BitVec};
 
-/// Statistics reported by [`BitMatrix::gauss_jordan_with_stats`].
+/// Statistics reported by the `*_with_stats` elimination entry points.
 ///
 /// The Bosphorus engine uses these to report how much work each XL / ElimLin
 /// round performed.
@@ -10,10 +19,23 @@ use crate::{BitMatrix, BitVec};
 pub struct GaussStats {
     /// Rank of the matrix (number of pivot rows after elimination).
     pub rank: usize,
-    /// Number of row XOR operations performed.
+    /// Number of row XOR operations performed (for M4RM this counts both
+    /// Gray-code table construction and per-row clearing XORs).
     pub row_xors: usize,
     /// Number of row swaps performed.
     pub row_swaps: usize,
+}
+
+impl GaussStats {
+    /// Folds another elimination's counters into this one. Used by callers
+    /// that run several eliminations (e.g. ElimLin rounds) and report the
+    /// cumulative work; `rank` accumulates too, so it becomes the *total*
+    /// rank across the merged eliminations.
+    pub fn merge(&mut self, other: GaussStats) {
+        self.rank += other.rank;
+        self.row_xors += other.row_xors;
+        self.row_swaps += other.row_swaps;
+    }
 }
 
 /// Result of solving a linear system `A x = b` over GF(2).
@@ -33,6 +55,9 @@ impl BitMatrix {
     /// column contains exactly one `1` and pivot rows are sorted by pivot
     /// column, followed by all-zero rows.
     ///
+    /// Dispatches to the Method-of-Four-Russians kernel by default; see
+    /// [`BitMatrix::gauss_jordan_with_stats`].
+    ///
     /// # Examples
     ///
     /// ```
@@ -49,7 +74,28 @@ impl BitMatrix {
     }
 
     /// Like [`BitMatrix::gauss_jordan`] but also reports operation counts.
+    ///
+    /// This is the unified elimination entry point: it runs the
+    /// Method-of-Four-Russians kernel with an automatically chosen block
+    /// width ([`m4rm_block_size`]), falling back to the schoolbook kernel
+    /// only for matrices too small to amortise a Gray-code table. Both
+    /// kernels produce bit-identical RREF.
     pub fn gauss_jordan_with_stats(&mut self) -> GaussStats {
+        let (nrows, ncols) = (self.nrows(), self.ncols());
+        if nrows.min(ncols) < M4RM_MIN_DIM {
+            self.gauss_jordan_plain_with_stats()
+        } else {
+            self.gauss_jordan_m4rm_with_stats(m4rm_block_size(nrows, ncols))
+        }
+    }
+
+    /// Schoolbook Gauss–Jordan elimination: one pivot column at a time, one
+    /// row XOR per offending row.
+    ///
+    /// Kept as the reference baseline the M4RM kernel is checked and
+    /// benchmarked against (`gje_kernels` bench); production callers should
+    /// use [`BitMatrix::gauss_jordan_with_stats`] instead.
+    pub fn gauss_jordan_plain_with_stats(&mut self) -> GaussStats {
         let mut stats = GaussStats::default();
         let nrows = self.nrows();
         let ncols = self.ncols();
@@ -143,6 +189,10 @@ impl BitMatrix {
     /// Solves `self * x = b` over GF(2), returning a particular solution when
     /// one exists.
     ///
+    /// The augmented matrix `[A | b]` is assembled with the word-level
+    /// [`BitMatrix::hstack`] row copies, then eliminated with the default
+    /// kernel.
+    ///
     /// # Panics
     ///
     /// Panics if `b.len() != self.nrows()`.
@@ -152,17 +202,8 @@ impl BitMatrix {
             self.nrows(),
             "right-hand side length must equal the row count"
         );
-        // Build the augmented matrix [A | b].
         let ncols = self.ncols();
-        let mut aug = BitMatrix::zero(self.nrows(), ncols + 1);
-        for (i, row) in self.iter().enumerate() {
-            for j in row.iter_ones() {
-                aug.set(i, j, true);
-            }
-            if b.get(i) {
-                aug.set(i, ncols, true);
-            }
-        }
+        let mut aug = self.hstack(&BitMatrix::column_vector(b));
         aug.gauss_jordan();
         let mut x = BitVec::zero(ncols);
         for row in aug.iter() {
@@ -176,57 +217,21 @@ impl BitMatrix {
         SolveOutcome::Solution(x)
     }
 
-    /// Blocked Gauss–Jordan elimination in the spirit of the Method of the
-    /// Four Russians (M4RM): pivots are established in column blocks so that
-    /// elimination below/above a block touches each row once per block.
+    /// Blocked Gauss–Jordan elimination. Retained as a compatibility wrapper
+    /// over the Method-of-Four-Russians kernel
+    /// ([`BitMatrix::gauss_jordan_m4rm_with_stats`]); the block width is
+    /// clamped to `[1, 8]`.
     ///
     /// The result (RREF and rank) is identical to [`BitMatrix::gauss_jordan`];
-    /// only the operation schedule differs. The block width is clamped to
-    /// `[1, 16]`.
+    /// only the operation schedule differs.
     pub fn gauss_jordan_blocked(&mut self, block: usize) -> usize {
-        let block = block.clamp(1, 16);
-        let nrows = self.nrows();
-        let ncols = self.ncols();
-        let mut pivot_row = 0usize;
-        let mut col_start = 0usize;
-        while col_start < ncols && pivot_row < nrows {
-            let col_end = (col_start + block).min(ncols);
-            // Establish pivots inside the block using plain elimination.
-            let block_pivot_start = pivot_row;
-            for col in col_start..col_end {
-                if pivot_row >= nrows {
-                    break;
-                }
-                let Some(found) = (pivot_row..nrows).find(|&r| self.get(r, col)) else {
-                    continue;
-                };
-                self.swap_rows(found, pivot_row);
-                for r in block_pivot_start..nrows {
-                    if r != pivot_row && self.get(r, col) {
-                        self.xor_row_into(pivot_row, r);
-                    }
-                }
-                pivot_row += 1;
-            }
-            // Back-substitute block pivots into the rows above the block.
-            for pr in block_pivot_start..pivot_row {
-                let pivot_col = self
-                    .row(pr)
-                    .first_one()
-                    .expect("pivot rows are non-zero by construction");
-                for r in 0..block_pivot_start {
-                    if self.get(r, pivot_col) {
-                        self.xor_row_into(pr, r);
-                    }
-                }
-            }
-            col_start = col_end;
-        }
-        // Rows may not be sorted by pivot column across blocks; sort pivot
-        // rows so that the output matches canonical RREF row order.
-        let rows = self.rows_mut();
-        rows.sort_by_key(|r| r.first_one().unwrap_or(usize::MAX));
-        pivot_row
+        self.gauss_jordan_blocked_with_stats(block).rank
+    }
+
+    /// Like [`BitMatrix::gauss_jordan_blocked`] but reports operation counts
+    /// instead of silently dropping them.
+    pub fn gauss_jordan_blocked_with_stats(&mut self, block: usize) -> GaussStats {
+        self.gauss_jordan_m4rm_with_stats(block.clamp(1, M4RM_MAX_BLOCK))
     }
 }
 
@@ -287,6 +292,25 @@ mod tests {
     }
 
     #[test]
+    fn default_kernel_matches_plain_kernel() {
+        // The dispatcher (M4RM above the size threshold) must produce the
+        // exact RREF of the schoolbook kernel.
+        let mut wide = BitMatrix::zero(48, 130);
+        for r in 0..48 {
+            for c in 0..130 {
+                if (r * 131 + c * 17) % 5 == 0 {
+                    wide.set(r, c, true);
+                }
+            }
+        }
+        let mut plain = wide.clone();
+        let plain_stats = plain.gauss_jordan_plain_with_stats();
+        let stats = wide.gauss_jordan_with_stats();
+        assert_eq!(stats.rank, plain_stats.rank);
+        assert_eq!(wide, plain);
+    }
+
+    #[test]
     fn kernel_dimension_and_membership() {
         let m = BitMatrix::from_dense(&[
             vec![true, true, false, false],
@@ -323,15 +347,40 @@ mod tests {
     }
 
     #[test]
+    fn solve_across_word_boundary_widths() {
+        for &n in &[63usize, 64, 65, 127] {
+            let mut m = BitMatrix::identity(n);
+            // Mix in some off-diagonal structure.
+            for r in 1..n {
+                m.set(r, r - 1, true);
+            }
+            let x = BitVec::from_bits((0..n).map(|i| i % 3 == 0));
+            let b = m.mul_vec(&x);
+            match m.solve(&b) {
+                SolveOutcome::Solution(sol) => assert_eq!(m.mul_vec(&sol), b, "width {n}"),
+                SolveOutcome::Inconsistent => panic!("consistent by construction (width {n})"),
+            }
+        }
+    }
+
+    #[test]
     fn blocked_gje_matches_plain() {
         let m = paper_table1_matrix();
         let (plain, rank_plain) = m.rref();
-        for block in [1usize, 2, 3, 8] {
+        for block in [1usize, 2, 3, 8, 16] {
             let mut b = m.clone();
             let rank_b = b.gauss_jordan_blocked(block);
             assert_eq!(rank_b, rank_plain, "rank mismatch for block {block}");
             assert_eq!(b, plain, "RREF mismatch for block {block}");
         }
+    }
+
+    #[test]
+    fn blocked_gje_reports_stats() {
+        let mut m = paper_table1_matrix();
+        let stats = m.gauss_jordan_blocked_with_stats(4);
+        assert_eq!(stats.rank, 6);
+        assert!(stats.row_xors > 0, "elimination work must be counted");
     }
 
     #[test]
@@ -341,6 +390,29 @@ mod tests {
         assert_eq!(stats.rank, 2);
         assert_eq!(stats.row_swaps, 1);
         assert_eq!(stats.row_xors, 0);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut total = GaussStats::default();
+        total.merge(GaussStats {
+            rank: 3,
+            row_xors: 10,
+            row_swaps: 1,
+        });
+        total.merge(GaussStats {
+            rank: 2,
+            row_xors: 4,
+            row_swaps: 0,
+        });
+        assert_eq!(
+            total,
+            GaussStats {
+                rank: 5,
+                row_xors: 14,
+                row_swaps: 1
+            }
+        );
     }
 
     #[test]

@@ -2,10 +2,19 @@
 //!
 //! This crate is the reproduction's stand-in for the M4RI library used by the
 //! original Bosphorus tool. It provides a bit-packed dense matrix type,
-//! [`BitMatrix`], together with plain and blocked (Method-of-Four-Russians
-//! style) Gauss–Jordan elimination, rank computation, kernel bases and linear
-//! system solving. Everything operates on rows packed 64 columns per `u64`
-//! word, so elementary row operations are word-parallel XORs.
+//! [`BitMatrix`], together with Gauss–Jordan elimination, rank computation,
+//! kernel bases and linear system solving. Everything operates on rows packed
+//! 64 columns per `u64` word, so elementary row operations are word-parallel
+//! XORs.
+//!
+//! The default elimination kernel is a real Method of the Four Russians
+//! (M4RM): pivot columns are processed in Gray-code blocks of up to 8, so
+//! each non-pivot row is cleared with a single table lookup and one
+//! word-parallel XOR per block instead of up to 8 separate row XORs (see the
+//! [`m4rm_block_size`] heuristic and `crates/bench/DESIGN.md`). A schoolbook
+//! kernel is kept as the reference baseline; both produce bit-identical
+//! RREF, so `gauss_jordan`, `rank`, `rref`, `kernel` and `solve` all ride on
+//! the fast path transparently.
 //!
 //! # Examples
 //!
@@ -29,12 +38,42 @@
 #![warn(missing_docs)]
 
 mod gje;
+mod m4rm;
 mod matrix;
 mod vector;
 
 pub use gje::{GaussStats, SolveOutcome};
+pub use m4rm::{m4rm_block_size, M4RM_MAX_BLOCK};
 pub use matrix::BitMatrix;
 pub use vector::BitVec;
 
 #[cfg(test)]
 mod proptests;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::BitMatrix;
+
+    /// Deterministic SplitMix64-filled dense matrix — the shared input
+    /// generator of the kernel unit and property tests, self-contained so
+    /// they do not depend on the rand shim.
+    pub(crate) fn splitmix_matrix(rows: usize, cols: usize, seed: u64) -> BitMatrix {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut m = BitMatrix::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if next() & 1 == 1 {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        m
+    }
+}

@@ -157,6 +157,58 @@ impl BitMatrix {
         }
     }
 
+    /// Builds an `n × 1` matrix from a vector, one bit per row.
+    ///
+    /// Useful as the right operand of [`BitMatrix::hstack`] when augmenting
+    /// a system matrix with a right-hand side.
+    pub fn column_vector(v: &BitVec) -> BitMatrix {
+        let rows = (0..v.len())
+            .map(|i| BitVec::from_bits([v.get(i)]))
+            .collect();
+        BitMatrix { rows, cols: 1 }
+    }
+
+    /// Horizontally concatenates two matrices with the same row count:
+    /// `[self | right]`.
+    ///
+    /// Rows are assembled with word-level copies
+    /// ([`BitVec::copy_bits_from`]), not bit-by-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bosphorus_gf2::BitMatrix;
+    /// let a = BitMatrix::identity(2);
+    /// let b = BitMatrix::from_dense(&[vec![true], vec![false]]);
+    /// let ab = a.hstack(&b);
+    /// assert_eq!(ab.ncols(), 3);
+    /// assert!(ab.get(0, 0) && ab.get(0, 2) && ab.get(1, 1) && !ab.get(1, 2));
+    /// ```
+    pub fn hstack(&self, right: &BitMatrix) -> BitMatrix {
+        assert_eq!(
+            self.nrows(),
+            right.nrows(),
+            "hstack operands must have the same row count"
+        );
+        let cols = self.cols + right.cols;
+        let rows = self
+            .rows
+            .iter()
+            .zip(&right.rows)
+            .map(|(l, r)| {
+                let mut out = BitVec::zero(cols);
+                out.copy_bits_from(l, 0);
+                out.copy_bits_from(r, self.cols);
+                out
+            })
+            .collect();
+        BitMatrix { rows, cols }
+    }
+
     /// Multiplies the matrix by a column vector.
     ///
     /// # Panics
@@ -316,6 +368,49 @@ mod tests {
     fn push_row_wrong_length_panics() {
         let mut m = BitMatrix::zero(1, 4);
         m.push_row(BitVec::zero(3));
+    }
+
+    #[test]
+    fn hstack_concatenates_across_word_boundaries() {
+        for &left_cols in &[5usize, 63, 64, 65, 127] {
+            let mut a = BitMatrix::zero(3, left_cols);
+            let mut b = BitMatrix::zero(3, 70);
+            for r in 0..3 {
+                for c in (r..left_cols).step_by(3) {
+                    a.set(r, c, true);
+                }
+                for c in (r..70).step_by(5) {
+                    b.set(r, c, true);
+                }
+            }
+            let ab = a.hstack(&b);
+            assert_eq!(ab.ncols(), left_cols + 70);
+            for r in 0..3 {
+                for c in 0..left_cols {
+                    assert_eq!(ab.get(r, c), a.get(r, c), "left {left_cols} ({r},{c})");
+                }
+                for c in 0..70 {
+                    assert_eq!(ab.get(r, left_cols + c), b.get(r, c), "right ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn column_vector_roundtrip() {
+        let v = BitVec::from_bits([true, false, true, true]);
+        let m = BitMatrix::column_vector(&v);
+        assert_eq!(m.nrows(), 4);
+        assert_eq!(m.ncols(), 1);
+        for i in 0..4 {
+            assert_eq!(m.get(i, 0), v.get(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same row count")]
+    fn hstack_rejects_mismatched_rows() {
+        let _ = BitMatrix::zero(2, 3).hstack(&BitMatrix::zero(3, 3));
     }
 
     #[test]

@@ -96,6 +96,105 @@ proptest! {
         prop_assert_eq!(blocked, plain);
     }
 
+    /// The M4RM kernel produces bit-identical RREF, the same rank, and a
+    /// matching `GaussStats.rank` compared to the plain schoolbook kernel,
+    /// for every block width.
+    #[test]
+    fn m4rm_agrees_with_plain(m in arb_matrix(24, 40), block in 1usize..=8) {
+        let mut plain = m.clone();
+        let plain_stats = plain.gauss_jordan_plain_with_stats();
+        let mut fast = m.clone();
+        let fast_stats = fast.gauss_jordan_m4rm_with_stats(block);
+        prop_assert_eq!(fast_stats.rank, plain_stats.rank);
+        prop_assert_eq!(fast, plain);
+    }
+
+    /// M4RM agreement at widths straddling the 64-bit word boundaries
+    /// (63/64/65/127/129 columns) and on tall / wide / rank-deficient
+    /// shapes built by duplicating and zeroing rows.
+    #[test]
+    fn m4rm_agrees_at_word_boundary_widths(
+        width_idx in 0usize..5,
+        rows in 1usize..40,
+        seed in any::<u64>(),
+        dup in any::<bool>(),
+    ) {
+        const WIDTHS: [usize; 5] = [63, 64, 65, 127, 129];
+        let cols = WIDTHS[width_idx];
+        // SplitMix64-filled matrix, deterministic in the proptest seed.
+        let mut m = crate::testutil::splitmix_matrix(rows, cols, seed);
+        if dup && rows >= 2 {
+            // Force rank deficiency: duplicate the first row over the last.
+            let first = m.row(0).clone();
+            let last = rows - 1;
+            for c in 0..cols {
+                m.set(last, c, first.get(c));
+            }
+        }
+        let mut plain = m.clone();
+        let plain_stats = plain.gauss_jordan_plain_with_stats();
+        let mut fast = m.clone();
+        let fast_stats = fast.gauss_jordan_m4rm_with_stats(8);
+        prop_assert_eq!(fast_stats.rank, plain_stats.rank);
+        prop_assert_eq!(fast.rank(), plain_stats.rank);
+        prop_assert_eq!(fast, plain);
+    }
+
+    /// `first_one_in_range` matches a naive bit scan on arbitrary vectors
+    /// and sub-ranges.
+    #[test]
+    fn first_one_in_range_matches_naive(bits in proptest::collection::vec(any::<bool>(), 1..200), cut in any::<u64>()) {
+        let v = BitVec::from_bits(bits.iter().copied());
+        let len = v.len();
+        let start = (cut as usize) % (len + 1);
+        let end = start + ((cut >> 32) as usize) % (len - start + 1);
+        let naive = (start..end).find(|&i| v.get(i));
+        prop_assert_eq!(v.first_one_in_range(start, end), naive);
+    }
+
+    /// Word-level `copy_bits_from` matches a bit-by-bit copy and preserves
+    /// every destination bit outside the copied range.
+    #[test]
+    fn copy_bits_from_matches_bitwise(
+        src_bits in proptest::collection::vec(any::<bool>(), 0..150),
+        dst_bits in proptest::collection::vec(any::<bool>(), 1..300),
+        offset_seed in any::<u64>(),
+    ) {
+        prop_assume!(src_bits.len() <= dst_bits.len());
+        let src = BitVec::from_bits(src_bits.iter().copied());
+        let mut dst = BitVec::from_bits(dst_bits.iter().copied());
+        let offset = (offset_seed as usize) % (dst.len() - src.len() + 1);
+        let mut expected = dst.clone();
+        for i in 0..src.len() {
+            expected.set(offset + i, src.get(i));
+        }
+        dst.copy_bits_from(&src, offset);
+        prop_assert_eq!(dst, expected);
+    }
+
+    /// `hstack` agrees with a bit-by-bit concatenation.
+    #[test]
+    fn hstack_matches_bitwise(a in arb_matrix(6, 70), seed in any::<u64>()) {
+        let mut b = BitMatrix::zero(a.nrows(), 33);
+        for r in 0..b.nrows() {
+            for c in 0..33 {
+                if (seed >> ((r * 33 + c) % 64)) & 1 == 1 {
+                    b.set(r, c, true);
+                }
+            }
+        }
+        let ab = a.hstack(&b);
+        prop_assert_eq!(ab.ncols(), a.ncols() + 33);
+        for r in 0..a.nrows() {
+            for c in 0..a.ncols() {
+                prop_assert_eq!(ab.get(r, c), a.get(r, c));
+            }
+            for c in 0..33 {
+                prop_assert_eq!(ab.get(r, a.ncols() + c), b.get(r, c));
+            }
+        }
+    }
+
     /// Matrix-vector product distributes over vector XOR.
     #[test]
     fn mul_vec_is_linear(m in arb_matrix(8, 12), seed in any::<u64>()) {

@@ -129,6 +129,99 @@ impl BitVec {
         None
     }
 
+    /// Index of the first set bit inside `start..end`, if any.
+    ///
+    /// The scan is word-parallel: whole zero words are skipped and the first
+    /// non-zero (masked) word is resolved with a single `trailing_zeros`.
+    /// This is the pivot-search primitive of the elimination kernels — column
+    /// scans stop touching every bit individually.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    ///
+    /// ```
+    /// use bosphorus_gf2::BitVec;
+    /// let mut v = BitVec::zero(200);
+    /// v.set(3, true);
+    /// v.set(130, true);
+    /// assert_eq!(v.first_one_in_range(0, 200), Some(3));
+    /// assert_eq!(v.first_one_in_range(4, 200), Some(130));
+    /// assert_eq!(v.first_one_in_range(4, 130), None);
+    /// ```
+    pub fn first_one_in_range(&self, start: usize, end: usize) -> Option<usize> {
+        assert!(
+            start <= end && end <= self.len,
+            "bit range {start}..{end} out of range {}",
+            self.len
+        );
+        if start == end {
+            return None;
+        }
+        let first_word = start / 64;
+        let last_word = (end - 1) / 64;
+        for wi in first_word..=last_word {
+            let mut w = self.words[wi];
+            if wi == first_word {
+                w &= !0u64 << (start % 64);
+            }
+            if wi == last_word {
+                let used = end - wi * 64;
+                if used < 64 {
+                    w &= (1u64 << used) - 1;
+                }
+            }
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Copies every bit of `src` into `self` starting at bit `offset`
+    /// (a word-parallel `copy_from_slice` with shift — the row-assembly
+    /// primitive behind [`BitMatrix::hstack`](crate::BitMatrix::hstack)).
+    ///
+    /// Bits of `self` outside `offset..offset + src.len()` are preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + src.len() > self.len()`.
+    pub fn copy_bits_from(&mut self, src: &BitVec, offset: usize) {
+        assert!(
+            offset + src.len() <= self.len,
+            "copy_bits_from: range {}..{} exceeds destination length {}",
+            offset,
+            offset + src.len(),
+            self.len
+        );
+        if src.is_empty() {
+            return;
+        }
+        let shift = offset % 64;
+        let n = src.len();
+        let dst_word0 = offset / 64;
+        for (si, &raw) in src.words.iter().enumerate() {
+            let wi = dst_word0 + si;
+            let bits = (n - si * 64).min(64);
+            let mask = if bits == 64 {
+                !0u64
+            } else {
+                (1u64 << bits) - 1
+            };
+            let sw = raw & mask;
+            self.words[wi] = (self.words[wi] & !(mask << shift)) | (sw << shift);
+            if shift != 0 {
+                // High bits of the source word that did not fit spill into
+                // the next destination word.
+                let spill_mask = mask >> (64 - shift);
+                if spill_mask != 0 {
+                    self.words[wi + 1] = (self.words[wi + 1] & !spill_mask) | (sw >> (64 - shift));
+                }
+            }
+        }
+    }
+
     /// Iterates over the indices of set bits in ascending order.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -309,5 +402,73 @@ mod tests {
     fn from_iterator_collect() {
         let v: BitVec = (0..5).map(|i| i % 2 == 0).collect();
         assert_eq!(v.to_string(), "10101");
+    }
+
+    #[test]
+    fn first_one_in_range_word_boundaries() {
+        let mut v = BitVec::zero(200);
+        for &i in &[0usize, 63, 64, 65, 127, 128, 199] {
+            v.set(i, true);
+        }
+        assert_eq!(v.first_one_in_range(0, 200), Some(0));
+        assert_eq!(v.first_one_in_range(1, 200), Some(63));
+        assert_eq!(v.first_one_in_range(64, 200), Some(64));
+        assert_eq!(v.first_one_in_range(65, 127), Some(65));
+        assert_eq!(v.first_one_in_range(66, 127), None);
+        assert_eq!(v.first_one_in_range(129, 200), Some(199));
+        assert_eq!(v.first_one_in_range(129, 199), None);
+        assert_eq!(v.first_one_in_range(63, 64), Some(63));
+        assert_eq!(v.first_one_in_range(5, 5), None);
+    }
+
+    #[test]
+    fn first_one_in_range_matches_naive_scan() {
+        let v = BitVec::from_bits((0..150).map(|i| i % 7 == 3));
+        for start in 0..150 {
+            for end in start..=150 {
+                let naive = (start..end).find(|&i| v.get(i));
+                assert_eq!(v.first_one_in_range(start, end), naive, "{start}..{end}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn first_one_in_range_rejects_bad_range() {
+        let v = BitVec::zero(10);
+        let _ = v.first_one_in_range(0, 11);
+    }
+
+    #[test]
+    fn copy_bits_from_at_offsets() {
+        let src = BitVec::from_bits((0..70).map(|i| i % 3 == 0));
+        for offset in [0usize, 1, 5, 62, 63, 64, 65, 100] {
+            let mut dst = BitVec::from_bits((0..200).map(|i| i % 2 == 0));
+            let before = dst.clone();
+            dst.copy_bits_from(&src, offset);
+            for i in 0..200 {
+                let expected = if (offset..offset + 70).contains(&i) {
+                    src.get(i - offset)
+                } else {
+                    before.get(i)
+                };
+                assert_eq!(dst.get(i), expected, "offset {offset}, bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn copy_bits_from_empty_source_is_noop() {
+        let mut dst = BitVec::from_bits([true, false, true]);
+        let before = dst.clone();
+        dst.copy_bits_from(&BitVec::zero(0), 2);
+        assert_eq!(dst, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds destination")]
+    fn copy_bits_from_rejects_overflow() {
+        let mut dst = BitVec::zero(10);
+        dst.copy_bits_from(&BitVec::zero(8), 3);
     }
 }

@@ -55,7 +55,7 @@ mod xor;
 pub use config::{RestartStrategy, SolverConfig};
 pub use solver::{SolveResult, Solver};
 pub use stats::SolverStats;
-pub use xor::XorConstraint;
+pub use xor::{xor_gauss_eliminate, XorConstraint, XorGaussOutcome};
 
 #[cfg(test)]
 mod proptests;

@@ -3,6 +3,7 @@
 use bosphorus_cnf::{Clause, CnfFormula, CnfVar, Lit};
 
 use crate::varorder::VarOrderHeap;
+use crate::xor::xor_gauss_eliminate;
 use crate::{RestartStrategy, SolverConfig, SolverStats, XorConstraint};
 
 /// Truth value of a variable during search.
@@ -858,6 +859,11 @@ impl Solver {
     /// constraints to expose forced assignments and contradictions. Returns
     /// `false` when the XOR system is inconsistent with the current top-level
     /// assignment.
+    ///
+    /// The elimination runs on the dense M4RM kernel via
+    /// [`xor_gauss_eliminate`]; bringing the system into full RREF surfaces
+    /// every forced assignment implied by the XOR subsystem, not only those
+    /// exposed by a forward sweep.
     fn xor_gauss_top_level(&mut self) -> bool {
         debug_assert_eq!(self.decision_level(), 0);
         if self.xors.is_empty() {
@@ -878,27 +884,13 @@ impl Solver {
             }
             rows.push(XorConstraint::new(vars, rhs));
         }
-        // Forward elimination on the sparse rows.
-        let mut pivots: Vec<(CnfVar, usize)> = Vec::new();
-        for i in 0..rows.len() {
-            let mut row = rows[i].clone();
-            while let Some(&lead) = row.vars().first() {
-                if let Some(&(_, j)) = pivots.iter().find(|&&(p, _)| p == lead) {
-                    row = row.combine(&rows[j]);
-                } else {
-                    break;
-                }
-            }
-            rows[i] = row.clone();
-            if row.is_contradiction() {
-                return false;
-            }
-            if let Some(&lead) = row.vars().first() {
-                pivots.push((lead, i));
-            }
+        let outcome = xor_gauss_eliminate(&rows);
+        self.stats.xor_gauss_row_xors += outcome.stats.row_xors as u64;
+        if outcome.contradiction {
+            return false;
         }
         // Extract forced assignments from single-variable rows.
-        for row in &rows {
+        for row in &outcome.rows {
             if row.len() == 1 {
                 let v = row.vars()[0];
                 let lit = Lit::new(v, !row.rhs());

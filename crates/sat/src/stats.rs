@@ -24,6 +24,9 @@ pub struct SolverStats {
     pub xor_propagations: u64,
     /// Number of top-level Gauss–Jordan rounds over the XOR constraints.
     pub xor_gauss_rounds: u64,
+    /// Row XOR operations performed by the dense elimination kernel across
+    /// all top-level XOR Gauss–Jordan rounds.
+    pub xor_gauss_row_xors: u64,
 }
 
 impl fmt::Display for SolverStats {

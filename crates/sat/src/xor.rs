@@ -6,10 +6,17 @@
 //! used by the [`xor_gauss`](crate::SolverConfig::xor_gauss) configuration:
 //! the solver propagates them with a watched-variable scheme and periodically
 //! combines them by Gauss–Jordan elimination at decision level zero.
+//!
+//! The elimination itself ([`xor_gauss_eliminate`]) packs the constraints
+//! into a dense [`BitMatrix`] over the occurring variables (plus a
+//! right-hand-side column) and runs the shared M4RM elimination kernel of
+//! `bosphorus-gf2` — the same kernel the XL/ElimLin hot path uses — instead
+//! of the earlier ad-hoc sparse sweep with its linear pivot lookups.
 
 use std::fmt;
 
 use bosphorus_cnf::CnfVar;
+use bosphorus_gf2::{BitMatrix, GaussStats};
 
 /// An XOR constraint `x_{i1} ⊕ x_{i2} ⊕ … ⊕ x_{ik} = rhs`.
 ///
@@ -103,6 +110,79 @@ impl XorConstraint {
     }
 }
 
+/// Result of [`xor_gauss_eliminate`]: the reduced XOR system in RREF.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorGaussOutcome {
+    /// The non-trivial reduced constraints, one per RREF pivot row, ordered
+    /// by leading variable. Unit rows are forced assignments.
+    pub rows: Vec<XorConstraint>,
+    /// `true` if some row reduced to the contradiction `0 = 1`.
+    pub contradiction: bool,
+    /// Operation counts of the underlying dense elimination.
+    pub stats: GaussStats,
+}
+
+/// Gauss–Jordan elimination over a set of XOR constraints via the dense
+/// GF(2) kernel.
+///
+/// Columns are the occurring variables in ascending order followed by the
+/// right-hand-side column; after RREF every returned row is a constraint
+/// whose leading variable appears in no other row, so forced assignments
+/// surface as single-variable rows and inconsistencies as the empty
+/// `0 = 1` row.
+///
+/// # Examples
+///
+/// ```
+/// use bosphorus_sat::{xor_gauss_eliminate, XorConstraint};
+///
+/// // x0 ⊕ x1 = 1 and x1 = 1 force x0 = 0.
+/// let outcome = xor_gauss_eliminate(&[
+///     XorConstraint::new([0, 1], true),
+///     XorConstraint::new([1], true),
+/// ]);
+/// assert!(!outcome.contradiction);
+/// assert!(outcome.rows.contains(&XorConstraint::new([0], false)));
+/// ```
+pub fn xor_gauss_eliminate(constraints: &[XorConstraint]) -> XorGaussOutcome {
+    let mut vars: Vec<CnfVar> = constraints
+        .iter()
+        .flat_map(|c| c.vars().iter().copied())
+        .collect();
+    vars.sort_unstable();
+    vars.dedup();
+    let rhs_col = vars.len();
+    let mut matrix = BitMatrix::zero(constraints.len(), rhs_col + 1);
+    for (i, constraint) in constraints.iter().enumerate() {
+        for v in constraint.vars() {
+            let col = vars.binary_search(v).expect("var collected above");
+            matrix.set(i, col, true);
+        }
+        if constraint.rhs() {
+            matrix.set(i, rhs_col, true);
+        }
+    }
+    let stats = matrix.gauss_jordan_with_stats();
+    let mut rows = Vec::with_capacity(stats.rank);
+    let mut contradiction = false;
+    for row in matrix.iter().take(stats.rank) {
+        let leading = row.first_one().expect("pivot rows are non-zero");
+        if leading == rhs_col {
+            contradiction = true;
+            rows.push(XorConstraint::new([], true));
+            continue;
+        }
+        let rhs = row.get(rhs_col);
+        let row_vars = row.iter_ones().filter(|&c| c < rhs_col).map(|c| vars[c]);
+        rows.push(XorConstraint::new(row_vars, rhs));
+    }
+    XorGaussOutcome {
+        rows,
+        contradiction,
+        stats,
+    }
+}
+
 impl fmt::Display for XorConstraint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.vars.is_empty() {
@@ -162,5 +242,79 @@ mod tests {
         let c = XorConstraint::new([0, 2], true);
         assert_eq!(c.to_string(), "x0 ⊕ x2 = 1");
         assert_eq!(XorConstraint::new([], false).to_string(), "0 = 0");
+    }
+
+    #[test]
+    fn gauss_eliminate_forces_assignments() {
+        // x0 ⊕ x1 = 1, x1 ⊕ x2 = 1, x2 = 0  =>  x1 = 1, x0 = 0.
+        let outcome = xor_gauss_eliminate(&[
+            XorConstraint::new([0, 1], true),
+            XorConstraint::new([1, 2], true),
+            XorConstraint::new([2], false),
+        ]);
+        assert!(!outcome.contradiction);
+        assert_eq!(outcome.stats.rank, 3);
+        assert!(outcome.rows.contains(&XorConstraint::new([0], false)));
+        assert!(outcome.rows.contains(&XorConstraint::new([1], true)));
+        assert!(outcome.rows.contains(&XorConstraint::new([2], false)));
+    }
+
+    #[test]
+    fn gauss_eliminate_detects_contradiction() {
+        // x0 ⊕ x1 = 0 together with x0 ⊕ x1 = 1 is unsatisfiable.
+        let outcome = xor_gauss_eliminate(&[
+            XorConstraint::new([0, 1], false),
+            XorConstraint::new([0, 1], true),
+        ]);
+        assert!(outcome.contradiction);
+        assert!(outcome.rows.iter().any(XorConstraint::is_contradiction));
+    }
+
+    #[test]
+    fn gauss_eliminate_full_rref_exposes_hidden_units() {
+        // The old forward-only sweep would leave x5 buried; full RREF
+        // isolates every pivot. System: x3 ⊕ x5 = 1, x3 ⊕ x7 = 0,
+        // x5 ⊕ x7 = 1 (rank 2, consistent).
+        let outcome = xor_gauss_eliminate(&[
+            XorConstraint::new([3, 5], true),
+            XorConstraint::new([3, 7], false),
+            XorConstraint::new([5, 7], true),
+        ]);
+        assert!(!outcome.contradiction);
+        assert_eq!(outcome.stats.rank, 2);
+        // RREF rows: x3 ⊕ x7 = 0 and x5 ⊕ x7 = 1 (pivots x3 and x5).
+        assert!(outcome.rows.contains(&XorConstraint::new([3, 7], false)));
+        assert!(outcome.rows.contains(&XorConstraint::new([5, 7], true)));
+    }
+
+    #[test]
+    fn gauss_eliminate_handles_trivial_inputs() {
+        let empty = xor_gauss_eliminate(&[]);
+        assert!(empty.rows.is_empty() && !empty.contradiction);
+        let trivial = xor_gauss_eliminate(&[XorConstraint::new([2, 2], false)]);
+        assert!(trivial.rows.is_empty() && !trivial.contradiction);
+        let unsat = xor_gauss_eliminate(&[XorConstraint::new([], true)]);
+        assert!(unsat.contradiction);
+    }
+
+    #[test]
+    fn gauss_eliminate_agrees_with_pairwise_combination() {
+        // Every reduced row must lie in the GF(2) span of the inputs: check
+        // by evaluating both systems over all assignments of the 4 vars.
+        let system = [
+            XorConstraint::new([0, 1, 2], true),
+            XorConstraint::new([1, 2, 3], false),
+            XorConstraint::new([0, 3], true),
+        ];
+        let outcome = xor_gauss_eliminate(&system);
+        for bits in 0u32..16 {
+            let value = |v: CnfVar| (bits >> v) & 1 == 1;
+            let sat_in = system.iter().all(|c| c.evaluate(value));
+            if sat_in {
+                for row in &outcome.rows {
+                    assert!(row.evaluate(value), "row {row} not implied by inputs");
+                }
+            }
+        }
     }
 }
