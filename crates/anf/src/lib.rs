@@ -9,6 +9,12 @@
 //!   implicitly an equation `p = 0`, following the paper's convention.
 //! * [`PolynomialSystem`] — an ordered collection of polynomials sharing one
 //!   variable space, with parsing, printing, evaluation and substitution.
+//! * [`AnfPropagator`] — the Section II-A propagation engine: values and
+//!   equivalence literals extracted from unit-like polynomials and applied
+//!   to a fixed point.
+//! * [`AnfDatabase`] — the master system plus propagation knowledge behind
+//!   one revision counter, so incremental consumers (the engine's learning
+//!   passes) can skip work when nothing they read has changed.
 //!
 //! # Examples
 //!
@@ -35,16 +41,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod database;
 mod eval;
 mod monomial;
 mod parser;
 mod polynomial;
+mod propagate;
 mod system;
 
+pub use database::{AnfDatabase, Revision};
 pub use eval::Assignment;
 pub use monomial::Monomial;
 pub use parser::{ParsePolynomialError, ParseSystemError};
 pub use polynomial::Polynomial;
+pub use propagate::{AnfPropagator, PropagationOutcome, VarKnowledge};
 pub use system::PolynomialSystem;
 
 /// Index of a Boolean variable. Variables are named `x0, x1, ...` in the

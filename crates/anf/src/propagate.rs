@@ -9,8 +9,13 @@
 //!
 //! Assignments are applied to the system and the process repeats until a
 //! fixed point is reached.
+//!
+//! The propagator lives next to [`PolynomialSystem`] (rather than in the
+//! engine crate) because together they form the shared problem
+//! representation every learning technique reads: see
+//! [`AnfDatabase`](crate::AnfDatabase).
 
-use bosphorus_anf::{Polynomial, PolynomialSystem, Var};
+use crate::{Polynomial, PolynomialSystem, Var};
 
 /// What the propagator knows about one variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -39,6 +44,11 @@ pub struct PropagationOutcome {
     pub new_assignments: usize,
     /// Number of equivalences recorded during this call.
     pub new_equivalences: usize,
+    /// `true` if the call rewrote the system in an observable way (a
+    /// polynomial changed, vanished, or a duplicate was removed). Revision
+    /// tracking in [`AnfDatabase`](crate::AnfDatabase) uses this to decide
+    /// whether downstream passes must re-read the system.
+    pub system_changed: bool,
 }
 
 /// The ANF propagation engine.
@@ -50,8 +60,7 @@ pub struct PropagationOutcome {
 /// # Examples
 ///
 /// ```
-/// use bosphorus::AnfPropagator;
-/// use bosphorus_anf::PolynomialSystem;
+/// use bosphorus_anf::{AnfPropagator, PolynomialSystem};
 ///
 /// let mut system = PolynomialSystem::parse("x0 + 1; x0*x1 + x2;")?;
 /// let mut prop = AnfPropagator::new(system.num_vars());
@@ -253,30 +262,42 @@ impl AnfPropagator {
             contradiction: false,
             new_assignments: 0,
             new_equivalences: 0,
+            system_changed: false,
         };
         loop {
             let mut changed = false;
             let mut rewritten: Vec<Polynomial> = Vec::with_capacity(system.len());
             for poly in system.iter() {
                 let reduced = self.apply_to_polynomial(poly);
+                if reduced != *poly {
+                    outcome.system_changed = true;
+                }
                 if reduced.is_zero() {
                     continue;
                 }
                 if reduced.is_one() {
                     self.contradiction = true;
                     outcome.contradiction = true;
+                    outcome.system_changed = true;
                     return outcome;
                 }
                 changed |= self.extract_fact(&reduced, &mut outcome);
                 if self.contradiction {
                     outcome.contradiction = true;
+                    outcome.system_changed = true;
                     return outcome;
                 }
                 rewritten.push(reduced);
             }
+            if rewritten.len() != system.len() {
+                // A polynomial vanished (reduced to zero, or was zero).
+                outcome.system_changed = true;
+            }
             let mut next = PolynomialSystem::with_num_vars(system.num_vars());
             next.extend(rewritten);
-            next.normalize();
+            if next.normalize() > 0 {
+                outcome.system_changed = true;
+            }
             *system = next;
             if !changed {
                 return outcome;
@@ -392,6 +413,7 @@ mod tests {
         let mut prop = AnfPropagator::new(s.num_vars());
         let outcome = prop.propagate(&mut s);
         assert!(!outcome.contradiction);
+        assert!(outcome.system_changed);
         assert_eq!(prop.value(0), Some(false));
         assert_eq!(prop.value(1), Some(true));
         assert!(s.is_empty(), "fully determined system becomes empty");
@@ -510,5 +532,18 @@ mod tests {
         assert_eq!(prop.num_assigned(), 0);
         prop.assign(1, true);
         assert_eq!(prop.num_assigned(), 2, "x0 inherits x1's value");
+    }
+
+    #[test]
+    fn fixpoint_propagation_reports_no_system_change() {
+        let mut s = system("x0 + 1; x0*x1 + x2;");
+        let mut prop = AnfPropagator::new(s.num_vars());
+        let first = prop.propagate(&mut s);
+        assert!(first.system_changed);
+        // A second run over the already-propagated system is a no-op.
+        let second = prop.propagate(&mut s);
+        assert!(!second.system_changed);
+        assert_eq!(second.new_assignments, 0);
+        assert_eq!(second.new_equivalences, 0);
     }
 }

@@ -2,59 +2,50 @@
 //! and without Bosphorus, for three solver configurations).
 //!
 //! ```text
-//! cargo run --release -p bosphorus-bench --bin table2 -- [--family all|sr|simon|bitcoin|satcomp|groebner-baseline] [--instances N] [--jobs N]
+//! cargo run --release -p bosphorus-bench --bin table2 -- \
+//!     [--family all|sr|simon|bitcoin|satcomp|groebner-baseline] \
+//!     [--instances N] [--timeout SECONDS] [--jobs N] [--passes LIST]
 //! ```
+//!
+//! `--passes` drives the Bosphorus runs through a custom pipeline order
+//! (e.g. `--passes elimlin,sat` to measure the table without XL).
 
 use std::time::Duration;
 
+use bosphorus_bench::args::{Table2Args, TABLE2_USAGE};
 use bosphorus_bench::tables::{format_table2, run_groebner_baseline, run_table2, Table2Options};
 use bosphorus_bench::RunSettings;
 
 fn main() {
-    let mut family = "all".to_string();
-    let mut instances = 3usize;
-    let mut timeout_secs = 5u64;
-    let mut jobs = 1usize;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--family" => family = args.next().unwrap_or_else(|| "all".to_string()),
-            "--instances" => {
-                instances = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(instances)
-            }
-            "--timeout" => {
-                timeout_secs = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(timeout_secs)
-            }
-            "--jobs" => jobs = args.next().and_then(|v| v.parse().ok()).unwrap_or(jobs),
-            "--help" | "-h" => {
-                println!(
-                    "usage: table2 [--family all|sr|simon|bitcoin|satcomp|groebner-baseline] \
-                     [--instances N] [--timeout SECONDS] [--jobs N]"
-                );
-                return;
-            }
-            other => eprintln!("ignoring unknown argument {other:?}"),
+    let args = match Table2Args::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{TABLE2_USAGE}");
+            std::process::exit(1);
         }
+    };
+    if args.help {
+        println!("{TABLE2_USAGE}");
+        return;
     }
 
+    let mut settings = RunSettings {
+        nominal_timeout: Duration::from_secs(args.timeout_secs),
+        ..RunSettings::default()
+    };
+    if let Some(passes) = &args.passes {
+        settings.bosphorus.pass_order = passes.clone();
+    }
     let options = Table2Options {
-        instances_per_family: instances,
-        include_aes: matches!(family.as_str(), "all" | "sr"),
-        include_simon: matches!(family.as_str(), "all" | "simon"),
-        include_bitcoin: matches!(family.as_str(), "all" | "bitcoin"),
-        include_satcomp: matches!(family.as_str(), "all" | "satcomp"),
-        include_groebner_baseline: matches!(family.as_str(), "all" | "groebner-baseline"),
-        settings: RunSettings {
-            nominal_timeout: Duration::from_secs(timeout_secs),
-            ..RunSettings::default()
-        },
-        jobs,
+        instances_per_family: args.instances,
+        include_aes: matches!(args.family.as_str(), "all" | "sr"),
+        include_simon: matches!(args.family.as_str(), "all" | "simon"),
+        include_bitcoin: matches!(args.family.as_str(), "all" | "bitcoin"),
+        include_satcomp: matches!(args.family.as_str(), "all" | "satcomp"),
+        include_groebner_baseline: matches!(args.family.as_str(), "all" | "groebner-baseline"),
+        settings,
+        jobs: args.jobs,
         ..Table2Options::default()
     };
 
@@ -66,9 +57,20 @@ fn main() {
         options.settings.final_conflict_cap,
         options.jobs
     );
+    println!(
+        "pipeline: {}",
+        options
+            .settings
+            .bosphorus
+            .pass_order
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
     println!();
 
-    if family != "groebner-baseline" {
+    if args.family != "groebner-baseline" {
         if options.jobs > 1 {
             println!(
                 "note: --jobs {} — solved counts stay deterministic, but measured \

@@ -16,11 +16,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod args;
 pub mod par2;
 pub mod parallel;
 pub mod runner;
 pub mod tables;
 
+pub use args::{Table2Args, TABLE2_USAGE};
 pub use par2::{Par2Scorer, ScoredRun};
 pub use parallel::run_indexed;
 

@@ -1,0 +1,594 @@
+//! Library behind the `bosphorus` binary: argument parsing, the run driver,
+//! and the text/JSON writers, kept separate from `main` so they are unit- and
+//! integration-testable.
+//!
+//! The binary mirrors the original Bosphorus tool's role: read a problem in
+//! ANF (`.anf`, the paper's polynomial text format) or CNF (DIMACS), run a
+//! user-configurable [`Pipeline`](bosphorus::Pipeline) of learning passes,
+//! and write the simplified ANF/DIMACS — or, with `--solve`, a model
+//! extended back to the original variables.
+//!
+//! Output conventions: machine-readable results (the `s`/`v` solution lines,
+//! dumps routed to `-`, `--stats-json`) go to stdout; progress and summary
+//! lines go to stderr. Exit codes follow the SAT-competition convention when
+//! `--solve` is given (10 = SAT, 20 = UNSAT), otherwise 0 on success; usage,
+//! I/O and parse errors exit 1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use bosphorus::{Bosphorus, BosphorusConfig, EngineStats, PassKind, PreprocessStatus, SolveStatus};
+use bosphorus_anf::{PolynomialSystem, Var, VarKnowledge};
+use bosphorus_cnf::CnfFormula;
+use bosphorus_sat::SolverConfig;
+
+/// The usage text printed for `--help` and after argument errors.
+pub const USAGE: &str = "\
+bosphorus — bridging ANF and CNF solvers (DATE 2019 reproduction)
+
+usage: bosphorus (--anf FILE | --cnf FILE) [options]
+
+input:
+  --anf FILE            read a Boolean polynomial system (.anf text format:
+                        `x1*x2 + x3 + 1;` per equation, `#` comments)
+  --cnf FILE            read a DIMACS CNF formula
+
+actions:
+  --solve               preprocess, then run the SAT solver to completion and
+                        print `s SATISFIABLE` + a `v` model line over the
+                        original variables (exit 10) or `s UNSATISFIABLE`
+                        (exit 20)
+  --cnfdump FILE        write the processed CNF as DIMACS (`-` for stdout)
+  --anfdump FILE        write the simplified ANF, including the propagated
+                        values/equivalences, re-parseable by --anf
+  --stats-json          print engine statistics (incl. per-pass entries) as
+                        JSON on stdout
+
+pipeline:
+  --passes LIST         comma-separated pass order, e.g. `elimlin,xl,sat`
+                        (available: propagate, xl, elimlin, sat, groebner)
+  --config PRESET       default | paper | exhaustive
+  --max-iterations N    cap the number of pipeline iterations
+  --sat-budget N        initial SAT conflict budget C
+  --seed N              subsampling RNG seed
+  --solver NAME         solver configuration for the final --solve call:
+                        minimal | aggressive | xorgauss (the in-loop SAT
+                        pass always uses the paper's aggressive setting)
+
+misc:
+  --help, -h            this text
+
+exit codes: 0 success, 1 usage/parse/I-O error, 10 SAT, 20 UNSAT (--solve)
+";
+
+/// Where the problem comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InputSource {
+    /// A `.anf` polynomial-system file.
+    Anf(String),
+    /// A DIMACS CNF file.
+    Cnf(String),
+}
+
+/// Which built-in solver configuration to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverChoice {
+    /// `SolverConfig::minimal()` — the MiniSat-like baseline.
+    Minimal,
+    /// `SolverConfig::aggressive()` — the default.
+    #[default]
+    Aggressive,
+    /// `SolverConfig::xor_gauss()` — with native XOR reasoning.
+    XorGauss,
+}
+
+impl SolverChoice {
+    fn to_config(self) -> SolverConfig {
+        match self {
+            SolverChoice::Minimal => SolverConfig::minimal(),
+            SolverChoice::Aggressive => SolverConfig::aggressive(),
+            SolverChoice::XorGauss => SolverConfig::xor_gauss(),
+        }
+    }
+}
+
+impl FromStr for SolverChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "minimal" | "minisat" => Ok(SolverChoice::Minimal),
+            "aggressive" | "lingeling" => Ok(SolverChoice::Aggressive),
+            "xorgauss" | "xor" | "cryptominisat" => Ok(SolverChoice::XorGauss),
+            other => Err(format!(
+                "unknown solver {other:?} (expected minimal, aggressive or xorgauss)"
+            )),
+        }
+    }
+}
+
+/// The configuration preset `--config` selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConfigPreset {
+    /// Scaled-down defaults (regenerate in minutes on a laptop).
+    #[default]
+    Default,
+    /// The paper's Section IV parameters.
+    Paper,
+    /// Subsampling disabled (small instances, deterministic passes).
+    Exhaustive,
+}
+
+impl FromStr for ConfigPreset {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "default" => Ok(ConfigPreset::Default),
+            "paper" => Ok(ConfigPreset::Paper),
+            "exhaustive" => Ok(ConfigPreset::Exhaustive),
+            other => Err(format!(
+                "unknown config preset {other:?} (expected default, paper or exhaustive)"
+            )),
+        }
+    }
+}
+
+/// Everything the command line specified.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// The input problem.
+    pub input: InputSource,
+    /// Run the final SAT call and print a model.
+    pub solve: bool,
+    /// Write the processed CNF here (`-` = stdout).
+    pub cnfdump: Option<String>,
+    /// Write the simplified ANF here (`-` = stdout).
+    pub anfdump: Option<String>,
+    /// Print engine statistics as JSON.
+    pub stats_json: bool,
+    /// Override of the pass order (None = the preset's default).
+    pub passes: Option<Vec<PassKind>>,
+    /// Base configuration preset.
+    pub preset: ConfigPreset,
+    /// Override of `max_iterations`.
+    pub max_iterations: Option<usize>,
+    /// Override of the initial SAT conflict budget.
+    pub sat_budget: Option<u64>,
+    /// Override of the RNG seed.
+    pub seed: Option<u64>,
+    /// Solver configuration for the final `--solve` call. The in-loop SAT
+    /// pass is pinned to the paper's aggressive configuration (as in the
+    /// original engine); `xorgauss` additionally turns on XOR-constraint
+    /// emission so the final solver can use its Gauss engine.
+    pub solver: SolverChoice,
+}
+
+/// What `parse_args` decided.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print [`USAGE`] and exit 0.
+    Help,
+    /// Run with these options.
+    Run(Box<CliOptions>),
+}
+
+/// Parses the command line (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message when an option is unknown, a value is
+/// missing or unparseable, or no input file was given.
+pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
+    let mut input: Option<InputSource> = None;
+    let mut options = CliOptions {
+        input: InputSource::Anf(String::new()),
+        solve: false,
+        cnfdump: None,
+        anfdump: None,
+        stats_json: false,
+        passes: None,
+        preset: ConfigPreset::Default,
+        max_iterations: None,
+        sat_budget: None,
+        seed: None,
+        solver: SolverChoice::Aggressive,
+    };
+    let mut iter = args.iter().map(|s| s.as_ref());
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .map(str::to_string)
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg {
+            "--help" | "-h" => return Ok(Command::Help),
+            "--anf" => input = Some(InputSource::Anf(value_of("--anf")?)),
+            "--cnf" => input = Some(InputSource::Cnf(value_of("--cnf")?)),
+            "--solve" => options.solve = true,
+            "--cnfdump" => options.cnfdump = Some(value_of("--cnfdump")?),
+            "--anfdump" => options.anfdump = Some(value_of("--anfdump")?),
+            "--stats-json" => options.stats_json = true,
+            "--passes" => options.passes = Some(PassKind::parse_list(&value_of("--passes")?)?),
+            "--config" => options.preset = value_of("--config")?.parse()?,
+            "--max-iterations" => {
+                let raw = value_of("--max-iterations")?;
+                options.max_iterations = Some(
+                    raw.parse()
+                        .map_err(|_| format!("--max-iterations: {raw:?} is not a count"))?,
+                );
+            }
+            "--sat-budget" => {
+                let raw = value_of("--sat-budget")?;
+                options.sat_budget = Some(
+                    raw.parse()
+                        .map_err(|_| format!("--sat-budget: {raw:?} is not a count"))?,
+                );
+            }
+            "--seed" => {
+                let raw = value_of("--seed")?;
+                options.seed = Some(
+                    raw.parse()
+                        .map_err(|_| format!("--seed: {raw:?} is not a 64-bit seed"))?,
+                );
+            }
+            "--solver" => options.solver = value_of("--solver")?.parse()?,
+            other => return Err(format!("unknown argument {other:?} (see --help)")),
+        }
+    }
+    match input {
+        Some(input) => {
+            options.input = input;
+            Ok(Command::Run(Box::new(options)))
+        }
+        None => Err("no input: pass --anf FILE or --cnf FILE (see --help)".to_string()),
+    }
+}
+
+/// Materialises the engine configuration an option set describes.
+pub fn build_config(options: &CliOptions) -> BosphorusConfig {
+    let mut config = match options.preset {
+        ConfigPreset::Default => BosphorusConfig::default(),
+        ConfigPreset::Paper => BosphorusConfig::paper_defaults(),
+        ConfigPreset::Exhaustive => BosphorusConfig::exhaustive(),
+    };
+    if let Some(passes) = &options.passes {
+        config.pass_order = passes.clone();
+    }
+    if let Some(n) = options.max_iterations {
+        config.max_iterations = n;
+    }
+    if let Some(c) = options.sat_budget {
+        config.sat_conflict_budget = c;
+        config.sat_budget_max = config.sat_budget_max.max(c);
+    }
+    if let Some(seed) = options.seed {
+        config.rng_seed = seed;
+    }
+    if options.solver == SolverChoice::XorGauss {
+        config.emit_xor_constraints = true;
+    }
+    config
+}
+
+/// Runs the tool; returns the process exit code.
+///
+/// # Errors
+///
+/// I/O and parse failures are reported as human-readable messages (the
+/// binary prints them to stderr and exits 1).
+pub fn run(options: &CliOptions) -> Result<i32, String> {
+    let config = build_config(options);
+    let mut engine = match &options.input {
+        InputSource::Anf(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read ANF file {path:?}: {e}"))?;
+            let system = PolynomialSystem::parse(&text)
+                .map_err(|e| format!("cannot parse ANF file {path:?}: {e}"))?;
+            eprintln!(
+                "c read {} equations over {} variables from {path}",
+                system.len(),
+                system.num_vars()
+            );
+            Bosphorus::new(system, config)
+        }
+        InputSource::Cnf(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read CNF file {path:?}: {e}"))?;
+            let cnf = CnfFormula::parse_dimacs(&text)
+                .map_err(|e| format!("cannot parse DIMACS file {path:?}: {e}"))?;
+            eprintln!(
+                "c read {} clauses over {} variables from {path}",
+                cnf.num_clauses(),
+                cnf.num_vars()
+            );
+            Bosphorus::from_cnf(&cnf, config)
+        }
+    };
+
+    let (status_label, exit_code) = if options.solve {
+        match engine.solve(&options.solver.to_config()) {
+            SolveStatus::Sat(assignment) => {
+                println!("s SATISFIABLE");
+                println!("{}", model_line(&assignment));
+                ("sat", 10)
+            }
+            SolveStatus::Unsat => {
+                println!("s UNSATISFIABLE");
+                ("unsat", 20)
+            }
+        }
+    } else {
+        match engine.preprocess() {
+            PreprocessStatus::Solved(assignment) => {
+                println!("s SATISFIABLE");
+                println!("{}", model_line(&assignment));
+                ("solved", 0)
+            }
+            PreprocessStatus::Unsat => {
+                println!("s UNSATISFIABLE");
+                ("unsat", 0)
+            }
+            PreprocessStatus::Simplified => ("simplified", 0),
+        }
+    };
+    eprintln!(
+        "c {}: {} equations remain, {}",
+        status_label,
+        engine.processed_system().len(),
+        engine.stats()
+    );
+
+    if let Some(target) = &options.cnfdump {
+        let (cnf, _original) = engine.output_cnf();
+        write_output(target, &cnf.to_dimacs())?;
+    }
+    if let Some(target) = &options.anfdump {
+        write_output(target, &simplified_anf(&engine))?;
+    }
+    if options.stats_json {
+        println!("{}", stats_json(engine.stats(), status_label));
+    }
+    Ok(exit_code)
+}
+
+/// The DIMACS-style `v` line of a model over the original variables.
+pub fn model_line(assignment: &bosphorus_anf::Assignment) -> String {
+    let mut line = String::from("v");
+    for v in 0..assignment.len() as Var {
+        let lit = v as i64 + 1;
+        let _ = write!(line, " {}", if assignment.get(v) { lit } else { -lit });
+    }
+    line.push_str(" 0");
+    line
+}
+
+/// Renders the simplified problem as re-parseable `.anf` text: the remaining
+/// master equations plus one equation per propagated value/equivalence, so
+/// the dump is equisatisfiable with the input (over the original variables)
+/// on its own.
+pub fn simplified_anf(engine: &Bosphorus) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# simplified ANF: {} equations + propagated knowledge",
+        engine.processed_system().len()
+    );
+    let _ = write!(out, "{}", engine.processed_system());
+    let propagator = engine.propagator();
+    for v in 0..engine.database().num_vars() as Var {
+        match propagator.knowledge(v) {
+            VarKnowledge::Free => {}
+            VarKnowledge::Value(true) => {
+                let _ = writeln!(out, "x{v} + 1;");
+            }
+            VarKnowledge::Value(false) => {
+                let _ = writeln!(out, "x{v};");
+            }
+            VarKnowledge::Equivalent { other, negated } => {
+                if negated {
+                    let _ = writeln!(out, "x{v} + x{other} + 1;");
+                } else {
+                    let _ = writeln!(out, "x{v} + x{other};");
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders engine statistics (including the per-pass breakdown) as JSON.
+pub fn stats_json(stats: &EngineStats, status: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"status\": \"{status}\",");
+    let _ = writeln!(out, "  \"iterations\": {},", stats.iterations);
+    let _ = writeln!(
+        out,
+        "  \"facts\": {{\"xl\": {}, \"elimlin\": {}, \"sat\": {}, \"groebner\": {}, \"total\": {}}},",
+        stats.facts_from_xl,
+        stats.facts_from_elimlin,
+        stats.facts_from_sat,
+        stats.facts_from_groebner,
+        stats.total_facts()
+    );
+    let _ = writeln!(
+        out,
+        "  \"propagation\": {{\"assignments\": {}, \"equivalences\": {}}},",
+        stats.propagated_assignments, stats.propagated_equivalences
+    );
+    let _ = writeln!(out, "  \"sat_conflicts\": {},", stats.sat_conflicts);
+    let _ = writeln!(out, "  \"gauss_row_xors\": {},", stats.gauss_row_xors);
+    let _ = writeln!(
+        out,
+        "  \"decided_during_preprocessing\": {},",
+        stats.decided_during_preprocessing
+    );
+    out.push_str("  \"passes\": [");
+    for (i, pass) in stats.passes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"name\": \"{}\", \"runs\": {}, \"skips\": {}, \"facts\": {}, \
+             \"gauss_rank\": {}, \"gauss_row_xors\": {}, \"sat_conflicts\": {}, \
+             \"time_ms\": {:.3}}}",
+            pass.name,
+            pass.runs,
+            pass.skips,
+            pass.facts,
+            pass.gauss.rank,
+            pass.gauss.row_xors,
+            pass.sat_conflicts,
+            pass.time.as_secs_f64() * 1e3
+        );
+    }
+    if stats.passes.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n  ]\n");
+    }
+    out.push('}');
+    out
+}
+
+fn write_output(target: &str, content: &str) -> Result<(), String> {
+    if target == "-" {
+        print!("{content}");
+        Ok(())
+    } else {
+        std::fs::write(target, content).map_err(|e| format!("cannot write {target:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, String> {
+        parse_args(args)
+    }
+
+    fn options(args: &[&str]) -> CliOptions {
+        match parse(args).expect("parses") {
+            Command::Run(options) => *options,
+            Command::Help => panic!("expected Run"),
+        }
+    }
+
+    #[test]
+    fn minimal_anf_invocation() {
+        let options = options(&["--anf", "in.anf"]);
+        assert_eq!(options.input, InputSource::Anf("in.anf".to_string()));
+        assert!(!options.solve);
+        assert_eq!(options.passes, None);
+    }
+
+    #[test]
+    fn full_invocation_round_trips_every_flag() {
+        let options = options(&[
+            "--cnf",
+            "in.cnf",
+            "--solve",
+            "--cnfdump",
+            "out.cnf",
+            "--anfdump",
+            "-",
+            "--stats-json",
+            "--passes",
+            "elimlin,xl,sat",
+            "--config",
+            "exhaustive",
+            "--max-iterations",
+            "5",
+            "--sat-budget",
+            "123",
+            "--seed",
+            "42",
+            "--solver",
+            "xorgauss",
+        ]);
+        assert_eq!(options.input, InputSource::Cnf("in.cnf".to_string()));
+        assert!(options.solve && options.stats_json);
+        assert_eq!(options.cnfdump.as_deref(), Some("out.cnf"));
+        assert_eq!(options.anfdump.as_deref(), Some("-"));
+        assert_eq!(
+            options.passes,
+            Some(vec![PassKind::ElimLin, PassKind::Xl, PassKind::Sat])
+        );
+        assert_eq!(options.preset, ConfigPreset::Exhaustive);
+        assert_eq!(options.max_iterations, Some(5));
+        assert_eq!(options.sat_budget, Some(123));
+        assert_eq!(options.seed, Some(42));
+        assert_eq!(options.solver, SolverChoice::XorGauss);
+    }
+
+    #[test]
+    fn errors_are_clean() {
+        assert!(parse(&[]).unwrap_err().contains("no input"));
+        assert!(parse(&["--anf"]).unwrap_err().contains("requires a value"));
+        assert!(parse(&["--anf", "a", "--passes", "bogus"])
+            .unwrap_err()
+            .contains("unknown pass"));
+        assert!(parse(&["--anf", "a", "--passes", ","])
+            .unwrap_err()
+            .contains("at least one pass"));
+        assert!(parse(&["--anf", "a", "--jobs", "3"])
+            .unwrap_err()
+            .contains("unknown argument"));
+        assert!(parse(&["--anf", "a", "--max-iterations", "many"])
+            .unwrap_err()
+            .contains("not a count"));
+    }
+
+    #[test]
+    fn help_wins() {
+        assert_eq!(parse(&["--help"]).expect("parses"), Command::Help);
+        assert_eq!(parse(&["-h"]).expect("parses"), Command::Help);
+    }
+
+    #[test]
+    fn build_config_applies_overrides() {
+        let options = options(&[
+            "--anf",
+            "a",
+            "--passes",
+            "groebner,sat",
+            "--sat-budget",
+            "999999",
+            "--seed",
+            "7",
+        ]);
+        let config = build_config(&options);
+        assert_eq!(config.pass_order, vec![PassKind::Groebner, PassKind::Sat]);
+        assert_eq!(config.sat_conflict_budget, 999_999);
+        assert!(
+            config.sat_budget_max >= 999_999,
+            "the cap never undercuts the initial budget"
+        );
+        assert_eq!(config.rng_seed, 7);
+    }
+
+    #[test]
+    fn model_line_is_dimacs_style() {
+        let assignment = bosphorus_anf::Assignment::from_bits([true, false, true]);
+        assert_eq!(model_line(&assignment), "v 1 -2 3 0");
+    }
+
+    #[test]
+    fn stats_json_is_well_formed_enough() {
+        let stats = EngineStats {
+            iterations: 2,
+            ..EngineStats::default()
+        };
+        let json = stats_json(&stats, "simplified");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"status\": \"simplified\""));
+        assert!(json.contains("\"iterations\": 2"));
+        assert!(json.contains("\"passes\": []"));
+    }
+}

@@ -1,0 +1,154 @@
+//! End-to-end tests of the `bosphorus` binary against the sample instances
+//! in `examples/instances/`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use bosphorus_anf::{Assignment, PolynomialSystem};
+use bosphorus_cnf::CnfFormula;
+
+fn instance(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/instances")
+        .join(name);
+    path.to_str().expect("utf-8 path").to_string()
+}
+
+fn bosphorus(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bosphorus"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8(output.stdout.clone()).expect("utf-8 stdout")
+}
+
+fn temp_file(name: &str) -> String {
+    let path = std::env::temp_dir().join(format!("bosphorus_cli_{}_{name}", std::process::id()));
+    path.to_str().expect("utf-8 path").to_string()
+}
+
+#[test]
+fn worked_example_solves_with_the_paper_solution() {
+    let output = bosphorus(&["--anf", &instance("worked_example.anf"), "--solve"]);
+    assert_eq!(output.status.code(), Some(10), "SAT exit code");
+    let text = stdout(&output);
+    assert!(text.contains("s SATISFIABLE"), "stdout: {text}");
+    // x1..x4 = 1, x5 = 0, x0 unused (false): v -1 2 3 4 5 -6 0.
+    assert!(text.contains("v -1 2 3 4 5 -6 0"), "stdout: {text}");
+}
+
+#[test]
+fn unsat_anf_reports_unsatisfiable() {
+    let output = bosphorus(&["--anf", &instance("unsat.anf"), "--solve"]);
+    assert_eq!(output.status.code(), Some(20), "UNSAT exit code");
+    assert!(stdout(&output).contains("s UNSATISFIABLE"));
+}
+
+#[test]
+fn cnfdump_output_reparses_and_stays_satisfiable() {
+    let dump = temp_file("worked_example.cnf");
+    let output = bosphorus(&["--anf", &instance("worked_example.anf"), "--cnfdump", &dump]);
+    assert_eq!(output.status.code(), Some(0));
+    let text = std::fs::read_to_string(&dump).expect("dump written");
+    let cnf = CnfFormula::parse_dimacs(&text).expect("dump re-parses");
+    // The worked example is decided by preprocessing, so the processed CNF
+    // encodes the propagated knowledge; the paper's solution must satisfy
+    // the clauses over the original variables.
+    assert!(cnf.num_vars() >= 6);
+    let _ = std::fs::remove_file(&dump);
+}
+
+#[test]
+fn dumped_cnf_round_trips_through_the_cnf_front_end() {
+    let dump = temp_file("roundtrip.cnf");
+    let output = bosphorus(&["--anf", &instance("worked_example.anf"), "--cnfdump", &dump]);
+    assert_eq!(output.status.code(), Some(0));
+    let output = bosphorus(&["--cnf", &dump, "--solve"]);
+    assert_eq!(
+        output.status.code(),
+        Some(10),
+        "the processed CNF of a satisfiable instance stays satisfiable"
+    );
+    let _ = std::fs::remove_file(&dump);
+}
+
+#[test]
+fn anfdump_reparses_and_is_satisfied_by_the_paper_solution() {
+    let dump = temp_file("worked_example.anf");
+    let output = bosphorus(&["--anf", &instance("worked_example.anf"), "--anfdump", &dump]);
+    assert_eq!(output.status.code(), Some(0));
+    let text = std::fs::read_to_string(&dump).expect("dump written");
+    let system = PolynomialSystem::parse(&text).expect("anfdump re-parses");
+    // x1..x4 = 1, x5 = 0 satisfies the simplified form.
+    let solution = Assignment::from_bits([false, true, true, true, true, false]);
+    assert!(system.is_satisfied_by(&solution), "dump:\n{text}");
+    let _ = std::fs::remove_file(&dump);
+}
+
+#[test]
+fn cnf_input_solves_and_unsat_cnf_is_detected() {
+    let output = bosphorus(&["--cnf", &instance("small.cnf"), "--solve"]);
+    assert_eq!(output.status.code(), Some(10));
+    let output = bosphorus(&["--cnf", &instance("unsat.cnf"), "--solve"]);
+    assert_eq!(output.status.code(), Some(20));
+}
+
+#[test]
+fn table1_preprocesses_to_a_solution_without_solving() {
+    let output = bosphorus(&["--anf", &instance("table1.anf")]);
+    assert_eq!(output.status.code(), Some(0), "preprocess-only exits 0");
+    let text = stdout(&output);
+    assert!(
+        text.contains("s SATISFIABLE"),
+        "preprocessing alone decides Table I: {text}"
+    );
+}
+
+#[test]
+fn pass_flags_change_the_stats_json_pass_entries() {
+    let defaults = stdout(&bosphorus(&[
+        "--anf",
+        &instance("worked_example.anf"),
+        "--stats-json",
+    ]));
+    assert!(defaults.contains("\"name\": \"xl\""), "json: {defaults}");
+    assert!(defaults.contains("\"name\": \"elimlin\""));
+
+    let reordered = stdout(&bosphorus(&[
+        "--anf",
+        &instance("worked_example.anf"),
+        "--passes",
+        "elimlin,sat",
+        "--stats-json",
+    ]));
+    assert!(
+        !reordered.contains("\"name\": \"xl\""),
+        "xl was disabled: {reordered}"
+    );
+    assert!(reordered.contains("\"name\": \"elimlin\""));
+    assert!(reordered.contains("\"name\": \"sat\""));
+    assert_ne!(defaults, reordered, "pass flags visibly change the stats");
+
+    let groebner = stdout(&bosphorus(&[
+        "--anf",
+        &instance("worked_example.anf"),
+        "--passes",
+        "groebner,sat",
+        "--stats-json",
+    ]));
+    assert!(groebner.contains("\"name\": \"groebner\""), "{groebner}");
+}
+
+#[test]
+fn bad_usage_exits_one_with_a_message() {
+    let output = bosphorus(&["--frobnicate"]);
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8(output.stderr).expect("utf-8 stderr");
+    assert!(stderr.contains("unknown argument"), "stderr: {stderr}");
+
+    let output = bosphorus(&["--anf", "/nonexistent/definitely_missing.anf"]);
+    assert_eq!(output.status.code(), Some(1));
+}

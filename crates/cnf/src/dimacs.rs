@@ -190,6 +190,69 @@ mod tests {
     }
 
     #[test]
+    fn malformed_headers_are_rejected_with_their_line() {
+        // Wrong format tag.
+        assert!(matches!(
+            CnfFormula::parse_dimacs("p dnf 2 2\n1 0\n"),
+            Err(ParseDimacsError::InvalidHeader { line: 1 })
+        ));
+        // Missing the variable count entirely.
+        assert!(matches!(
+            CnfFormula::parse_dimacs("p cnf\n1 0\n"),
+            Err(ParseDimacsError::InvalidHeader { line: 1 })
+        ));
+        // Negative variable count is not a usize.
+        assert!(matches!(
+            CnfFormula::parse_dimacs("p cnf -3 2\n1 0\n"),
+            Err(ParseDimacsError::InvalidHeader { line: 1 })
+        ));
+        // The header line number is reported even after leading comments.
+        assert!(matches!(
+            CnfFormula::parse_dimacs("c hello\nc world\np oops 2 2\n1 0\n"),
+            Err(ParseDimacsError::InvalidHeader { line: 3 })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected_with_its_line() {
+        // Non-numeric junk after a well-formed clause list.
+        assert!(matches!(
+            CnfFormula::parse_dimacs("p cnf 2 1\n1 2 0\nxyz\n"),
+            Err(ParseDimacsError::InvalidLiteral { line: 3, .. })
+        ));
+        // Junk spliced into a clause.
+        assert!(matches!(
+            CnfFormula::parse_dimacs("p cnf 2 1\n1 two 0\n"),
+            Err(ParseDimacsError::InvalidLiteral { line: 2, .. })
+        ));
+        // A trailing unterminated clause after valid ones.
+        assert!(matches!(
+            CnfFormula::parse_dimacs("p cnf 3 2\n1 2 0\n-3\n"),
+            Err(ParseDimacsError::UnterminatedClause)
+        ));
+        // An out-of-range literal (beyond i64 digits).
+        assert!(matches!(
+            CnfFormula::parse_dimacs("p cnf 2 1\n99999999999999999999999 0\n"),
+            Err(ParseDimacsError::InvalidLiteral { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        let header = ParseDimacsError::InvalidHeader { line: 4 };
+        assert!(header.to_string().contains("line 4"));
+        let literal = ParseDimacsError::InvalidLiteral {
+            line: 2,
+            token: "xyz".to_string(),
+        };
+        let message = literal.to_string();
+        assert!(message.contains("xyz") && message.contains("line 2"));
+        assert!(ParseDimacsError::UnterminatedClause
+            .to_string()
+            .contains("not terminated"));
+    }
+
+    #[test]
     fn declared_vars_override_inferred() {
         let cnf = CnfFormula::parse_dimacs("p cnf 10 1\n1 0\n").expect("parses");
         assert_eq!(cnf.num_vars(), 10);

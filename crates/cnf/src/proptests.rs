@@ -70,6 +70,9 @@ proptest! {
         let reparsed = CnfFormula::parse_dimacs(&text).expect("printed DIMACS reparses");
         prop_assert_eq!(reparsed.num_vars(), cnf.num_vars());
         prop_assert_eq!(reparsed.clauses(), cnf.clauses());
+        // ...and in fact the whole formula is reproduced exactly:
+        // parse_dimacs(to_dimacs(f)) == f.
+        prop_assert_eq!(reparsed, cnf);
     }
 
     /// Evaluation after a round trip is unchanged on every assignment.

@@ -15,8 +15,8 @@ use bosphorus_cnf::{CnfFormula, CnfVar, Lit};
 use bosphorus_sat::XorConstraint;
 
 use crate::minimize::karnaugh_clauses;
-use crate::propagate::{AnfPropagator, VarKnowledge};
 use crate::BosphorusConfig;
+use bosphorus_anf::{AnfPropagator, VarKnowledge};
 
 /// The product of an ANF → CNF conversion.
 ///

@@ -1,5 +1,7 @@
 //! Configuration of the Bosphorus fact-learning loop.
 
+use crate::pipeline::PassKind;
+
 /// Tunable parameters of the [`Bosphorus`](crate::Bosphorus) engine.
 ///
 /// Field names follow the paper's notation (Section IV lists the defaults the
@@ -56,6 +58,22 @@ pub struct BosphorusConfig {
     /// Upper bound on the number of XL–ElimLin–SAT iterations of the
     /// fact-learning loop (a safeguard on top of the fixed-point test).
     pub max_iterations: usize,
+    /// The learning passes of one loop iteration, in run order. This is the
+    /// paper's Fig. 1 sequence by default (`[Xl, ElimLin, Sat]`); reorder,
+    /// drop, or extend it (e.g. with [`PassKind::Groebner`]) to change the
+    /// pipeline without touching engine code. The driver propagates learnt
+    /// facts after every pass, so [`PassKind::Propagate`] is only needed in
+    /// custom orders that want additional propagation points.
+    pub pass_order: Vec<PassKind>,
+    /// Reduction budget of the optional Gröbner pass (see
+    /// [`PassKind::Groebner`]); matches
+    /// `bosphorus_groebner::GroebnerConfig::max_reductions`.
+    pub groebner_max_reductions: usize,
+    /// Basis-size budget of the optional Gröbner pass.
+    pub groebner_max_basis_size: usize,
+    /// Degree bound of the optional Gröbner pass; S-polynomials above this
+    /// degree are skipped, keeping the pass cheap enough to sit in the loop.
+    pub groebner_max_degree: usize,
     /// Whether native XOR constraints are handed to the SAT solver in
     /// addition to the CNF clauses (exercised by the CryptoMiniSat-like
     /// configuration).
@@ -78,6 +96,10 @@ impl Default for BosphorusConfig {
             sat_budget_increment: 2_000,
             sat_budget_max: 20_000,
             max_iterations: 16,
+            pass_order: vec![PassKind::Xl, PassKind::ElimLin, PassKind::Sat],
+            groebner_max_reductions: 5_000,
+            groebner_max_basis_size: 500,
+            groebner_max_degree: 4,
             emit_xor_constraints: false,
             rng_seed: 0xB05F0405,
         }
@@ -101,8 +123,7 @@ impl BosphorusConfig {
             sat_budget_increment: 10_000,
             sat_budget_max: 100_000,
             max_iterations: 64,
-            emit_xor_constraints: false,
-            rng_seed: 0xB05F0405,
+            ..BosphorusConfig::default()
         }
     }
 
@@ -146,5 +167,15 @@ mod tests {
     #[test]
     fn exhaustive_disables_subsampling_in_practice() {
         assert_eq!(BosphorusConfig::exhaustive().subsample_m, 63);
+    }
+
+    #[test]
+    fn default_pass_order_is_the_paper_loop() {
+        let d = BosphorusConfig::default();
+        assert_eq!(
+            d.pass_order,
+            vec![PassKind::Xl, PassKind::ElimLin, PassKind::Sat]
+        );
+        assert_eq!(d.pass_order, BosphorusConfig::paper_defaults().pass_order);
     }
 }

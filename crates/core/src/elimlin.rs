@@ -30,6 +30,12 @@ pub struct ElimLinOutcome {
     /// Cumulative elimination-kernel operation counts across all rounds
     /// (the `rank` field is the *sum* of per-round ranks).
     pub gauss: GaussStats,
+    /// `true` when the round worked on a strict subsample of the input
+    /// system. An exhaustive round is deterministic for a given system, so
+    /// the pipeline may skip re-running it while the system is unchanged.
+    /// Always `false` for [`elimlin_on`], which takes its working set
+    /// verbatim.
+    pub subsampled: bool,
 }
 
 /// Runs ElimLin fact learning on (a subsample of) `system`.
@@ -55,7 +61,10 @@ pub fn elimlin_learn<R: Rng>(
             break;
         }
     }
-    elimlin_on(working)
+    let subsampled = working.len() < system.len();
+    let mut outcome = elimlin_on(working);
+    outcome.subsampled = subsampled;
+    outcome
 }
 
 /// Runs ElimLin on exactly the given polynomials (no subsampling).
@@ -66,6 +75,7 @@ pub fn elimlin_on(mut working: Vec<Polynomial>) -> ElimLinOutcome {
         eliminated_vars: 0,
         contradiction: false,
         gauss: GaussStats::default(),
+        subsampled: false,
     };
     loop {
         outcome.rounds += 1;

@@ -1,6 +1,10 @@
-//! The Bosphorus engine: the XL–ElimLin–SAT fact-learning loop of Fig. 1.
+//! The Bosphorus engine: the XL–ElimLin–SAT fact-learning loop of Fig. 1,
+//! expressed as a [`Pipeline`] of [`LearningPass`](crate::LearningPass)
+//! objects driven to a fixed point over an incremental [`AnfDatabase`].
 
-use bosphorus_anf::{Assignment, Polynomial, PolynomialSystem, Var};
+use std::time::Instant;
+
+use bosphorus_anf::{AnfDatabase, AnfPropagator, Assignment, Polynomial, PolynomialSystem, Var};
 use bosphorus_cnf::CnfFormula;
 use bosphorus_sat::{SolveResult, Solver, SolverConfig};
 use rand::rngs::StdRng;
@@ -8,10 +12,8 @@ use rand::SeedableRng;
 
 use crate::anf_to_cnf::{anf_to_cnf, CnfConversion};
 use crate::cnf_to_anf::cnf_to_anf;
-use crate::elimlin::elimlin_learn;
-use crate::propagate::AnfPropagator;
-use crate::satstep::{sat_step, SatStepStatus};
-use crate::xl::{is_retainable_fact, xl_learn};
+use crate::pipeline::{PassBudget, PassStatus, Pipeline};
+use crate::xl::is_retainable_fact;
 use crate::{BosphorusConfig, EngineStats};
 
 /// Outcome of [`Bosphorus::preprocess`].
@@ -39,9 +41,15 @@ pub enum SolveStatus {
 
 /// The Bosphorus preprocessing and solving engine.
 ///
-/// The engine owns the *master* ANF copy of the problem; only ANF propagation
-/// rewrites it, while XL, ElimLin and the conflict-bounded SAT step operate
-/// on copies and feed learnt facts back (Section III-A of the paper).
+/// The engine owns the *master* ANF copy of the problem inside an
+/// [`AnfDatabase`]; only ANF propagation rewrites it, while XL, ElimLin and
+/// the conflict-bounded SAT step operate on copies and feed learnt facts
+/// back (Section III-A of the paper). The techniques themselves are
+/// [`LearningPass`](crate::LearningPass) objects in a [`Pipeline`]; the
+/// engine merely drives the pipeline until no pass learns anything new.
+/// [`Bosphorus::preprocess`] uses the pipeline described by
+/// [`BosphorusConfig::pass_order`]; [`Bosphorus::preprocess_with`] accepts a
+/// custom one.
 ///
 /// # Examples
 ///
@@ -69,10 +77,9 @@ pub enum SolveStatus {
 #[derive(Debug, Clone)]
 pub struct Bosphorus {
     original: PolynomialSystem,
-    master: PolynomialSystem,
+    db: AnfDatabase,
     original_num_vars: usize,
     original_cnf: Option<CnfFormula>,
-    propagator: AnfPropagator,
     config: BosphorusConfig,
     learnt_facts: Vec<Polynomial>,
     solution: Option<Assignment>,
@@ -88,10 +95,9 @@ impl Bosphorus {
         let num_vars = system.num_vars();
         Bosphorus {
             original: system.clone(),
-            master: system,
+            db: AnfDatabase::new(system),
             original_num_vars: num_vars,
             original_cnf: None,
-            propagator: AnfPropagator::new(num_vars),
             config,
             learnt_facts: Vec::new(),
             solution: None,
@@ -118,14 +124,31 @@ impl Bosphorus {
         &self.config
     }
 
+    /// The incremental database holding the master ANF and the propagation
+    /// knowledge, with its revision counter.
+    pub fn database(&self) -> &AnfDatabase {
+        &self.db
+    }
+
     /// The master ANF after the preprocessing performed so far.
     pub fn processed_system(&self) -> &PolynomialSystem {
-        &self.master
+        self.db.system()
+    }
+
+    /// The system the engine was constructed with.
+    pub fn original_system(&self) -> &PolynomialSystem {
+        &self.original
+    }
+
+    /// Number of variables of the original problem (before any auxiliary
+    /// variables introduced by CNF→ANF conversion).
+    pub fn original_num_vars(&self) -> usize {
+        self.original_num_vars
     }
 
     /// The ANF propagation state (determined variables and equivalences).
     pub fn propagator(&self) -> &AnfPropagator {
-        &self.propagator
+        self.db.propagator()
     }
 
     /// All facts learnt so far (in the order they were added to the master
@@ -144,85 +167,76 @@ impl Bosphorus {
         self.solution.as_ref()
     }
 
-    /// Runs the fact-learning loop of Fig. 1 until the fixed point (no new
-    /// facts), a solution, a contradiction, or the iteration limit.
+    /// Runs the fact-learning pipeline of Fig. 1 until the fixed point (no
+    /// new facts), a solution, a contradiction, or the iteration limit.
+    ///
+    /// The pipeline is built from [`BosphorusConfig::pass_order`]; use
+    /// [`Bosphorus::preprocess_with`] to supply a custom pipeline (e.g. one
+    /// containing a pass the configuration cannot name).
     pub fn preprocess(&mut self) -> PreprocessStatus {
+        let mut pipeline = Pipeline::standard(&self.config);
+        self.preprocess_with(&mut pipeline)
+    }
+
+    /// Runs a caller-supplied pipeline to the fixed point.
+    ///
+    /// Pass state (revision bookkeeping, the adaptive SAT budget) lives for
+    /// the duration of this call; handing the same pipeline to a second call
+    /// keeps its revision memory, so already-converged passes skip
+    /// immediately.
+    pub fn preprocess_with(&mut self, pipeline: &mut Pipeline) -> PreprocessStatus {
+        let budget = PassBudget::with_rng(&self.config, self.rng.clone());
+        let status = self.drive(pipeline, &budget);
+        self.rng = budget.into_rng();
+        status
+    }
+
+    /// The fixed-point driver: run every pass in order, commit and propagate
+    /// its facts, and stop when a full iteration learns nothing.
+    fn drive(&mut self, pipeline: &mut Pipeline, budget: &PassBudget) -> PreprocessStatus {
         // Initial ANF propagation on the input.
         if self.propagate_master() {
             return PreprocessStatus::Unsat;
         }
-        let mut budget = self.config.sat_conflict_budget;
         for _ in 0..self.config.max_iterations {
             self.stats.iterations += 1;
             let mut new_facts = 0usize;
-
-            // --- XL ---------------------------------------------------
-            let xl = xl_learn(&self.master, &self.config, &mut self.rng);
-            self.stats.gauss_row_xors += xl.gauss.row_xors as u64;
-            let added = self.add_facts(xl.facts);
-            self.stats.facts_from_xl += added;
-            new_facts += added;
-            if self.propagate_master() {
-                return PreprocessStatus::Unsat;
-            }
-
-            // --- ElimLin ----------------------------------------------
-            let elimlin = elimlin_learn(&self.master, &self.config, &mut self.rng);
-            self.stats.gauss_row_xors += elimlin.gauss.row_xors as u64;
-            if elimlin.contradiction {
-                self.unsat = true;
-                return PreprocessStatus::Unsat;
-            }
-            let added = self.add_facts(elimlin.facts);
-            self.stats.facts_from_elimlin += added;
-            new_facts += added;
-            if self.propagate_master() {
-                return PreprocessStatus::Unsat;
-            }
-
-            // --- Conflict-bounded SAT ---------------------------------
-            let sat = sat_step(
-                &self.master,
-                &self.propagator,
-                &self.config,
-                &SolverConfig::aggressive(),
-                budget,
-            );
-            self.stats.sat_conflicts += sat.conflicts;
-            match sat.status {
-                SatStepStatus::Unsatisfiable => {
-                    self.unsat = true;
+            for pass in pipeline.passes_mut() {
+                let name = pass.name();
+                let started = Instant::now();
+                let outcome = pass.run(&mut self.db, budget);
+                self.stats.record_pass(name, &outcome, started.elapsed());
+                match outcome.status {
+                    PassStatus::Skipped => continue,
+                    PassStatus::Unsat => {
+                        self.unsat = true;
+                        return PreprocessStatus::Unsat;
+                    }
+                    PassStatus::Solved(partial) => {
+                        // The paper exits the loop and provides the solution
+                        // when the SAT solver finds one; the solution is not
+                        // used to simplify the ANF because it may not be
+                        // unique.
+                        let full = self.reconstruct_assignment(&partial);
+                        self.solution = Some(full.clone());
+                        self.stats.decided_during_preprocessing = true;
+                        return PreprocessStatus::Solved(full);
+                    }
+                    PassStatus::Ran => {}
+                }
+                let added = self.add_facts(outcome.facts);
+                self.stats.record_facts(name, added);
+                pass.facts_committed(added, budget);
+                new_facts += added;
+                if added > 0 && self.propagate_master() {
                     return PreprocessStatus::Unsat;
                 }
-                SatStepStatus::Satisfiable(assignment) => {
-                    // The paper exits the loop and provides the solution when
-                    // the SAT solver finds one; the solution is not used to
-                    // simplify the ANF because it may not be unique.
-                    let full = self.reconstruct_assignment(&assignment);
-                    self.solution = Some(full.clone());
-                    self.stats.decided_during_preprocessing = true;
-                    return PreprocessStatus::Solved(full);
-                }
-                SatStepStatus::Undecided => {}
             }
-            let added = self.add_facts(sat.facts);
-            self.stats.facts_from_sat += added;
-            if added == 0 {
-                // No new facts from the SAT solver: increase the budget, as
-                // described in Section IV.
-                budget =
-                    (budget + self.config.sat_budget_increment).min(self.config.sat_budget_max);
-            }
-            new_facts += added;
-            if self.propagate_master() {
-                return PreprocessStatus::Unsat;
-            }
-
             if new_facts == 0 {
                 break;
             }
         }
-        if self.master.is_empty() && !self.propagator.has_contradiction() {
+        if self.db.is_empty() && !self.db.has_contradiction() {
             // Everything is determined: read the solution off the propagator.
             let assignment =
                 self.reconstruct_assignment(&Assignment::all_false(self.original_num_vars));
@@ -237,7 +251,7 @@ impl Bosphorus {
 
     /// Converts the current master ANF (plus the propagation state) to CNF.
     pub fn to_cnf(&self) -> CnfConversion {
-        anf_to_cnf(&self.master, &self.propagator, &self.config)
+        anf_to_cnf(self.db.system(), self.db.propagator(), &self.config)
     }
 
     /// The CNF output of the preprocessor: the processed CNF (with learnt
@@ -287,10 +301,11 @@ impl Bosphorus {
     /// assignment of every original variable, filling in values that
     /// propagation determined and following equivalence chains.
     pub fn reconstruct_assignment(&self, partial: &Assignment) -> Assignment {
+        let propagator = self.db.propagator();
         let value_of = |v: Var| -> bool {
-            if let Some(value) = self.propagator.value(v) {
+            if let Some(value) = propagator.value(v) {
                 value
-            } else if let Some((root, negated)) = self.propagator.equivalence(v) {
+            } else if let Some((root, negated)) = propagator.equivalence(v) {
                 let base = if (root as usize) < partial.len() {
                     partial.get(root)
                 } else {
@@ -314,7 +329,7 @@ impl Bosphorus {
             if !is_retainable_fact(&fact) && !fact.is_one() {
                 continue;
             }
-            if self.master.push_unique(fact.clone()) {
+            if self.db.push_unique(fact.clone()) {
                 self.learnt_facts.push(fact);
                 added += 1;
             }
@@ -325,9 +340,9 @@ impl Bosphorus {
     /// Runs ANF propagation on the master copy; returns `true` when a
     /// contradiction was found.
     fn propagate_master(&mut self) -> bool {
-        let outcome = self.propagator.propagate(&mut self.master);
-        self.stats.propagated_assignments += outcome.new_assignments;
-        self.stats.propagated_equivalences += outcome.new_equivalences;
+        let outcome = self.db.propagate();
+        self.stats
+            .record_driver_propagation(outcome.new_assignments, outcome.new_equivalences);
         if outcome.contradiction {
             self.unsat = true;
             true
@@ -340,6 +355,7 @@ impl Bosphorus {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::PassKind;
 
     fn section_2e() -> PolynomialSystem {
         PolynomialSystem::parse(
@@ -486,5 +502,125 @@ mod tests {
             PreprocessStatus::Solved(a) => assert_eq!(a.len(), 0),
             other => panic!("expected Solved, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn per_pass_stats_follow_the_configured_order() {
+        let mut engine = Bosphorus::new(section_2e(), BosphorusConfig::default());
+        let _ = engine.preprocess();
+        let names: Vec<&str> = engine
+            .stats()
+            .passes
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["xl", "elimlin", "sat"]);
+        let xl = engine.stats().pass("xl").expect("xl entry");
+        assert!(xl.runs >= 1);
+        assert_eq!(xl.facts, engine.stats().facts_from_xl);
+    }
+
+    #[test]
+    fn disabling_a_pass_removes_its_stats_entry() {
+        let config = BosphorusConfig {
+            pass_order: vec![PassKind::ElimLin, PassKind::Sat],
+            ..BosphorusConfig::default()
+        };
+        let mut engine = Bosphorus::new(section_2e(), config);
+        let status = engine.preprocess();
+        assert_ne!(status, PreprocessStatus::Unsat);
+        assert!(engine.stats().pass("xl").is_none(), "XL never registered");
+        assert_eq!(engine.stats().facts_from_xl, 0);
+        assert!(engine.stats().pass("elimlin").is_some());
+    }
+
+    #[test]
+    fn reordered_pipeline_still_solves_and_attributes_facts_differently() {
+        // ElimLin-first runs (and is recorded) before XL on the Section II-E
+        // example, and the instance is still decided.
+        let config = BosphorusConfig {
+            pass_order: vec![PassKind::ElimLin, PassKind::Xl, PassKind::Sat],
+            ..BosphorusConfig::default()
+        };
+        let mut engine = Bosphorus::new(section_2e(), config);
+        match engine.preprocess() {
+            PreprocessStatus::Solved(a) => {
+                assert!(a.get(1) && !a.get(5));
+            }
+            other => panic!("expected Solved, got {other:?}"),
+        }
+        let names: Vec<&str> = engine
+            .stats()
+            .passes
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect();
+        assert_eq!(names[0], "elimlin");
+        assert!(engine.stats().pass("elimlin").expect("entry").runs >= 1);
+    }
+
+    #[test]
+    fn groebner_pass_can_run_inside_the_pipeline() {
+        let config = BosphorusConfig {
+            pass_order: vec![PassKind::Groebner, PassKind::Sat],
+            ..BosphorusConfig::default()
+        };
+        let system = PolynomialSystem::parse("x0*x1 + x0 + 1; x1 + x2;").expect("parses");
+        let mut engine = Bosphorus::new(system.clone(), config);
+        match engine.preprocess() {
+            PreprocessStatus::Solved(a) => assert!(system.is_satisfied_by(&a)),
+            other => panic!("expected Solved, got {other:?}"),
+        }
+        let gb = engine.stats().pass("groebner").expect("groebner entry");
+        assert!(gb.runs >= 1);
+        assert_eq!(engine.stats().facts_from_groebner, gb.facts);
+    }
+
+    #[test]
+    fn groebner_only_pipeline_detects_unsat() {
+        let config = BosphorusConfig {
+            pass_order: vec![PassKind::Groebner],
+            ..BosphorusConfig::default()
+        };
+        let system = PolynomialSystem::parse("x0*x1 + x0 + 1; x1 + 1;").expect("parses");
+        let mut engine = Bosphorus::new(system, config);
+        assert_eq!(engine.preprocess(), PreprocessStatus::Unsat);
+    }
+
+    #[test]
+    fn converged_passes_skip_instead_of_rescanning() {
+        // Once the Section II-E example is at its fixed point, re-running
+        // preprocessing with the same (stateful) pipeline skips every pass.
+        let system = section_2e();
+        let config = BosphorusConfig {
+            // Keep the SAT pass out: its budget escalation legitimately
+            // re-arms it, which is exactly what we are not testing here.
+            pass_order: vec![PassKind::Xl, PassKind::ElimLin],
+            ..BosphorusConfig::exhaustive()
+        };
+        let mut engine = Bosphorus::new(system, config.clone());
+        let mut pipeline = Pipeline::standard(&config);
+        let first = engine.preprocess_with(&mut pipeline);
+        assert_ne!(first, PreprocessStatus::Unsat);
+        let runs_before: usize = engine.stats().passes.iter().map(|p| p.runs).sum();
+        let _ = engine.preprocess_with(&mut pipeline);
+        let runs_after: usize = engine.stats().passes.iter().map(|p| p.runs).sum();
+        let skips: usize = engine.stats().passes.iter().map(|p| p.skips).sum();
+        assert_eq!(
+            runs_before, runs_after,
+            "no pass re-ran on the unchanged database"
+        );
+        assert!(skips > 0, "the second call skipped instead");
+    }
+
+    #[test]
+    fn database_revision_advances_with_learning() {
+        let mut engine = Bosphorus::new(section_2e(), BosphorusConfig::default());
+        assert_eq!(engine.database().revision(), 0);
+        let _ = engine.preprocess();
+        assert!(
+            engine.database().revision() > 0,
+            "learning mutates the database"
+        );
     }
 }

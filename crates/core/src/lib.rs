@@ -18,12 +18,16 @@
 //!    solver with a conflict budget, harvest unit and binary learnt clauses
 //!    (Section II-D).
 //!
-//! The [`Bosphorus`] engine runs this loop until no new facts are produced
+//! The techniques are [`LearningPass`] objects registered in a [`Pipeline`]
+//! over the incremental [`AnfDatabase`](bosphorus_anf::AnfDatabase); the
+//! [`Bosphorus`] engine drives the pipeline until no new facts are produced
 //! (Fig. 1 of the paper), then emits a processed ANF and CNF that downstream
-//! solvers decide faster. Conversions in both directions are provided:
-//! [`anf_to_cnf`] (Karnaugh-map minimisation for small-support polynomials,
-//! XOR cutting plus Tseitin expansion otherwise) and [`cnf_to_anf`]
-//! (clause products with clause cutting).
+//! solvers decide faster. Pass order and budgets are configuration data
+//! ([`BosphorusConfig::pass_order`]), and an optional Gröbner/Buchberger
+//! pass ([`GroebnerPass`]) can join the loop. Conversions in both directions
+//! are provided: [`anf_to_cnf`] (Karnaugh-map minimisation for small-support
+//! polynomials, XOR cutting plus Tseitin expansion otherwise) and
+//! [`cnf_to_anf`] (clause products with clause cutting).
 //!
 //! # Quick start
 //!
@@ -51,12 +55,16 @@ mod elimlin;
 mod engine;
 mod linearize;
 mod minimize;
-mod propagate;
+mod pipeline;
 mod satstep;
 mod stats;
 mod xl;
 
 pub use anf_to_cnf::{anf_to_cnf, tseitin_clause_count, CnfConversion};
+// The propagator moved into `bosphorus-anf` (it is part of the shared
+// problem representation, see `AnfDatabase`); re-exported here so existing
+// `bosphorus::AnfPropagator` paths keep working.
+pub use bosphorus_anf::{AnfPropagator, PropagationOutcome, VarKnowledge};
 pub use bosphorus_gf2::GaussStats;
 pub use cnf_to_anf::{clause_to_polynomial, cnf_to_anf, AnfConversion};
 pub use config::BosphorusConfig;
@@ -64,10 +72,13 @@ pub use elimlin::{elimlin_learn, elimlin_on, ElimLinOutcome};
 pub use engine::{Bosphorus, PreprocessStatus, SolveStatus};
 pub use linearize::Linearization;
 pub use minimize::karnaugh_clauses;
-pub use propagate::{AnfPropagator, PropagationOutcome, VarKnowledge};
+pub use pipeline::{
+    ElimLinPass, GroebnerPass, LearningPass, PassBudget, PassKind, PassOutcome, PassStatus,
+    Pipeline, PropagatePass, SatPass, XlPass,
+};
 pub use satstep::{sat_step, sat_step_on_conversion, SatStepOutcome, SatStepStatus};
-pub use stats::EngineStats;
-pub use xl::{expansion_monomials, xl_learn, XlOutcome};
+pub use stats::{EngineStats, PassStats};
+pub use xl::{expansion_monomials, is_retainable_fact, xl_learn, XlOutcome};
 
 #[cfg(test)]
 mod proptests;

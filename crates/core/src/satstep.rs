@@ -14,8 +14,8 @@ use bosphorus_cnf::Lit;
 use bosphorus_sat::{SolveResult, Solver, SolverConfig};
 
 use crate::anf_to_cnf::{anf_to_cnf, CnfConversion};
-use crate::propagate::AnfPropagator;
 use crate::BosphorusConfig;
+use bosphorus_anf::AnfPropagator;
 
 /// How the conflict-bounded SAT call ended.
 #[derive(Debug, Clone, PartialEq, Eq)]

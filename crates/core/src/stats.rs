@@ -1,22 +1,61 @@
 //! Statistics of a Bosphorus preprocessing run.
 
 use std::fmt;
+use std::time::Duration;
+
+use bosphorus_gf2::GaussStats;
+
+use crate::pipeline::PassOutcome;
+
+/// Per-pass counters, recorded uniformly for every pipeline pass.
+///
+/// One entry exists per distinct pass name that appeared in the pipeline;
+/// entries are created lazily in run order the first time a pass executes
+/// (or skips).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PassStats {
+    /// The pass's stable name (`"xl"`, `"elimlin"`, `"sat"`, ...).
+    pub name: String,
+    /// Number of times the pass actually executed.
+    pub runs: usize,
+    /// Number of times the pass skipped because nothing it reads changed.
+    pub skips: usize,
+    /// Facts contributed by the pass (after the retainability filter and
+    /// deduplication against the master copy).
+    pub facts: usize,
+    /// Cumulative GF(2) elimination work performed by the pass.
+    pub gauss: GaussStats,
+    /// Cumulative SAT conflicts spent by the pass.
+    pub sat_conflicts: u64,
+    /// Value assignments recorded by the pass (propagation only).
+    pub propagated_assignments: usize,
+    /// Equivalences recorded by the pass (propagation only).
+    pub propagated_equivalences: usize,
+    /// Total wall-clock time spent inside the pass (skips included; their
+    /// cost is the skip check itself).
+    pub time: Duration,
+}
 
 /// Counters describing what the fact-learning loop did.
 ///
 /// Returned by [`Bosphorus::stats`](crate::Bosphorus::stats) and printed by
-/// the benchmark harness next to each PAR-2 row.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// the benchmark harness next to each PAR-2 row. The flat fields mirror the
+/// paper's Fig. 1 loop; [`EngineStats::passes`] carries the same information
+/// broken down per pipeline pass (including custom orders).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct EngineStats {
-    /// Number of XL–ElimLin–SAT iterations executed.
+    /// Number of pipeline iterations executed.
     pub iterations: usize,
-    /// Facts contributed by the XL step.
+    /// Facts contributed by the XL pass.
     pub facts_from_xl: usize,
-    /// Facts contributed by the ElimLin step.
+    /// Facts contributed by the ElimLin pass.
     pub facts_from_elimlin: usize,
-    /// Facts contributed by the conflict-bounded SAT step.
+    /// Facts contributed by the conflict-bounded SAT pass.
     pub facts_from_sat: usize,
-    /// Value assignments made by ANF propagation.
+    /// Facts contributed by the optional Gröbner pass.
+    pub facts_from_groebner: usize,
+    /// Value assignments made by ANF propagation (driver-level and explicit
+    /// propagation passes combined).
     pub propagated_assignments: usize,
     /// Equivalences recorded by ANF propagation.
     pub propagated_equivalences: usize,
@@ -27,12 +66,76 @@ pub struct EngineStats {
     pub gauss_row_xors: u64,
     /// `true` if preprocessing alone decided the instance.
     pub decided_during_preprocessing: bool,
+    /// Uniform per-pass breakdown (work, facts, skips, timing), in the
+    /// order the passes first appeared in the pipeline.
+    pub passes: Vec<PassStats>,
 }
 
 impl EngineStats {
     /// Total number of learnt facts across all techniques.
     pub fn total_facts(&self) -> usize {
-        self.facts_from_xl + self.facts_from_elimlin + self.facts_from_sat
+        self.facts_from_xl
+            + self.facts_from_elimlin
+            + self.facts_from_sat
+            + self.facts_from_groebner
+    }
+
+    /// The per-pass entry for `name`, if that pass appeared in the pipeline.
+    pub fn pass(&self, name: &str) -> Option<&PassStats> {
+        self.passes.iter().find(|p| p.name == name)
+    }
+
+    /// Folds one pass run (or skip) into the per-pass entry for `name` and
+    /// into the flat aggregate counters.
+    pub(crate) fn record_pass(&mut self, name: &str, outcome: &PassOutcome, elapsed: Duration) {
+        use crate::pipeline::PassStatus;
+        self.gauss_row_xors += outcome.gauss.row_xors as u64;
+        self.sat_conflicts += outcome.sat_conflicts;
+        self.propagated_assignments += outcome.new_assignments;
+        self.propagated_equivalences += outcome.new_equivalences;
+        let entry = self.entry_mut(name);
+        entry.time += elapsed;
+        if outcome.status == PassStatus::Skipped {
+            entry.skips += 1;
+        } else {
+            entry.runs += 1;
+        }
+        entry.gauss.merge(outcome.gauss);
+        entry.sat_conflicts += outcome.sat_conflicts;
+        entry.propagated_assignments += outcome.new_assignments;
+        entry.propagated_equivalences += outcome.new_equivalences;
+    }
+
+    /// Records `added` committed facts for the pass `name`, updating both
+    /// the per-pass entry and the matching flat counter.
+    pub(crate) fn record_facts(&mut self, name: &str, added: usize) {
+        self.entry_mut(name).facts += added;
+        match name {
+            "xl" => self.facts_from_xl += added,
+            "elimlin" => self.facts_from_elimlin += added,
+            "sat" => self.facts_from_sat += added,
+            "groebner" => self.facts_from_groebner += added,
+            _ => {}
+        }
+    }
+
+    /// Folds driver-level propagation (runs outside any pass) into the
+    /// aggregate counters.
+    pub(crate) fn record_driver_propagation(&mut self, assignments: usize, equivalences: usize) {
+        self.propagated_assignments += assignments;
+        self.propagated_equivalences += equivalences;
+    }
+
+    fn entry_mut(&mut self, name: &str) -> &mut PassStats {
+        if let Some(idx) = self.passes.iter().position(|p| p.name == name) {
+            &mut self.passes[idx]
+        } else {
+            self.passes.push(PassStats {
+                name: name.to_string(),
+                ..PassStats::default()
+            });
+            self.passes.last_mut().expect("just pushed")
+        }
     }
 }
 
@@ -49,13 +152,25 @@ impl fmt::Display for EngineStats {
             self.propagated_equivalences,
             self.sat_conflicts,
             self.gauss_row_xors
-        )
+        )?;
+        if self.facts_from_groebner > 0 {
+            write!(f, " facts_groebner={}", self.facts_from_groebner)?;
+        }
+        for pass in &self.passes {
+            write!(
+                f,
+                " {}(runs={}, skips={}, facts={})",
+                pass.name, pass.runs, pass.skips, pass.facts
+            )?;
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::{PassOutcome, PassStatus};
 
     #[test]
     fn totals_add_up() {
@@ -67,5 +182,47 @@ mod tests {
         };
         assert_eq!(stats.total_facts(), 9);
         assert!(stats.to_string().contains("xl=2"));
+    }
+
+    #[test]
+    fn groebner_facts_count_towards_the_total() {
+        let stats = EngineStats {
+            facts_from_xl: 1,
+            facts_from_groebner: 5,
+            ..EngineStats::default()
+        };
+        assert_eq!(stats.total_facts(), 6);
+        assert!(stats.to_string().contains("facts_groebner=5"));
+    }
+
+    #[test]
+    fn record_pass_accumulates_runs_skips_and_work() {
+        let mut stats = EngineStats::default();
+        let mut ran = PassOutcome::ran();
+        ran.gauss.row_xors = 7;
+        ran.sat_conflicts = 3;
+        stats.record_pass("xl", &ran, Duration::from_millis(2));
+        let skipped = PassOutcome::skipped();
+        stats.record_pass("xl", &skipped, Duration::from_millis(1));
+        stats.record_facts("xl", 4);
+
+        let xl = stats.pass("xl").expect("entry exists");
+        assert_eq!(xl.runs, 1);
+        assert_eq!(xl.skips, 1);
+        assert_eq!(xl.facts, 4);
+        assert_eq!(xl.gauss.row_xors, 7);
+        assert_eq!(xl.time, Duration::from_millis(3));
+        assert_eq!(stats.gauss_row_xors, 7);
+        assert_eq!(stats.sat_conflicts, 3);
+        assert_eq!(stats.facts_from_xl, 4);
+        assert_eq!(ran.status, PassStatus::Ran);
+    }
+
+    #[test]
+    fn unknown_pass_names_get_entries_but_no_flat_counter() {
+        let mut stats = EngineStats::default();
+        stats.record_facts("custom", 2);
+        assert_eq!(stats.pass("custom").expect("entry").facts, 2);
+        assert_eq!(stats.total_facts(), 0, "no flat counter for custom passes");
     }
 }

@@ -34,6 +34,12 @@ pub struct XlOutcome {
     /// Operation counts of the elimination kernel (the dominant cost of the
     /// round).
     pub gauss: GaussStats,
+    /// `true` when the round worked on a strict subsample of the system (or
+    /// truncated the expansion at the size budget). An exhaustive round
+    /// (`subsampled == false`) is deterministic for a given input system, so
+    /// re-running it on an unchanged system cannot learn anything new — the
+    /// property the pipeline's revision-based skipping relies on.
+    pub subsampled: bool,
 }
 
 /// Enumerates all monomials of degree 1..=`degree` over the given variables
@@ -87,6 +93,7 @@ pub fn xl_learn<R: Rng>(
             expanded_columns: 0,
             rank: 0,
             gauss: GaussStats::default(),
+            subsampled: false,
         };
     }
     let budget = 1u128 << config.subsample_m.min(126);
@@ -120,6 +127,7 @@ pub fn xl_learn<R: Rng>(
     let multipliers = expansion_monomials(&occurring, config.xl_degree);
     let mut expanded: Vec<Polynomial> = subsample.clone();
     let mut terms_estimate: u128 = subsample.iter().map(|p| p.len() as u128).sum();
+    let mut truncated = false;
     'expansion: for base in &subsample {
         for m in &multipliers {
             let product = base.mul_monomial(m);
@@ -130,10 +138,12 @@ pub fn xl_learn<R: Rng>(
             expanded.push(product);
             let size = expanded.len() as u128 * terms_estimate;
             if size >= expansion_budget {
+                truncated = true;
                 break 'expansion;
             }
         }
     }
+    let subsampled = subsample.len() < system.len() || truncated;
 
     let mut lin = Linearization::build(expanded.iter());
     let expanded_rows = lin.num_rows();
@@ -148,13 +158,17 @@ pub fn xl_learn<R: Rng>(
         expanded_columns,
         rank,
         gauss,
+        subsampled,
     }
 }
 
 /// The two learnt-fact shapes of Section II: linear equations and
 /// `monomial ⊕ 1` facts. The contradiction `1` is also retained so the engine
 /// can conclude UNSAT.
-pub(crate) fn is_retainable_fact(p: &Polynomial) -> bool {
+///
+/// This is the filter the engine applies before committing any pass's facts
+/// to the master ANF copy.
+pub fn is_retainable_fact(p: &Polynomial) -> bool {
     !p.is_zero() && (p.is_linear() || p.as_monomial_plus_one().is_some())
 }
 
@@ -209,6 +223,7 @@ mod tests {
         assert_eq!(outcome.rank, 6, "Table I(b) has six non-zero rows");
         assert_eq!(outcome.gauss.rank, 6, "kernel stats agree with the rank");
         assert!(outcome.gauss.row_xors > 0, "elimination work is reported");
+        assert!(!outcome.subsampled, "exhaustive config covers everything");
     }
 
     #[test]
@@ -280,6 +295,7 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(11);
         let outcome = xl_learn(&s, &config, &mut rng);
+        assert!(outcome.subsampled, "a 2^2 budget cannot cover the system");
         // With such a small budget little may be learnt, but whatever is
         // learnt must still be a consequence.
         let n = s.num_vars();
