@@ -1,10 +1,12 @@
 //! Benchmarks the GF(2) elimination kernels against each other: schoolbook
-//! ("plain"), the legacy blocked entry point (now a wrapper over M4RM with a
-//! fixed block width), and M4RM with the automatic block-size heuristic.
+//! ("plain"), single-table M4RM with the automatic block-size heuristic (the
+//! PR-2 kernel), and the cache-blocked multi-table kernel (the default for
+//! everything but tiny matrices).
 //!
-//! Sizes straddle 64-bit word boundaries on purpose; the 1024×1024 case is
-//! the headline comparison recorded in `BENCH_gje.json` by the `gje_bench`
-//! binary.
+//! Sizes straddle 64-bit word boundaries on purpose and extend to 2048×2048,
+//! the largest this criterion sweep runs; the paper-scale shapes recorded in
+//! `BENCH_gje.json` by the `gje_bench` binary (4096×4096 and the XL-shaped
+//! wide 2048×16384 case) live there.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -18,16 +20,16 @@ fn bench_kernels(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2019);
     let mut group = c.benchmark_group("gje_kernels");
     group.sample_size(10);
-    for &n in &[65usize, 129, 256, 1024] {
+    for &n in &[65usize, 129, 256, 1024, 2048] {
         let m = random_dense_matrix(&mut rng, n, n);
+        let k = m4rm_block_size(n, n);
 
         // The three kernels must agree before being compared.
         let plain_rank = m.clone().gauss_jordan_plain_with_stats().rank;
-        let m4rm_rank = m
-            .clone()
-            .gauss_jordan_m4rm_with_stats(m4rm_block_size(n, n))
-            .rank;
-        assert_eq!(plain_rank, m4rm_rank, "kernels disagree at {n}x{n}");
+        let m4rm_rank = m.clone().gauss_jordan_m4rm_with_stats(k).rank;
+        let blocked_rank = m.clone().gauss_jordan_blocked_m4rm_with_stats(k).rank;
+        assert_eq!(plain_rank, m4rm_rank, "M4RM disagrees at {n}x{n}");
+        assert_eq!(plain_rank, blocked_rank, "blocked disagrees at {n}x{n}");
 
         group.bench_function(format!("plain/{n}x{n}"), |b| {
             b.iter(|| {
@@ -35,13 +37,19 @@ fn bench_kernels(c: &mut Criterion) {
                 black_box(a.gauss_jordan_plain_with_stats().rank)
             })
         });
-        group.bench_function(format!("blocked4/{n}x{n}"), |b| {
+        group.bench_function(format!("m4rm/{n}x{n}"), |b| {
             b.iter(|| {
                 let mut a = black_box(&m).clone();
-                black_box(a.gauss_jordan_blocked_with_stats(4).rank)
+                black_box(a.gauss_jordan_m4rm_with_stats(k).rank)
             })
         });
-        group.bench_function(format!("m4rm_auto/{n}x{n}"), |b| {
+        group.bench_function(format!("blocked/{n}x{n}"), |b| {
+            b.iter(|| {
+                let mut a = black_box(&m).clone();
+                black_box(a.gauss_jordan_blocked_m4rm_with_stats(k).rank)
+            })
+        });
+        group.bench_function(format!("auto/{n}x{n}"), |b| {
             b.iter(|| {
                 let mut a = black_box(&m).clone();
                 black_box(a.gauss_jordan_with_stats().rank)

@@ -169,4 +169,20 @@ mod tests {
             .unwrap_err()
             .contains("unknown argument"));
     }
+
+    #[test]
+    fn help_is_not_an_unknown_argument() {
+        // `table2 --help` must parse cleanly (the binary prints TABLE2_USAGE
+        // and exits 0), in both spellings and mixed with other flags.
+        assert!(parse(&["--help"]).expect("--help parses").help);
+        assert!(parse(&["-h"]).expect("-h parses").help);
+        let mixed = parse(&["--family", "simon", "--help"]).expect("parses");
+        assert!(mixed.help);
+        assert_eq!(mixed.family, "simon");
+        assert!(!parse(&[]).expect("parses").help);
+        // The usage text names the flags so `--help` output stays useful.
+        for flag in ["--family", "--instances", "--timeout", "--jobs", "--passes"] {
+            assert!(TABLE2_USAGE.contains(flag), "usage must mention {flag}");
+        }
+    }
 }

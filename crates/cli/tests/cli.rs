@@ -152,3 +152,27 @@ fn bad_usage_exits_one_with_a_message() {
     let output = bosphorus(&["--anf", "/nonexistent/definitely_missing.anf"]);
     assert_eq!(output.status.code(), Some(1));
 }
+
+#[test]
+fn help_prints_usage_and_exits_zero() {
+    // `--help` is a supported flag, not an unknown-argument error: usage on
+    // stdout, nothing on stderr, exit code 0 — even with other flags around.
+    for args in [
+        &["--help"][..],
+        &["-h"][..],
+        &["--anf", "x.anf", "--help"][..],
+    ] {
+        let output = bosphorus(args);
+        assert_eq!(output.status.code(), Some(0), "exit code for {args:?}");
+        let text = stdout(&output);
+        assert!(
+            text.contains("usage: bosphorus"),
+            "stdout for {args:?}: {text}"
+        );
+        assert!(text.contains("--passes"), "flag list for {args:?}");
+        assert!(
+            output.stderr.is_empty(),
+            "stderr must stay quiet for {args:?}"
+        );
+    }
+}

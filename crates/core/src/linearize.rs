@@ -4,6 +4,12 @@
 //! Both XL and ElimLin rest on this transformation: the polynomials become
 //! rows of a [`BitMatrix`], Gauss–Jordan elimination is applied, and the rows
 //! are mapped back to polynomials.
+//!
+//! The elimination itself goes through `gauss_jordan_with_stats`, which
+//! auto-selects the kernel via `bosphorus_gf2::select_kernel`: XL-expanded
+//! systems routinely reach thousands of monomial columns, the regime the
+//! cache-blocked multi-table M4RM kernel is built for (see
+//! `crates/gf2/src/blocked.rs` and `crates/bench/DESIGN.md`).
 
 use std::collections::BTreeMap;
 

@@ -1,0 +1,559 @@
+//! Cache-blocked, multi-table M4RM Gauss–Jordan elimination.
+//!
+//! This is the paper-scale GF(2) elimination kernel, in the style of the
+//! M4RI library's `mzd_echelonize_m4ri`: the single-table Method of the Four
+//! Russians (`m4rm.rs`) processes `k ≤ 8` pivot columns per sweep over the
+//! trailing matrix, which at tens of thousands of columns — the linearised
+//! systems the paper's Table 2 instances produce — becomes memory-bound on
+//! re-reading the matrix. This kernel cuts that traffic three ways:
+//!
+//! 1. **Contiguous arena storage.** The rows are flattened into one
+//!    `nrows × words_per_row` buffer for the duration of the elimination and
+//!    written back at the end. Row accesses become pure pointer arithmetic
+//!    instead of a double indirection through per-row heap allocations, and
+//!    the update pass streams one contiguous region the hardware prefetcher
+//!    can follow. Measured alone this roughly doubles update throughput.
+//! 2. **Pivot blocks in pairs.** Each sweep establishes up to `2k` pivots at
+//!    once and splits them over *two* `2^k` Gray-code tables. Because
+//!    [`establish_block_pivots`] leaves the pivot rows identity on *all* the
+//!    sweep's pivot columns, the two table indices of a row are independent:
+//!    entries of table A have zeros at table B's pivot columns and vice
+//!    versa, so each row is cleared with one fused
+//!    `row ^= A[idx_a] ^ B[idx_b]` pass ([`xor2_words`]). The trailing
+//!    matrix is read and written once per `2k` columns instead of once per
+//!    `k` — half the passes of the single-table kernel.
+//! 3. **Column-tiled updates.** For very wide matrices the two tables
+//!    (`2 · 2^k · stride · 8` bytes) fall out of L2 and every table lookup
+//!    becomes a cache miss. Beyond [`blocked_tile_words`] words per row the
+//!    update is applied tile by tile — the table indices are computed once
+//!    (during the first tile, while the row's leading words are hot), then
+//!    each subsequent tile streams the rows against an L2-resident slice of
+//!    both tables.
+//!
+//! The inner loops are the slice-trimmed word XORs of `vector.rs` — plain
+//! `u64` code the compiler autovectorises, no architecture intrinsics, per
+//! the offline-build constraint.
+//!
+//! The produced RREF is **bit-identical** to both the schoolbook and the
+//! single-table M4RM kernels: RREF is unique and all three kernels order
+//! rows canonically (pivot rows sorted by pivot column, zero rows last).
+//! Property tests in `proptests.rs` assert this equivalence, including at
+//! widths 2048, 4096 and non-powers-of-two.
+//!
+//! Kernel selection (which sizes run this kernel rather than single-table
+//! M4RM) lives in [`select_kernel`](crate::select_kernel); the tuning knobs
+//! are documented in `crates/bench/DESIGN.md`.
+
+use crate::m4rm::M4RM_MAX_BLOCK;
+use crate::vector::{xor2_words, xor_words};
+use crate::{BitMatrix, GaussStats};
+
+/// Conservative per-core L2 cache estimate, in bytes.
+///
+/// Used by [`select_kernel`](crate::select_kernel) (matrices whose working
+/// set exceeds this move to the blocked kernel) and by
+/// [`blocked_tile_words`] (the column-tile width is chosen so a tile of both
+/// Gray-code tables stays resident). 1 MiB sits at the low end of
+/// contemporary per-core L2 sizes: underestimating costs a little tiling
+/// overhead, overestimating reintroduces the cache misses the tiling exists
+/// to avoid.
+pub const GF2_L2_CACHE_BYTES: usize = 1024 * 1024;
+
+/// Column-tile width, in 64-bit words, of the blocked kernel's row updates
+/// for per-table block width `k`.
+///
+/// Chosen so one tile of *both* `2^k`-entry Gray-code tables fits in
+/// [`GF2_L2_CACHE_BYTES`] (the rows only stream through the cache, so the
+/// tables get the whole budget), with a floor of 16 words so the inner loops
+/// keep enough straight-line work to amortise the per-row-per-tile
+/// bookkeeping.
+///
+/// ```
+/// use bosphorus_gf2::blocked_tile_words;
+/// // k = 8: 2 tables x 256 entries x 256 words x 8 bytes = 1 MiB resident.
+/// assert_eq!(blocked_tile_words(8), 256);
+/// // Smaller tables allow wider tiles.
+/// assert!(blocked_tile_words(4) > blocked_tile_words(8));
+/// ```
+pub fn blocked_tile_words(k: usize) -> usize {
+    let budget = GF2_L2_CACHE_BYTES;
+    let table_entries = 2 * (1usize << k.clamp(1, M4RM_MAX_BLOCK));
+    (budget / (table_entries * 8)).max(16)
+}
+
+impl BitMatrix {
+    /// Cache-blocked multi-table M4RM Gauss–Jordan elimination with
+    /// per-table block width `block` (clamped to `[1, 8]`), reporting
+    /// operation counts.
+    ///
+    /// The rows are flattened into a contiguous arena, then each sweep
+    /// establishes up to `2 · block` pivots, builds two Gray-code tables,
+    /// and clears every other row with one fused two-table XOR pass
+    /// (column-tiled once rows outgrow the L2 estimate). Produces exactly
+    /// the same RREF as [`BitMatrix::gauss_jordan_plain_with_stats`] and
+    /// [`BitMatrix::gauss_jordan_m4rm_with_stats`]; only the operation
+    /// schedule differs. This is the kernel
+    /// [`BitMatrix::gauss_jordan_with_stats`] dispatches to for matrices
+    /// beyond the cache-size estimate — see
+    /// [`select_kernel`](crate::select_kernel).
+    ///
+    /// ```
+    /// use bosphorus_gf2::BitMatrix;
+    /// let mut a = BitMatrix::identity(20);
+    /// a.set(0, 19, true);
+    /// let stats = a.gauss_jordan_blocked_m4rm_with_stats(8);
+    /// assert_eq!(stats.rank, 20);
+    /// assert_eq!(a, BitMatrix::identity(20));
+    /// ```
+    pub fn gauss_jordan_blocked_m4rm_with_stats(&mut self, block: usize) -> GaussStats {
+        let k = block.clamp(1, M4RM_MAX_BLOCK);
+        let mut stats = GaussStats::default();
+        let nrows = self.nrows();
+        let ncols = self.ncols();
+        if nrows == 0 || ncols == 0 {
+            return stats;
+        }
+        let words = ncols.div_ceil(64);
+        // Flatten into the arena. Unused high bits of each row's last word
+        // are zero (a BitVec invariant), so whole-word operations need no
+        // masking and the write-back below restores valid rows.
+        let mut arena = vec![0u64; nrows * words];
+        for (r, chunk) in arena.chunks_exact_mut(words).enumerate() {
+            chunk.copy_from_slice(self.row(r).words());
+        }
+
+        // Two Gray-code tables, reused across sweeps. Entry 0 of each is the
+        // zero row and is never written; entries 1..2^p are rebuilt per
+        // sweep. `k <= 8` keeps every index within a u8.
+        let mut table_a = vec![0u64; (1usize << k) * words];
+        let mut table_b = vec![0u64; (1usize << k) * words];
+        let mut indices: Vec<(u8, u8)> = vec![(0, 0); nrows];
+        let tile = blocked_tile_words(k);
+
+        let mut pivot_row = 0usize;
+        let mut col_start = 0usize;
+        while pivot_row < nrows && col_start < ncols {
+            let Some(next_col) = leading_column(&arena, words, nrows, ncols, pivot_row, col_start)
+            else {
+                break;
+            };
+            col_start = next_col;
+            let col_end = (col_start + 2 * k).min(ncols);
+            let block_start = pivot_row;
+            let pivot_cols = establish_block_pivots(
+                &mut arena,
+                words,
+                nrows,
+                block_start,
+                col_start,
+                col_end,
+                &mut stats,
+            );
+            let p = pivot_cols.len();
+            let block_end = block_start + p;
+            if p > 0 {
+                // Split the sweep's pivots over the two tables. The pivot
+                // rows are identity on all p pivot columns, so table A
+                // entries are zero at table B's columns and vice versa: the
+                // two indices of a row are independent of each other and
+                // stable under either table's XOR.
+                let pa = p.min(k);
+                let (cols_a, cols_b) = pivot_cols.split_at(pa);
+                let w0 = col_start / 64;
+                let stride = words - w0;
+                build_gray_table(&mut table_a, &arena, words, block_start, pa, w0, &mut stats);
+                build_gray_table(
+                    &mut table_b,
+                    &arena,
+                    words,
+                    block_start + pa,
+                    p - pa,
+                    w0,
+                    &mut stats,
+                );
+                // On dense systems the sweep's pivot columns are almost
+                // always the contiguous range starting at col_start; both
+                // table indices then come out of a single (two-word) window
+                // read instead of one scattered bit probe per pivot column.
+                let contiguous = pivot_cols
+                    .iter()
+                    .enumerate()
+                    .all(|(j, &c)| c == col_start + j);
+                let shift = col_start % 64;
+                let mask_a = (1usize << pa) - 1;
+                let mask_b = (1usize << (p - pa)) - 1;
+                // First (or only) column tile: compute both table indices
+                // while the row's leading words are hot, buffer them, and
+                // apply the fused two-table XOR.
+                let first_tile = stride.min(tile);
+                for (r, row) in arena.chunks_exact_mut(words).enumerate() {
+                    if (block_start..block_end).contains(&r) {
+                        indices[r] = (0, 0);
+                        continue;
+                    }
+                    let (ia, ib) = if contiguous {
+                        let lo = row[w0] >> shift;
+                        let window = if shift == 0 || w0 + 1 >= words {
+                            lo as usize
+                        } else {
+                            (lo | (row[w0 + 1] << (64 - shift))) as usize
+                        };
+                        (window & mask_a, (window >> pa) & mask_b)
+                    } else {
+                        (block_index(row, cols_a), block_index(row, cols_b))
+                    };
+                    indices[r] = (ia as u8, ib as u8);
+                    if ia == 0 && ib == 0 {
+                        continue;
+                    }
+                    stats.row_xors += usize::from(ia != 0) + usize::from(ib != 0);
+                    apply_entries(
+                        &mut row[w0..w0 + first_tile],
+                        &table_a[ia * stride..ia * stride + first_tile],
+                        &table_b[ib * stride..ib * stride + first_tile],
+                        ia,
+                        ib,
+                    );
+                }
+                // Remaining tiles (wide matrices only): stream the rows
+                // against an L2-resident slice of both tables.
+                let mut tw = first_tile;
+                while tw < stride {
+                    let tw_end = (tw + tile).min(stride);
+                    for (r, row) in arena.chunks_exact_mut(words).enumerate() {
+                        let (ia, ib) = indices[r];
+                        let (ia, ib) = (ia as usize, ib as usize);
+                        if ia == 0 && ib == 0 {
+                            continue;
+                        }
+                        apply_entries(
+                            &mut row[w0 + tw..w0 + tw_end],
+                            &table_a[ia * stride + tw..ia * stride + tw_end],
+                            &table_b[ib * stride + tw..ib * stride + tw_end],
+                            ia,
+                            ib,
+                        );
+                    }
+                    tw = tw_end;
+                }
+            }
+            pivot_row = block_end;
+            col_start = col_end;
+        }
+
+        for (r, chunk) in arena.chunks_exact(words).enumerate() {
+            self.rows_mut()[r].words_mut().copy_from_slice(chunk);
+        }
+        stats.rank = pivot_row;
+        stats
+    }
+}
+
+/// Applies table entries `a` (if `ia != 0`) and `b` (if `ib != 0`) to `dst`,
+/// fusing both XORs into a single pass over `dst` when both fire.
+#[inline]
+fn apply_entries(dst: &mut [u64], a: &[u64], b: &[u64], ia: usize, ib: usize) {
+    if ia != 0 && ib != 0 {
+        xor2_words(dst, a, b);
+    } else if ia != 0 {
+        xor_words(dst, a);
+    } else {
+        xor_words(dst, b);
+    }
+}
+
+/// Bit `c` of arena row `r`.
+#[inline]
+fn get_bit(arena: &[u64], words: usize, r: usize, c: usize) -> bool {
+    (arena[r * words + c / 64] >> (c % 64)) & 1 == 1
+}
+
+/// XORs arena row `src` into arena row `dst` from word `w0` on.
+fn xor_row_into(arena: &mut [u64], words: usize, src: usize, dst: usize, w0: usize) {
+    debug_assert_ne!(src, dst);
+    let (s, d) = if src < dst {
+        let (lo, hi) = arena.split_at_mut(dst * words);
+        (&lo[src * words..(src + 1) * words], &mut hi[..words])
+    } else {
+        let (lo, hi) = arena.split_at_mut(src * words);
+        (&hi[..words], &mut lo[dst * words..(dst + 1) * words])
+    };
+    xor_words(&mut d[w0..], &s[w0..]);
+}
+
+/// Swaps arena rows `a` and `b` (`a != b`).
+fn swap_rows(arena: &mut [u64], words: usize, a: usize, b: usize) {
+    debug_assert_ne!(a, b);
+    let (lo, hi) = arena.split_at_mut(a.max(b) * words);
+    let lo_row = a.min(b);
+    lo[lo_row * words..(lo_row + 1) * words].swap_with_slice(&mut hi[..words]);
+}
+
+/// The leftmost column `>= col_floor` in which any arena row at or below
+/// `row_start` has a one, found with word-skipping row scans (the arena
+/// analogue of `BitVec::first_one_in_range`).
+fn leading_column(
+    arena: &[u64],
+    words: usize,
+    nrows: usize,
+    ncols: usize,
+    row_start: usize,
+    col_floor: usize,
+) -> Option<usize> {
+    let first_word = col_floor / 64;
+    let floor_mask = !0u64 << (col_floor % 64);
+    let mut best: Option<usize> = None;
+    for r in row_start..nrows {
+        let row = &arena[r * words..(r + 1) * words];
+        let limit_word = best.map_or(words - 1, |b| b / 64);
+        for (wi, &raw) in row.iter().enumerate().take(limit_word + 1).skip(first_word) {
+            let w = if wi == first_word {
+                raw & floor_mask
+            } else {
+                raw
+            };
+            if w != 0 {
+                let c = wi * 64 + w.trailing_zeros() as usize;
+                if c == col_floor {
+                    return Some(c);
+                }
+                if best.map_or(true, |b| c < b) {
+                    best = Some(c);
+                }
+                break;
+            }
+        }
+    }
+    best.filter(|&c| c < ncols)
+}
+
+/// Establishes pivots for the sweep columns `col_start..col_end`, moving
+/// pivot rows to positions `block_start..`, reducing them to identity on the
+/// sweep's pivot columns, and returning the pivot columns found — the arena
+/// analogue of `BitMatrix::establish_block_pivots`, with row XORs starting
+/// at the word containing `col_start` (everything left of it is zero by the
+/// elimination invariant).
+fn establish_block_pivots(
+    arena: &mut [u64],
+    words: usize,
+    nrows: usize,
+    block_start: usize,
+    col_start: usize,
+    col_end: usize,
+    stats: &mut GaussStats,
+) -> Vec<usize> {
+    let w0 = col_start / 64;
+    let mut pivot_cols: Vec<usize> = Vec::with_capacity(col_end - col_start);
+    for c in col_start..col_end {
+        let dest = block_start + pivot_cols.len();
+        if dest >= nrows {
+            break;
+        }
+        let mut found = None;
+        for r in dest..nrows {
+            for (j, &pc) in pivot_cols.iter().enumerate() {
+                if get_bit(arena, words, r, pc) {
+                    xor_row_into(arena, words, block_start + j, r, w0);
+                    stats.row_xors += 1;
+                }
+            }
+            if get_bit(arena, words, r, c) {
+                found = Some(r);
+                break;
+            }
+        }
+        let Some(found) = found else {
+            continue;
+        };
+        if found != dest {
+            swap_rows(arena, words, found, dest);
+            stats.row_swaps += 1;
+        }
+        // Back-eliminate column c from the earlier pivot rows of this
+        // sweep, keeping the pivot rows identity on the pivot columns (the
+        // property the two independent Gray-code indices rely on).
+        for j in 0..pivot_cols.len() {
+            if get_bit(arena, words, block_start + j, c) {
+                xor_row_into(arena, words, dest, block_start + j, w0);
+                stats.row_xors += 1;
+            }
+        }
+        pivot_cols.push(c);
+    }
+    pivot_cols
+}
+
+/// Builds the `2^p` Gray-code lookup table over arena rows
+/// `first_pivot_row..first_pivot_row + p`, each entry covering the row words
+/// from `w0` on. Each entry is derived from its predecessor with a single
+/// word-parallel XOR, so the whole table costs `2^p − 1` row XORs.
+fn build_gray_table(
+    table: &mut [u64],
+    arena: &[u64],
+    words: usize,
+    first_pivot_row: usize,
+    p: usize,
+    w0: usize,
+    stats: &mut GaussStats,
+) {
+    let stride = words - w0;
+    let mut prev = 0usize;
+    for i in 1..(1usize << p) {
+        let gray = i ^ (i >> 1);
+        let bit = i.trailing_zeros() as usize;
+        table.copy_within(prev * stride..(prev + 1) * stride, gray * stride);
+        let pivot_row = first_pivot_row + bit;
+        let pivot_words = &arena[pivot_row * words + w0..(pivot_row + 1) * words];
+        xor_words(&mut table[gray * stride..(gray + 1) * stride], pivot_words);
+        stats.row_xors += 1;
+        prev = gray;
+    }
+}
+
+/// Reads an arena row's bits at the sweep's pivot columns as a table index.
+#[inline]
+fn block_index(row: &[u64], pivot_cols: &[usize]) -> usize {
+    let mut idx = 0usize;
+    for (j, &c) in pivot_cols.iter().enumerate() {
+        idx |= (((row[c / 64] >> (c % 64)) & 1) as usize) << j;
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testutil::splitmix_matrix;
+    use crate::{BitMatrix, BitVec};
+
+    fn assert_matches_m4rm(m: &BitMatrix, k: usize) {
+        let mut reference = m.clone();
+        let reference_stats = reference.gauss_jordan_m4rm_with_stats(8);
+        let mut blocked = m.clone();
+        let blocked_stats = blocked.gauss_jordan_blocked_m4rm_with_stats(k);
+        assert_eq!(
+            blocked_stats.rank,
+            reference_stats.rank,
+            "rank mismatch at {}x{}, k={k}",
+            m.nrows(),
+            m.ncols()
+        );
+        assert_eq!(
+            blocked,
+            reference,
+            "RREF mismatch at {}x{}, k={k}",
+            m.nrows(),
+            m.ncols()
+        );
+    }
+
+    #[test]
+    fn matches_m4rm_across_word_boundary_widths() {
+        for &cols in &[63usize, 64, 65, 127, 129] {
+            for &rows in &[cols - 1, cols, cols + 3] {
+                let m = splitmix_matrix(rows, cols, (rows * 2000 + cols) as u64);
+                for k in [1usize, 3, 5, 8] {
+                    assert_matches_m4rm(&m, k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_m4rm_at_paper_scale_widths() {
+        // The acceptance widths: 2048, 4096, and a non-power-of-two. Row
+        // counts stay modest so the comparison is fast in debug builds; the
+        // widths exercise both the single-tile path (stride below the tile
+        // width) and, together with the wide shapes below, the tiled one.
+        for &cols in &[2048usize, 3000, 4096] {
+            for &rows in &[33usize, 96] {
+                let m = splitmix_matrix(rows, cols, (rows * 31 + cols) as u64);
+                assert_matches_m4rm(&m, 8);
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_update_path_matches_m4rm() {
+        // Wide enough that the stride (ncols/64 = 320 words) exceeds the
+        // k=8 tile width, forcing the multi-tile update loop.
+        use super::blocked_tile_words;
+        let cols = 20_480;
+        assert!(cols / 64 > blocked_tile_words(8));
+        let m = splitmix_matrix(40, cols, 77);
+        assert_matches_m4rm(&m, 8);
+    }
+
+    #[test]
+    fn matches_m4rm_on_rank_deficient_and_wide_tall_shapes() {
+        assert_matches_m4rm(&splitmix_matrix(300, 60, 11), 7);
+        assert_matches_m4rm(&splitmix_matrix(60, 300, 12), 7);
+        let mut deficient = splitmix_matrix(90, 120, 13);
+        for r in 0..30 {
+            let dup = deficient.row(r).clone();
+            deficient.rows_mut()[r + 30] = dup;
+            deficient.rows_mut()[r + 60] = BitVec::zero(120);
+        }
+        assert_matches_m4rm(&deficient, 8);
+        assert!(
+            deficient
+                .clone()
+                .gauss_jordan_blocked_m4rm_with_stats(8)
+                .rank
+                <= 30
+        );
+    }
+
+    #[test]
+    fn square_dense_matches_plain_kernel_exactly() {
+        // Direct three-way agreement on a square dense matrix large enough
+        // to run several multi-sweep iterations.
+        let m = splitmix_matrix(320, 320, 2019);
+        let mut plain = m.clone();
+        let plain_stats = plain.gauss_jordan_plain_with_stats();
+        let mut blocked = m.clone();
+        let blocked_stats = blocked.gauss_jordan_blocked_m4rm_with_stats(8);
+        assert_eq!(blocked_stats.rank, plain_stats.rank);
+        assert_eq!(blocked, plain);
+    }
+
+    #[test]
+    fn handles_empty_and_degenerate_matrices() {
+        let mut empty = BitMatrix::zero(0, 0);
+        assert_eq!(empty.gauss_jordan_blocked_m4rm_with_stats(4).rank, 0);
+        let mut no_cols = BitMatrix::zero(5, 0);
+        assert_eq!(no_cols.gauss_jordan_blocked_m4rm_with_stats(4).rank, 0);
+        let mut zero = BitMatrix::zero(9, 9);
+        let stats = zero.gauss_jordan_blocked_m4rm_with_stats(4);
+        assert_eq!(stats.rank, 0);
+        assert_eq!(stats.row_xors, 0);
+        let mut id = BitMatrix::identity(130);
+        assert_eq!(id.gauss_jordan_blocked_m4rm_with_stats(8).rank, 130);
+        assert_eq!(id, BitMatrix::identity(130));
+    }
+
+    #[test]
+    fn sparse_distant_column_clusters_are_handled() {
+        let mut m = BitMatrix::zero(40, 3000);
+        for r in 0..20 {
+            m.set(r, 5 + r, true);
+            m.set(r, 2900 + (r % 25), true);
+        }
+        assert_matches_m4rm(&m, 8);
+    }
+
+    #[test]
+    fn tile_words_track_the_cache_budget() {
+        use super::{blocked_tile_words, GF2_L2_CACHE_BYTES};
+        for k in 1..=8usize {
+            let tile = blocked_tile_words(k);
+            assert!(tile >= 16);
+            // Both tables' resident tile slices fit the cache budget
+            // (up to the 16-word floor).
+            let resident = 2 * (1usize << k) * tile * 8;
+            assert!(
+                resident <= GF2_L2_CACHE_BYTES || tile == 16,
+                "k={k}: {resident} bytes resident"
+            );
+        }
+    }
+}

@@ -1,15 +1,68 @@
 //! Gauss–Jordan elimination, rank, kernel and linear-system solving.
 //!
-//! Two elimination kernels sit behind one API: the schoolbook kernel
+//! Three elimination kernels sit behind one API: the schoolbook kernel
 //! ([`BitMatrix::gauss_jordan_plain_with_stats`], kept as the reference
-//! baseline) and the Method-of-Four-Russians kernel
-//! ([`BitMatrix::gauss_jordan_m4rm_with_stats`], the default). Both produce
-//! bit-identical RREF; [`BitMatrix::gauss_jordan_with_stats`] selects the
-//! kernel and block width automatically from the matrix shape, so `rank`,
-//! `rref`, `kernel` and `solve` all ride on the fast path.
+//! baseline), the single-table Method-of-Four-Russians kernel
+//! ([`BitMatrix::gauss_jordan_m4rm_with_stats`]) and the cache-blocked
+//! multi-table kernel
+//! ([`BitMatrix::gauss_jordan_blocked_m4rm_with_stats`]). All three produce
+//! bit-identical RREF; [`BitMatrix::gauss_jordan_with_stats`] picks between
+//! them with [`select_kernel`], so `rank`, `rref`, `kernel` and `solve` all
+//! ride on the fast path.
 
 use crate::m4rm::{m4rm_block_size, M4RM_MAX_BLOCK, M4RM_MIN_DIM};
 use crate::{BitMatrix, BitVec};
+
+/// The elimination kernel [`select_kernel`] picked for a matrix shape.
+///
+/// Mostly useful for tests and diagnostics: production callers go through
+/// [`BitMatrix::gauss_jordan_with_stats`], which consults [`select_kernel`]
+/// internally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelChoice {
+    /// Schoolbook Gauss–Jordan: one pivot column at a time.
+    Plain,
+    /// Single-table Method of the Four Russians with this block width.
+    M4rm(usize),
+    /// Cache-blocked multi-table M4RM (two Gray-code tables per sweep,
+    /// column-tiled updates) with this per-table block width.
+    BlockedM4rm(usize),
+}
+
+/// Picks the elimination kernel for an `nrows × ncols` matrix from its
+/// dimensions and the cache-size estimate
+/// [`GF2_L2_CACHE_BYTES`](crate::GF2_L2_CACHE_BYTES).
+///
+/// The heuristic has two regimes:
+///
+/// * **Tiny** (`min(nrows, ncols) < 16`): schoolbook. A Gray-code table
+///   (and the arena round-trip) costs more to set up than it saves when
+///   only a handful of rows need clearing per block.
+/// * **Everything else**: the cache-blocked multi-table kernel with the
+///   [`m4rm_block_size`] per-table width. The recorded baseline
+///   (`BENCH_gje.json`) shows it beating single-table M4RM at every
+///   measured size — the contiguous arena and the windowed two-index reads
+///   pay off well before memory effects do — so single-table M4RM is never
+///   auto-selected; it remains available explicitly
+///   ([`BitMatrix::gauss_jordan_m4rm_with_stats`]) as the reference the
+///   blocked kernel is checked and benchmarked against. The cache estimate
+///   steers the *shape* of the blocked kernel's work instead: matrices
+///   wider than [`blocked_tile_words`](crate::blocked_tile_words) have
+///   their updates column-tiled so both Gray-code tables stay L2-resident.
+///
+/// ```
+/// use bosphorus_gf2::{select_kernel, KernelChoice};
+/// assert_eq!(select_kernel(8, 8), KernelChoice::Plain);
+/// assert_eq!(select_kernel(512, 512), KernelChoice::BlockedM4rm(7));
+/// // XL-shaped: few equations, tens of thousands of monomial columns.
+/// assert_eq!(select_kernel(2048, 16384), KernelChoice::BlockedM4rm(8));
+/// ```
+pub fn select_kernel(nrows: usize, ncols: usize) -> KernelChoice {
+    if nrows.min(ncols) < M4RM_MIN_DIM {
+        return KernelChoice::Plain;
+    }
+    KernelChoice::BlockedM4rm(m4rm_block_size(nrows, ncols))
+}
 
 /// Statistics reported by the `*_with_stats` elimination entry points.
 ///
@@ -75,17 +128,28 @@ impl BitMatrix {
 
     /// Like [`BitMatrix::gauss_jordan`] but also reports operation counts.
     ///
-    /// This is the unified elimination entry point: it runs the
-    /// Method-of-Four-Russians kernel with an automatically chosen block
-    /// width ([`m4rm_block_size`]), falling back to the schoolbook kernel
-    /// only for matrices too small to amortise a Gray-code table. Both
-    /// kernels produce bit-identical RREF.
+    /// This is the unified elimination entry point: it dispatches on
+    /// [`select_kernel`] — schoolbook for tiny matrices, the cache-blocked
+    /// multi-table kernel for everything else (single-table M4RM is never
+    /// auto-selected; it remains the explicit reference kernel). All kernels
+    /// produce bit-identical RREF, so callers only ever observe a change in
+    /// speed.
+    ///
+    /// ```
+    /// use bosphorus_gf2::BitMatrix;
+    /// let mut m = BitMatrix::identity(100);
+    /// m.set(99, 0, true);
+    /// let stats = m.gauss_jordan_with_stats();
+    /// assert_eq!(stats.rank, 100);
+    /// assert_eq!(m, BitMatrix::identity(100));
+    /// ```
     pub fn gauss_jordan_with_stats(&mut self) -> GaussStats {
-        let (nrows, ncols) = (self.nrows(), self.ncols());
-        if nrows.min(ncols) < M4RM_MIN_DIM {
-            self.gauss_jordan_plain_with_stats()
-        } else {
-            self.gauss_jordan_m4rm_with_stats(m4rm_block_size(nrows, ncols))
+        match select_kernel(self.nrows(), self.ncols()) {
+            KernelChoice::Plain => self.gauss_jordan_plain_with_stats(),
+            // Not produced by select_kernel today, but the dispatch stays
+            // total so a retuned heuristic cannot silently miss a kernel.
+            KernelChoice::M4rm(k) => self.gauss_jordan_m4rm_with_stats(k),
+            KernelChoice::BlockedM4rm(k) => self.gauss_jordan_blocked_m4rm_with_stats(k),
         }
     }
 
@@ -126,12 +190,31 @@ impl BitMatrix {
     }
 
     /// Returns the rank of the matrix without modifying it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bosphorus_gf2::BitMatrix;
+    /// assert_eq!(BitMatrix::identity(17).rank(), 17);
+    /// assert_eq!(BitMatrix::zero(5, 9).rank(), 0);
+    /// ```
     pub fn rank(&self) -> usize {
         self.clone().gauss_jordan()
     }
 
     /// Returns the reduced row-echelon form of the matrix without modifying
     /// it, together with its rank.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bosphorus_gf2::BitMatrix;
+    /// // x0 + x1 = 0 and x1 = 0 reduce to the unit facts x0 = 0, x1 = 0.
+    /// let m = BitMatrix::from_dense(&[vec![true, true], vec![false, true]]);
+    /// let (rref, rank) = m.rref();
+    /// assert_eq!(rank, 2);
+    /// assert_eq!(rref, BitMatrix::identity(2));
+    /// ```
     pub fn rref(&self) -> (BitMatrix, usize) {
         let mut m = self.clone();
         let rank = m.gauss_jordan();
@@ -172,14 +255,21 @@ impl BitMatrix {
             }
             v
         };
+        // Building a basis vector reads a whole *column* of the RREF (the
+        // free column's coefficients in every pivot row), which in row-major
+        // storage is one strided bit probe per pivot row. Transposing once
+        // (word-level 64x64 block transpose) turns each column into a row,
+        // so a basis vector costs one `iter_ones` scan instead.
+        let rref_t = rref.transpose();
         let mut basis = Vec::with_capacity(ncols - rank);
         for free_col in (0..ncols).filter(|&c| !is_pivot[c]) {
             let mut v = BitVec::zero(ncols);
             v.set(free_col, true);
-            for (row_idx, &pivot_col) in pivots.iter().enumerate() {
-                if rref.get(row_idx, free_col) {
-                    v.set(pivot_col, true);
-                }
+            // Rows of the RREF with a one in `free_col` are necessarily
+            // pivot rows (zero rows have no ones), so the indices stay
+            // within `pivots`.
+            for row_idx in rref_t.row(free_col).iter_ones() {
+                v.set(pivots[row_idx], true);
             }
             basis.push(v);
         }
@@ -196,6 +286,19 @@ impl BitMatrix {
     /// # Panics
     ///
     /// Panics if `b.len() != self.nrows()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bosphorus_gf2::{BitMatrix, BitVec, SolveOutcome};
+    /// // x0 + x1 = 1, x1 = 1  ->  x0 = 0, x1 = 1.
+    /// let a = BitMatrix::from_dense(&[vec![true, true], vec![false, true]]);
+    /// let b = BitVec::from_bits([true, true]);
+    /// match a.solve(&b) {
+    ///     SolveOutcome::Solution(x) => assert_eq!(a.mul_vec(&x), b),
+    ///     SolveOutcome::Inconsistent => unreachable!(),
+    /// }
+    /// ```
     pub fn solve(&self, b: &BitVec) -> SolveOutcome {
         assert_eq!(
             b.len(),
@@ -217,10 +320,11 @@ impl BitMatrix {
         SolveOutcome::Solution(x)
     }
 
-    /// Blocked Gauss–Jordan elimination. Retained as a compatibility wrapper
-    /// over the Method-of-Four-Russians kernel
-    /// ([`BitMatrix::gauss_jordan_m4rm_with_stats`]); the block width is
-    /// clamped to `[1, 8]`.
+    /// Blocked Gauss–Jordan elimination with an explicit block width.
+    /// Retained as a compatibility wrapper, now over the cache-blocked
+    /// multi-table kernel
+    /// ([`BitMatrix::gauss_jordan_blocked_m4rm_with_stats`]); the block
+    /// width is clamped to `[1, 8]`.
     ///
     /// The result (RREF and rank) is identical to [`BitMatrix::gauss_jordan`];
     /// only the operation schedule differs.
@@ -231,7 +335,7 @@ impl BitMatrix {
     /// Like [`BitMatrix::gauss_jordan_blocked`] but reports operation counts
     /// instead of silently dropping them.
     pub fn gauss_jordan_blocked_with_stats(&mut self, block: usize) -> GaussStats {
-        self.gauss_jordan_m4rm_with_stats(block.clamp(1, M4RM_MAX_BLOCK))
+        self.gauss_jordan_blocked_m4rm_with_stats(block.clamp(1, M4RM_MAX_BLOCK))
     }
 }
 
@@ -413,6 +517,44 @@ mod tests {
                 row_swaps: 1
             }
         );
+    }
+
+    #[test]
+    fn kernel_selection_is_pinned_at_representative_sizes() {
+        // Regression guard for the auto-selection heuristic: these are the
+        // shapes the engine actually produces (tiny propagation systems,
+        // mid-size ElimLin matrices, paper-scale XL linearisations). A
+        // change in any of these is a deliberate retuning, not drift.
+        use crate::{select_kernel, KernelChoice};
+        assert_eq!(select_kernel(0, 0), KernelChoice::Plain);
+        assert_eq!(select_kernel(7, 128), KernelChoice::Plain);
+        assert_eq!(select_kernel(15, 15), KernelChoice::Plain);
+        assert_eq!(select_kernel(16, 16), KernelChoice::BlockedM4rm(3));
+        assert_eq!(select_kernel(64, 64), KernelChoice::BlockedM4rm(5));
+        assert_eq!(select_kernel(256, 256), KernelChoice::BlockedM4rm(6));
+        assert_eq!(select_kernel(1024, 1024), KernelChoice::BlockedM4rm(8));
+        assert_eq!(select_kernel(2048, 2048), KernelChoice::BlockedM4rm(8));
+        assert_eq!(select_kernel(4096, 4096), KernelChoice::BlockedM4rm(8));
+        // XL-shaped: wide beyond cache even with modest row counts.
+        assert_eq!(select_kernel(2048, 16384), KernelChoice::BlockedM4rm(8));
+        // Tall and narrow: k comes from the smaller dimension.
+        assert_eq!(select_kernel(200_000, 24), KernelChoice::BlockedM4rm(3));
+        // The dispatcher must agree with the choice (rank sanity check).
+        let mut m = BitMatrix::identity(64);
+        assert_eq!(m.gauss_jordan_with_stats().rank, 64);
+    }
+
+    #[test]
+    fn legacy_blocked_wrapper_rides_the_blocked_kernel() {
+        // The wrapper clamps out-of-range widths and still produces the
+        // canonical RREF.
+        let m = paper_table1_matrix();
+        let (plain, rank) = m.rref();
+        for block in [0usize, 1, 8, 100] {
+            let mut b = m.clone();
+            assert_eq!(b.gauss_jordan_blocked(block), rank, "block {block}");
+            assert_eq!(b, plain, "block {block}");
+        }
     }
 
     #[test]

@@ -7,14 +7,21 @@
 //! 64 columns per `u64` word, so elementary row operations are word-parallel
 //! XORs.
 //!
-//! The default elimination kernel is a real Method of the Four Russians
-//! (M4RM): pivot columns are processed in Gray-code blocks of up to 8, so
-//! each non-pivot row is cleared with a single table lookup and one
-//! word-parallel XOR per block instead of up to 8 separate row XORs (see the
-//! [`m4rm_block_size`] heuristic and `crates/bench/DESIGN.md`). A schoolbook
-//! kernel is kept as the reference baseline; both produce bit-identical
-//! RREF, so `gauss_jordan`, `rank`, `rref`, `kernel` and `solve` all ride on
-//! the fast path transparently.
+//! Three elimination kernels sit behind one API, picked automatically by
+//! [`select_kernel`] from the matrix shape and a cache-size estimate:
+//!
+//! * a **schoolbook** reference kernel for tiny matrices,
+//! * a single-table **Method of the Four Russians** (M4RM): pivot columns
+//!   processed in Gray-code blocks of up to 8, each non-pivot row cleared
+//!   with one table lookup + one word-parallel XOR per block (see
+//!   [`m4rm_block_size`]),
+//! * a **cache-blocked multi-table** kernel for paper-scale matrices: two
+//!   Gray-code tables per sweep (halving passes over the trailing matrix)
+//!   and column-tiled row updates sized to [`GF2_L2_CACHE_BYTES`] (see
+//!   `blocked.rs` and `crates/bench/DESIGN.md`).
+//!
+//! All three produce bit-identical RREF, so `gauss_jordan`, `rank`, `rref`,
+//! `kernel` and `solve` all ride on the fast path transparently.
 //!
 //! # Examples
 //!
@@ -37,12 +44,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod blocked;
 mod gje;
 mod m4rm;
 mod matrix;
 mod vector;
 
-pub use gje::{GaussStats, SolveOutcome};
+pub use blocked::{blocked_tile_words, GF2_L2_CACHE_BYTES};
+pub use gje::{select_kernel, GaussStats, KernelChoice, SolveOutcome};
 pub use m4rm::{m4rm_block_size, M4RM_MAX_BLOCK};
 pub use matrix::BitMatrix;
 pub use vector::BitVec;

@@ -29,6 +29,7 @@
 //! (pivot rows sorted by pivot column, zero rows last). Property tests in
 //! `proptests.rs` assert this equivalence.
 
+use crate::vector::xor_words;
 use crate::{BitMatrix, BitVec, GaussStats};
 
 /// Maximum M4RM block width: `2^8 = 256` Gray-code table entries.
@@ -109,21 +110,7 @@ impl BitMatrix {
                 // Build the 2^p Gray-code table: each entry is its
                 // predecessor XOR one pivot row, so the whole table costs
                 // 2^p - 1 row XORs.
-                let mut prev = 0usize;
-                for i in 1..(1usize << p) {
-                    let gray = i ^ (i >> 1);
-                    let bit = i.trailing_zeros() as usize;
-                    table.copy_within(prev * stride..(prev + 1) * stride, gray * stride);
-                    let pivot_words = &self.row(block_start + bit).words()[w0..];
-                    for (d, s) in table[gray * stride..(gray + 1) * stride]
-                        .iter_mut()
-                        .zip(pivot_words)
-                    {
-                        *d ^= s;
-                    }
-                    stats.row_xors += 1;
-                    prev = gray;
-                }
+                build_gray_table(&mut table, self, block_start, p, w0, stride, &mut stats);
                 // Clear all p pivot columns from every row outside the
                 // pivot block with a single lookup + XOR per row.
                 for r in (0..block_start).chain(block_end..nrows) {
@@ -132,9 +119,7 @@ impl BitMatrix {
                         continue;
                     }
                     let entry = &table[idx * stride..(idx + 1) * stride];
-                    for (d, s) in self.rows_mut()[r].words_mut()[w0..].iter_mut().zip(entry) {
-                        *d ^= s;
-                    }
+                    xor_words(&mut self.rows_mut()[r].words_mut()[w0..], entry);
                     stats.row_xors += 1;
                 }
             }
@@ -169,6 +154,12 @@ impl BitMatrix {
     /// *before* their pivot bit is tested (otherwise the reduction could
     /// cancel the bit afterwards); only rows scanned until a pivot is found
     /// are touched, so for dense matrices this stays cheap.
+    ///
+    /// After the call the `p × p` submatrix at the pivot rows × pivot columns
+    /// is the identity — the property the Gray-code table indexing relies on.
+    /// `blocked.rs` re-implements this loop over its contiguous arena (with
+    /// `2k` columns per sweep split over two tables); a change to the pivot
+    /// discipline here must be mirrored there to keep the RREFs identical.
     fn establish_block_pivots(
         &mut self,
         block_start: usize,
@@ -215,6 +206,33 @@ impl BitMatrix {
             pivot_cols.push(c);
         }
         pivot_cols
+    }
+}
+
+/// Builds the `2^p` Gray-code lookup table over pivot rows
+/// `first_pivot_row..first_pivot_row + p` of `m`, each entry covering the row
+/// words from `w0` on (`stride` words per entry). Each entry is derived from
+/// its predecessor with a single word-parallel XOR, so the whole table costs
+/// `2^p − 1` row XORs. Entry 0 is the zero row and is never written.
+/// (`blocked.rs` has the arena twin of this walk; keep the two in sync.)
+fn build_gray_table(
+    table: &mut [u64],
+    m: &BitMatrix,
+    first_pivot_row: usize,
+    p: usize,
+    w0: usize,
+    stride: usize,
+    stats: &mut GaussStats,
+) {
+    let mut prev = 0usize;
+    for i in 1..(1usize << p) {
+        let gray = i ^ (i >> 1);
+        let bit = i.trailing_zeros() as usize;
+        table.copy_within(prev * stride..(prev + 1) * stride, gray * stride);
+        let pivot_words = &m.row(first_pivot_row + bit).words()[w0..];
+        xor_words(&mut table[gray * stride..(gray + 1) * stride], pivot_words);
+        stats.row_xors += 1;
+        prev = gray;
     }
 }
 

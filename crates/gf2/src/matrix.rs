@@ -220,11 +220,37 @@ impl BitMatrix {
     }
 
     /// Returns the transpose of the matrix.
+    ///
+    /// Runs at word level: the matrix is processed as 64×64 bit tiles, each
+    /// transposed in registers with the recursive block-swap of Hacker's
+    /// Delight (§7-3), so the cost is `O(rows · cols / 64)` word operations
+    /// instead of one scatter per set bit. This is the transposed-storage
+    /// path behind the column-heavy operations — [`BitMatrix::kernel`]
+    /// transposes the RREF once and then reads columns as rows.
     pub fn transpose(&self) -> BitMatrix {
-        let mut t = BitMatrix::zero(self.cols, self.nrows());
-        for (i, row) in self.rows.iter().enumerate() {
-            for j in row.iter_ones() {
-                t.set(j, i, true);
+        let nrows = self.nrows();
+        let ncols = self.cols;
+        let mut t = BitMatrix::zero(ncols, nrows);
+        let row_words = ncols.div_ceil(64);
+        let mut tile = [0u64; 64];
+        for row_band in 0..nrows.div_ceil(64) {
+            let r0 = row_band * 64;
+            let rows_here = (nrows - r0).min(64);
+            for word in 0..row_words {
+                for (i, slot) in tile.iter_mut().enumerate() {
+                    *slot = if i < rows_here {
+                        self.rows[r0 + i].words()[word]
+                    } else {
+                        0
+                    };
+                }
+                transpose_64x64(&mut tile);
+                let cols_here = (ncols - word * 64).min(64);
+                for (j, &bits) in tile.iter().enumerate().take(cols_here) {
+                    if bits != 0 {
+                        t.rows[word * 64 + j].words_mut()[row_band] = bits;
+                    }
+                }
             }
         }
         t
@@ -265,6 +291,28 @@ impl BitMatrix {
 
     pub(crate) fn rows_mut(&mut self) -> &mut Vec<BitVec> {
         &mut self.rows
+    }
+}
+
+/// Transposes a 64×64 bit tile in place: bit `c` of `tile[r]` moves to bit
+/// `r` of `tile[c]` (bit `i` = column `i`, least-significant first).
+///
+/// The recursive block swap of Hacker's Delight §7-3, with the shifts
+/// arranged for LSB-first column order: at each level the top-right and
+/// bottom-left `j × j` quadrants swap, for `j` = 32, 16, …, 1.
+fn transpose_64x64(tile: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut mask = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = ((tile[k] >> j) ^ tile[k + j]) & mask;
+            tile[k] ^= t << j;
+            tile[k + j] ^= t;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        mask ^= mask << j;
     }
 }
 
@@ -345,6 +393,30 @@ mod tests {
         ]);
         assert_eq!(m.transpose().transpose(), m);
         assert_eq!(m.transpose().nrows(), 4);
+    }
+
+    #[test]
+    fn transpose_across_row_and_column_bands() {
+        // 150 rows x 130 cols: three 64-row bands and three column bands,
+        // deterministically covering the multi-band write path
+        // (words_mut()[row_band] for row_band >= 1) that paper-scale RREFs
+        // take through kernel().
+        let mut m = BitMatrix::zero(150, 130);
+        for r in 0..150 {
+            for c in 0..130 {
+                if (r * 31 + c * 17 + r * c) % 7 == 0 {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        let t = m.transpose();
+        assert_eq!((t.nrows(), t.ncols()), (130, 150));
+        for r in 0..150 {
+            for c in 0..130 {
+                assert_eq!(t.get(c, r), m.get(r, c), "({r}, {c})");
+            }
+        }
+        assert_eq!(t.transpose(), m);
     }
 
     #[test]

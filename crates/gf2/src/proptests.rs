@@ -140,6 +140,69 @@ proptest! {
         prop_assert_eq!(fast, plain);
     }
 
+    /// The cache-blocked multi-table kernel produces RREF bit-identical to
+    /// the single-table M4RM kernel (the PR-2 default) on random matrices,
+    /// including rank-deficient ones (duplicated rows) and wide/tall shapes,
+    /// for every per-table block width.
+    #[test]
+    fn blocked_kernel_agrees_with_m4rm(
+        m in arb_matrix(36, 56),
+        block in 1usize..=8,
+        dup in any::<bool>(),
+    ) {
+        let mut m = m;
+        if dup && m.nrows() >= 2 {
+            // Force rank deficiency: overwrite the last row with the first.
+            let first = m.row(0).clone();
+            let last = m.nrows() - 1;
+            for c in 0..m.ncols() {
+                m.set(last, c, first.get(c));
+            }
+        }
+        let mut reference = m.clone();
+        let reference_stats = reference.gauss_jordan_m4rm_with_stats(8);
+        let mut blocked = m.clone();
+        let blocked_stats = blocked.gauss_jordan_blocked_m4rm_with_stats(block);
+        prop_assert_eq!(blocked_stats.rank, reference_stats.rank);
+        prop_assert_eq!(blocked, reference);
+    }
+
+    /// Blocked-kernel agreement at the paper-scale acceptance widths — 2048,
+    /// 4096 and a non-power-of-two in between — plus 20480 columns, the one
+    /// width here wide enough (320 words > the 256-word k=8 tile) to push
+    /// random matrices through the column-tiled update path.
+    #[test]
+    fn blocked_kernel_agrees_at_paper_scale_widths(
+        width_idx in 0usize..4,
+        rows in 1usize..28,
+        seed in any::<u64>(),
+    ) {
+        const WIDTHS: [usize; 4] = [2048, 3000, 4096, 20_480];
+        let cols = WIDTHS[width_idx];
+        let m = crate::testutil::splitmix_matrix(rows, cols, seed);
+        let mut reference = m.clone();
+        let reference_stats = reference.gauss_jordan_m4rm_with_stats(8);
+        let mut blocked = m.clone();
+        let blocked_stats = blocked.gauss_jordan_blocked_m4rm_with_stats(8);
+        prop_assert_eq!(blocked_stats.rank, reference_stats.rank);
+        prop_assert_eq!(blocked, reference);
+    }
+
+    /// The word-level 64x64-tile transpose matches the naive definition,
+    /// including matrices spanning several 64-row bands (the
+    /// `words_mut()[row_band]` write path paper-scale RREFs take).
+    #[test]
+    fn transpose_matches_naive(m in arb_matrix(150, 150)) {
+        let t = m.transpose();
+        prop_assert_eq!(t.nrows(), m.ncols());
+        prop_assert_eq!(t.ncols(), m.nrows());
+        for r in 0..m.nrows() {
+            for c in 0..m.ncols() {
+                prop_assert_eq!(t.get(c, r), m.get(r, c), "({}, {})", r, c);
+            }
+        }
+    }
+
     /// `first_one_in_range` matches a naive bit scan on arbitrary vectors
     /// and sub-ranges.
     #[test]

@@ -1,7 +1,44 @@
-//! Bit-packed GF(2) vectors.
+//! Bit-packed GF(2) vectors and the word-level XOR primitives shared by the
+//! elimination kernels.
 
 use std::fmt;
 use std::ops::{BitXor, BitXorAssign};
+
+/// XORs `src` into `dst` word by word (`dst[i] ^= src[i]`) over the common
+/// prefix of the two slices.
+///
+/// Trimming both slices to the common length up front removes every bounds
+/// check from the loop body, which lets the compiler unroll it four-plus
+/// `u64`s at a time into full-width SIMD XORs — measured faster than manual
+/// `chunks_exact(4)` unrolling, which caps the vector width the optimiser
+/// will use. No architecture-specific intrinsics, per the offline-build
+/// constraint. This is the innermost loop of every elimination kernel.
+pub(crate) fn xor_words(dst: &mut [u64], src: &[u64]) {
+    let n = dst.len().min(src.len());
+    let dst = &mut dst[..n];
+    let src = &src[..n];
+    for i in 0..n {
+        dst[i] ^= src[i];
+    }
+}
+
+/// XORs two sources into `dst` in one pass (`dst[i] ^= a[i] ^ b[i]`) over the
+/// common prefix of the three slices.
+///
+/// The blocked elimination kernel applies two Gray-code table entries per row
+/// with this, halving the loads and stores on `dst` compared to two separate
+/// [`xor_words`] passes — the point of processing pivot blocks in pairs.
+/// Same codegen strategy as [`xor_words`]: slice-trim, then a plain indexed
+/// loop the compiler autovectorises.
+pub(crate) fn xor2_words(dst: &mut [u64], a: &[u64], b: &[u64]) {
+    let n = dst.len().min(a.len()).min(b.len());
+    let dst = &mut dst[..n];
+    let a = &a[..n];
+    let b = &b[..n];
+    for i in 0..n {
+        dst[i] ^= a[i] ^ b[i];
+    }
+}
 
 /// A fixed-length vector over GF(2), packed 64 bits per word.
 ///
@@ -245,9 +282,7 @@ impl BitVec {
     /// Panics if the lengths differ.
     pub fn xor_assign(&mut self, other: &BitVec) {
         assert_eq!(self.len, other.len, "length mismatch in BitVec XOR");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a ^= b;
-        }
+        xor_words(&mut self.words, &other.words);
     }
 
     /// Dot product over GF(2) (parity of the AND of the two vectors).
@@ -265,7 +300,20 @@ impl BitVec {
             == 1
     }
 
-    pub(crate) fn words(&self) -> &[u64] {
+    /// The backing `u64` words, least-significant bit first: bit `i` of the
+    /// vector is bit `i % 64` of word `i / 64`.
+    ///
+    /// The unused high bits of the last word are always zero, so word-level
+    /// consumers (the elimination kernels, benchmark harnesses) can operate
+    /// on whole words without masking.
+    ///
+    /// ```
+    /// use bosphorus_gf2::BitVec;
+    /// let mut v = BitVec::zero(65);
+    /// v.set(64, true);
+    /// assert_eq!(v.words(), &[0, 1]);
+    /// ```
+    pub fn words(&self) -> &[u64] {
         &self.words
     }
 
@@ -470,5 +518,34 @@ mod tests {
     fn copy_bits_from_rejects_overflow() {
         let mut dst = BitVec::zero(10);
         dst.copy_bits_from(&BitVec::zero(8), 3);
+    }
+
+    #[test]
+    fn xor_words_matches_scalar_at_all_remainders() {
+        // Lengths 0..9 cover every unroll remainder (0..=3) on both sides of
+        // the 4-word chunk boundary.
+        for len in 0..9usize {
+            let a: Vec<u64> = (0..len as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+            let b: Vec<u64> = (0..len as u64).map(|i| !i ^ 0xABCD).collect();
+            let c: Vec<u64> = (0..len as u64).map(|i| i.rotate_left(7)).collect();
+            let mut one_pass = a.clone();
+            xor_words(&mut one_pass, &b);
+            let expected: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+            assert_eq!(one_pass, expected, "xor_words len {len}");
+            let mut two_src = a.clone();
+            xor2_words(&mut two_src, &b, &c);
+            let expected2: Vec<u64> = expected.iter().zip(&c).map(|(x, y)| x ^ y).collect();
+            assert_eq!(two_src, expected2, "xor2_words len {len}");
+        }
+    }
+
+    #[test]
+    fn words_exposes_zero_padded_storage() {
+        let mut v = BitVec::zero(70);
+        v.set(69, true);
+        assert_eq!(v.words().len(), 2);
+        assert_eq!(v.words()[1], 1u64 << 5);
+        v.set(69, false);
+        assert!(v.words().iter().all(|&w| w == 0), "padding stays zero");
     }
 }

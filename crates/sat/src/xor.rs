@@ -9,9 +9,11 @@
 //!
 //! The elimination itself ([`xor_gauss_eliminate`]) packs the constraints
 //! into a dense [`BitMatrix`] over the occurring variables (plus a
-//! right-hand-side column) and runs the shared M4RM elimination kernel of
-//! `bosphorus-gf2` — the same kernel the XL/ElimLin hot path uses — instead
-//! of the earlier ad-hoc sparse sweep with its linear pivot lookups.
+//! right-hand-side column) and runs the shared auto-selected elimination
+//! kernel of `bosphorus-gf2` (`select_kernel`: schoolbook for tiny systems,
+//! the cache-blocked multi-table M4RM kernel otherwise) — the same dispatch
+//! the XL/ElimLin hot path uses — instead of the earlier ad-hoc sparse
+//! sweep with its linear pivot lookups.
 
 use std::fmt;
 
