@@ -15,6 +15,11 @@
 //! * [`AnfDatabase`] — the master system plus propagation knowledge behind
 //!   one revision counter, so incremental consumers (the engine's learning
 //!   passes) can skip work when nothing they read has changed.
+//! * [`MonomialInterner`] and [`TermScratch`] — the supporting cast of the
+//!   allocation-conscious term layer: a fast-hash monomial→dense-id map used
+//!   by linearisation, and a reusable working buffer for the merge-based
+//!   polynomial arithmetic. The [`naive`] module keeps the original (seed)
+//!   term layer as an executable specification for tests and benchmarks.
 //!
 //! # Examples
 //!
@@ -43,7 +48,9 @@
 
 mod database;
 mod eval;
+mod intern;
 mod monomial;
+pub mod naive;
 mod parser;
 mod polynomial;
 mod propagate;
@@ -51,9 +58,10 @@ mod system;
 
 pub use database::{AnfDatabase, Revision};
 pub use eval::Assignment;
+pub use intern::MonomialInterner;
 pub use monomial::Monomial;
 pub use parser::{ParsePolynomialError, ParseSystemError};
-pub use polynomial::Polynomial;
+pub use polynomial::{Polynomial, TermScratch};
 pub use propagate::{AnfPropagator, PropagationOutcome, VarKnowledge};
 pub use system::PolynomialSystem;
 

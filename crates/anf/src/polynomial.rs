@@ -1,10 +1,57 @@
 //! Boolean polynomials: XOR sums of monomials, read as equations `p = 0`.
 
-use std::collections::BTreeSet;
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul};
 
 use crate::{Monomial, Var};
+
+/// A reusable working buffer for polynomial arithmetic.
+///
+/// The merge-based operations ([`Polynomial::mul_monomial_with`],
+/// [`Polynomial::substitute_poly_with`], …) accumulate raw monomial products
+/// in a buffer, sort and cancel them in place, and emit a tightly-sized
+/// result. Threading one `TermScratch` through a hot loop (an XL expansion
+/// round, an ElimLin substitution sweep, ANF propagation) reuses that buffer
+/// across calls instead of growing a fresh vector per polynomial.
+#[derive(Debug, Default, Clone)]
+pub struct TermScratch {
+    buf: Vec<Monomial>,
+}
+
+impl TermScratch {
+    /// An empty scratch buffer.
+    pub fn new() -> Self {
+        TermScratch::default()
+    }
+
+    /// A tightly-sized polynomial from the current buffer contents (which
+    /// must already be sorted and cancelled).
+    fn emit(&self) -> Polynomial {
+        Polynomial {
+            monomials: self.buf.clone(),
+        }
+    }
+}
+
+/// Sorts the buffer into graded-lexicographic order and cancels equal pairs
+/// (XOR semantics: a monomial appearing an even number of times vanishes).
+fn sort_and_cancel(buf: &mut Vec<Monomial>) {
+    buf.sort_unstable();
+    let mut out = 0usize;
+    let mut i = 0usize;
+    while i < buf.len() {
+        let mut j = i + 1;
+        while j < buf.len() && buf[j] == buf[i] {
+            j += 1;
+        }
+        if (j - i) % 2 == 1 {
+            buf.swap(out, i);
+            out += 1;
+        }
+        i = j;
+    }
+    buf.truncate(out);
+}
 
 /// A Boolean polynomial in Algebraic Normal Form: a GF(2) sum (XOR) of
 /// distinct [`Monomial`]s.
@@ -72,6 +119,10 @@ impl Polynomial {
     /// Builds a polynomial by XOR-ing together the given monomials; pairs of
     /// equal monomials cancel.
     ///
+    /// The monomials are collected, sorted once and cancelled in a single
+    /// pass — O(n log n) instead of the O(n²) insert-per-term of a naive
+    /// construction.
+    ///
     /// ```
     /// use bosphorus_anf::{Monomial, Polynomial};
     /// let p = Polynomial::from_monomials([
@@ -82,11 +133,30 @@ impl Polynomial {
     /// assert_eq!(p, Polynomial::one());
     /// ```
     pub fn from_monomials<I: IntoIterator<Item = Monomial>>(monomials: I) -> Self {
-        let mut p = Polynomial::zero();
-        for m in monomials {
-            p.toggle_monomial(m);
-        }
-        p
+        let mut buf: Vec<Monomial> = monomials.into_iter().collect();
+        sort_and_cancel(&mut buf);
+        Polynomial { monomials: buf }
+    }
+
+    /// Builds a polynomial from monomials that are already **strictly
+    /// decreasing** in graded-lexicographic order (so distinct, with nothing
+    /// to cancel). The list is reversed in place — no sort, no scan.
+    ///
+    /// This is the linearisation read-back path: matrix columns are stored
+    /// in descending monomial order, so a row's set bits enumerate its
+    /// monomials largest-first.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the input is not strictly decreasing.
+    pub fn from_descending_monomials<I: IntoIterator<Item = Monomial>>(monomials: I) -> Self {
+        let mut buf: Vec<Monomial> = monomials.into_iter().collect();
+        buf.reverse();
+        debug_assert!(
+            buf.windows(2).all(|w| w[0] < w[1]),
+            "input monomials must be strictly decreasing"
+        );
+        Polynomial { monomials: buf }
     }
 
     /// Returns `true` if this is the zero polynomial.
@@ -147,13 +217,36 @@ impl Polynomial {
     }
 
     /// The set of variables occurring in the polynomial, in increasing order.
+    ///
+    /// The monomials' variable lists are already sorted, so they are merged
+    /// directly (ping-ponging between two buffers) instead of being poured
+    /// through an ordered set.
     pub fn variables(&self) -> Vec<Var> {
-        let set: BTreeSet<Var> = self
-            .monomials
-            .iter()
-            .flat_map(|m| m.vars().iter().copied())
-            .collect();
-        set.into_iter().collect()
+        let mut result: Vec<Var> = Vec::new();
+        let mut scratch: Vec<Var> = Vec::new();
+        for m in &self.monomials {
+            let vars = m.vars();
+            if vars.is_empty() {
+                continue;
+            }
+            if result.is_empty() {
+                result.extend_from_slice(vars);
+                continue;
+            }
+            scratch.clear();
+            scratch.reserve(result.len() + vars.len());
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < result.len() && j < vars.len() {
+                let (x, y) = (result[i], vars[j]);
+                scratch.push(x.min(y));
+                i += usize::from(x <= y);
+                j += usize::from(y <= x);
+            }
+            scratch.extend_from_slice(&result[i..]);
+            scratch.extend_from_slice(&vars[j..]);
+            std::mem::swap(&mut result, &mut scratch);
+        }
+        result
     }
 
     /// The largest variable index occurring in the polynomial, if any.
@@ -209,6 +302,13 @@ impl Polynomial {
 
     /// XORs `other` into `self`.
     pub fn add_assign(&mut self, other: &Polynomial) {
+        if other.is_zero() {
+            return;
+        }
+        if self.is_zero() {
+            self.monomials = other.monomials.clone();
+            return;
+        }
         // Merge two sorted monomial lists with cancellation.
         let mut out = Vec::with_capacity(self.monomials.len() + other.monomials.len());
         let (a, b) = (&self.monomials, &other.monomials);
@@ -234,18 +334,52 @@ impl Polynomial {
         self.monomials = out;
     }
 
+    /// Fills `scratch` with the sorted, cancelled terms of `self · m` and
+    /// returns them as a slice (borrowed from the scratch buffer).
+    ///
+    /// This is the allocation-free core of [`Polynomial::mul_monomial`]:
+    /// callers that only need to *read* the product (e.g. the XL expansion
+    /// interning terms straight into a matrix row) avoid materialising a
+    /// `Polynomial` entirely.
+    pub fn mul_monomial_scratch<'a>(
+        &self,
+        m: &Monomial,
+        scratch: &'a mut TermScratch,
+    ) -> &'a [Monomial] {
+        scratch.buf.clear();
+        scratch.buf.extend(self.monomials.iter().map(|t| t.mul(m)));
+        sort_and_cancel(&mut scratch.buf);
+        &scratch.buf
+    }
+
     /// Multiplies the polynomial by a single monomial.
     pub fn mul_monomial(&self, m: &Monomial) -> Polynomial {
-        Polynomial::from_monomials(self.monomials.iter().map(|t| t.mul(m)))
+        let mut buf: Vec<Monomial> = self.monomials.iter().map(|t| t.mul(m)).collect();
+        sort_and_cancel(&mut buf);
+        Polynomial { monomials: buf }
+    }
+
+    /// Like [`Polynomial::mul_monomial`], reusing `scratch` as the working
+    /// buffer; the returned polynomial is tightly sized.
+    pub fn mul_monomial_with(&self, m: &Monomial, scratch: &mut TermScratch) -> Polynomial {
+        self.mul_monomial_scratch(m, scratch);
+        scratch.emit()
     }
 
     /// Product of two polynomials with Boolean reduction (`x² = x`).
+    ///
+    /// All pairwise monomial products are collected and cancelled in one
+    /// sort pass (a k-way merge by sorting) instead of merging one partial
+    /// product at a time.
     pub fn mul(&self, other: &Polynomial) -> Polynomial {
-        let mut out = Polynomial::zero();
-        for m in &other.monomials {
-            out.add_assign(&self.mul_monomial(m));
+        let mut buf: Vec<Monomial> = Vec::with_capacity(self.len() * other.len());
+        for a in &self.monomials {
+            for b in &other.monomials {
+                buf.push(a.mul(b));
+            }
         }
-        out
+        sort_and_cancel(&mut buf);
+        Polynomial { monomials: buf }
     }
 
     /// Substitutes the constant `value` for variable `v` and returns the
@@ -259,18 +393,34 @@ impl Polynomial {
     /// # Ok::<(), bosphorus_anf::ParsePolynomialError>(())
     /// ```
     pub fn substitute_const(&self, v: Var, value: bool) -> Polynomial {
-        let mut out = Polynomial::zero();
+        let mut buf = Vec::with_capacity(self.monomials.len());
+        self.substitute_const_into(v, value, &mut buf);
+        Polynomial { monomials: buf }
+    }
+
+    /// Like [`Polynomial::substitute_const`], reusing `scratch` as the
+    /// working buffer.
+    pub fn substitute_const_with(
+        &self,
+        v: Var,
+        value: bool,
+        scratch: &mut TermScratch,
+    ) -> Polynomial {
+        scratch.buf.clear();
+        self.substitute_const_into(v, value, &mut scratch.buf);
+        scratch.emit()
+    }
+
+    fn substitute_const_into(&self, v: Var, value: bool, buf: &mut Vec<Monomial>) {
         for m in &self.monomials {
             if !m.contains(v) {
-                out.toggle_monomial(m.clone());
+                buf.push(m.clone());
             } else if value {
-                let mut reduced = m.clone();
-                reduced.remove_var(v);
-                out.toggle_monomial(reduced);
+                buf.push(m.without(v));
             }
             // value == false and m contains v: the monomial vanishes.
         }
-        out
+        sort_and_cancel(buf);
     }
 
     /// Substitutes the polynomial `replacement` for variable `v`.
@@ -278,19 +428,40 @@ impl Polynomial {
     /// Every monomial `v·m'` becomes `replacement · m'`. This is the
     /// operation ElimLin uses to eliminate a variable using a linear
     /// equation, and ANF propagation uses it (with a literal) to apply
-    /// equivalences.
+    /// equivalences. All products are accumulated and cancelled in a single
+    /// sort pass.
     pub fn substitute_poly(&self, v: Var, replacement: &Polynomial) -> Polynomial {
-        let mut out = Polynomial::zero();
+        let mut buf = Vec::with_capacity(self.monomials.len());
+        self.substitute_poly_into(v, replacement, &mut buf);
+        Polynomial { monomials: buf }
+    }
+
+    /// Like [`Polynomial::substitute_poly`], reusing `scratch` as the
+    /// working buffer; ElimLin threads one scratch through its whole
+    /// substitution sweep.
+    pub fn substitute_poly_with(
+        &self,
+        v: Var,
+        replacement: &Polynomial,
+        scratch: &mut TermScratch,
+    ) -> Polynomial {
+        scratch.buf.clear();
+        self.substitute_poly_into(v, replacement, &mut scratch.buf);
+        scratch.emit()
+    }
+
+    fn substitute_poly_into(&self, v: Var, replacement: &Polynomial, buf: &mut Vec<Monomial>) {
         for m in &self.monomials {
             if m.contains(v) {
-                let mut rest = m.clone();
-                rest.remove_var(v);
-                out.add_assign(&replacement.mul_monomial(&rest));
+                let rest = m.without(v);
+                for r in &replacement.monomials {
+                    buf.push(r.mul(&rest));
+                }
             } else {
-                out.toggle_monomial(m.clone());
+                buf.push(m.clone());
             }
         }
-        out
+        sort_and_cancel(buf);
     }
 
     /// Substitutes variable `v` by the literal `other` (negated when
@@ -302,6 +473,22 @@ impl Polynomial {
             replacement.toggle_monomial(Monomial::one());
         }
         self.substitute_poly(v, &replacement)
+    }
+
+    /// Like [`Polynomial::substitute_literal`], reusing `scratch` as the
+    /// working buffer.
+    pub fn substitute_literal_with(
+        &self,
+        v: Var,
+        other: Var,
+        negated: bool,
+        scratch: &mut TermScratch,
+    ) -> Polynomial {
+        let mut replacement = Polynomial::variable(other);
+        if negated {
+            replacement.toggle_monomial(Monomial::one());
+        }
+        self.substitute_poly_with(v, &replacement, scratch)
     }
 
     /// Evaluates the polynomial under the predicate `value(v)`.
@@ -434,6 +621,15 @@ mod tests {
     }
 
     #[test]
+    fn from_monomials_cancels_any_even_multiplicity() {
+        let m = Monomial::from_vars([0, 1]);
+        let p = Polynomial::from_monomials(vec![m.clone(); 4]);
+        assert!(p.is_zero(), "4 copies cancel");
+        let q = Polynomial::from_monomials(vec![m.clone(); 3]);
+        assert_eq!(q, Polynomial::from_monomial(m), "3 copies leave one");
+    }
+
+    #[test]
     fn display_matches_paper_convention() {
         let p = parse("x1*x2 + x3 + x4 + 1");
         assert_eq!(p.to_string(), "x1*x2 + x3 + x4 + 1");
@@ -478,6 +674,30 @@ mod tests {
     }
 
     #[test]
+    fn scratch_variants_match_the_allocating_ones() {
+        let mut scratch = TermScratch::new();
+        let p = parse("x0*x1 + x1*x2 + x0 + 1");
+        let m = Monomial::from_vars([1, 3]);
+        assert_eq!(p.mul_monomial_with(&m, &mut scratch), p.mul_monomial(&m));
+        let r = parse("x2 + x3 + 1");
+        assert_eq!(
+            p.substitute_poly_with(0, &r, &mut scratch),
+            p.substitute_poly(0, &r)
+        );
+        assert_eq!(
+            p.substitute_const_with(1, true, &mut scratch),
+            p.substitute_const(1, true)
+        );
+        assert_eq!(
+            p.substitute_literal_with(2, 4, true, &mut scratch),
+            p.substitute_literal(2, 4, true)
+        );
+        // The scratch slice view exposes the same terms.
+        let terms = p.mul_monomial_scratch(&m, &mut scratch).to_vec();
+        assert_eq!(Polynomial::from_monomials(terms), p.mul_monomial(&m));
+    }
+
+    #[test]
     fn linear_classification() {
         let linear = parse("x0 + x3 + 1");
         assert!(linear.is_linear());
@@ -515,6 +735,14 @@ mod tests {
         assert_eq!(p.max_var(), Some(7));
         assert!(p.contains_var(4));
         assert!(!p.contains_var(5));
+    }
+
+    #[test]
+    fn variables_merges_overlapping_lists() {
+        let p = parse("x0*x2*x4 + x1*x2*x3 + x0*x4 + x5");
+        assert_eq!(p.variables(), vec![0, 1, 2, 3, 4, 5]);
+        assert!(Polynomial::one().variables().is_empty());
+        assert!(Polynomial::zero().variables().is_empty());
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! representation every learning technique reads: see
 //! [`AnfDatabase`](crate::AnfDatabase).
 
-use crate::{Polynomial, PolynomialSystem, Var};
+use crate::{Polynomial, PolynomialSystem, TermScratch, Var};
 
 /// What the propagator knows about one variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -229,18 +229,25 @@ impl AnfPropagator {
     /// Applies the current knowledge to `poly`, substituting determined
     /// values and equivalence representatives.
     pub fn apply_to_polynomial(&self, poly: &Polynomial) -> Polynomial {
+        self.apply_with(poly, &mut TermScratch::new())
+    }
+
+    /// [`AnfPropagator::apply_to_polynomial`] with a caller-provided scratch
+    /// buffer, so the propagation fixpoint loop reuses one working buffer
+    /// across every substitution of every polynomial.
+    fn apply_with(&self, poly: &Polynomial, scratch: &mut TermScratch) -> Polynomial {
         let mut result = poly.clone();
         loop {
             let mut changed = false;
             for v in result.variables() {
                 match self.resolve(v) {
                     Resolved::Value(b) => {
-                        result = result.substitute_const(v, b);
+                        result = result.substitute_const_with(v, b, scratch);
                         changed = true;
                     }
                     Resolved::Literal { root, negated } => {
                         if root != v || negated {
-                            result = result.substitute_literal(v, root, negated);
+                            result = result.substitute_literal_with(v, root, negated, scratch);
                             changed = true;
                         }
                     }
@@ -264,11 +271,12 @@ impl AnfPropagator {
             new_equivalences: 0,
             system_changed: false,
         };
+        let mut scratch = TermScratch::new();
         loop {
             let mut changed = false;
             let mut rewritten: Vec<Polynomial> = Vec::with_capacity(system.len());
             for poly in system.iter() {
-                let reduced = self.apply_to_polynomial(poly);
+                let reduced = self.apply_with(poly, &mut scratch);
                 if reduced != *poly {
                     outcome.system_changed = true;
                 }

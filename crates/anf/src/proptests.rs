@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 
+use crate::naive::{NaiveMonomial, NaivePolynomial};
 use crate::{Assignment, Monomial, Polynomial, PolynomialSystem, Var};
 
 const MAX_VARS: u32 = 6;
@@ -16,6 +17,24 @@ fn arb_polynomial() -> impl Strategy<Value = Polynomial> {
 
 fn arb_assignment() -> impl Strategy<Value = Assignment> {
     proptest::collection::vec(any::<bool>(), MAX_VARS as usize).prop_map(Assignment::from_bits)
+}
+
+/// Monomials straddling the inline/spill boundary: degree up to 6 over a
+/// wide variable space, so products and substitutions cross
+/// `Monomial::INLINE_DEGREE` in both directions.
+fn arb_boundary_monomial() -> impl Strategy<Value = Monomial> {
+    proptest::collection::vec(0..64u32, 0..7).prop_map(Monomial::from_vars)
+}
+
+fn arb_boundary_polynomial() -> impl Strategy<Value = Polynomial> {
+    proptest::collection::vec(arb_boundary_monomial(), 0..8).prop_map(Polynomial::from_monomials)
+}
+
+/// A monomial of exactly `degree` distinct variables (offset keeps the
+/// choice of variables varied).
+fn arb_exact_degree(degree: usize) -> impl Strategy<Value = Monomial> {
+    (0..32u32)
+        .prop_map(move |offset| Monomial::from_vars((0..degree as u32).map(|i| offset + 2 * i)))
 }
 
 proptest! {
@@ -131,6 +150,96 @@ proptest! {
             // Multiplication by a common monomial never inverts strict order
             // into the opposite strict order (it may collapse to equality).
             prop_assert!(ac <= bc || !c.divides(&a) || !c.divides(&b));
+        }
+    }
+
+    /// The production term layer is observationally identical to the seed
+    /// (naive) reference model: `from_monomials` construction and `mul`.
+    #[test]
+    fn production_matches_naive_construction_and_mul(
+        a in arb_boundary_polynomial(),
+        b in arb_boundary_polynomial(),
+    ) {
+        let na = NaivePolynomial::from(&a);
+        let nb = NaivePolynomial::from(&b);
+        prop_assert_eq!(na.to_polynomial(), a.clone(), "conversion is faithful");
+        prop_assert_eq!(na.mul(&nb).to_polynomial(), &a * &b);
+        // Construction from the raw (duplicated) term list agrees too.
+        let mut raw: Vec<Monomial> = Vec::new();
+        raw.extend(a.monomials().iter().cloned());
+        raw.extend(b.monomials().iter().cloned());
+        raw.extend(a.monomials().iter().cloned());
+        let fast = Polynomial::from_monomials(raw.clone());
+        let naive = NaivePolynomial::from_monomials(
+            raw.iter().map(NaiveMonomial::from)
+        );
+        prop_assert_eq!(naive.to_polynomial(), fast);
+    }
+
+    /// `add_assign` and the substitution family agree with the naive model.
+    #[test]
+    fn production_matches_naive_add_and_substitute(
+        a in arb_boundary_polynomial(),
+        r in arb_boundary_polynomial(),
+        v in 0..64u32,
+        value in any::<bool>(),
+    ) {
+        let na = NaivePolynomial::from(&a);
+        let nr = NaivePolynomial::from(&r);
+        let mut sum = a.clone();
+        sum += &r;
+        let mut nsum = na.clone();
+        nsum.add_assign(&nr);
+        prop_assert_eq!(nsum.to_polynomial(), sum);
+        prop_assert_eq!(
+            na.substitute_const(v, value).to_polynomial(),
+            a.substitute_const(v, value)
+        );
+        prop_assume!(!r.contains_var(v));
+        prop_assert_eq!(
+            na.substitute_poly(v, &nr).to_polynomial(),
+            a.substitute_poly(v, &r)
+        );
+    }
+
+    /// Monomial products agree with the naive model across the inline/spill
+    /// boundary, and the representation invariant holds: inline exactly for
+    /// degree ≤ `Monomial::INLINE_DEGREE`.
+    #[test]
+    fn monomial_mul_matches_naive_and_keeps_the_inline_invariant(
+        a in arb_boundary_monomial(),
+        b in arb_boundary_monomial(),
+    ) {
+        let product = a.mul(&b);
+        let naive = NaiveMonomial::from(&a).mul(&NaiveMonomial::from(&b));
+        prop_assert_eq!(product.vars(), naive.vars());
+        prop_assert_eq!(product.is_inline(), product.degree() <= Monomial::INLINE_DEGREE);
+        prop_assert!(a.is_inline() == (a.degree() <= Monomial::INLINE_DEGREE));
+    }
+
+    /// Parse → print round-trips at the inline/spill boundary: polynomials
+    /// whose terms have degree exactly N−1, N and N+1 (for inline capacity
+    /// N) survive the textual format unchanged, on either side of the
+    /// representation switch.
+    #[test]
+    fn boundary_degree_parse_print_roundtrip(
+        low in arb_exact_degree(Monomial::INLINE_DEGREE - 1),
+        at in arb_exact_degree(Monomial::INLINE_DEGREE),
+        above in arb_exact_degree(Monomial::INLINE_DEGREE + 1),
+        constant in any::<bool>(),
+    ) {
+        prop_assert!(low.is_inline() && at.is_inline());
+        prop_assert!(!above.is_inline());
+        let mut terms = vec![low, at, above];
+        if constant {
+            terms.push(Monomial::one());
+        }
+        let p = Polynomial::from_monomials(terms);
+        let reparsed: Polynomial = p.to_string().parse().expect("round-trip parses");
+        prop_assert_eq!(&reparsed, &p);
+        // The reparsed polynomial restores the same representations.
+        for m in reparsed.monomials() {
+            prop_assert_eq!(m.is_inline(), m.degree() <= Monomial::INLINE_DEGREE);
         }
     }
 

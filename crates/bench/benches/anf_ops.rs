@@ -1,0 +1,102 @@
+//! Micro-benchmarks of the ANF term layer: polynomial multiplication, one
+//! XL expansion sweep, and linearisation build — the three operations the
+//! inline-monomial / merge-arithmetic / interner redesign targets.
+//!
+//! Run with `cargo bench -p bosphorus-bench --bench anf_ops`. For the
+//! recorded end-to-end numbers see `BENCH_pipeline.json` (produced by the
+//! `pipeline_bench` binary).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bosphorus::{expansion_monomials, Linearization, LinearizationBuilder};
+use bosphorus_anf::{Polynomial, PolynomialSystem, TermScratch, Var};
+use bosphorus_ciphers::simon;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn occurring_vars(system: &PolynomialSystem) -> Vec<Var> {
+    let mut vars: Vec<Var> = system.iter().flat_map(Polynomial::variables).collect();
+    vars.sort_unstable();
+    vars.dedup();
+    vars
+}
+
+fn simon_system() -> PolynomialSystem {
+    let mut rng = StdRng::seed_from_u64(2019);
+    simon::generate(
+        simon::SimonParams {
+            num_plaintexts: 2,
+            rounds: 3,
+        },
+        &mut rng,
+    )
+    .system
+}
+
+fn bench_mul(c: &mut Criterion) {
+    let a: Polynomial = "x0*x1 + x2*x3 + x0*x4 + x1*x5 + x6 + 1"
+        .parse()
+        .expect("parses");
+    let b: Polynomial = "x1*x2 + x3*x6 + x4 + x5 + 1".parse().expect("parses");
+    let mut group = c.benchmark_group("anf_ops/mul");
+    group.bench_function("poly_mul_6x5_terms", |bench| {
+        bench.iter(|| black_box(&a) * black_box(&b))
+    });
+    let m = bosphorus_anf::Monomial::from_vars([2, 7]);
+    let mut scratch = TermScratch::new();
+    group.bench_function("mul_monomial_with_scratch", |bench| {
+        bench.iter(|| black_box(&a).mul_monomial_with(black_box(&m), &mut scratch))
+    });
+    group.finish();
+}
+
+fn bench_xl_expand(c: &mut Criterion) {
+    let system = simon_system();
+    let multipliers = expansion_monomials(&occurring_vars(&system), 1);
+    let mut group = c.benchmark_group("anf_ops/xl_expand");
+    group.sample_size(10);
+    group.bench_function("simon_2_3_degree_1", |bench| {
+        bench.iter(|| {
+            let mut builder = LinearizationBuilder::new();
+            for poly in system.iter() {
+                builder.push(poly);
+            }
+            let mut scratch = TermScratch::new();
+            for base in system.iter() {
+                for m in &multipliers {
+                    builder.push_product(base, m, &mut scratch);
+                }
+            }
+            black_box(builder.num_rows())
+        })
+    });
+    group.finish();
+}
+
+fn bench_linearize_build(c: &mut Criterion) {
+    let system = simon_system();
+    // Pre-expand once; the benchmark isolates Linearization::build (intern,
+    // column sort, word-wise row assembly).
+    let multipliers = expansion_monomials(&occurring_vars(&system), 1);
+    let mut expanded: Vec<Polynomial> = system.iter().cloned().collect();
+    for base in system.iter() {
+        for m in &multipliers {
+            let product = base.mul_monomial(m);
+            if !product.is_zero() {
+                expanded.push(product);
+            }
+        }
+    }
+    let mut group = c.benchmark_group("anf_ops/linearize_build");
+    group.sample_size(10);
+    group.bench_function(format!("simon_2_3_{}_rows", expanded.len()), |bench| {
+        bench.iter(|| {
+            let lin = Linearization::build(black_box(&expanded));
+            black_box((lin.num_rows(), lin.num_columns()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(anf_ops, bench_mul, bench_xl_expand, bench_linearize_build);
+criterion_main!(anf_ops);

@@ -44,8 +44,9 @@ actions:
   --cnfdump FILE        write the processed CNF as DIMACS (`-` for stdout)
   --anfdump FILE        write the simplified ANF, including the propagated
                         values/equivalences, re-parseable by --anf
-  --stats-json          print engine statistics (incl. per-pass entries) as
-                        JSON on stdout
+  --stats-json          print engine statistics as JSON on stdout: per-pass
+                        totals plus a per-iteration timeline (pass, revision,
+                        facts, elapsed)
 
 pipeline:
   --passes LIST         comma-separated pass order, e.g. `elimlin,xl,sat`
@@ -296,9 +297,11 @@ pub fn run(options: &CliOptions) -> Result<i32, String> {
             Bosphorus::new(system, config)
         }
         InputSource::Cnf(path) => {
-            let text = std::fs::read_to_string(path)
+            // DIMACS files can be huge; stream them through a buffered
+            // reader instead of slurping the whole document.
+            let file = std::fs::File::open(path)
                 .map_err(|e| format!("cannot read CNF file {path:?}: {e}"))?;
-            let cnf = CnfFormula::parse_dimacs(&text)
+            let cnf = CnfFormula::parse_dimacs_from(std::io::BufReader::new(file))
                 .map_err(|e| format!("cannot parse DIMACS file {path:?}: {e}"))?;
             eprintln!(
                 "c read {} clauses over {} variables from {path}",
@@ -448,6 +451,31 @@ pub fn stats_json(stats: &EngineStats, status: &str) -> String {
         );
     }
     if stats.passes.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n  ],\n");
+    }
+    // The chronological timeline: one entry per pass execution, so the
+    // evolution of the run (which iteration learnt what, at which database
+    // revision, and how long each step took) is machine-readable.
+    out.push_str("  \"timeline\": [");
+    for (i, entry) in stats.timeline.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"iteration\": {}, \"pass\": \"{}\", \"revision\": {}, \
+             \"facts\": {}, \"skipped\": {}, \"time_ms\": {:.3}}}",
+            entry.iteration,
+            entry.pass,
+            entry.revision,
+            entry.facts,
+            entry.skipped,
+            entry.time.as_secs_f64() * 1e3
+        );
+    }
+    if stats.timeline.is_empty() {
         out.push_str("]\n");
     } else {
         out.push_str("\n  ]\n");
@@ -590,5 +618,30 @@ mod tests {
         assert!(json.contains("\"status\": \"simplified\""));
         assert!(json.contains("\"iterations\": 2"));
         assert!(json.contains("\"passes\": []"));
+        assert!(json.contains("\"timeline\": []"));
+    }
+
+    #[test]
+    fn stats_json_serialises_timeline_entries() {
+        use std::time::Duration;
+        let stats = EngineStats {
+            iterations: 1,
+            timeline: vec![bosphorus::TimelineEntry {
+                iteration: 1,
+                pass: "xl".to_string(),
+                revision: 3,
+                facts: 4,
+                skipped: false,
+                time: Duration::from_millis(2),
+            }],
+            ..EngineStats::default()
+        };
+        let json = stats_json(&stats, "solved");
+        assert!(json.contains("\"timeline\": ["));
+        assert!(json.contains("\"iteration\": 1"));
+        assert!(json.contains("\"pass\": \"xl\""));
+        assert!(json.contains("\"revision\": 3"));
+        assert!(json.contains("\"facts\": 4"));
+        assert!(json.contains("\"skipped\": false"));
     }
 }

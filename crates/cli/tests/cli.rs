@@ -143,6 +143,35 @@ fn pass_flags_change_the_stats_json_pass_entries() {
 }
 
 #[test]
+fn stats_json_includes_a_per_iteration_timeline() {
+    let output = bosphorus(&["--anf", &instance("worked_example.anf"), "--stats-json"]);
+    assert_eq!(output.status.code(), Some(0));
+    let json = stdout(&output);
+    // The timeline records every pass execution chronologically: the
+    // worked example is decided in iteration 1, with XL contributing the
+    // first facts at a post-commit revision.
+    assert!(json.contains("\"timeline\": ["), "json: {json}");
+    assert!(json.contains("\"iteration\": 1"), "json: {json}");
+    assert!(
+        json.contains("\"pass\": \"xl\"") && json.contains("\"revision\": "),
+        "json: {json}"
+    );
+    assert!(
+        json.contains("\"skipped\": false") && json.contains("\"time_ms\": "),
+        "json: {json}"
+    );
+    // The first timeline entry is the first configured pass (xl) and
+    // carries its facts; the entry order follows execution order.
+    let timeline_pos = json.find("\"timeline\"").expect("timeline present");
+    let first_entry = &json[timeline_pos..];
+    let xl_pos = first_entry.find("\"pass\": \"xl\"").expect("xl entry");
+    let elimlin_pos = first_entry.find("\"pass\": \"elimlin\"");
+    if let Some(e) = elimlin_pos {
+        assert!(xl_pos < e, "xl runs before elimlin in the timeline");
+    }
+}
+
+#[test]
 fn bad_usage_exits_one_with_a_message() {
     let output = bosphorus(&["--frobnicate"]);
     assert_eq!(output.status.code(), Some(1));

@@ -1,8 +1,14 @@
 //! DIMACS CNF text format parsing and printing.
+//!
+//! Parsing is streaming: [`CnfFormula::parse_dimacs_from`] consumes any
+//! [`BufRead`] line by line through one reused buffer, so multi-gigabyte
+//! CNF files are never slurped into memory. [`CnfFormula::parse_dimacs`] is
+//! the in-memory convenience wrapper over the same code path.
 
 use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
+use std::io::BufRead;
 
 use crate::{CnfFormula, Lit};
 
@@ -23,6 +29,11 @@ pub enum ParseDimacsError {
     },
     /// The final clause is missing its terminating `0`.
     UnterminatedClause,
+    /// The underlying reader failed (streaming input only).
+    Read {
+        /// The I/O error, rendered as text.
+        message: String,
+    },
 }
 
 impl fmt::Display for ParseDimacsError {
@@ -36,6 +47,9 @@ impl fmt::Display for ParseDimacsError {
             }
             ParseDimacsError::UnterminatedClause => {
                 write!(f, "last clause is not terminated by 0")
+            }
+            ParseDimacsError::Read { message } => {
+                write!(f, "cannot read DIMACS input: {message}")
             }
         }
     }
@@ -66,11 +80,48 @@ impl CnfFormula {
     /// # Ok::<(), bosphorus_cnf::ParseDimacsError>(())
     /// ```
     pub fn parse_dimacs(input: &str) -> Result<Self, ParseDimacsError> {
+        CnfFormula::parse_dimacs_from(input.as_bytes())
+    }
+
+    /// Parses a CNF formula from a [`BufRead`] source, streaming line by
+    /// line through one reused buffer — the whole document is never held in
+    /// memory. Same grammar and errors as [`CnfFormula::parse_dimacs`], plus
+    /// [`ParseDimacsError::Read`] when the reader itself fails.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDimacsError`] when the header or a literal is
+    /// malformed, when the final clause is not `0`-terminated, or when
+    /// reading from the source fails.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::io::BufReader;
+    /// use bosphorus_cnf::CnfFormula;
+    /// let file = &b"p cnf 2 2\n1 -2 0\n2 0\n"[..];
+    /// let cnf = CnfFormula::parse_dimacs_from(BufReader::new(file))?;
+    /// assert_eq!(cnf.num_vars(), 2);
+    /// assert_eq!(cnf.num_clauses(), 2);
+    /// # Ok::<(), bosphorus_cnf::ParseDimacsError>(())
+    /// ```
+    pub fn parse_dimacs_from<R: BufRead>(mut reader: R) -> Result<Self, ParseDimacsError> {
         let mut cnf = CnfFormula::new(0);
         let mut declared_vars: Option<usize> = None;
         let mut current: Vec<Lit> = Vec::new();
-        for (line_idx, line) in input.lines().enumerate() {
-            let line_no = line_idx + 1;
+        let mut line = String::new();
+        let mut line_no = 0usize;
+        loop {
+            line.clear();
+            let read = reader
+                .read_line(&mut line)
+                .map_err(|e| ParseDimacsError::Read {
+                    message: e.to_string(),
+                })?;
+            if read == 0 {
+                break;
+            }
+            line_no += 1;
             let trimmed = line.trim();
             if trimmed.is_empty() || trimmed.starts_with('c') || trimmed.starts_with('%') {
                 continue;
@@ -256,6 +307,42 @@ mod tests {
     fn declared_vars_override_inferred() {
         let cnf = CnfFormula::parse_dimacs("p cnf 10 1\n1 0\n").expect("parses");
         assert_eq!(cnf.num_vars(), 10);
+    }
+
+    #[test]
+    fn streaming_parse_matches_in_memory_parse() {
+        use std::io::BufReader;
+        let text = "c big file\np cnf 5 3\n1 -2 3 0\n-4\n5 0\n2 -5 0\n";
+        let in_memory = CnfFormula::parse_dimacs(text).expect("parses");
+        // A tiny buffer forces many refills, exercising the streaming path's
+        // chunk handling.
+        let streamed = CnfFormula::parse_dimacs_from(BufReader::with_capacity(4, text.as_bytes()))
+            .expect("parses");
+        assert_eq!(streamed.num_vars(), in_memory.num_vars());
+        assert_eq!(streamed.clauses(), in_memory.clauses());
+    }
+
+    #[test]
+    fn streaming_reader_errors_surface_as_read_errors() {
+        use std::io::{self, Read};
+        struct FailingReader;
+        impl Read for FailingReader {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk on fire"))
+            }
+        }
+        let result = CnfFormula::parse_dimacs_from(io::BufReader::new(FailingReader));
+        match result {
+            Err(ParseDimacsError::Read { message }) => {
+                assert!(message.contains("disk on fire"));
+            }
+            other => panic!("expected a Read error, got {other:?}"),
+        }
+        let rendered = ParseDimacsError::Read {
+            message: "nope".to_string(),
+        }
+        .to_string();
+        assert!(rendered.contains("cannot read") && rendered.contains("nope"));
     }
 
     #[test]

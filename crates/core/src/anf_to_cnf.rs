@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use bosphorus_anf::{Monomial, Polynomial, PolynomialSystem, Var};
+use bosphorus_anf::{Monomial, MonomialInterner, Polynomial, PolynomialSystem, Var};
 use bosphorus_cnf::{CnfFormula, CnfVar, Lit};
 use bosphorus_sat::XorConstraint;
 
@@ -102,8 +102,12 @@ pub fn anf_to_cnf(
 struct Converter<'a> {
     cnf: CnfFormula,
     config: &'a BosphorusConfig,
-    var_of_monomial: BTreeMap<Monomial, CnfVar>,
-    monomial_of_var: BTreeMap<CnfVar, Monomial>,
+    /// Monomial → dense id (each distinct monomial stored once); the hot
+    /// lookup of the conversion. The public `BTreeMap`s of
+    /// [`CnfConversion`] are materialised once in [`Converter::finish`].
+    interner: MonomialInterner,
+    /// Interner id → the CNF variable standing for that monomial.
+    var_of_id: Vec<CnfVar>,
     xors: Vec<XorConstraint>,
     karnaugh_clauses: usize,
     tseitin_clauses: usize,
@@ -111,19 +115,20 @@ struct Converter<'a> {
 
 impl<'a> Converter<'a> {
     fn new(num_anf_vars: usize, config: &'a BosphorusConfig) -> Self {
-        let mut monomial_of_var = BTreeMap::new();
-        let mut var_of_monomial = BTreeMap::new();
+        let mut interner = MonomialInterner::with_capacity(num_anf_vars * 2);
+        let mut var_of_id = Vec::with_capacity(num_anf_vars);
         // ANF variable x_i is CNF variable i; record the identity mapping so
         // facts about plain variables translate back.
         for v in 0..num_anf_vars as Var {
-            monomial_of_var.insert(v as CnfVar, Monomial::variable(v));
-            var_of_monomial.insert(Monomial::variable(v), v as CnfVar);
+            let id = interner.intern(&Monomial::variable(v));
+            debug_assert_eq!(id as usize, var_of_id.len());
+            var_of_id.push(v as CnfVar);
         }
         Converter {
             cnf: CnfFormula::new(num_anf_vars),
             config,
-            var_of_monomial,
-            monomial_of_var,
+            interner,
+            var_of_id,
             xors: Vec::new(),
             karnaugh_clauses: 0,
             tseitin_clauses: 0,
@@ -133,8 +138,9 @@ impl<'a> Converter<'a> {
     /// The CNF variable standing for a monomial, creating it (together with
     /// its AND-definition clauses) on first use.
     fn monomial_var(&mut self, monomial: &Monomial) -> CnfVar {
-        if let Some(&v) = self.var_of_monomial.get(monomial) {
-            return v;
+        let id = self.interner.intern(monomial) as usize;
+        if id < self.var_of_id.len() {
+            return self.var_of_id[id];
         }
         debug_assert!(monomial.degree() >= 2, "degree-1 monomials are pre-mapped");
         let aux = self.cnf.new_var();
@@ -150,8 +156,8 @@ impl<'a> Converter<'a> {
             .collect();
         long.push(Lit::positive(aux));
         self.cnf.add_clause(long);
-        self.var_of_monomial.insert(monomial.clone(), aux);
-        self.monomial_of_var.insert(aux, monomial.clone());
+        debug_assert_eq!(id, self.var_of_id.len(), "ids are assigned densely");
+        self.var_of_id.push(aux);
         aux
     }
 
@@ -241,10 +247,19 @@ impl<'a> Converter<'a> {
     }
 
     fn finish(self) -> CnfConversion {
+        // Materialise the public bidirectional maps from the interner: one
+        // pass, one clone pair per distinct monomial.
+        let mut monomial_of_var = BTreeMap::new();
+        let mut var_of_monomial = BTreeMap::new();
+        for (id, monomial) in self.interner.monomials().iter().enumerate() {
+            let var = self.var_of_id[id];
+            monomial_of_var.insert(var, monomial.clone());
+            var_of_monomial.insert(monomial.clone(), var);
+        }
         CnfConversion {
             cnf: self.cnf,
-            monomial_of_var: self.monomial_of_var,
-            var_of_monomial: self.var_of_monomial,
+            monomial_of_var,
+            var_of_monomial,
             xors: self.xors,
             karnaugh_clauses: self.karnaugh_clauses,
             tseitin_clauses: self.tseitin_clauses,

@@ -7,7 +7,7 @@
 //! equations). Every linear equation found along the way is a consequence of
 //! the original system and is reported as a learnt fact.
 
-use bosphorus_anf::{Polynomial, PolynomialSystem, Var};
+use bosphorus_anf::{Polynomial, PolynomialSystem, TermScratch, Var};
 use bosphorus_gf2::GaussStats;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -69,6 +69,8 @@ pub fn elimlin_learn<R: Rng>(
 
 /// Runs ElimLin on exactly the given polynomials (no subsampling).
 pub fn elimlin_on(mut working: Vec<Polynomial>) -> ElimLinOutcome {
+    // One scratch buffer serves every substitution of every round.
+    let mut scratch = TermScratch::new();
     let mut outcome = ElimLinOutcome {
         facts: Vec::new(),
         rounds: 0,
@@ -126,7 +128,7 @@ pub fn elimlin_on(mut working: Vec<Polynomial>) -> ElimLinOutcome {
             }
             for poly in &mut nonlinear {
                 if poly.contains_var(victim) {
-                    *poly = poly.substitute_poly(victim, &replacement);
+                    *poly = poly.substitute_poly_with(victim, &replacement, &mut scratch);
                 }
             }
             outcome.eliminated_vars += 1;

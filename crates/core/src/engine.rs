@@ -203,10 +203,32 @@ impl Bosphorus {
             let mut new_facts = 0usize;
             for pass in pipeline.passes_mut() {
                 let name = pass.name();
+                let iteration = self.stats.iterations;
                 let started = Instant::now();
                 let outcome = pass.run(&mut self.db, budget);
-                self.stats.record_pass(name, &outcome, started.elapsed());
-                match outcome.status {
+                let elapsed = started.elapsed();
+                self.stats.record_pass(name, &outcome, elapsed);
+                let status = outcome.status;
+                // Commit facts first (only a Ran pass produces any), then
+                // record the timeline entry once for every status — the
+                // recorded revision is the post-commit one.
+                let added = if status == PassStatus::Ran {
+                    let added = self.add_facts(outcome.facts);
+                    self.stats.record_facts(name, added);
+                    added
+                } else {
+                    0
+                };
+                let skipped = status == PassStatus::Skipped;
+                self.stats.record_timeline(
+                    iteration,
+                    name,
+                    self.db.revision(),
+                    added,
+                    skipped,
+                    elapsed,
+                );
+                match status {
                     PassStatus::Skipped => continue,
                     PassStatus::Unsat => {
                         self.unsat = true;
@@ -224,8 +246,6 @@ impl Bosphorus {
                     }
                     PassStatus::Ran => {}
                 }
-                let added = self.add_facts(outcome.facts);
-                self.stats.record_facts(name, added);
                 pass.facts_committed(added, budget);
                 new_facts += added;
                 if added > 0 && self.propagate_master() {

@@ -70,14 +70,14 @@ pub use cnf_to_anf::{clause_to_polynomial, cnf_to_anf, AnfConversion};
 pub use config::BosphorusConfig;
 pub use elimlin::{elimlin_learn, elimlin_on, ElimLinOutcome};
 pub use engine::{Bosphorus, PreprocessStatus, SolveStatus};
-pub use linearize::Linearization;
+pub use linearize::{Linearization, LinearizationBuilder};
 pub use minimize::karnaugh_clauses;
 pub use pipeline::{
     ElimLinPass, GroebnerPass, LearningPass, PassBudget, PassKind, PassOutcome, PassStatus,
     Pipeline, PropagatePass, SatPass, XlPass,
 };
 pub use satstep::{sat_step, sat_step_on_conversion, SatStepOutcome, SatStepStatus};
-pub use stats::{EngineStats, PassStats};
+pub use stats::{EngineStats, PassStats, TimelineEntry};
 pub use xl::{expansion_monomials, is_retainable_fact, xl_learn, XlOutcome};
 
 #[cfg(test)]

@@ -5,16 +5,156 @@
 //! rows of a [`BitMatrix`], Gauss–Jordan elimination is applied, and the rows
 //! are mapped back to polynomials.
 //!
+//! The column index is a [`MonomialInterner`] — a fast-hash monomial→dense-id
+//! map that stores each distinct monomial exactly once — instead of an
+//! ordered map cloning every key, and matrix rows are assembled word-wise
+//! from the interned ids. [`LinearizationBuilder`] exposes the construction
+//! incrementally so the XL expansion can intern each product's terms straight
+//! from a scratch buffer without materialising the product polynomial.
+//!
 //! The elimination itself goes through `gauss_jordan_with_stats`, which
 //! auto-selects the kernel via `bosphorus_gf2::select_kernel`: XL-expanded
 //! systems routinely reach thousands of monomial columns, the regime the
 //! cache-blocked multi-table M4RM kernel is built for (see
 //! `crates/gf2/src/blocked.rs` and `crates/bench/DESIGN.md`).
 
-use std::collections::BTreeMap;
-
-use bosphorus_anf::{Monomial, Polynomial};
+use bosphorus_anf::{Monomial, MonomialInterner, Polynomial, TermScratch};
 use bosphorus_gf2::{BitMatrix, BitVec, GaussStats};
+
+/// Incremental construction of a [`Linearization`].
+///
+/// Rows are pushed one polynomial (or one polynomial × monomial product) at
+/// a time; every term is interned into the shared monomial table as it
+/// arrives, so no intermediate copy of the expanded system exists.
+///
+/// # Examples
+///
+/// ```
+/// use bosphorus::LinearizationBuilder;
+/// use bosphorus_anf::{Monomial, Polynomial, TermScratch};
+///
+/// let base: Polynomial = "x1*x2 + x1 + 1".parse()?;
+/// let mut builder = LinearizationBuilder::new();
+/// builder.push(&base);
+/// let mut scratch = TermScratch::new();
+/// // (x1*x2 + x1 + 1)·x2 = x1*x2 ⊕ x1*x2 ⊕ x2 = x2: the two products
+/// // cancel and a single-term row is appended.
+/// let terms = builder.push_product(&base, &Monomial::variable(2), &mut scratch);
+/// assert_eq!(terms, 1);
+/// let lin = builder.finish();
+/// assert_eq!(lin.num_rows(), 2);
+/// # Ok::<(), bosphorus_anf::ParsePolynomialError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearizationBuilder {
+    interner: MonomialInterner,
+    /// Interned term ids of all rows, flattened.
+    terms: Vec<u32>,
+    /// Row `r` owns `terms[row_offsets[r]..row_offsets[r + 1]]`. Invariant:
+    /// always starts with the sentinel `0` (established by `new`, relied on
+    /// by `finish`), so `Default` must go through `new` too.
+    row_offsets: Vec<usize>,
+}
+
+impl Default for LinearizationBuilder {
+    fn default() -> Self {
+        LinearizationBuilder::new()
+    }
+}
+
+impl LinearizationBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        LinearizationBuilder {
+            interner: MonomialInterner::new(),
+            terms: Vec::new(),
+            row_offsets: vec![0],
+        }
+    }
+
+    /// Number of rows pushed so far.
+    pub fn num_rows(&self) -> usize {
+        self.row_offsets.len() - 1
+    }
+
+    /// Number of distinct monomials seen so far (the eventual column count).
+    pub fn num_columns(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Appends one polynomial as a row (a zero polynomial becomes an
+    /// all-zero row, as in the eager construction).
+    pub fn push(&mut self, poly: &Polynomial) {
+        for m in poly.monomials() {
+            let id = self.interner.intern(m);
+            self.terms.push(id);
+        }
+        self.row_offsets.push(self.terms.len());
+    }
+
+    /// Computes `base · m` into `scratch` and appends it as a row, interning
+    /// the product's terms directly from the scratch buffer. Returns the
+    /// number of terms; a product that cancels to zero appends **no** row
+    /// (matching how the XL expansion skips zero products) and returns 0.
+    pub fn push_product(
+        &mut self,
+        base: &Polynomial,
+        m: &Monomial,
+        scratch: &mut TermScratch,
+    ) -> usize {
+        let terms = base.mul_monomial_scratch(m, scratch);
+        if terms.is_empty() {
+            return 0;
+        }
+        for t in terms {
+            let id = self.interner.intern(t);
+            self.terms.push(id);
+        }
+        self.row_offsets.push(self.terms.len());
+        terms.len()
+    }
+
+    /// Orders the columns (descending graded lex) and assembles the matrix.
+    pub fn finish(self) -> Linearization {
+        let LinearizationBuilder {
+            interner,
+            terms,
+            row_offsets,
+        } = self;
+        let num_cols = interner.len();
+        // Columns are the distinct monomials in descending graded-lex order,
+        // so each RREF row's pivot is its leading monomial (Table I layout).
+        let mut order: Vec<u32> = (0..num_cols as u32).collect();
+        order.sort_unstable_by(|&a, &b| interner.monomial(b).cmp(interner.monomial(a)));
+        let mut col_of_id = vec![0u32; num_cols];
+        for (col, &id) in order.iter().enumerate() {
+            col_of_id[id as usize] = col as u32;
+        }
+        // Assemble each row word-wise: OR the column bits into a word buffer
+        // and hand the whole buffer to the bit vector at once.
+        let words_per_row = num_cols.div_ceil(64);
+        let mut rows: Vec<BitVec> = Vec::with_capacity(row_offsets.len() - 1);
+        for r in 0..row_offsets.len() - 1 {
+            let mut words = vec![0u64; words_per_row];
+            for &id in &terms[row_offsets[r]..row_offsets[r + 1]] {
+                let col = col_of_id[id as usize] as usize;
+                words[col >> 6] |= 1u64 << (col & 63);
+            }
+            rows.push(BitVec::from_words(words, num_cols));
+        }
+        let matrix = if rows.is_empty() {
+            BitMatrix::zero(0, num_cols)
+        } else {
+            BitMatrix::from_rows(rows)
+        };
+        Linearization {
+            interner,
+            order,
+            col_of_id,
+            matrix,
+        }
+    }
+}
 
 /// A linearised view of a set of polynomials: a column ordering over the
 /// monomials that occur, and the corresponding GF(2) matrix.
@@ -36,10 +176,12 @@ use bosphorus_gf2::{BitMatrix, BitVec, GaussStats};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Linearization {
-    /// Monomials in column order (descending graded lex).
-    columns: Vec<Monomial>,
-    /// Monomial → column index.
-    index: BTreeMap<Monomial, usize>,
+    /// Every distinct monomial, stored once (id = first-seen order).
+    interner: MonomialInterner,
+    /// Column → interner id, in descending graded-lex monomial order.
+    order: Vec<u32>,
+    /// Interner id → column.
+    col_of_id: Vec<u32>,
     /// The linearised coefficient matrix, one row per polynomial.
     matrix: BitMatrix,
 }
@@ -47,35 +189,16 @@ pub struct Linearization {
 impl Linearization {
     /// Builds the linearisation of the given polynomials.
     pub fn build<'a, I: IntoIterator<Item = &'a Polynomial>>(polynomials: I) -> Self {
-        let polys: Vec<&Polynomial> = polynomials.into_iter().collect();
-        let mut columns: Vec<Monomial> = polys
-            .iter()
-            .flat_map(|p| p.monomials().iter().cloned())
-            .collect();
-        columns.sort();
-        columns.dedup();
-        columns.reverse(); // descending graded lex: largest monomial first
-        let index: BTreeMap<Monomial, usize> = columns
-            .iter()
-            .enumerate()
-            .map(|(i, m)| (m.clone(), i))
-            .collect();
-        let mut matrix = BitMatrix::zero(polys.len(), columns.len());
-        for (row, poly) in polys.iter().enumerate() {
-            for m in poly.monomials() {
-                matrix.set(row, index[m], true);
-            }
+        let mut builder = LinearizationBuilder::new();
+        for poly in polynomials {
+            builder.push(poly);
         }
-        Linearization {
-            columns,
-            index,
-            matrix,
-        }
+        builder.finish()
     }
 
     /// Number of monomial columns.
     pub fn num_columns(&self) -> usize {
-        self.columns.len()
+        self.order.len()
     }
 
     /// Number of polynomial rows.
@@ -89,12 +212,14 @@ impl Linearization {
     ///
     /// Panics if `col` is out of range.
     pub fn column_monomial(&self, col: usize) -> &Monomial {
-        &self.columns[col]
+        self.interner.monomial(self.order[col])
     }
 
     /// The column of a monomial, if it occurs in the linearised system.
     pub fn column_of(&self, monomial: &Monomial) -> Option<usize> {
-        self.index.get(monomial).copied()
+        self.interner
+            .get(monomial)
+            .map(|id| self.col_of_id[id as usize] as usize)
     }
 
     /// Borrow the coefficient matrix.
@@ -113,8 +238,13 @@ impl Linearization {
     ///
     /// Panics if the row length differs from the number of columns.
     pub fn row_to_polynomial(&self, row: &BitVec) -> Polynomial {
-        assert_eq!(row.len(), self.columns.len(), "row/column count mismatch");
-        Polynomial::from_monomials(row.iter_ones().map(|c| self.columns[c].clone()))
+        assert_eq!(row.len(), self.order.len(), "row/column count mismatch");
+        // Ascending columns are descending monomials (and distinct), so the
+        // polynomial assembles with a reverse instead of a sort.
+        Polynomial::from_descending_monomials(
+            row.iter_ones()
+                .map(|c| self.interner.monomial(self.order[c]).clone()),
+        )
     }
 
     /// Runs Gauss–Jordan elimination in place and returns the non-zero rows
@@ -141,6 +271,59 @@ impl Linearization {
     /// paper bounds by `2^M` when subsampling.
     pub fn size_bits(&self) -> u128 {
         self.num_rows() as u128 * self.num_columns() as u128
+    }
+
+    /// Runs Gauss–Jordan elimination in place and returns only the
+    /// *retainable* rows (see `is_retainable_fact`: linear polynomials and
+    /// `monomial ⊕ 1` facts) together with the number of non-zero rows and
+    /// the kernel stats.
+    ///
+    /// Because columns are in descending graded-lex order, the degree-≤1
+    /// monomials occupy a contiguous column suffix: a row is linear exactly
+    /// when its first set bit lies in that suffix, and the `monomial ⊕ 1`
+    /// shape is two set bits with one in the constant column. Both checks
+    /// run on the bit rows directly, so the (typically dominant) share of
+    /// non-retainable RREF rows is never materialised as polynomials — the
+    /// XL fast path.
+    pub fn eliminate_retainable_with_stats(&mut self) -> (Vec<Polynomial>, usize, GaussStats) {
+        let stats = self.matrix.gauss_jordan_with_stats();
+        let (facts, non_zero_rows) = self.retainable_rows();
+        (facts, non_zero_rows, stats)
+    }
+
+    /// Scans the current matrix rows for retainable facts — the read-back
+    /// half of [`Linearization::eliminate_retainable_with_stats`], exposed
+    /// separately so harnesses can time the elimination kernel and the
+    /// read-back independently without re-implementing the retainability
+    /// predicate. Returns the facts in row order together with the number
+    /// of non-zero rows.
+    pub fn retainable_rows(&self) -> (Vec<Polynomial>, usize) {
+        let ncols = self.num_columns();
+        // First column whose monomial has degree <= 1 (degrees are
+        // non-increasing across the descending graded-lex order).
+        let linear_boundary = self
+            .order
+            .partition_point(|&id| self.interner.monomial(id).degree() > 1);
+        let has_constant_column =
+            ncols > 0 && self.interner.monomial(self.order[ncols - 1]).is_one();
+        let mut non_zero_rows = 0usize;
+        let mut facts: Vec<Polynomial> = Vec::new();
+        for row in self.matrix.iter() {
+            let Some(first) = row.first_one() else {
+                continue; // zero row
+            };
+            non_zero_rows += 1;
+            let retainable = first >= linear_boundary // every monomial is degree <= 1
+                || (has_constant_column && row.get(ncols - 1) && row.count_ones() == 2);
+            if !retainable {
+                continue;
+            }
+            facts.push(Polynomial::from_descending_monomials(
+                row.iter_ones()
+                    .map(|c| self.interner.monomial(self.order[c]).clone()),
+            ));
+        }
+        (facts, non_zero_rows)
     }
 }
 
@@ -240,5 +423,94 @@ mod tests {
         let lin = Linearization::build(std::iter::empty());
         assert_eq!(lin.num_rows(), 0);
         assert_eq!(lin.num_columns(), 0);
+    }
+
+    #[test]
+    fn builder_products_match_the_eager_construction() {
+        use bosphorus_anf::Monomial;
+        // Expand the Table I system with the degree-1 multipliers both ways:
+        // eagerly (materialised products through Linearization::build) and
+        // through the streaming builder. The linearisations must agree
+        // column for column and row for row.
+        let base = polys("x1*x2 + x1 + 1; x2*x3 + x3;");
+        let multipliers = [
+            Monomial::variable(1),
+            Monomial::variable(2),
+            Monomial::variable(3),
+        ];
+        let mut eager: Vec<Polynomial> = base.clone();
+        for p in &base {
+            for m in &multipliers {
+                let product = p.mul_monomial(m);
+                if !product.is_zero() {
+                    eager.push(product);
+                }
+            }
+        }
+        let eager_lin = Linearization::build(eager.iter());
+
+        let mut builder = LinearizationBuilder::new();
+        for p in &base {
+            builder.push(p);
+        }
+        let mut scratch = bosphorus_anf::TermScratch::new();
+        for p in &base {
+            for m in &multipliers {
+                builder.push_product(p, m, &mut scratch);
+            }
+        }
+        assert_eq!(builder.num_rows(), eager.len());
+        let lin = builder.finish();
+        assert_eq!(lin.num_rows(), eager_lin.num_rows());
+        assert_eq!(lin.num_columns(), eager_lin.num_columns());
+        for c in 0..lin.num_columns() {
+            assert_eq!(lin.column_monomial(c), eager_lin.column_monomial(c));
+        }
+        for r in 0..lin.num_rows() {
+            assert_eq!(lin.matrix().row(r), eager_lin.matrix().row(r));
+        }
+    }
+
+    #[test]
+    fn builder_skips_zero_products() {
+        // (x0 + x0*x1) · x1 = x0x1 + x0x1 = 0: no row is appended.
+        let p = polys("x0 + x0*x1;").remove(0);
+        let mut builder = LinearizationBuilder::new();
+        let mut scratch = bosphorus_anf::TermScratch::new();
+        let terms = builder.push_product(&p, &bosphorus_anf::Monomial::variable(1), &mut scratch);
+        assert_eq!(terms, 0);
+        assert_eq!(builder.num_rows(), 0);
+        // The zero *polynomial* pushed directly still becomes a zero row
+        // (Linearization::build keeps one row per input polynomial).
+        builder.push(&Polynomial::zero());
+        assert_eq!(builder.num_rows(), 1);
+    }
+
+    #[test]
+    fn zero_polynomial_rows_survive_word_wise_assembly() {
+        let ps = [
+            "x0 + x1".parse::<Polynomial>().expect("parses"),
+            Polynomial::zero(),
+        ];
+        let lin = Linearization::build(ps.iter());
+        assert_eq!(lin.num_rows(), 2);
+        assert!(lin.matrix().row(1).is_zero());
+    }
+
+    #[test]
+    fn wide_linearizations_cross_word_boundaries() {
+        // 70 distinct variables → 71 columns (with the constant), i.e. more
+        // than one 64-bit word per row; every bit must land where the
+        // per-bit construction would have put it.
+        let mut text = String::new();
+        for v in 0..70u32 {
+            text.push_str(&format!("x{v} + 1;"));
+        }
+        let ps = polys(&text);
+        let lin = Linearization::build(ps.iter());
+        assert_eq!(lin.num_columns(), 71);
+        for (r, p) in ps.iter().enumerate() {
+            assert_eq!(&lin.row_to_polynomial(lin.matrix().row(r)), p);
+        }
     }
 }

@@ -147,13 +147,25 @@ pub fn karnaugh_clauses(poly: &Polynomial, max_vars: usize) -> Option<Vec<Clause
     }
     let k = vars.len();
     // ON-set of the polynomial: assignments (over the support) where p = 1.
-    // These are the forbidden assignments for the equation p = 0.
+    // These are the forbidden assignments for the equation p = 0. Each
+    // monomial is precompiled to a bitmask over the support, so evaluating
+    // one assignment is a mask test per term instead of a positional lookup
+    // per variable occurrence.
+    let masks: Vec<u32> = poly
+        .monomials()
+        .iter()
+        .map(|m| {
+            m.vars().iter().fold(0u32, |acc, v| {
+                let idx = vars.binary_search(v).expect("v is in support");
+                acc | 1 << idx
+            })
+        })
+        .collect();
     let minterms: Vec<u32> = (0u32..(1 << k))
         .filter(|&bits| {
-            poly.evaluate(|v| {
-                let idx = vars.iter().position(|&w| w == v).expect("v is in support");
-                (bits >> idx) & 1 == 1
-            })
+            masks
+                .iter()
+                .fold(false, |acc, &mask| acc ^ ((bits & mask) == mask))
         })
         .collect();
     if minterms.is_empty() {

@@ -3,9 +3,35 @@
 use std::fmt;
 use std::time::Duration;
 
+use bosphorus_anf::Revision;
 use bosphorus_gf2::GaussStats;
 
 use crate::pipeline::PassOutcome;
+
+/// One pipeline event: a single pass execution (or skip) within one driver
+/// iteration, in chronological order.
+///
+/// The per-pass totals ([`PassStats`]) answer *how much* each technique
+/// contributed; the timeline answers *when* — which iteration learnt the
+/// facts, at which database revision, and how long each step took. The CLI
+/// serialises it under `"timeline"` in `--stats-json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEntry {
+    /// 1-based driver iteration the event belongs to.
+    pub iteration: usize,
+    /// Name of the pass that ran (or skipped).
+    pub pass: String,
+    /// Database revision observed right after the pass's facts were
+    /// committed (or at the skip decision).
+    pub revision: Revision,
+    /// Facts this execution contributed (after the retainability filter and
+    /// deduplication).
+    pub facts: usize,
+    /// `true` when the pass skipped because nothing it reads changed.
+    pub skipped: bool,
+    /// Wall-clock time of this execution.
+    pub time: Duration,
+}
 
 /// Per-pass counters, recorded uniformly for every pipeline pass.
 ///
@@ -69,6 +95,10 @@ pub struct EngineStats {
     /// Uniform per-pass breakdown (work, facts, skips, timing), in the
     /// order the passes first appeared in the pipeline.
     pub passes: Vec<PassStats>,
+    /// Chronological record of every pass execution across all iterations
+    /// (see [`TimelineEntry`]). Bounded by the iteration cap times the
+    /// pipeline length.
+    pub timeline: Vec<TimelineEntry>,
 }
 
 impl EngineStats {
@@ -117,6 +147,26 @@ impl EngineStats {
             "groebner" => self.facts_from_groebner += added,
             _ => {}
         }
+    }
+
+    /// Appends one pass execution to the chronological timeline.
+    pub(crate) fn record_timeline(
+        &mut self,
+        iteration: usize,
+        pass: &str,
+        revision: Revision,
+        facts: usize,
+        skipped: bool,
+        time: Duration,
+    ) {
+        self.timeline.push(TimelineEntry {
+            iteration,
+            pass: pass.to_string(),
+            revision,
+            facts,
+            skipped,
+            time,
+        });
     }
 
     /// Folds driver-level propagation (runs outside any pass) into the

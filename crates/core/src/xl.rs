@@ -11,12 +11,12 @@
 //! described in the paper. Because the purpose is to *learn facts*, not to
 //! solve the system, working on a subsample is acceptable.
 
-use bosphorus_anf::{Monomial, Polynomial, PolynomialSystem, Var};
+use bosphorus_anf::{Monomial, Polynomial, PolynomialSystem, TermScratch, Var};
 use bosphorus_gf2::GaussStats;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::linearize::Linearization;
+use crate::linearize::LinearizationBuilder;
 use crate::BosphorusConfig;
 
 /// Outcome of one XL round.
@@ -125,18 +125,26 @@ pub fn xl_learn<R: Rng>(
         vars
     };
     let multipliers = expansion_monomials(&occurring, config.xl_degree);
-    let mut expanded: Vec<Polynomial> = subsample.clone();
+    // Expand straight into the linearisation: every product's terms are
+    // computed into one reusable scratch buffer and interned directly as a
+    // matrix row, so the expansion allocates no intermediate copy of the
+    // (much larger) expanded system.
+    let mut builder = LinearizationBuilder::new();
+    for poly in &subsample {
+        builder.push(poly);
+    }
+    let mut scratch = TermScratch::new();
     let mut terms_estimate: u128 = subsample.iter().map(|p| p.len() as u128).sum();
     let mut truncated = false;
     'expansion: for base in &subsample {
         for m in &multipliers {
-            let product = base.mul_monomial(m);
-            if product.is_zero() {
+            let terms = builder.push_product(base, m, &mut scratch);
+            if terms == 0 {
+                // The product cancelled to zero; no row was appended.
                 continue;
             }
-            terms_estimate += product.len() as u128;
-            expanded.push(product);
-            let size = expanded.len() as u128 * terms_estimate;
+            terms_estimate += terms as u128;
+            let size = builder.num_rows() as u128 * terms_estimate;
             if size >= expansion_budget {
                 truncated = true;
                 break 'expansion;
@@ -145,13 +153,14 @@ pub fn xl_learn<R: Rng>(
     }
     let subsampled = subsample.len() < system.len() || truncated;
 
-    let mut lin = Linearization::build(expanded.iter());
+    let mut lin = builder.finish();
     let expanded_rows = lin.num_rows();
     let expanded_columns = lin.num_columns();
-    let (reduced, gauss) = lin.eliminate_with_stats();
-    let rank = reduced.len();
+    // Read back only the retainable rows: the non-retainable bulk of the
+    // RREF is detected at the bit level and never built as polynomials.
+    let (facts, rank, gauss) = lin.eliminate_retainable_with_stats();
     debug_assert_eq!(rank, gauss.rank, "non-zero RREF rows must equal rank");
-    let facts = reduced.into_iter().filter(is_retainable_fact).collect();
+    debug_assert!(facts.iter().all(is_retainable_fact));
     XlOutcome {
         facts,
         expanded_rows,

@@ -72,6 +72,37 @@ impl BitVec {
         }
     }
 
+    /// Creates a vector of `len` bits directly from its backing words (bit
+    /// `i` of the vector is bit `i % 64` of word `i / 64`), taking ownership
+    /// of the buffer. The word-level construction path used by builders that
+    /// assemble whole rows at once (e.g. linearisation).
+    ///
+    /// Unused high bits of the last word are cleared, preserving the
+    /// invariant [`BitVec::words`] documents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length does not match `len.div_ceil(64)`.
+    ///
+    /// ```
+    /// use bosphorus_gf2::BitVec;
+    /// let v = BitVec::from_words(vec![0b101], 3);
+    /// assert!(v.get(0) && !v.get(1) && v.get(2));
+    /// ```
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(64),
+            "word buffer does not match the bit length"
+        );
+        if len % 64 != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+        }
+        BitVec { words, len }
+    }
+
     /// Creates a vector from an iterator of booleans.
     ///
     /// ```

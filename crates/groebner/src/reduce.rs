@@ -26,8 +26,11 @@ pub fn normal_form(p: &Polynomial, basis: &[Polynomial]) -> Polynomial {
     let mut result = p.clone();
     'outer: loop {
         // Scan monomials from the largest downwards looking for a reducible
-        // one; restart after every reduction step.
-        for m in result.monomials().iter().rev() {
+        // one; restart after every reduction step. The monomial is copied
+        // out (free for inline monomials) so the update can add into
+        // `result` in place instead of cloning the whole polynomial.
+        for i in (0..result.len()).rev() {
+            let m = result.monomials()[i].clone();
             for g in basis {
                 if g.is_zero() {
                     continue;
@@ -35,15 +38,11 @@ pub fn normal_form(p: &Polynomial, basis: &[Polynomial]) -> Polynomial {
                 let lm = g
                     .leading_monomial()
                     .expect("non-zero polynomial has a leading monomial");
-                if lm.divides(m) {
-                    let cofactor = lm.divide(m).expect("divisibility was just checked");
+                if lm.divides(&m) {
+                    let cofactor = lm.divide(&m).expect("divisibility was just checked");
                     // result += cofactor * g cancels the monomial m (and
                     // possibly introduces smaller ones).
-                    let update = g.mul_monomial(&cofactor);
-                    let mut next = result.clone();
-                    next += &update;
-                    debug_assert!(!next.contains_monomial(m) || cofactor.degree() > 0);
-                    result = next;
+                    result += &g.mul_monomial(&cofactor);
                     continue 'outer;
                 }
             }
