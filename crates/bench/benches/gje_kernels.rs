@@ -27,7 +27,7 @@ fn bench_kernels(c: &mut Criterion) {
         // The three kernels must agree before being compared.
         let plain_rank = m.clone().gauss_jordan_plain_with_stats().rank;
         let m4rm_rank = m.clone().gauss_jordan_m4rm_with_stats(k).rank;
-        let blocked_rank = m.clone().gauss_jordan_blocked_m4rm_with_stats(k).rank;
+        let blocked_rank = m.clone().gauss_jordan_blocked_m4rm_with_stats(k, 1).rank;
         assert_eq!(plain_rank, m4rm_rank, "M4RM disagrees at {n}x{n}");
         assert_eq!(plain_rank, blocked_rank, "blocked disagrees at {n}x{n}");
 
@@ -46,13 +46,13 @@ fn bench_kernels(c: &mut Criterion) {
         group.bench_function(format!("blocked/{n}x{n}"), |b| {
             b.iter(|| {
                 let mut a = black_box(&m).clone();
-                black_box(a.gauss_jordan_blocked_m4rm_with_stats(k).rank)
+                black_box(a.gauss_jordan_blocked_m4rm_with_stats(k, 1).rank)
             })
         });
         group.bench_function(format!("auto/{n}x{n}"), |b| {
             b.iter(|| {
                 let mut a = black_box(&m).clone();
-                black_box(a.gauss_jordan_with_stats().rank)
+                black_box(a.gauss_jordan_with_stats(1).rank)
             })
         });
     }

@@ -1,10 +1,17 @@
 //! Records the GF(2) elimination-kernel baseline: schoolbook ("plain", the
-//! seed kernel) vs single-table M4RM (the PR-2 kernel) vs the cache-blocked
-//! multi-table kernel, across matrix sizes from the 64-bit word boundaries up
-//! to paper scale (4096×4096 and an XL-shaped 2048×16384 wide case).
+//! seed kernel) vs single-table M4RM (the PR-2 kernel) vs the in-place
+//! three-table blocked kernel, across matrix sizes from the 64-bit word
+//! boundaries up to paper scale (4096×4096 and an XL-shaped 2048×16384 wide
+//! case). Shapes of 2048 rows/columns and up additionally time the blocked
+//! kernel at 2, 4, and 8 row-band update threads (the result is bit-identical
+//! to serial, so only wall clock varies).
 //!
 //! Emits a machine-readable `BENCH_gje.json` next to the human-readable
 //! table — the repo's recorded perf baseline for the XL/ElimLin hot path.
+//! `host_cpus` records the parallelism available where the numbers were
+//! taken: thread-scaling rows from a single-core host are expected to be
+//! flat, and the recorded `speedup_4096_par4_vs_serial` headline is only
+//! meaningful alongside it.
 //!
 //! ```text
 //! cargo run --release -p bosphorus-bench --bin gje_bench -- [--quick] [--out PATH] [--seed N]
@@ -30,6 +37,10 @@ struct SizeResult {
     plain_ns: u128,
     m4rm_ns: u128,
     blocked_ns: u128,
+    /// Blocked-kernel wall clock at >1 row-band threads, as
+    /// `(threads, best_ns)` pairs; empty for shapes below the parallel
+    /// measurement cutoff.
+    par_ns: Vec<(usize, u128)>,
 }
 
 impl SizeResult {
@@ -39,6 +50,13 @@ impl SizeResult {
 
     fn speedup_blocked_vs_m4rm(&self) -> f64 {
         self.m4rm_ns as f64 / self.blocked_ns.max(1) as f64
+    }
+
+    fn speedup_par_vs_serial(&self, threads: usize) -> Option<f64> {
+        self.par_ns
+            .iter()
+            .find(|&&(t, _)| t == threads)
+            .map(|&(_, ns)| self.blocked_ns as f64 / ns.max(1) as f64)
     }
 }
 
@@ -55,20 +73,37 @@ fn time_best<F: Fn(&mut BitMatrix) -> usize>(m: &BitMatrix, reps: usize, f: F) -
     (best, rank)
 }
 
+/// Row-band thread counts timed on the large shapes (1 is `blocked_ns`).
+const PAR_THREADS: &[usize] = &[2, 4, 8];
+
+/// Shapes this large get per-thread-count rows in the output.
+const PAR_MIN_DIM: usize = 2048;
+
 fn measure(m: &BitMatrix, reps: usize) -> SizeResult {
     let (rows, cols) = (m.nrows(), m.ncols());
     let k = m4rm_block_size(rows, cols);
-    let auto_kernel = match select_kernel(rows, cols) {
+    let auto_kernel = match select_kernel(rows, cols, 1) {
         KernelChoice::Plain => "plain",
         KernelChoice::M4rm(_) => "m4rm",
-        KernelChoice::BlockedM4rm(_) => "blocked",
+        KernelChoice::BlockedM4rm { .. } => "blocked",
     };
     let (plain_ns, plain_rank) = time_best(m, reps, |a| a.gauss_jordan_plain_with_stats().rank);
     let (m4rm_ns, m4rm_rank) = time_best(m, reps, |a| a.gauss_jordan_m4rm_with_stats(k).rank);
-    let (blocked_ns, blocked_rank) =
-        time_best(m, reps, |a| a.gauss_jordan_blocked_m4rm_with_stats(k).rank);
+    let (blocked_ns, blocked_rank) = time_best(m, reps, |a| {
+        a.gauss_jordan_blocked_m4rm_with_stats(k, 1).rank
+    });
     assert_eq!(plain_rank, m4rm_rank, "M4RM kernel disagrees");
     assert_eq!(plain_rank, blocked_rank, "blocked kernel disagrees");
+    let mut par_ns = Vec::new();
+    if rows.max(cols) >= PAR_MIN_DIM {
+        for &threads in PAR_THREADS {
+            let (ns, rank) = time_best(m, reps, |a| {
+                a.gauss_jordan_blocked_m4rm_with_stats(k, threads).rank
+            });
+            assert_eq!(plain_rank, rank, "parallel blocked kernel disagrees");
+            par_ns.push((threads, ns));
+        }
+    }
     SizeResult {
         rows,
         cols,
@@ -79,14 +114,17 @@ fn measure(m: &BitMatrix, reps: usize) -> SizeResult {
         plain_ns,
         m4rm_ns,
         blocked_ns,
+        par_ns,
     }
 }
 
 fn to_json(results: &[SizeResult], mode: &str, seed: u64) -> String {
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"gje_kernels\",");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"host_cpus\": {host_cpus},");
     let _ = writeln!(out, "  \"time_metric\": \"best_of_reps_ns\",");
     out.push_str("  \"sizes\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -95,7 +133,8 @@ fn to_json(results: &[SizeResult], mode: &str, seed: u64) -> String {
             "    {{\"rows\": {}, \"cols\": {}, \"rank\": {}, \"k\": {}, \
              \"auto_kernel\": \"{}\", \"reps\": {}, \
              \"plain_ns\": {}, \"m4rm_ns\": {}, \"blocked_ns\": {}, \
-             \"speedup_m4rm_vs_plain\": {:.2}, \"speedup_blocked_vs_m4rm\": {:.2}}}",
+             \"speedup_m4rm_vs_plain\": {:.2}, \"speedup_blocked_vs_m4rm\": {:.2}, \
+             \"par_ns\": {{",
             r.rows,
             r.cols,
             r.rank,
@@ -108,34 +147,54 @@ fn to_json(results: &[SizeResult], mode: &str, seed: u64) -> String {
             r.speedup_m4rm_vs_plain(),
             r.speedup_blocked_vs_m4rm()
         );
+        for (j, &(threads, ns)) in r.par_ns.iter().enumerate() {
+            let sep = if j + 1 < r.par_ns.len() { ", " } else { "" };
+            let _ = write!(out, "\"{threads}\": {ns}{sep}");
+        }
+        out.push_str("}}");
         out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ],\n");
-    let headline = |rows: usize, cols: usize, f: &dyn Fn(&SizeResult) -> f64| {
+    let headline = |rows: usize, cols: usize, f: &dyn Fn(&SizeResult) -> Option<f64>| {
         results
             .iter()
             .find(|r| r.rows == rows && r.cols == cols)
-            .map(f)
+            .and_then(f)
     };
-    // The two recorded headline numbers: the PR-2 M4RM gain over the seed
-    // kernel at 1024x1024 (kept for continuity; CI greps it) and the blocked
-    // kernel's gain over M4RM at 4096x4096 (this PR's acceptance number).
-    match headline(1024, 1024, &SizeResult::speedup_m4rm_vs_plain) {
-        Some(s) => {
-            let _ = writeln!(out, "  \"speedup_1024_m4rm_vs_plain\": {s:.2},");
+    // The recorded headline numbers: the PR-2 M4RM gain over the seed kernel
+    // at 1024x1024 (kept for continuity; CI greps it), the blocked kernel's
+    // gain over M4RM at 4096x4096, and the 4-thread band-parallel gain over
+    // the serial blocked kernel at 4096x4096 (read it next to `host_cpus` —
+    // on a single-core host it sits near 1.0 by construction).
+    let emit = |out: &mut String, key: &str, value: Option<f64>, comma: bool| {
+        let sep = if comma { "," } else { "" };
+        match value {
+            Some(s) => {
+                let _ = writeln!(out, "  \"{key}\": {s:.2}{sep}");
+            }
+            None => {
+                let _ = writeln!(out, "  \"{key}\": null{sep}");
+            }
         }
-        None => {
-            let _ = writeln!(out, "  \"speedup_1024_m4rm_vs_plain\": null,");
-        }
-    }
-    match headline(4096, 4096, &SizeResult::speedup_blocked_vs_m4rm) {
-        Some(s) => {
-            let _ = writeln!(out, "  \"speedup_4096_blocked_vs_m4rm\": {s:.2}");
-        }
-        None => {
-            let _ = writeln!(out, "  \"speedup_4096_blocked_vs_m4rm\": null");
-        }
-    }
+    };
+    emit(
+        &mut out,
+        "speedup_1024_m4rm_vs_plain",
+        headline(1024, 1024, &|r| Some(r.speedup_m4rm_vs_plain())),
+        true,
+    );
+    emit(
+        &mut out,
+        "speedup_4096_blocked_vs_m4rm",
+        headline(4096, 4096, &|r| Some(r.speedup_blocked_vs_m4rm())),
+        true,
+    );
+    emit(
+        &mut out,
+        "speedup_4096_par4_vs_serial",
+        headline(4096, 4096, &|r| r.speedup_par_vs_serial(4)),
+        false,
+    );
     out.push_str("}\n");
     out
 }
@@ -212,6 +271,14 @@ fn main() {
             r.speedup_m4rm_vs_plain(),
             r.speedup_blocked_vs_m4rm()
         );
+        for &(threads, ns) in &r.par_ns {
+            println!(
+                "{:>12} {:>48}ns {:>7.2}x vs serial",
+                format!("  .. {threads} threads"),
+                ns,
+                r.blocked_ns as f64 / ns.max(1) as f64
+            );
+        }
         results.push(r);
     }
 
@@ -225,5 +292,9 @@ fn main() {
             r.speedup_blocked_vs_m4rm(),
             r.plain_ns as f64 / r.blocked_ns.max(1) as f64
         );
+        if let Some(s) = r.speedup_par_vs_serial(4) {
+            let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+            println!("4096x4096 4-thread speedup over serial blocked: {s:.2}x (host has {host_cpus} CPU(s))");
+        }
     }
 }

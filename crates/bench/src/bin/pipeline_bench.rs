@@ -81,8 +81,15 @@ struct XlRoundResult {
     naive_term_ns: u128,
     /// Term-layer time of the production round.
     fast_term_ns: u128,
-    /// Shared elimination-kernel time (taken from the production run).
+    /// Shared elimination-kernel time (taken from the production run, at one
+    /// thread — kept serial so the number stays comparable across recorded
+    /// baselines).
     gauss_ns: u128,
+    /// The same elimination phase at >1 row-band threads, as
+    /// `(threads, best_ns)` pairs. The result is bit-identical to the serial
+    /// run; on a single-core host these are expected to sit at or slightly
+    /// above `gauss_ns`.
+    gauss_par_ns: Vec<(usize, u128)>,
     /// Whole-round times, kernel included, for context.
     naive_total_ns: u128,
     fast_total_ns: u128,
@@ -145,7 +152,7 @@ fn fast_xl_round(system: &PolynomialSystem, multipliers: &[bosphorus_anf::Monomi
     let mut term_ns = term_start.elapsed().as_nanos();
 
     let gauss_start = Instant::now();
-    lin.matrix_mut().gauss_jordan_with_stats();
+    lin.matrix_mut().gauss_jordan_with_stats(1);
     let gauss_ns = gauss_start.elapsed().as_nanos();
 
     // Retainable-only readback, exactly as `xl_learn` performs it: the
@@ -205,7 +212,7 @@ fn naive_xl_round(polys: &[NaivePolynomial], multipliers: &[NaiveMonomial]) -> R
     let mut term_ns = term_start.elapsed().as_nanos();
 
     let gauss_start = Instant::now();
-    matrix.gauss_jordan_with_stats();
+    matrix.gauss_jordan_with_stats(1);
     let gauss_ns = gauss_start.elapsed().as_nanos();
 
     let readback_start = Instant::now();
@@ -248,6 +255,50 @@ fn best_run(reps: usize, mut f: impl FnMut() -> RoundRun) -> RoundRun {
     best.expect("reps >= 1")
 }
 
+/// Row-band thread counts the GJE phase is additionally timed at
+/// (1 is the recorded `gauss_ns`).
+const GJE_THREADS: &[usize] = &[2, 4, 8];
+
+/// Times just the Gauss–Jordan phase of the production round at each entry
+/// of [`GJE_THREADS`], on clones of the already-built linearisation matrix
+/// (best of `reps`). The per-thread results are asserted rank-identical to
+/// the serial elimination before being reported.
+fn measure_gauss_threads(
+    system: &PolynomialSystem,
+    multipliers: &[bosphorus_anf::Monomial],
+    reps: usize,
+) -> Vec<(usize, u128)> {
+    let mut builder = LinearizationBuilder::new();
+    for poly in system.iter() {
+        builder.push(poly);
+    }
+    let mut scratch = TermScratch::new();
+    for base in system.iter() {
+        for m in multipliers {
+            builder.push_product(base, m, &mut scratch);
+        }
+    }
+    let lin = builder.finish();
+    let serial_rank = {
+        let mut m = lin.matrix().clone();
+        m.gauss_jordan_with_stats(1).rank
+    };
+    GJE_THREADS
+        .iter()
+        .map(|&threads| {
+            let mut best = u128::MAX;
+            for _ in 0..reps {
+                let mut m = lin.matrix().clone();
+                let start = Instant::now();
+                let stats = m.gauss_jordan_with_stats(threads);
+                best = best.min(start.elapsed().as_nanos());
+                assert_eq!(stats.rank, serial_rank, "parallel GJE rank diverges");
+            }
+            (threads, best)
+        })
+        .collect()
+}
+
 fn measure_xl_round(name: &str, system: &PolynomialSystem, reps: usize) -> XlRoundResult {
     // Shared inputs, pre-built in each configuration's own representation.
     let multipliers = expansion_monomials(&occurring_vars(system), 1);
@@ -256,6 +307,7 @@ fn measure_xl_round(name: &str, system: &PolynomialSystem, reps: usize) -> XlRou
         multipliers.iter().map(NaiveMonomial::from).collect();
     let naive = best_run(reps, || naive_xl_round(&naive_polys, &naive_multipliers));
     let fast = best_run(reps, || fast_xl_round(system, &multipliers));
+    let gauss_par_ns = measure_gauss_threads(system, &multipliers, reps);
     assert_eq!(
         (fast.rows, fast.cols, fast.rank),
         (naive.rows, naive.cols, naive.rank),
@@ -275,6 +327,7 @@ fn measure_xl_round(name: &str, system: &PolynomialSystem, reps: usize) -> XlRou
         naive_term_ns: naive.term_ns,
         fast_term_ns: fast.term_ns,
         gauss_ns: fast.gauss_ns,
+        gauss_par_ns,
         naive_total_ns: naive.total_ns(),
         fast_total_ns: fast.total_ns(),
     }
@@ -318,10 +371,12 @@ fn to_json(
     mode: &str,
     seed: u64,
 ) -> String {
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"pipeline\",");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"host_cpus\": {host_cpus},");
     let _ = writeln!(out, "  \"time_metric\": \"best_of_reps_ns\",");
     out.push_str("  \"instances\": [\n");
     for (i, r) in preprocess.iter().enumerate() {
@@ -368,8 +423,7 @@ fn to_json(
             "    {{\"name\": \"{}\", \"rows\": {}, \"cols\": {}, \"rank\": {}, \
              \"facts\": {}, \"reps\": {}, \
              \"naive_term_ns\": {}, \"fast_term_ns\": {}, \"term_speedup\": {:.2}, \
-             \"gauss_ns\": {}, \
-             \"naive_total_ns\": {}, \"fast_total_ns\": {}, \"total_speedup\": {:.2}}}",
+             \"gauss_ns\": {}, \"gauss_par_ns\": {{",
             r.name,
             r.rows,
             r.cols,
@@ -379,7 +433,19 @@ fn to_json(
             r.naive_term_ns,
             r.fast_term_ns,
             r.term_speedup(),
-            r.gauss_ns,
+            r.gauss_ns
+        );
+        for (j, &(threads, ns)) in r.gauss_par_ns.iter().enumerate() {
+            let sep = if j + 1 < r.gauss_par_ns.len() {
+                ", "
+            } else {
+                ""
+            };
+            let _ = write!(out, "\"{threads}\": {ns}{sep}");
+        }
+        let _ = write!(
+            out,
+            "}}, \"naive_total_ns\": {}, \"fast_total_ns\": {}, \"total_speedup\": {:.2}}}",
             r.naive_total_ns,
             r.fast_total_ns,
             r.total_speedup()
@@ -511,6 +577,13 @@ fn main() {
             r.gauss_ns as f64 / 1e6,
             r.total_speedup()
         );
+        for &(threads, ns) in &r.gauss_par_ns {
+            println!(
+                "      gje @ {threads} threads {:>9.3} ms ({:.2}x vs serial)",
+                ns as f64 / 1e6,
+                r.gauss_ns as f64 / ns.max(1) as f64
+            );
+        }
     }
 
     let json = to_json(&preprocess, &rounds, mode, seed);

@@ -2,62 +2,22 @@
 //!
 //! The Table II grid (instances × approaches × solver configurations) is
 //! embarrassingly parallel: every cell is an independent solver run.
-//! [`run_indexed`] fans a task list across `std::thread::scope` workers that
-//! pull indices from a shared atomic counter, and writes each result into
-//! its own slot — so the returned vector is ordered by task index no matter
-//! which worker ran which task or in what order they finished.
+//! [`run_indexed`] fans a task list across `std::thread::scope` workers.
+//!
+//! The implementation moved to [`bosphorus_gf2::parallel`] when the GF(2)
+//! elimination kernels gained band-parallel update sweeps built on the same
+//! scoped-thread discipline; this module re-exports it so existing bench
+//! callers (and the `table2 --jobs` flag) keep their import path. The smoke
+//! tests below stay here so the bench-facing contract — index-ordered
+//! results, clamped oversubscription, exactly-once task execution — is
+//! exercised from this crate's side of the boundary too.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Runs `task(0..count)` across up to `jobs` scoped worker threads and
-/// returns the results in index order.
-///
-/// With `jobs <= 1` (or a single task) the tasks run sequentially on the
-/// calling thread — the path the deterministic single-threaded benches use.
-/// Result ordering is identical either way; only wall-clock (and any
-/// side-effect interleaving inside `task`) differs.
-///
-/// # Panics
-///
-/// Panics if a worker thread panics (the panic is propagated by
-/// `std::thread::scope`).
-pub fn run_indexed<T, F>(count: usize, jobs: usize, task: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let jobs = jobs.max(1).min(count.max(1));
-    if jobs <= 1 {
-        return (0..count).map(task).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
-                }
-                let result = task(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every task index was claimed and completed")
-        })
-        .collect()
-}
+pub use bosphorus_gf2::parallel::run_indexed;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::Ordering;
 
     #[test]
     fn results_are_in_index_order_regardless_of_jobs() {

@@ -55,6 +55,9 @@ pipeline:
   --max-iterations N    cap the number of pipeline iterations
   --sat-budget N        initial SAT conflict budget C
   --seed N              subsampling RNG seed
+  --threads N           row-band update threads for the GF(2) elimination
+                        inside the XL/ElimLin passes (default 1; the learnt
+                        facts are bit-identical at every thread count)
   --solver NAME         solver configuration for the final --solve call:
                         minimal | aggressive | xorgauss (the in-loop SAT
                         pass always uses the paper's aggressive setting)
@@ -161,6 +164,9 @@ pub struct CliOptions {
     pub sat_budget: Option<u64>,
     /// Override of the RNG seed.
     pub seed: Option<u64>,
+    /// Override of the GF(2) elimination thread count (see
+    /// [`BosphorusConfig::threads`]).
+    pub threads: Option<usize>,
     /// Solver configuration for the final `--solve` call. The in-loop SAT
     /// pass is pinned to the paper's aggressive configuration (as in the
     /// original engine); `xorgauss` additionally turns on XOR-constraint
@@ -196,6 +202,7 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
         max_iterations: None,
         sat_budget: None,
         seed: None,
+        threads: None,
         solver: SolverChoice::Aggressive,
     };
     let mut iter = args.iter().map(|s| s.as_ref());
@@ -236,6 +243,15 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
                         .map_err(|_| format!("--seed: {raw:?} is not a 64-bit seed"))?,
                 );
             }
+            "--threads" => {
+                let raw = value_of("--threads")?;
+                options.threads = Some(
+                    raw.parse()
+                        .ok()
+                        .filter(|&n: &usize| n >= 1)
+                        .ok_or_else(|| format!("--threads: {raw:?} is not a count"))?,
+                );
+            }
             "--solver" => options.solver = value_of("--solver")?.parse()?,
             other => return Err(format!("unknown argument {other:?} (see --help)")),
         }
@@ -268,6 +284,9 @@ pub fn build_config(options: &CliOptions) -> BosphorusConfig {
     }
     if let Some(seed) = options.seed {
         config.rng_seed = seed;
+    }
+    if let Some(threads) = options.threads {
+        config.threads = threads;
     }
     if options.solver == SolverChoice::XorGauss {
         config.emit_xor_constraints = true;
@@ -438,14 +457,18 @@ pub fn stats_json(stats: &EngineStats, status: &str) -> String {
         let _ = write!(
             out,
             "\n    {{\"name\": \"{}\", \"runs\": {}, \"skips\": {}, \"facts\": {}, \
-             \"gauss_rank\": {}, \"gauss_row_xors\": {}, \"sat_conflicts\": {}, \
-             \"time_ms\": {:.3}}}",
+             \"gauss_rank\": {}, \"gauss_row_xors\": {}, \"gauss_threads\": {}, \
+             \"gauss_bands\": {}, \"gauss_tables_per_sweep\": {}, \
+             \"sat_conflicts\": {}, \"time_ms\": {:.3}}}",
             pass.name,
             pass.runs,
             pass.skips,
             pass.facts,
             pass.gauss.rank,
             pass.gauss.row_xors,
+            pass.gauss.threads,
+            pass.gauss.bands,
+            pass.gauss.tables_per_sweep,
             pass.sat_conflicts,
             pass.time.as_secs_f64() * 1e3
         );
@@ -537,6 +560,8 @@ mod tests {
             "123",
             "--seed",
             "42",
+            "--threads",
+            "4",
             "--solver",
             "xorgauss",
         ]);
@@ -552,6 +577,7 @@ mod tests {
         assert_eq!(options.max_iterations, Some(5));
         assert_eq!(options.sat_budget, Some(123));
         assert_eq!(options.seed, Some(42));
+        assert_eq!(options.threads, Some(4));
         assert_eq!(options.solver, SolverChoice::XorGauss);
     }
 
@@ -569,6 +595,12 @@ mod tests {
             .unwrap_err()
             .contains("unknown argument"));
         assert!(parse(&["--anf", "a", "--max-iterations", "many"])
+            .unwrap_err()
+            .contains("not a count"));
+        assert!(parse(&["--anf", "a", "--threads", "many"])
+            .unwrap_err()
+            .contains("not a count"));
+        assert!(parse(&["--anf", "a", "--threads", "0"])
             .unwrap_err()
             .contains("not a count"));
     }
@@ -590,6 +622,8 @@ mod tests {
             "999999",
             "--seed",
             "7",
+            "--threads",
+            "8",
         ]);
         let config = build_config(&options);
         assert_eq!(config.pass_order, vec![PassKind::Groebner, PassKind::Sat]);
@@ -599,6 +633,14 @@ mod tests {
             "the cap never undercuts the initial budget"
         );
         assert_eq!(config.rng_seed, 7);
+        assert_eq!(config.threads, 8);
+    }
+
+    #[test]
+    fn threads_defaults_to_serial() {
+        let options = options(&["--anf", "a"]);
+        assert_eq!(options.threads, None);
+        assert_eq!(build_config(&options).threads, 1);
     }
 
     #[test]

@@ -62,13 +62,15 @@ pub fn elimlin_learn<R: Rng>(
         }
     }
     let subsampled = working.len() < system.len();
-    let mut outcome = elimlin_on(working);
+    let mut outcome = elimlin_on(working, config.threads);
     outcome.subsampled = subsampled;
     outcome
 }
 
 /// Runs ElimLin on exactly the given polynomials (no subsampling).
-pub fn elimlin_on(mut working: Vec<Polynomial>) -> ElimLinOutcome {
+/// `threads` is the row-band parallelism of each round's GF(2) elimination
+/// (1 = serial; the learnt facts are identical at every thread count).
+pub fn elimlin_on(mut working: Vec<Polynomial>, threads: usize) -> ElimLinOutcome {
     // One scratch buffer serves every substitution of every round.
     let mut scratch = TermScratch::new();
     let mut outcome = ElimLinOutcome {
@@ -89,7 +91,7 @@ pub fn elimlin_on(mut working: Vec<Polynomial>) -> ElimLinOutcome {
         }
         // Step (1): Gauss–Jordan elimination on the linearisation.
         let mut lin = Linearization::build(working.iter());
-        let (reduced, round_stats) = lin.eliminate_with_stats();
+        let (reduced, round_stats) = lin.eliminate_with_stats(threads);
         outcome.gauss.merge(round_stats);
         if reduced.iter().any(Polynomial::is_one) {
             outcome.contradiction = true;
@@ -156,7 +158,7 @@ mod tests {
     fn section_2c_worked_example() {
         // {x1+x2+x3, x1x2 + x2x3 + 1}: substituting x1 = x2 + x3 gives
         // x2 + 1, so ElimLin learns both x1+x2+x3 and x2+1.
-        let outcome = elimlin_on(polys("x1 + x2 + x3; x1*x2 + x2*x3 + 1;"));
+        let outcome = elimlin_on(polys("x1 + x2 + x3; x1*x2 + x2*x3 + 1;"), 1);
         assert!(!outcome.contradiction);
         assert!(outcome
             .facts
@@ -177,8 +179,9 @@ mod tests {
         // already contributed. Its initial GJE then reports those four
         // linear equations, and after substituting them it learns a unit
         // fact (the paper derives x1 + 1).
-        let outcome = elimlin_on(polys(
-            "x1*x2 + x3 + x4 + 1;
+        let outcome = elimlin_on(
+            polys(
+                "x1*x2 + x3 + x4 + 1;
              x1*x2*x3 + x1 + x3 + 1;
              x1*x3 + x3*x4*x5 + x3;
              x2*x3 + x3*x5 + 1;
@@ -187,7 +190,9 @@ mod tests {
              x1 + x4;
              x3 + 1;
              x1 + x2;",
-        ));
+            ),
+            1,
+        );
         assert!(!outcome.contradiction);
         // The four linear equations from the initial GJE...
         for expected in ["x1 + x5 + 1", "x1 + x4", "x3 + 1", "x1 + x2"] {
@@ -219,7 +224,7 @@ mod tests {
 
     #[test]
     fn contradiction_is_detected() {
-        let outcome = elimlin_on(polys("x0 + x1; x0 + x1 + 1;"));
+        let outcome = elimlin_on(polys("x0 + x1; x0 + x1 + 1;"), 1);
         assert!(outcome.contradiction);
         assert!(outcome.facts.contains(&Polynomial::one()));
     }
@@ -227,7 +232,7 @@ mod tests {
     #[test]
     fn facts_are_consequences() {
         let source = polys("x0*x1 + x2; x0 + x1 + 1; x1*x2 + x0 + 1;");
-        let outcome = elimlin_on(source.clone());
+        let outcome = elimlin_on(source.clone(), 1);
         let n = 3usize;
         for bits in 0u64..(1 << n) {
             let assign: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
@@ -244,7 +249,7 @@ mod tests {
 
     #[test]
     fn purely_nonlinear_system_terminates_quickly() {
-        let outcome = elimlin_on(polys("x0*x1 + x1*x2; x0*x2 + x1*x2;"));
+        let outcome = elimlin_on(polys("x0*x1 + x1*x2; x0*x2 + x1*x2;"), 1);
         assert!(!outcome.contradiction);
         assert!(outcome.rounds >= 1);
         assert_eq!(outcome.eliminated_vars, 0);
@@ -252,7 +257,7 @@ mod tests {
 
     #[test]
     fn empty_input_is_a_noop() {
-        let outcome = elimlin_on(Vec::new());
+        let outcome = elimlin_on(Vec::new(), 1);
         assert!(outcome.facts.is_empty());
         assert!(!outcome.contradiction);
     }

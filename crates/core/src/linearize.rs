@@ -19,7 +19,7 @@
 //! `crates/gf2/src/blocked.rs` and `crates/bench/DESIGN.md`).
 
 use bosphorus_anf::{Monomial, MonomialInterner, Polynomial, TermScratch};
-use bosphorus_gf2::{BitMatrix, BitVec, GaussStats};
+use bosphorus_gf2::{BitMatrix, GaussStats, RowRef};
 
 /// Incremental construction of a [`Linearization`].
 ///
@@ -130,23 +130,20 @@ impl LinearizationBuilder {
         for (col, &id) in order.iter().enumerate() {
             col_of_id[id as usize] = col as u32;
         }
-        // Assemble each row word-wise: OR the column bits into a word buffer
-        // and hand the whole buffer to the bit vector at once.
+        // Assemble the rows word-wise straight into one flat arena — the
+        // exact backing store `BitMatrix` uses — so the matrix constructor
+        // takes ownership of the buffer instead of copying per-row vectors.
         let words_per_row = num_cols.div_ceil(64);
-        let mut rows: Vec<BitVec> = Vec::with_capacity(row_offsets.len() - 1);
-        for r in 0..row_offsets.len() - 1 {
-            let mut words = vec![0u64; words_per_row];
+        let nrows = row_offsets.len() - 1;
+        let mut arena = vec![0u64; nrows * words_per_row];
+        for r in 0..nrows {
+            let row = &mut arena[r * words_per_row..(r + 1) * words_per_row];
             for &id in &terms[row_offsets[r]..row_offsets[r + 1]] {
                 let col = col_of_id[id as usize] as usize;
-                words[col >> 6] |= 1u64 << (col & 63);
+                row[col >> 6] |= 1u64 << (col & 63);
             }
-            rows.push(BitVec::from_words(words, num_cols));
         }
-        let matrix = if rows.is_empty() {
-            BitMatrix::zero(0, num_cols)
-        } else {
-            BitMatrix::from_rows(rows)
-        };
+        let matrix = BitMatrix::from_row_words(arena, nrows, num_cols);
         Linearization {
             interner,
             order,
@@ -232,12 +229,12 @@ impl Linearization {
         &mut self.matrix
     }
 
-    /// Converts a row vector back into a polynomial.
+    /// Converts a matrix row view back into a polynomial.
     ///
     /// # Panics
     ///
     /// Panics if the row length differs from the number of columns.
-    pub fn row_to_polynomial(&self, row: &BitVec) -> Polynomial {
+    pub fn row_to_polynomial(&self, row: RowRef<'_>) -> Polynomial {
         assert_eq!(row.len(), self.order.len(), "row/column count mismatch");
         // Ascending columns are descending monomials (and distinct), so the
         // polynomial assembles with a reverse instead of a sort.
@@ -250,14 +247,17 @@ impl Linearization {
     /// Runs Gauss–Jordan elimination in place and returns the non-zero rows
     /// as polynomials (the reduced system), in matrix row order.
     pub fn eliminate(&mut self) -> Vec<Polynomial> {
-        self.eliminate_with_stats().0
+        self.eliminate_with_stats(1).0
     }
 
     /// Like [`Linearization::eliminate`], but also reports the elimination
     /// kernel's operation counts ([`GaussStats`]) so callers on the XL /
     /// ElimLin hot path can surface how much work each round performed.
-    pub fn eliminate_with_stats(&mut self) -> (Vec<Polynomial>, GaussStats) {
-        let stats = self.matrix.gauss_jordan_with_stats();
+    /// `threads` is the row-band update parallelism handed to
+    /// `gauss_jordan_with_stats` (1 = serial; the result is bit-identical
+    /// at every thread count).
+    pub fn eliminate_with_stats(&mut self, threads: usize) -> (Vec<Polynomial>, GaussStats) {
+        let stats = self.matrix.gauss_jordan_with_stats(threads);
         let reduced = self
             .matrix
             .iter()
@@ -285,8 +285,11 @@ impl Linearization {
     /// run on the bit rows directly, so the (typically dominant) share of
     /// non-retainable RREF rows is never materialised as polynomials — the
     /// XL fast path.
-    pub fn eliminate_retainable_with_stats(&mut self) -> (Vec<Polynomial>, usize, GaussStats) {
-        let stats = self.matrix.gauss_jordan_with_stats();
+    pub fn eliminate_retainable_with_stats(
+        &mut self,
+        threads: usize,
+    ) -> (Vec<Polynomial>, usize, GaussStats) {
+        let stats = self.matrix.gauss_jordan_with_stats(threads);
         let (facts, non_zero_rows) = self.retainable_rows();
         (facts, non_zero_rows, stats)
     }
@@ -388,7 +391,7 @@ mod tests {
              x1*x2*x3 + x1*x3;",
         );
         let mut lin = Linearization::build(ps.iter());
-        let (reduced, stats) = lin.eliminate_with_stats();
+        let (reduced, stats) = lin.eliminate_with_stats(1);
         assert_eq!(stats.rank, 6, "Table I(b) rank");
         assert_eq!(reduced.len(), stats.rank);
         assert!(stats.row_xors > 0, "elimination work must be counted");

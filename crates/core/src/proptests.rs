@@ -149,7 +149,7 @@ proptest! {
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(seed);
         let xl = xl_learn(&system, &BosphorusConfig::exhaustive(), &mut rng);
-        let el = elimlin_on(system.polynomials().to_vec());
+        let el = elimlin_on(system.polynomials().to_vec(), 1);
         let n = system.num_vars();
         for bits in 0u64..(1 << n) {
             let a = Assignment::from_bits((0..n).map(|i| (bits >> i) & 1 == 1));

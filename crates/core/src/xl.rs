@@ -158,7 +158,7 @@ pub fn xl_learn<R: Rng>(
     let expanded_columns = lin.num_columns();
     // Read back only the retainable rows: the non-retainable bulk of the
     // RREF is detected at the bit level and never built as polynomials.
-    let (facts, rank, gauss) = lin.eliminate_retainable_with_stats();
+    let (facts, rank, gauss) = lin.eliminate_retainable_with_stats(config.threads);
     debug_assert_eq!(rank, gauss.rank, "non-zero RREF rows must equal rank");
     debug_assert!(facts.iter().all(is_retainable_fact));
     XlOutcome {

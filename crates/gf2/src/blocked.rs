@@ -1,34 +1,47 @@
-//! Cache-blocked, multi-table M4RM Gauss–Jordan elimination.
+//! Cache-blocked, multi-table, band-parallel M4RM Gauss–Jordan elimination.
 //!
 //! This is the paper-scale GF(2) elimination kernel, in the style of the
 //! M4RI library's `mzd_echelonize_m4ri`: the single-table Method of the Four
 //! Russians (`m4rm.rs`) processes `k ≤ 8` pivot columns per sweep over the
 //! trailing matrix, which at tens of thousands of columns — the linearised
 //! systems the paper's Table 2 instances produce — becomes memory-bound on
-//! re-reading the matrix. This kernel cuts that traffic three ways:
+//! re-reading the matrix. This kernel cuts that traffic four ways:
 //!
-//! 1. **Contiguous arena storage.** The rows are flattened into one
-//!    `nrows × words_per_row` buffer for the duration of the elimination and
-//!    written back at the end. Row accesses become pure pointer arithmetic
-//!    instead of a double indirection through per-row heap allocations, and
-//!    the update pass streams one contiguous region the hardware prefetcher
-//!    can follow. Measured alone this roughly doubles update throughput.
-//! 2. **Pivot blocks in pairs.** Each sweep establishes up to `2k` pivots at
-//!    once and splits them over *two* `2^k` Gray-code tables. Because
-//!    [`establish_block_pivots`] leaves the pivot rows identity on *all* the
-//!    sweep's pivot columns, the two table indices of a row are independent:
-//!    entries of table A have zeros at table B's pivot columns and vice
-//!    versa, so each row is cleared with one fused
-//!    `row ^= A[idx_a] ^ B[idx_b]` pass ([`xor2_words`]). The trailing
-//!    matrix is read and written once per `2k` columns instead of once per
-//!    `k` — half the passes of the single-table kernel.
-//! 3. **Column-tiled updates.** For very wide matrices the two tables
-//!    (`2 · 2^k · stride · 8` bytes) fall out of L2 and every table lookup
+//! 1. **In-place arena elimination.** [`BitMatrix`] already stores its rows
+//!    in one contiguous `nrows × words_per_row` arena, so the kernel
+//!    eliminates directly over `&mut BitMatrix` — no flatten on entry, no
+//!    read-back on exit. Row accesses are pure pointer arithmetic and the
+//!    update pass streams one contiguous region the hardware prefetcher can
+//!    follow.
+//! 2. **Pivot blocks in triples.** Each sweep establishes up to `3k ≤ 24`
+//!    pivots at once and splits them over *three* `2^k` Gray-code tables.
+//!    Because [`establish_block_pivots`] leaves the pivot rows identity on
+//!    *all* the sweep's pivot columns, the three table indices of a row are
+//!    independent: entries of one table have zeros at the other tables'
+//!    pivot columns. All three indices come out of one windowed read of at
+//!    most two row words (24 bits always fit), and each row is cleared with
+//!    one fused `row ^= A[ia] ^ B[ib] ^ C[ic]` pass ([`xor3_words`]). The
+//!    trailing matrix is read and written once per `3k` columns instead of
+//!    once per `k` — a third of the single-table kernel's passes.
+//! 3. **Column-tiled updates.** For very wide matrices the three tables
+//!    (`3 · 2^k · stride · 8` bytes) fall out of L2 and every table lookup
 //!    becomes a cache miss. Beyond [`blocked_tile_words`] words per row the
 //!    update is applied tile by tile — the table indices are computed once
 //!    (during the first tile, while the row's leading words are hot), then
 //!    each subsequent tile streams the rows against an L2-resident slice of
-//!    both tables.
+//!    all three tables.
+//! 4. **Band-parallel updates.** The per-sweep serial work (pivot
+//!    establishment, Gray-table builds) touches `O(3k)` rows; the row-update
+//!    pass touches all of them and dominates. Since every row's update
+//!    depends only on that row's own table indices and the sweep's fixed
+//!    tables, the arena is split once into disjoint row bands
+//!    (`&mut [u64]` chunks) that update independently on scoped worker
+//!    threads. Workers persist across sweeps (one `std::thread::scope` per
+//!    elimination, blocking channels for the per-sweep hand-off), so the
+//!    per-sweep cost is a channel round-trip, not a thread spawn. The
+//!    parallel RREF is **bit-identical to serial by construction** — no
+//!    partition or schedule can change any row's result — and the property
+//!    tests in `proptests.rs` assert exactly that for threads ∈ {1, 2, 3, 8}.
 //!
 //! The inner loops are the slice-trimmed word XORs of `vector.rs` — plain
 //! `u64` code the compiler autovectorises, no architecture intrinsics, per
@@ -40,29 +53,37 @@
 //! Property tests in `proptests.rs` assert this equivalence, including at
 //! widths 2048, 4096 and non-powers-of-two.
 //!
-//! Kernel selection (which sizes run this kernel rather than single-table
-//! M4RM) lives in [`select_kernel`](crate::select_kernel); the tuning knobs
-//! are documented in `crates/bench/DESIGN.md`.
+//! Kernel selection (which sizes and thread counts run this kernel) lives in
+//! [`select_kernel`](crate::select_kernel); the tuning knobs are documented
+//! in `crates/bench/DESIGN.md`.
+
+use std::sync::mpsc;
+use std::sync::Arc;
 
 use crate::m4rm::M4RM_MAX_BLOCK;
-use crate::vector::{xor2_words, xor_words};
+use crate::vector::{xor2_words, xor3_words, xor_words};
 use crate::{BitMatrix, GaussStats};
 
 /// Conservative per-core L2 cache estimate, in bytes.
 ///
 /// Used by [`select_kernel`](crate::select_kernel) (matrices whose working
 /// set exceeds this move to the blocked kernel) and by
-/// [`blocked_tile_words`] (the column-tile width is chosen so a tile of both
-/// Gray-code tables stays resident). 1 MiB sits at the low end of
+/// [`blocked_tile_words`] (the column-tile width is chosen so a tile of all
+/// three Gray-code tables stays resident). 1 MiB sits at the low end of
 /// contemporary per-core L2 sizes: underestimating costs a little tiling
 /// overhead, overestimating reintroduces the cache misses the tiling exists
 /// to avoid.
 pub const GF2_L2_CACHE_BYTES: usize = 1024 * 1024;
 
+/// A row band must have at least this many rows before the dispatch
+/// heuristic hands it to its own update thread: below this, the per-sweep
+/// channel round-trip costs more than the band's update work.
+pub(crate) const PAR_MIN_BAND_ROWS: usize = 64;
+
 /// Column-tile width, in 64-bit words, of the blocked kernel's row updates
 /// for per-table block width `k`.
 ///
-/// Chosen so one tile of *both* `2^k`-entry Gray-code tables fits in
+/// Chosen so one tile of *all three* `2^k`-entry Gray-code tables fits in
 /// [`GF2_L2_CACHE_BYTES`] (the rows only stream through the cache, so the
 /// tables get the whole budget), with a floor of 16 words so the inner loops
 /// keep enough straight-line work to amortise the per-row-per-tile
@@ -70,27 +91,31 @@ pub const GF2_L2_CACHE_BYTES: usize = 1024 * 1024;
 ///
 /// ```
 /// use bosphorus_gf2::blocked_tile_words;
-/// // k = 8: 2 tables x 256 entries x 256 words x 8 bytes = 1 MiB resident.
-/// assert_eq!(blocked_tile_words(8), 256);
+/// // k = 8: 3 tables x 256 entries x 170 words x 8 bytes <= 1 MiB resident.
+/// assert_eq!(blocked_tile_words(8), 170);
 /// // Smaller tables allow wider tiles.
 /// assert!(blocked_tile_words(4) > blocked_tile_words(8));
 /// ```
 pub fn blocked_tile_words(k: usize) -> usize {
     let budget = GF2_L2_CACHE_BYTES;
-    let table_entries = 2 * (1usize << k.clamp(1, M4RM_MAX_BLOCK));
+    let table_entries = 3 * (1usize << k.clamp(1, M4RM_MAX_BLOCK));
     (budget / (table_entries * 8)).max(16)
 }
 
 impl BitMatrix {
-    /// Cache-blocked multi-table M4RM Gauss–Jordan elimination with
-    /// per-table block width `block` (clamped to `[1, 8]`), reporting
+    /// Cache-blocked three-table M4RM Gauss–Jordan elimination, in place
+    /// over the matrix arena, with per-table block width `block` (clamped to
+    /// `[1, 8]`) and row updates fanned across `threads` scoped worker
+    /// threads (clamped to `[1, nrows]`; `1` runs fully serial), reporting
     /// operation counts.
     ///
-    /// The rows are flattened into a contiguous arena, then each sweep
-    /// establishes up to `2 · block` pivots, builds two Gray-code tables,
-    /// and clears every other row with one fused two-table XOR pass
-    /// (column-tiled once rows outgrow the L2 estimate). Produces exactly
-    /// the same RREF as [`BitMatrix::gauss_jordan_plain_with_stats`] and
+    /// Each sweep establishes up to `3 · block` pivots, builds three
+    /// Gray-code tables, and clears every other row with one fused
+    /// three-table XOR pass (column-tiled once rows outgrow the L2
+    /// estimate). The arena is partitioned into `threads` row bands that
+    /// update independently per sweep, so the result is **bit-identical at
+    /// every thread count** — and identical to
+    /// [`BitMatrix::gauss_jordan_plain_with_stats`] and
     /// [`BitMatrix::gauss_jordan_m4rm_with_stats`]; only the operation
     /// schedule differs. This is the kernel
     /// [`BitMatrix::gauss_jordan_with_stats`] dispatches to for matrices
@@ -101,210 +126,480 @@ impl BitMatrix {
     /// use bosphorus_gf2::BitMatrix;
     /// let mut a = BitMatrix::identity(20);
     /// a.set(0, 19, true);
-    /// let stats = a.gauss_jordan_blocked_m4rm_with_stats(8);
+    /// let stats = a.gauss_jordan_blocked_m4rm_with_stats(8, 2);
     /// assert_eq!(stats.rank, 20);
+    /// assert_eq!(stats.threads, 2);
     /// assert_eq!(a, BitMatrix::identity(20));
     /// ```
-    pub fn gauss_jordan_blocked_m4rm_with_stats(&mut self, block: usize) -> GaussStats {
+    pub fn gauss_jordan_blocked_m4rm_with_stats(
+        &mut self,
+        block: usize,
+        threads: usize,
+    ) -> GaussStats {
         let k = block.clamp(1, M4RM_MAX_BLOCK);
-        let mut stats = GaussStats::default();
+        let mut stats = GaussStats {
+            tables_per_sweep: 3,
+            threads: 1,
+            bands: 1,
+            ..GaussStats::default()
+        };
         let nrows = self.nrows();
         let ncols = self.ncols();
         if nrows == 0 || ncols == 0 {
             return stats;
         }
-        let words = ncols.div_ceil(64);
-        // Flatten into the arena. Unused high bits of each row's last word
-        // are zero (a BitVec invariant), so whole-word operations need no
-        // masking and the write-back below restores valid rows.
-        let mut arena = vec![0u64; nrows * words];
-        for (r, chunk) in arena.chunks_exact_mut(words).enumerate() {
-            chunk.copy_from_slice(self.row(r).words());
-        }
-
-        // Two Gray-code tables, reused across sweeps. Entry 0 of each is the
-        // zero row and is never written; entries 1..2^p are rebuilt per
-        // sweep. `k <= 8` keeps every index within a u8.
-        let mut table_a = vec![0u64; (1usize << k) * words];
-        let mut table_b = vec![0u64; (1usize << k) * words];
-        let mut indices: Vec<(u8, u8)> = vec![(0, 0); nrows];
+        let words = self.words_per_row();
         let tile = blocked_tile_words(k);
 
-        let mut pivot_row = 0usize;
-        let mut col_start = 0usize;
-        while pivot_row < nrows && col_start < ncols {
-            let Some(next_col) = leading_column(&arena, words, nrows, ncols, pivot_row, col_start)
-            else {
-                break;
-            };
-            col_start = next_col;
-            let col_end = (col_start + 2 * k).min(ncols);
-            let block_start = pivot_row;
-            let pivot_cols = establish_block_pivots(
-                &mut arena,
-                words,
-                nrows,
-                block_start,
-                col_start,
-                col_end,
-                &mut stats,
-            );
-            let p = pivot_cols.len();
-            let block_end = block_start + p;
-            if p > 0 {
-                // Split the sweep's pivots over the two tables. The pivot
-                // rows are identity on all p pivot columns, so table A
-                // entries are zero at table B's columns and vice versa: the
-                // two indices of a row are independent of each other and
-                // stable under either table's XOR.
-                let pa = p.min(k);
-                let (cols_a, cols_b) = pivot_cols.split_at(pa);
-                let w0 = col_start / 64;
-                let stride = words - w0;
-                build_gray_table(&mut table_a, &arena, words, block_start, pa, w0, &mut stats);
-                build_gray_table(
-                    &mut table_b,
-                    &arena,
-                    words,
-                    block_start + pa,
-                    p - pa,
-                    w0,
-                    &mut stats,
-                );
-                // On dense systems the sweep's pivot columns are almost
-                // always the contiguous range starting at col_start; both
-                // table indices then come out of a single (two-word) window
-                // read instead of one scattered bit probe per pivot column.
-                let contiguous = pivot_cols
-                    .iter()
-                    .enumerate()
-                    .all(|(j, &c)| c == col_start + j);
-                let shift = col_start % 64;
-                let mask_a = (1usize << pa) - 1;
-                let mask_b = (1usize << (p - pa)) - 1;
-                // First (or only) column tile: compute both table indices
-                // while the row's leading words are hot, buffer them, and
-                // apply the fused two-table XOR.
-                let first_tile = stride.min(tile);
-                for (r, row) in arena.chunks_exact_mut(words).enumerate() {
-                    if (block_start..block_end).contains(&r) {
-                        indices[r] = (0, 0);
-                        continue;
-                    }
-                    let (ia, ib) = if contiguous {
-                        let lo = row[w0] >> shift;
-                        let window = if shift == 0 || w0 + 1 >= words {
-                            lo as usize
-                        } else {
-                            (lo | (row[w0 + 1] << (64 - shift))) as usize
-                        };
-                        (window & mask_a, (window >> pa) & mask_b)
-                    } else {
-                        (block_index(row, cols_a), block_index(row, cols_b))
-                    };
-                    indices[r] = (ia as u8, ib as u8);
-                    if ia == 0 && ib == 0 {
-                        continue;
-                    }
-                    stats.row_xors += usize::from(ia != 0) + usize::from(ib != 0);
-                    apply_entries(
-                        &mut row[w0..w0 + first_tile],
-                        &table_a[ia * stride..ia * stride + first_tile],
-                        &table_b[ib * stride..ib * stride + first_tile],
-                        ia,
-                        ib,
-                    );
-                }
-                // Remaining tiles (wide matrices only): stream the rows
-                // against an L2-resident slice of both tables.
-                let mut tw = first_tile;
-                while tw < stride {
-                    let tw_end = (tw + tile).min(stride);
-                    for (r, row) in arena.chunks_exact_mut(words).enumerate() {
-                        let (ia, ib) = indices[r];
-                        let (ia, ib) = (ia as usize, ib as usize);
-                        if ia == 0 && ib == 0 {
-                            continue;
-                        }
-                        apply_entries(
-                            &mut row[w0 + tw..w0 + tw_end],
-                            &table_a[ia * stride + tw..ia * stride + tw_end],
-                            &table_b[ib * stride + tw..ib * stride + tw_end],
-                            ia,
-                            ib,
-                        );
-                    }
-                    tw = tw_end;
-                }
-            }
-            pivot_row = block_end;
-            col_start = col_end;
-        }
+        // Partition the arena into disjoint row bands, one per thread. The
+        // split happens once for the whole elimination; between update
+        // sweeps the main thread owns every band and runs the serial phases
+        // (pivot search, pivot establishment, table builds) through the
+        // band table.
+        let n_bands = threads.clamp(1, nrows);
+        let rows_per_band = nrows.div_ceil(n_bands);
+        let n_bands = nrows.div_ceil(rows_per_band);
+        stats.threads = n_bands;
+        stats.bands = n_bands;
+        let arena = self.words_raw_mut();
+        let mut bands = Bands::new(arena, words, rows_per_band);
 
-        for (r, chunk) in arena.chunks_exact(words).enumerate() {
-            self.rows_mut()[r].words_mut().copy_from_slice(chunk);
-        }
-        stats.rank = pivot_row;
+        let rank = if n_bands <= 1 {
+            eliminate(
+                &mut bands,
+                nrows,
+                ncols,
+                k,
+                tile,
+                words,
+                &mut stats,
+                |bands, job| {
+                    let mut xors = 0usize;
+                    for bi in 0..bands.len() {
+                        let band_start = bi * bands.rows_per_band;
+                        let band = bands.bands[bi].as_deref_mut().expect("band present");
+                        xors += update_band(band, band_start, &job);
+                    }
+                    (job, xors)
+                },
+            )
+        } else {
+            // One scope per elimination: the workers persist across sweeps
+            // and receive (band, job) pairs over blocking channels, so a
+            // sweep costs a channel round-trip per worker, not a spawn.
+            // Band slices are *moved* through the channels and returned, so
+            // ownership of each band round-trips every sweep in safe Rust.
+            std::thread::scope(|scope| {
+                let (done_tx, done_rx) = mpsc::channel::<(usize, &mut [u64], usize)>();
+                let mut job_txs = Vec::with_capacity(n_bands - 1);
+                for bi in 1..n_bands {
+                    let (tx, rx) = mpsc::channel::<(&mut [u64], Arc<SweepJob>)>();
+                    job_txs.push(tx);
+                    let done_tx = done_tx.clone();
+                    let band_start = bi * rows_per_band;
+                    scope.spawn(move || {
+                        for (band, job) in rx {
+                            let xors = update_band(band, band_start, &job);
+                            // Release the job before reporting back so the
+                            // main thread can reclaim the tables with
+                            // `Arc::try_unwrap` after the last report.
+                            drop(job);
+                            done_tx
+                                .send((bi, band, xors))
+                                .expect("main thread receives sweep reports");
+                        }
+                    });
+                }
+                let rank = eliminate(
+                    &mut bands,
+                    nrows,
+                    ncols,
+                    k,
+                    tile,
+                    words,
+                    &mut stats,
+                    |bands, job| {
+                        for bi in 1..bands.len() {
+                            let band = bands.bands[bi].take().expect("band present");
+                            job_txs[bi - 1]
+                                .send((band, job.clone()))
+                                .expect("worker thread is alive");
+                        }
+                        let band0 = bands.bands[0].as_deref_mut().expect("band present");
+                        let mut xors = update_band(band0, 0, &job);
+                        for _ in 1..bands.len() {
+                            let (bi, band, band_xors) =
+                                done_rx.recv().expect("worker thread reports back");
+                            bands.bands[bi] = Some(band);
+                            xors += band_xors;
+                        }
+                        (job, xors)
+                    },
+                );
+                drop(job_txs);
+                rank
+            })
+        };
+        stats.rank = rank;
         stats
     }
 }
 
-/// Applies table entries `a` (if `ia != 0`) and `b` (if `ib != 0`) to `dst`,
-/// fusing both XORs into a single pass over `dst` when both fire.
-#[inline]
-fn apply_entries(dst: &mut [u64], a: &[u64], b: &[u64], ia: usize, ib: usize) {
-    if ia != 0 && ib != 0 {
-        xor2_words(dst, a, b);
-    } else if ia != 0 {
-        xor_words(dst, a);
-    } else {
-        xor_words(dst, b);
+/// The arena split into disjoint per-thread row bands. Each band is
+/// `Some(&mut [u64])` while the main thread owns it and `None` while it is
+/// out with a worker; the helpers below give the serial phases row-level
+/// access across band boundaries.
+struct Bands<'a> {
+    bands: Vec<Option<&'a mut [u64]>>,
+    rows_per_band: usize,
+    words: usize,
+}
+
+impl<'a> Bands<'a> {
+    fn new(arena: &'a mut [u64], words: usize, rows_per_band: usize) -> Self {
+        let bands = arena
+            .chunks_mut(rows_per_band * words)
+            .map(Some)
+            .collect::<Vec<_>>();
+        Bands {
+            bands,
+            rows_per_band,
+            words,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.bands.len()
+    }
+
+    fn row(&self, r: usize) -> &[u64] {
+        let band = self.bands[r / self.rows_per_band]
+            .as_deref()
+            .expect("band present");
+        let i = r % self.rows_per_band;
+        &band[i * self.words..(i + 1) * self.words]
+    }
+
+    fn get_bit(&self, r: usize, c: usize) -> bool {
+        (self.row(r)[c / 64] >> (c % 64)) & 1 == 1
+    }
+
+    /// Mutable access to two distinct rows, across band boundaries.
+    fn two_rows_mut(&mut self, a: usize, b: usize) -> (&mut [u64], &mut [u64]) {
+        debug_assert_ne!(a, b);
+        let words = self.words;
+        let (ba, ia) = (a / self.rows_per_band, a % self.rows_per_band);
+        let (bb, ib) = (b / self.rows_per_band, b % self.rows_per_band);
+        if ba == bb {
+            let band = self.bands[ba].as_deref_mut().expect("band present");
+            let (lo_i, hi_i) = (ia.min(ib), ia.max(ib));
+            let (lo, hi) = band.split_at_mut(hi_i * words);
+            let lo_row = &mut lo[lo_i * words..(lo_i + 1) * words];
+            let hi_row = &mut hi[..words];
+            if ia < ib {
+                (lo_row, hi_row)
+            } else {
+                (hi_row, lo_row)
+            }
+        } else {
+            let (lo_bands, hi_bands) = self.bands.split_at_mut(ba.max(bb));
+            let lo_band = lo_bands[ba.min(bb)].as_deref_mut().expect("band present");
+            let hi_band = hi_bands[0].as_deref_mut().expect("band present");
+            let (lo_i, hi_i) = if ba < bb { (ia, ib) } else { (ib, ia) };
+            let lo_row = &mut lo_band[lo_i * words..(lo_i + 1) * words];
+            let hi_row = &mut hi_band[hi_i * words..(hi_i + 1) * words];
+            if ba < bb {
+                (lo_row, hi_row)
+            } else {
+                (hi_row, lo_row)
+            }
+        }
+    }
+
+    /// XORs row `src` into row `dst` from word `w0` on.
+    fn xor_row_into(&mut self, src: usize, dst: usize, w0: usize) {
+        let (s, d) = self.two_rows_mut(src, dst);
+        xor_words(&mut d[w0..], &s[w0..]);
+    }
+
+    /// Swaps rows `a` and `b` (`a != b`).
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        let (ra, rb) = self.two_rows_mut(a, b);
+        ra.swap_with_slice(rb);
     }
 }
 
-/// Bit `c` of arena row `r`.
-#[inline]
-fn get_bit(arena: &[u64], words: usize, r: usize, c: usize) -> bool {
-    (arena[r * words + c / 64] >> (c % 64)) & 1 == 1
+/// The three Gray-code tables of a sweep. Entry 0 of each is the zero row
+/// and is never written; entries `1..2^p` are rebuilt per sweep. The buffers
+/// are recycled across sweeps through [`SweepJob`] (`Arc::try_unwrap` after
+/// every band reports back).
+struct Tables {
+    a: Vec<u64>,
+    b: Vec<u64>,
+    c: Vec<u64>,
 }
 
-/// XORs arena row `src` into arena row `dst` from word `w0` on.
-fn xor_row_into(arena: &mut [u64], words: usize, src: usize, dst: usize, w0: usize) {
-    debug_assert_ne!(src, dst);
-    let (s, d) = if src < dst {
-        let (lo, hi) = arena.split_at_mut(dst * words);
-        (&lo[src * words..(src + 1) * words], &mut hi[..words])
+impl Tables {
+    fn new(k: usize, words: usize) -> Self {
+        let size = (1usize << k) * words;
+        Tables {
+            a: vec![0u64; size],
+            b: vec![0u64; size],
+            c: vec![0u64; size],
+        }
+    }
+}
+
+/// Everything a band needs to run one sweep's row updates: the three tables
+/// plus the sweep geometry. Shared with the workers behind an `Arc`; the
+/// main thread reclaims the table buffers once every band has reported.
+struct SweepJob {
+    tables: Tables,
+    words: usize,
+    w0: usize,
+    shift: usize,
+    tile: usize,
+    pa: usize,
+    pb: usize,
+    pc: usize,
+    contiguous: bool,
+    /// The sweep's pivot columns (`pa + pb + pc` of them), for the
+    /// scattered-column fallback index read.
+    cols: Vec<usize>,
+    /// Global row range of this sweep's pivot rows; they are already
+    /// identity on the pivot columns and must not be updated.
+    skip_start: usize,
+    skip_end: usize,
+}
+
+/// The sweep loop shared by the serial and band-parallel paths: pivot
+/// search, pivot establishment and table builds run on the calling thread;
+/// `fan_out` distributes the row-update pass over the bands (inline when
+/// serial, over the worker channels when parallel) and returns the job — so
+/// the table buffers can be reclaimed — plus the update's row-XOR count.
+/// Returns the rank.
+#[allow(clippy::too_many_arguments)]
+fn eliminate<'a, F>(
+    bands: &mut Bands<'a>,
+    nrows: usize,
+    ncols: usize,
+    k: usize,
+    tile: usize,
+    words: usize,
+    stats: &mut GaussStats,
+    mut fan_out: F,
+) -> usize
+where
+    F: for<'b> FnMut(&'b mut Bands<'a>, Arc<SweepJob>) -> (Arc<SweepJob>, usize),
+{
+    let mut tables = Tables::new(k, words);
+    let mut pivot_row = 0usize;
+    let mut col_start = 0usize;
+    while pivot_row < nrows && col_start < ncols {
+        let Some(next_col) = leading_column(bands, nrows, ncols, pivot_row, col_start) else {
+            break;
+        };
+        col_start = next_col;
+        let col_end = (col_start + 3 * k).min(ncols);
+        let block_start = pivot_row;
+        let pivot_cols =
+            establish_block_pivots(bands, nrows, block_start, col_start, col_end, stats);
+        let p = pivot_cols.len();
+        let block_end = block_start + p;
+        if p > 0 {
+            // Split the sweep's pivots over the three tables. The pivot
+            // rows are identity on all p pivot columns, so each table's
+            // entries are zero at the other tables' columns: the three
+            // indices of a row are independent of each other and stable
+            // under any table's XOR.
+            let pa = p.min(k);
+            let pb = (p - pa).min(k);
+            let pc = p - pa - pb;
+            let w0 = col_start / 64;
+            build_gray_table(&mut tables.a, bands, block_start, pa, w0, words, stats);
+            build_gray_table(&mut tables.b, bands, block_start + pa, pb, w0, words, stats);
+            build_gray_table(
+                &mut tables.c,
+                bands,
+                block_start + pa + pb,
+                pc,
+                w0,
+                words,
+                stats,
+            );
+            // On dense systems the sweep's pivot columns are almost always
+            // the contiguous range starting at col_start; all three table
+            // indices then come out of a single window read of at most two
+            // row words (3k <= 24 bits) instead of one scattered bit probe
+            // per pivot column.
+            let contiguous = pivot_cols
+                .iter()
+                .enumerate()
+                .all(|(j, &c)| c == col_start + j);
+            let job = Arc::new(SweepJob {
+                tables,
+                words,
+                w0,
+                shift: col_start % 64,
+                tile,
+                pa,
+                pb,
+                pc,
+                contiguous,
+                cols: pivot_cols,
+                skip_start: block_start,
+                skip_end: block_end,
+            });
+            let (job, xors) = fan_out(bands, job);
+            stats.row_xors += xors;
+            // Every band has reported, so the main thread holds the last
+            // reference and the table buffers come back for the next sweep.
+            tables = Arc::try_unwrap(job)
+                .map(|job| job.tables)
+                .unwrap_or_else(|_| Tables::new(k, words));
+        }
+        pivot_row = block_end;
+        col_start = col_end;
+    }
+    pivot_row
+}
+
+/// Runs one sweep's row updates over one band (rows
+/// `band_start..band_start + band.len() / words` globally): per row, read
+/// the three table indices, then apply the fused table XOR, column tile by
+/// column tile. Returns the band's row-XOR count.
+///
+/// This is the only phase that runs on worker threads. A row's result
+/// depends only on its own words and the sweep's fixed tables, so any
+/// partition of the rows into bands — and any schedule of those bands —
+/// produces bit-identical output.
+fn update_band(band: &mut [u64], band_start: usize, job: &SweepJob) -> usize {
+    let words = job.words;
+    let stride = words - job.w0;
+    let first_tile = stride.min(job.tile);
+    let n = band.len() / words;
+    let mask_a = (1usize << job.pa) - 1;
+    let mask_b = (1usize << job.pb) - 1;
+    let mask_c = (1usize << job.pc) - 1;
+    let (cols_a, rest) = job.cols.split_at(job.pa);
+    let (cols_b, cols_c) = rest.split_at(job.pb);
+    let tiled = stride > first_tile;
+    let mut indices: Vec<(u8, u8, u8)> = if tiled {
+        vec![(0, 0, 0); n]
     } else {
-        let (lo, hi) = arena.split_at_mut(src * words);
-        (&hi[..words], &mut lo[dst * words..(dst + 1) * words])
+        Vec::new()
     };
-    xor_words(&mut d[w0..], &s[w0..]);
+    let mut xors = 0usize;
+    // First (or only) column tile: compute all three table indices while
+    // the row's leading words are hot, buffer them if more tiles follow,
+    // and apply the fused three-table XOR.
+    for (i, row) in band.chunks_exact_mut(words).enumerate() {
+        let r = band_start + i;
+        if r >= job.skip_start && r < job.skip_end {
+            continue;
+        }
+        let (ia, ib, ic) = if job.contiguous {
+            let lo = row[job.w0] >> job.shift;
+            let window = if job.shift == 0 || job.w0 + 1 >= words {
+                lo as usize
+            } else {
+                (lo | (row[job.w0 + 1] << (64 - job.shift))) as usize
+            };
+            (
+                window & mask_a,
+                (window >> job.pa) & mask_b,
+                (window >> (job.pa + job.pb)) & mask_c,
+            )
+        } else {
+            (
+                block_index(row, cols_a),
+                block_index(row, cols_b),
+                block_index(row, cols_c),
+            )
+        };
+        if tiled {
+            indices[i] = (ia as u8, ib as u8, ic as u8);
+        }
+        if ia == 0 && ib == 0 && ic == 0 {
+            continue;
+        }
+        xors += usize::from(ia != 0) + usize::from(ib != 0) + usize::from(ic != 0);
+        apply_entries(
+            &mut row[job.w0..job.w0 + first_tile],
+            &job.tables.a[ia * stride..ia * stride + first_tile],
+            &job.tables.b[ib * stride..ib * stride + first_tile],
+            &job.tables.c[ic * stride..ic * stride + first_tile],
+            ia,
+            ib,
+            ic,
+        );
+    }
+    // Remaining tiles (wide matrices only): stream the rows against an
+    // L2-resident slice of all three tables.
+    let mut tw = first_tile;
+    while tw < stride {
+        let tw_end = (tw + job.tile).min(stride);
+        for (i, row) in band.chunks_exact_mut(words).enumerate() {
+            let (ia, ib, ic) = indices[i];
+            let (ia, ib, ic) = (ia as usize, ib as usize, ic as usize);
+            if ia == 0 && ib == 0 && ic == 0 {
+                continue;
+            }
+            apply_entries(
+                &mut row[job.w0 + tw..job.w0 + tw_end],
+                &job.tables.a[ia * stride + tw..ia * stride + tw_end],
+                &job.tables.b[ib * stride + tw..ib * stride + tw_end],
+                &job.tables.c[ic * stride + tw..ic * stride + tw_end],
+                ia,
+                ib,
+                ic,
+            );
+        }
+        tw = tw_end;
+    }
+    xors
 }
 
-/// Swaps arena rows `a` and `b` (`a != b`).
-fn swap_rows(arena: &mut [u64], words: usize, a: usize, b: usize) {
-    debug_assert_ne!(a, b);
-    let (lo, hi) = arena.split_at_mut(a.max(b) * words);
-    let lo_row = a.min(b);
-    lo[lo_row * words..(lo_row + 1) * words].swap_with_slice(&mut hi[..words]);
+/// Applies the table entries with non-zero indices to `dst`, fusing the
+/// XORs into a single pass over `dst` when more than one fires.
+#[inline]
+fn apply_entries(
+    dst: &mut [u64],
+    a: &[u64],
+    b: &[u64],
+    c: &[u64],
+    ia: usize,
+    ib: usize,
+    ic: usize,
+) {
+    match (ia != 0, ib != 0, ic != 0) {
+        (true, true, true) => xor3_words(dst, a, b, c),
+        (true, true, false) => xor2_words(dst, a, b),
+        (true, false, true) => xor2_words(dst, a, c),
+        (false, true, true) => xor2_words(dst, b, c),
+        (true, false, false) => xor_words(dst, a),
+        (false, true, false) => xor_words(dst, b),
+        (false, false, true) => xor_words(dst, c),
+        (false, false, false) => {}
+    }
 }
 
-/// The leftmost column `>= col_floor` in which any arena row at or below
-/// `row_start` has a one, found with word-skipping row scans (the arena
+/// The leftmost column `>= col_floor` in which any row at or below
+/// `row_start` has a one, found with word-skipping row scans (the banded
 /// analogue of `BitVec::first_one_in_range`).
 fn leading_column(
-    arena: &[u64],
-    words: usize,
+    bands: &Bands<'_>,
     nrows: usize,
     ncols: usize,
     row_start: usize,
     col_floor: usize,
 ) -> Option<usize> {
+    let words = bands.words;
     let first_word = col_floor / 64;
     let floor_mask = !0u64 << (col_floor % 64);
     let mut best: Option<usize> = None;
     for r in row_start..nrows {
-        let row = &arena[r * words..(r + 1) * words];
+        let row = bands.row(r);
         let limit_word = best.map_or(words - 1, |b| b / 64);
         for (wi, &raw) in row.iter().enumerate().take(limit_word + 1).skip(first_word) {
             let w = if wi == first_word {
@@ -329,13 +624,13 @@ fn leading_column(
 
 /// Establishes pivots for the sweep columns `col_start..col_end`, moving
 /// pivot rows to positions `block_start..`, reducing them to identity on the
-/// sweep's pivot columns, and returning the pivot columns found — the arena
-/// analogue of `BitMatrix::establish_block_pivots`, with row XORs starting
-/// at the word containing `col_start` (everything left of it is zero by the
-/// elimination invariant).
+/// sweep's pivot columns, and returning the pivot columns found — the banded
+/// analogue of `BitMatrix::establish_block_pivots` in `m4rm.rs`, with row
+/// XORs starting at the word containing `col_start` (everything left of it
+/// is zero by the elimination invariant). A change to the pivot discipline
+/// here must be mirrored there to keep the RREFs identical.
 fn establish_block_pivots(
-    arena: &mut [u64],
-    words: usize,
+    bands: &mut Bands<'_>,
     nrows: usize,
     block_start: usize,
     col_start: usize,
@@ -343,21 +638,51 @@ fn establish_block_pivots(
     stats: &mut GaussStats,
 ) -> Vec<usize> {
     let w0 = col_start / 64;
+    let shift = col_start % 64;
+    let words = bands.words;
     let mut pivot_cols: Vec<usize> = Vec::with_capacity(col_end - col_start);
+    // Offsets (relative to col_start) of the pivot columns found so far, as
+    // a bit mask over the sweep window. The window spans `col_end - col_start
+    // <= 3k <= 24` bits, so one read of at most two row words yields every
+    // pivot-column bit of a row at once — the pivot search over a sparse
+    // matrix scans many rows per column, and probing them bit by bit through
+    // the band table is what the window read amortises.
+    let mut pivot_mask: usize = 0;
     for c in col_start..col_end {
         let dest = block_start + pivot_cols.len();
         if dest >= nrows {
             break;
         }
+        let c_off = c - col_start;
         let mut found = None;
         for r in dest..nrows {
-            for (j, &pc) in pivot_cols.iter().enumerate() {
-                if get_bit(arena, words, r, pc) {
-                    xor_row_into(arena, words, block_start + j, r, w0);
+            let row = bands.row(r);
+            let lo = row[w0] >> shift;
+            let window = if shift == 0 || w0 + 1 >= words {
+                lo as usize
+            } else {
+                (lo | (row[w0 + 1] << (64 - shift))) as usize
+            };
+            // Clear this row on the sweep's pivot columns. Each pivot row is
+            // identity on *all* pivot columns so far, so XORing pivot row j
+            // flips exactly offset j's bit within the mask: the dirty set
+            // computed from one window read is exact.
+            let mut dirty = window & pivot_mask;
+            if dirty != 0 {
+                while dirty != 0 {
+                    let off = dirty.trailing_zeros() as usize;
+                    let j = (pivot_mask & ((1usize << off) - 1)).count_ones() as usize;
+                    bands.xor_row_into(block_start + j, r, w0);
                     stats.row_xors += 1;
+                    dirty &= dirty - 1;
                 }
-            }
-            if get_bit(arena, words, r, c) {
+                // The cleanup XORs may have flipped bit c (it is not yet a
+                // pivot column), so re-probe it from the updated row.
+                if bands.get_bit(r, c) {
+                    found = Some(r);
+                    break;
+                }
+            } else if (window >> c_off) & 1 == 1 {
                 found = Some(r);
                 break;
             }
@@ -366,34 +691,37 @@ fn establish_block_pivots(
             continue;
         };
         if found != dest {
-            swap_rows(arena, words, found, dest);
+            bands.swap_rows(found, dest);
             stats.row_swaps += 1;
         }
         // Back-eliminate column c from the earlier pivot rows of this
         // sweep, keeping the pivot rows identity on the pivot columns (the
-        // property the two independent Gray-code indices rely on).
+        // property the independent Gray-code indices rely on).
         for j in 0..pivot_cols.len() {
-            if get_bit(arena, words, block_start + j, c) {
-                xor_row_into(arena, words, dest, block_start + j, w0);
+            if bands.get_bit(block_start + j, c) {
+                bands.xor_row_into(dest, block_start + j, w0);
                 stats.row_xors += 1;
             }
         }
         pivot_cols.push(c);
+        pivot_mask |= 1usize << c_off;
     }
     pivot_cols
 }
 
-/// Builds the `2^p` Gray-code lookup table over arena rows
+/// Builds the `2^p` Gray-code lookup table over rows
 /// `first_pivot_row..first_pivot_row + p`, each entry covering the row words
 /// from `w0` on. Each entry is derived from its predecessor with a single
-/// word-parallel XOR, so the whole table costs `2^p − 1` row XORs.
+/// word-parallel XOR, so the whole table costs `2^p − 1` row XORs. With
+/// `p == 0` the table is untouched (all lookups hit the never-written zero
+/// entry 0).
 fn build_gray_table(
     table: &mut [u64],
-    arena: &[u64],
-    words: usize,
+    bands: &Bands<'_>,
     first_pivot_row: usize,
     p: usize,
     w0: usize,
+    words: usize,
     stats: &mut GaussStats,
 ) {
     let stride = words - w0;
@@ -402,15 +730,14 @@ fn build_gray_table(
         let gray = i ^ (i >> 1);
         let bit = i.trailing_zeros() as usize;
         table.copy_within(prev * stride..(prev + 1) * stride, gray * stride);
-        let pivot_row = first_pivot_row + bit;
-        let pivot_words = &arena[pivot_row * words + w0..(pivot_row + 1) * words];
+        let pivot_words = &bands.row(first_pivot_row + bit)[w0..];
         xor_words(&mut table[gray * stride..(gray + 1) * stride], pivot_words);
         stats.row_xors += 1;
         prev = gray;
     }
 }
 
-/// Reads an arena row's bits at the sweep's pivot columns as a table index.
+/// Reads a row's bits at the sweep's pivot columns as a table index.
 #[inline]
 fn block_index(row: &[u64], pivot_cols: &[usize]) -> usize {
     let mut idx = 0usize;
@@ -429,7 +756,7 @@ mod tests {
         let mut reference = m.clone();
         let reference_stats = reference.gauss_jordan_m4rm_with_stats(8);
         let mut blocked = m.clone();
-        let blocked_stats = blocked.gauss_jordan_blocked_m4rm_with_stats(k);
+        let blocked_stats = blocked.gauss_jordan_blocked_m4rm_with_stats(k, 1);
         assert_eq!(
             blocked_stats.rank,
             reference_stats.rank,
@@ -444,6 +771,34 @@ mod tests {
             m.nrows(),
             m.ncols()
         );
+    }
+
+    /// The serial and parallel paths must agree bit for bit — RREF, rank
+    /// and the deterministic operation counts.
+    fn assert_thread_counts_agree(m: &BitMatrix, k: usize) {
+        let mut serial = m.clone();
+        let serial_stats = serial.gauss_jordan_blocked_m4rm_with_stats(k, 1);
+        for threads in [2usize, 3, 8] {
+            let mut par = m.clone();
+            let par_stats = par.gauss_jordan_blocked_m4rm_with_stats(k, threads);
+            assert_eq!(
+                par,
+                serial,
+                "parallel RREF diverged at {}x{}, k={k}, threads={threads}",
+                m.nrows(),
+                m.ncols()
+            );
+            assert_eq!(par_stats.rank, serial_stats.rank, "threads={threads}");
+            assert_eq!(
+                par_stats.row_xors, serial_stats.row_xors,
+                "threads={threads}"
+            );
+            assert_eq!(
+                par_stats.row_swaps, serial_stats.row_swaps,
+                "threads={threads}"
+            );
+            assert!(par_stats.threads >= 2 || m.nrows() < 2, "threads={threads}");
+        }
     }
 
     #[test]
@@ -489,15 +844,15 @@ mod tests {
         assert_matches_m4rm(&splitmix_matrix(60, 300, 12), 7);
         let mut deficient = splitmix_matrix(90, 120, 13);
         for r in 0..30 {
-            let dup = deficient.row(r).clone();
-            deficient.rows_mut()[r + 30] = dup;
-            deficient.rows_mut()[r + 60] = BitVec::zero(120);
+            let dup = deficient.row(r).to_bitvec();
+            deficient.set_row(r + 30, &dup);
+            deficient.set_row(r + 60, &BitVec::zero(120));
         }
         assert_matches_m4rm(&deficient, 8);
         assert!(
             deficient
                 .clone()
-                .gauss_jordan_blocked_m4rm_with_stats(8)
+                .gauss_jordan_blocked_m4rm_with_stats(8, 1)
                 .rank
                 <= 30
         );
@@ -511,23 +866,52 @@ mod tests {
         let mut plain = m.clone();
         let plain_stats = plain.gauss_jordan_plain_with_stats();
         let mut blocked = m.clone();
-        let blocked_stats = blocked.gauss_jordan_blocked_m4rm_with_stats(8);
+        let blocked_stats = blocked.gauss_jordan_blocked_m4rm_with_stats(8, 1);
         assert_eq!(blocked_stats.rank, plain_stats.rank);
         assert_eq!(blocked, plain);
     }
 
     #[test]
+    fn parallel_update_is_bit_identical_at_paper_widths() {
+        // Deterministic spot checks at paper-scale widths, including the
+        // tiled update path; the exhaustive shape/width sweep lives in the
+        // property tests.
+        assert_thread_counts_agree(&splitmix_matrix(96, 4096, 5), 8);
+        assert_thread_counts_agree(&splitmix_matrix(40, 20_480, 78), 8);
+        assert_thread_counts_agree(&splitmix_matrix(320, 320, 2019), 8);
+        let mut deficient = splitmix_matrix(90, 120, 13);
+        for r in 0..30 {
+            let dup = deficient.row(r).to_bitvec();
+            deficient.set_row(r + 30, &dup);
+            deficient.set_row(r + 60, &BitVec::zero(120));
+        }
+        assert_thread_counts_agree(&deficient, 8);
+    }
+
+    #[test]
+    fn oversubscribed_threads_are_clamped_to_rows() {
+        let m = splitmix_matrix(5, 70, 3);
+        let mut serial = m.clone();
+        serial.gauss_jordan_blocked_m4rm_with_stats(8, 1);
+        let mut par = m.clone();
+        let stats = par.gauss_jordan_blocked_m4rm_with_stats(8, 64);
+        assert_eq!(par, serial);
+        assert!(stats.threads <= 5, "one band per row at most");
+        assert_eq!(stats.bands, stats.threads);
+    }
+
+    #[test]
     fn handles_empty_and_degenerate_matrices() {
         let mut empty = BitMatrix::zero(0, 0);
-        assert_eq!(empty.gauss_jordan_blocked_m4rm_with_stats(4).rank, 0);
+        assert_eq!(empty.gauss_jordan_blocked_m4rm_with_stats(4, 4).rank, 0);
         let mut no_cols = BitMatrix::zero(5, 0);
-        assert_eq!(no_cols.gauss_jordan_blocked_m4rm_with_stats(4).rank, 0);
+        assert_eq!(no_cols.gauss_jordan_blocked_m4rm_with_stats(4, 4).rank, 0);
         let mut zero = BitMatrix::zero(9, 9);
-        let stats = zero.gauss_jordan_blocked_m4rm_with_stats(4);
+        let stats = zero.gauss_jordan_blocked_m4rm_with_stats(4, 4);
         assert_eq!(stats.rank, 0);
         assert_eq!(stats.row_xors, 0);
         let mut id = BitMatrix::identity(130);
-        assert_eq!(id.gauss_jordan_blocked_m4rm_with_stats(8).rank, 130);
+        assert_eq!(id.gauss_jordan_blocked_m4rm_with_stats(8, 3).rank, 130);
         assert_eq!(id, BitMatrix::identity(130));
     }
 
@@ -539,6 +923,7 @@ mod tests {
             m.set(r, 2900 + (r % 25), true);
         }
         assert_matches_m4rm(&m, 8);
+        assert_thread_counts_agree(&m, 8);
     }
 
     #[test]
@@ -547,9 +932,9 @@ mod tests {
         for k in 1..=8usize {
             let tile = blocked_tile_words(k);
             assert!(tile >= 16);
-            // Both tables' resident tile slices fit the cache budget
+            // All three tables' resident tile slices fit the cache budget
             // (up to the 16-word floor).
-            let resident = 2 * (1usize << k) * tile * 8;
+            let resident = 3 * (1usize << k) * tile * 8;
             assert!(
                 resident <= GF2_L2_CACHE_BYTES || tile == 16,
                 "k={k}: {resident} bytes resident"

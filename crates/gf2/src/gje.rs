@@ -10,6 +10,7 @@
 //! them with [`select_kernel`], so `rank`, `rref`, `kernel` and `solve` all
 //! ride on the fast path.
 
+use crate::blocked::PAR_MIN_BAND_ROWS;
 use crate::m4rm::{m4rm_block_size, M4RM_MAX_BLOCK, M4RM_MIN_DIM};
 use crate::{BitMatrix, BitVec};
 
@@ -24,44 +25,75 @@ pub enum KernelChoice {
     Plain,
     /// Single-table Method of the Four Russians with this block width.
     M4rm(usize),
-    /// Cache-blocked multi-table M4RM (two Gray-code tables per sweep,
-    /// column-tiled updates) with this per-table block width.
-    BlockedM4rm(usize),
+    /// Cache-blocked multi-table M4RM (three Gray-code tables per sweep,
+    /// column-tiled updates, in place over the matrix arena) with this
+    /// per-table block width, its update sweeps fanned across this many
+    /// row-band worker threads.
+    BlockedM4rm {
+        /// Per-table Gray-code block width, in `[1, 8]`.
+        block: usize,
+        /// Row-band update threads (1 = fully serial).
+        threads: usize,
+    },
 }
 
 /// Picks the elimination kernel for an `nrows × ncols` matrix from its
-/// dimensions and the cache-size estimate
-/// [`GF2_L2_CACHE_BYTES`](crate::GF2_L2_CACHE_BYTES).
+/// dimensions, the cache-size estimate
+/// [`GF2_L2_CACHE_BYTES`](crate::GF2_L2_CACHE_BYTES), and the caller's
+/// requested update-thread count (`1` = serial; the engine plumbs its
+/// `--threads` setting through here).
 ///
 /// The heuristic has two regimes:
 ///
 /// * **Tiny** (`min(nrows, ncols) < 16`): schoolbook. A Gray-code table
-///   (and the arena round-trip) costs more to set up than it saves when
+///   (and the band bookkeeping) costs more to set up than it saves when
 ///   only a handful of rows need clearing per block.
 /// * **Everything else**: the cache-blocked multi-table kernel with the
 ///   [`m4rm_block_size`] per-table width. The recorded baseline
 ///   (`BENCH_gje.json`) shows it beating single-table M4RM at every
-///   measured size — the contiguous arena and the windowed two-index reads
-///   pay off well before memory effects do — so single-table M4RM is never
-///   auto-selected; it remains available explicitly
+///   measured size — the contiguous arena and the windowed multi-index
+///   reads pay off well before memory effects do — so single-table M4RM is
+///   never auto-selected; it remains available explicitly
 ///   ([`BitMatrix::gauss_jordan_m4rm_with_stats`]) as the reference the
 ///   blocked kernel is checked and benchmarked against. The cache estimate
 ///   steers the *shape* of the blocked kernel's work instead: matrices
 ///   wider than [`blocked_tile_words`](crate::blocked_tile_words) have
-///   their updates column-tiled so both Gray-code tables stay L2-resident.
+///   their updates column-tiled so all three Gray-code tables stay
+///   L2-resident.
+///
+/// The requested thread count is clamped so every row band keeps at least
+/// 64 rows: below that, the per-sweep channel round-trip costs more than
+/// the band's update work, so small matrices run serial no matter how many
+/// threads the caller offers. The result is bit-identical at every thread
+/// count; only wall-clock changes.
 ///
 /// ```
 /// use bosphorus_gf2::{select_kernel, KernelChoice};
-/// assert_eq!(select_kernel(8, 8), KernelChoice::Plain);
-/// assert_eq!(select_kernel(512, 512), KernelChoice::BlockedM4rm(7));
+/// assert_eq!(select_kernel(8, 8, 4), KernelChoice::Plain);
+/// assert_eq!(
+///     select_kernel(512, 512, 1),
+///     KernelChoice::BlockedM4rm { block: 7, threads: 1 }
+/// );
 /// // XL-shaped: few equations, tens of thousands of monomial columns.
-/// assert_eq!(select_kernel(2048, 16384), KernelChoice::BlockedM4rm(8));
+/// assert_eq!(
+///     select_kernel(2048, 16384, 4),
+///     KernelChoice::BlockedM4rm { block: 8, threads: 4 }
+/// );
+/// // Too few rows to split into 4 bands of >= 64 rows: runs serial.
+/// assert_eq!(
+///     select_kernel(100, 4096, 4),
+///     KernelChoice::BlockedM4rm { block: 5, threads: 1 }
+/// );
 /// ```
-pub fn select_kernel(nrows: usize, ncols: usize) -> KernelChoice {
+pub fn select_kernel(nrows: usize, ncols: usize, threads: usize) -> KernelChoice {
     if nrows.min(ncols) < M4RM_MIN_DIM {
         return KernelChoice::Plain;
     }
-    KernelChoice::BlockedM4rm(m4rm_block_size(nrows, ncols))
+    let max_threads = (nrows / PAR_MIN_BAND_ROWS).max(1);
+    KernelChoice::BlockedM4rm {
+        block: m4rm_block_size(nrows, ncols),
+        threads: threads.clamp(1, max_threads),
+    }
 }
 
 /// Statistics reported by the `*_with_stats` elimination entry points.
@@ -77,17 +109,32 @@ pub struct GaussStats {
     pub row_xors: usize,
     /// Number of row swaps performed.
     pub row_swaps: usize,
+    /// Update threads actually used (after clamping; 1 = serial). The
+    /// counters above are identical at every thread count — the band
+    /// partition cannot change what any row computes.
+    pub threads: usize,
+    /// Row bands the arena was partitioned into (equals `threads` for the
+    /// blocked kernel, 1 for the serial kernels).
+    pub bands: usize,
+    /// Gray-code tables built per elimination sweep (0 schoolbook, 1
+    /// single-table M4RM, 3 blocked multi-table).
+    pub tables_per_sweep: usize,
 }
 
 impl GaussStats {
     /// Folds another elimination's counters into this one. Used by callers
     /// that run several eliminations (e.g. ElimLin rounds) and report the
     /// cumulative work; `rank` accumulates too, so it becomes the *total*
-    /// rank across the merged eliminations.
+    /// rank across the merged eliminations. The configuration fields
+    /// (`threads`, `bands`, `tables_per_sweep`) keep the maximum seen, so a
+    /// mixed sequence reports its widest elimination.
     pub fn merge(&mut self, other: GaussStats) {
         self.rank += other.rank;
         self.row_xors += other.row_xors;
         self.row_swaps += other.row_swaps;
+        self.threads = self.threads.max(other.threads);
+        self.bands = self.bands.max(other.bands);
+        self.tables_per_sweep = self.tables_per_sweep.max(other.tables_per_sweep);
     }
 }
 
@@ -123,33 +170,38 @@ impl BitMatrix {
     /// assert_eq!(m.gauss_jordan(), 2);
     /// ```
     pub fn gauss_jordan(&mut self) -> usize {
-        self.gauss_jordan_with_stats().rank
+        self.gauss_jordan_with_stats(1).rank
     }
 
-    /// Like [`BitMatrix::gauss_jordan`] but also reports operation counts.
+    /// Like [`BitMatrix::gauss_jordan`] but also reports operation counts,
+    /// with row updates fanned across up to `threads` worker threads
+    /// (`1` = fully serial; the count is clamped by [`select_kernel`] so
+    /// every row band keeps enough work to pay for its hand-off).
     ///
     /// This is the unified elimination entry point: it dispatches on
     /// [`select_kernel`] — schoolbook for tiny matrices, the cache-blocked
     /// multi-table kernel for everything else (single-table M4RM is never
     /// auto-selected; it remains the explicit reference kernel). All kernels
-    /// produce bit-identical RREF, so callers only ever observe a change in
-    /// speed.
+    /// produce bit-identical RREF at every thread count, so callers only
+    /// ever observe a change in speed.
     ///
     /// ```
     /// use bosphorus_gf2::BitMatrix;
     /// let mut m = BitMatrix::identity(100);
     /// m.set(99, 0, true);
-    /// let stats = m.gauss_jordan_with_stats();
+    /// let stats = m.gauss_jordan_with_stats(1);
     /// assert_eq!(stats.rank, 100);
     /// assert_eq!(m, BitMatrix::identity(100));
     /// ```
-    pub fn gauss_jordan_with_stats(&mut self) -> GaussStats {
-        match select_kernel(self.nrows(), self.ncols()) {
+    pub fn gauss_jordan_with_stats(&mut self, threads: usize) -> GaussStats {
+        match select_kernel(self.nrows(), self.ncols(), threads) {
             KernelChoice::Plain => self.gauss_jordan_plain_with_stats(),
             // Not produced by select_kernel today, but the dispatch stays
             // total so a retuned heuristic cannot silently miss a kernel.
             KernelChoice::M4rm(k) => self.gauss_jordan_m4rm_with_stats(k),
-            KernelChoice::BlockedM4rm(k) => self.gauss_jordan_blocked_m4rm_with_stats(k),
+            KernelChoice::BlockedM4rm { block, threads } => {
+                self.gauss_jordan_blocked_m4rm_with_stats(block, threads)
+            }
         }
     }
 
@@ -160,7 +212,11 @@ impl BitMatrix {
     /// benchmarked against (`gje_kernels` bench); production callers should
     /// use [`BitMatrix::gauss_jordan_with_stats`] instead.
     pub fn gauss_jordan_plain_with_stats(&mut self) -> GaussStats {
-        let mut stats = GaussStats::default();
+        let mut stats = GaussStats {
+            threads: 1,
+            bands: 1,
+            ..GaussStats::default()
+        };
         let nrows = self.nrows();
         let ncols = self.ncols();
         let mut pivot_row = 0usize;
@@ -225,7 +281,7 @@ impl BitMatrix {
     /// is already in reduced row-echelon form (e.g. after
     /// [`BitMatrix::gauss_jordan`]).
     pub fn pivot_columns(&self) -> Vec<usize> {
-        self.iter().filter_map(BitVec::first_one).collect()
+        self.iter().filter_map(|row| row.first_one()).collect()
     }
 
     /// Computes a basis of the right kernel (null space) of the matrix.
@@ -256,20 +312,22 @@ impl BitMatrix {
             v
         };
         // Building a basis vector reads a whole *column* of the RREF (the
-        // free column's coefficients in every pivot row), which in row-major
-        // storage is one strided bit probe per pivot row. Transposing once
-        // (word-level 64x64 block transpose) turns each column into a row,
-        // so a basis vector costs one `iter_ones` scan instead.
-        let rref_t = rref.transpose();
+        // free column's coefficients in every pivot row). The arena's fixed
+        // row stride makes that one direct word probe per pivot row — no
+        // transposed copy of the whole RREF needs materialising, which for
+        // the paper-scale XL matrices (thousands of rows, tens of thousands
+        // of columns) used to double the working set. Only the first `rank`
+        // rows need probing: zero rows have no ones.
+        let word = |free_col: usize| free_col / 64;
+        let bit = |free_col: usize| free_col % 64;
         let mut basis = Vec::with_capacity(ncols - rank);
         for free_col in (0..ncols).filter(|&c| !is_pivot[c]) {
             let mut v = BitVec::zero(ncols);
             v.set(free_col, true);
-            // Rows of the RREF with a one in `free_col` are necessarily
-            // pivot rows (zero rows have no ones), so the indices stay
-            // within `pivots`.
-            for row_idx in rref_t.row(free_col).iter_ones() {
-                v.set(pivots[row_idx], true);
+            for (row_idx, &pivot_col) in pivots.iter().enumerate() {
+                if (rref.row_words(row_idx)[word(free_col)] >> bit(free_col)) & 1 == 1 {
+                    v.set(pivot_col, true);
+                }
             }
             basis.push(v);
         }
@@ -333,9 +391,11 @@ impl BitMatrix {
     }
 
     /// Like [`BitMatrix::gauss_jordan_blocked`] but reports operation counts
-    /// instead of silently dropping them.
+    /// instead of silently dropping them. Runs serial; use
+    /// [`BitMatrix::gauss_jordan_blocked_m4rm_with_stats`] directly for
+    /// band-parallel updates.
     pub fn gauss_jordan_blocked_with_stats(&mut self, block: usize) -> GaussStats {
-        self.gauss_jordan_blocked_m4rm_with_stats(block.clamp(1, M4RM_MAX_BLOCK))
+        self.gauss_jordan_blocked_m4rm_with_stats(block.clamp(1, M4RM_MAX_BLOCK), 1)
     }
 }
 
@@ -373,7 +433,7 @@ mod tests {
         let rows: Vec<String> = m
             .iter()
             .filter(|r| !r.is_zero())
-            .map(BitVec::to_string)
+            .map(|r| r.to_string())
             .collect();
         assert!(rows.contains(&"00000011".to_string()), "x1 + 1 learnt");
         assert!(rows.contains(&"00000100".to_string()), "x2 learnt");
@@ -409,7 +469,7 @@ mod tests {
         }
         let mut plain = wide.clone();
         let plain_stats = plain.gauss_jordan_plain_with_stats();
-        let stats = wide.gauss_jordan_with_stats();
+        let stats = wide.gauss_jordan_with_stats(1);
         assert_eq!(stats.rank, plain_stats.rank);
         assert_eq!(wide, plain);
     }
@@ -490,10 +550,12 @@ mod tests {
     #[test]
     fn stats_counts_operations() {
         let mut m = BitMatrix::from_dense(&[vec![false, true], vec![true, false]]);
-        let stats = m.gauss_jordan_with_stats();
+        let stats = m.gauss_jordan_with_stats(1);
         assert_eq!(stats.rank, 2);
         assert_eq!(stats.row_swaps, 1);
         assert_eq!(stats.row_xors, 0);
+        assert_eq!(stats.threads, 1);
+        assert_eq!(stats.tables_per_sweep, 0, "schoolbook builds no tables");
     }
 
     #[test]
@@ -503,18 +565,27 @@ mod tests {
             rank: 3,
             row_xors: 10,
             row_swaps: 1,
+            threads: 1,
+            bands: 1,
+            tables_per_sweep: 0,
         });
         total.merge(GaussStats {
             rank: 2,
             row_xors: 4,
             row_swaps: 0,
+            threads: 4,
+            bands: 4,
+            tables_per_sweep: 3,
         });
         assert_eq!(
             total,
             GaussStats {
                 rank: 5,
                 row_xors: 14,
-                row_swaps: 1
+                row_swaps: 1,
+                threads: 4,
+                bands: 4,
+                tables_per_sweep: 3,
             }
         );
     }
@@ -526,22 +597,35 @@ mod tests {
         // mid-size ElimLin matrices, paper-scale XL linearisations). A
         // change in any of these is a deliberate retuning, not drift.
         use crate::{select_kernel, KernelChoice};
-        assert_eq!(select_kernel(0, 0), KernelChoice::Plain);
-        assert_eq!(select_kernel(7, 128), KernelChoice::Plain);
-        assert_eq!(select_kernel(15, 15), KernelChoice::Plain);
-        assert_eq!(select_kernel(16, 16), KernelChoice::BlockedM4rm(3));
-        assert_eq!(select_kernel(64, 64), KernelChoice::BlockedM4rm(5));
-        assert_eq!(select_kernel(256, 256), KernelChoice::BlockedM4rm(6));
-        assert_eq!(select_kernel(1024, 1024), KernelChoice::BlockedM4rm(8));
-        assert_eq!(select_kernel(2048, 2048), KernelChoice::BlockedM4rm(8));
-        assert_eq!(select_kernel(4096, 4096), KernelChoice::BlockedM4rm(8));
+        let blocked = |block: usize, threads: usize| KernelChoice::BlockedM4rm { block, threads };
+        assert_eq!(select_kernel(0, 0, 1), KernelChoice::Plain);
+        assert_eq!(select_kernel(7, 128, 4), KernelChoice::Plain);
+        assert_eq!(select_kernel(15, 15, 1), KernelChoice::Plain);
+        assert_eq!(select_kernel(16, 16, 1), blocked(3, 1));
+        assert_eq!(select_kernel(64, 64, 1), blocked(5, 1));
+        assert_eq!(select_kernel(256, 256, 1), blocked(6, 1));
+        assert_eq!(select_kernel(1024, 1024, 1), blocked(8, 1));
+        assert_eq!(select_kernel(2048, 2048, 1), blocked(8, 1));
+        assert_eq!(select_kernel(4096, 4096, 1), blocked(8, 1));
         // XL-shaped: wide beyond cache even with modest row counts.
-        assert_eq!(select_kernel(2048, 16384), KernelChoice::BlockedM4rm(8));
+        assert_eq!(select_kernel(2048, 16384, 1), blocked(8, 1));
         // Tall and narrow: k comes from the smaller dimension.
-        assert_eq!(select_kernel(200_000, 24), KernelChoice::BlockedM4rm(3));
+        assert_eq!(select_kernel(200_000, 24, 1), blocked(3, 1));
+        // Thread requests pass through when every band keeps >= 64 rows...
+        assert_eq!(select_kernel(4096, 4096, 4), blocked(8, 4));
+        assert_eq!(select_kernel(2048, 16384, 8), blocked(8, 8));
+        assert_eq!(select_kernel(256, 256, 4), blocked(6, 4));
+        // ...and clamp to serial (or fewer bands) when rows run short.
+        assert_eq!(select_kernel(100, 4096, 8), blocked(5, 1));
+        assert_eq!(select_kernel(192, 192, 8), blocked(6, 3));
+        assert_eq!(select_kernel(16, 16, 8), blocked(3, 1));
+        assert_eq!(select_kernel(4096, 4096, 0), blocked(8, 1));
         // The dispatcher must agree with the choice (rank sanity check).
         let mut m = BitMatrix::identity(64);
-        assert_eq!(m.gauss_jordan_with_stats().rank, 64);
+        assert_eq!(m.gauss_jordan_with_stats(1).rank, 64);
+        // Threaded dispatch produces the identical result.
+        let mut m2 = BitMatrix::identity(4096);
+        assert_eq!(m2.gauss_jordan_with_stats(4).rank, 4096);
     }
 
     #[test]

@@ -15,13 +15,18 @@
 //!   processed in Gray-code blocks of up to 8, each non-pivot row cleared
 //!   with one table lookup + one word-parallel XOR per block (see
 //!   [`m4rm_block_size`]),
-//! * a **cache-blocked multi-table** kernel for paper-scale matrices: two
-//!   Gray-code tables per sweep (halving passes over the trailing matrix)
-//!   and column-tiled row updates sized to [`GF2_L2_CACHE_BYTES`] (see
-//!   `blocked.rs` and `crates/bench/DESIGN.md`).
+//! * a **cache-blocked multi-table** kernel for paper-scale matrices: three
+//!   Gray-code tables per sweep (one third the passes over the trailing
+//!   matrix), column-tiled row updates sized to [`GF2_L2_CACHE_BYTES`], all
+//!   in place over the matrix arena, and optionally band-parallel across
+//!   scoped worker threads (see `blocked.rs` and `crates/bench/DESIGN.md`).
 //!
-//! All three produce bit-identical RREF, so `gauss_jordan`, `rank`, `rref`,
-//! `kernel` and `solve` all ride on the fast path transparently.
+//! All three produce bit-identical RREF at every thread count, so
+//! `gauss_jordan`, `rank`, `rref`, `kernel` and `solve` all ride on the fast
+//! path transparently. [`BitMatrix`] stores its rows in one contiguous
+//! `Vec<u64>` arena with a fixed per-row word stride, which is what lets the
+//! blocked kernel eliminate in place and hand disjoint row bands to worker
+//! threads without copying.
 //!
 //! # Examples
 //!
@@ -48,12 +53,14 @@ mod blocked;
 mod gje;
 mod m4rm;
 mod matrix;
+pub mod parallel;
 mod vector;
 
 pub use blocked::{blocked_tile_words, GF2_L2_CACHE_BYTES};
 pub use gje::{select_kernel, GaussStats, KernelChoice, SolveOutcome};
 pub use m4rm::{m4rm_block_size, M4RM_MAX_BLOCK};
-pub use matrix::BitMatrix;
+pub use matrix::{BitMatrix, RowRef};
+pub use parallel::run_indexed;
 pub use vector::BitVec;
 
 #[cfg(test)]

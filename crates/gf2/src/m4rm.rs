@@ -30,7 +30,7 @@
 //! `proptests.rs` assert this equivalence.
 
 use crate::vector::xor_words;
-use crate::{BitMatrix, BitVec, GaussStats};
+use crate::{BitMatrix, GaussStats};
 
 /// Maximum M4RM block width: `2^8 = 256` Gray-code table entries.
 ///
@@ -75,7 +75,12 @@ impl BitMatrix {
     /// [`m4rm_block_size`] for how the block width is chosen automatically.
     pub fn gauss_jordan_m4rm_with_stats(&mut self, block: usize) -> GaussStats {
         let k = block.clamp(1, M4RM_MAX_BLOCK);
-        let mut stats = GaussStats::default();
+        let mut stats = GaussStats {
+            threads: 1,
+            bands: 1,
+            tables_per_sweep: 1,
+            ..GaussStats::default()
+        };
         let nrows = self.nrows();
         let ncols = self.ncols();
         if nrows == 0 || ncols == 0 {
@@ -114,12 +119,12 @@ impl BitMatrix {
                 // Clear all p pivot columns from every row outside the
                 // pivot block with a single lookup + XOR per row.
                 for r in (0..block_start).chain(block_end..nrows) {
-                    let idx = block_index(self.row(r), &pivot_cols);
+                    let idx = block_index(self.row_words(r), &pivot_cols);
                     if idx == 0 {
                         continue;
                     }
                     let entry = &table[idx * stride..(idx + 1) * stride];
-                    xor_words(&mut self.rows_mut()[r].words_mut()[w0..], entry);
+                    xor_words(&mut self.row_words_mut(r)[w0..], entry);
                     stats.row_xors += 1;
                 }
             }
@@ -157,8 +162,8 @@ impl BitMatrix {
     ///
     /// After the call the `p × p` submatrix at the pivot rows × pivot columns
     /// is the identity — the property the Gray-code table indexing relies on.
-    /// `blocked.rs` re-implements this loop over its contiguous arena (with
-    /// `2k` columns per sweep split over two tables); a change to the pivot
+    /// `blocked.rs` re-implements this loop over its row bands (with `3k`
+    /// columns per sweep split over three tables); a change to the pivot
     /// discipline here must be mirrored there to keep the RREFs identical.
     fn establish_block_pivots(
         &mut self,
@@ -237,11 +242,10 @@ fn build_gray_table(
 }
 
 /// Reads a row's bits at the block's pivot columns as a table index.
-fn block_index(row: &BitVec, pivot_cols: &[usize]) -> usize {
-    let words = row.words();
+fn block_index(row: &[u64], pivot_cols: &[usize]) -> usize {
     let mut idx = 0usize;
     for (j, &c) in pivot_cols.iter().enumerate() {
-        idx |= (((words[c / 64] >> (c % 64)) & 1) as usize) << j;
+        idx |= (((row[c / 64] >> (c % 64)) & 1) as usize) << j;
     }
     idx
 }
@@ -251,6 +255,7 @@ mod tests {
     use super::*;
 
     use crate::testutil::splitmix_matrix as pseudo_random_matrix;
+    use crate::BitVec;
 
     fn assert_matches_plain(m: &BitMatrix, k: usize) {
         let mut plain = m.clone();
@@ -292,9 +297,9 @@ mod tests {
         assert_matches_plain(&pseudo_random_matrix(40, 200, 8), 6);
         let mut deficient = pseudo_random_matrix(60, 80, 9);
         for r in 0..20 {
-            let dup = deficient.row(r).clone();
-            deficient.rows_mut()[r + 20] = dup;
-            deficient.rows_mut()[r + 40] = BitVec::zero(80);
+            let dup = deficient.row(r).to_bitvec();
+            deficient.set_row(r + 20, &dup);
+            deficient.set_row(r + 40, &BitVec::zero(80));
         }
         assert_matches_plain(&deficient, 8);
         assert!(deficient.clone().gauss_jordan_m4rm_with_stats(8).rank <= 20);

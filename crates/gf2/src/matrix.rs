@@ -1,15 +1,28 @@
-//! Bit-packed dense GF(2) matrices.
+//! Bit-packed dense GF(2) matrices on a contiguous word arena.
 
 use std::fmt;
 
+use crate::vector::{first_one_in_range_words, iter_ones_words, word_get, xor_words};
 use crate::BitVec;
 
 /// A dense matrix over GF(2) with rows packed 64 columns per `u64` word.
+///
+/// Storage is a single contiguous `Vec<u64>` arena with a fixed per-row word
+/// stride (`ncols.div_ceil(64)`), so row `r` occupies
+/// `words[r * stride .. (r + 1) * stride]`. Rows are never separate
+/// allocations: the elimination kernels work in place on the arena through
+/// word-level row views ([`BitMatrix::row_words`],
+/// [`BitMatrix::row_words_mut`], [`BitMatrix::row_pair_mut`]) without
+/// flattening or read-back copies, and row bands of the arena can be handed
+/// to worker threads as disjoint `&mut [u64]` slices.
 ///
 /// The matrix supports the elementary row operations needed by Gauss–Jordan
 /// elimination (row swap, row XOR) as word-parallel operations, which is what
 /// makes linearisation-based reasoning (XL, ElimLin) practical on systems with
 /// tens of thousands of monomial columns.
+///
+/// Like [`BitVec`], every row keeps the unused high bits of its last word
+/// zero, so word-level consumers can operate on whole words without masking.
 ///
 /// # Examples
 ///
@@ -23,16 +36,146 @@ use crate::BitVec;
 /// ```
 #[derive(Clone, PartialEq, Eq)]
 pub struct BitMatrix {
-    rows: Vec<BitVec>,
-    cols: usize,
+    words: Vec<u64>,
+    nrows: usize,
+    ncols: usize,
+    stride: usize,
+}
+
+/// A borrowed, read-only view of one matrix row: a `&[u64]` window into the
+/// arena plus the logical bit length.
+///
+/// `RowRef` mirrors the read API of [`BitVec`] (`get`, `first_one`,
+/// `iter_ones`, …) without copying the row out of the arena. Use
+/// [`RowRef::to_bitvec`] when an owned row is needed.
+#[derive(Clone, Copy)]
+pub struct RowRef<'a> {
+    words: &'a [u64],
+    len: usize,
+}
+
+impl<'a> RowRef<'a> {
+    /// Number of bits in the row (the matrix column count).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the row has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn get(&self, index: usize) -> bool {
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
+        word_get(self.words, index)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Index of the first set bit, if any.
+    pub fn first_one(&self) -> Option<usize> {
+        first_one_in_range_words(self.words, 0, self.len)
+    }
+
+    /// Index of the first set bit inside `start..end`, if any. Word-parallel,
+    /// like [`BitVec::first_one_in_range`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    pub fn first_one_in_range(&self, start: usize, end: usize) -> Option<usize> {
+        assert!(
+            start <= end && end <= self.len,
+            "bit range {start}..{end} out of range {}",
+            self.len
+        );
+        first_one_in_range_words(self.words, start, end)
+    }
+
+    /// Iterates over the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + 'a {
+        iter_ones_words(self.words)
+    }
+
+    /// The backing words of the row, least-significant bit first. Unused
+    /// high bits of the last word are zero.
+    pub fn words(&self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Copies the row out of the arena into an owned [`BitVec`].
+    pub fn to_bitvec(&self) -> BitVec {
+        BitVec::from_words(self.words.to_vec(), self.len)
+    }
+}
+
+impl PartialEq for RowRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.words == other.words
+    }
+}
+
+impl Eq for RowRef<'_> {}
+
+impl PartialEq<BitVec> for RowRef<'_> {
+    fn eq(&self, other: &BitVec) -> bool {
+        self.len == other.len() && self.words == other.words()
+    }
+}
+
+impl PartialEq<&BitVec> for RowRef<'_> {
+    fn eq(&self, other: &&BitVec) -> bool {
+        *self == **other
+    }
+}
+
+impl PartialEq<RowRef<'_>> for BitVec {
+    fn eq(&self, other: &RowRef<'_>) -> bool {
+        *other == *self
+    }
+}
+
+impl fmt::Display for RowRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for RowRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RowRef[{self}]")
+    }
 }
 
 impl BitMatrix {
     /// Creates an all-zero matrix with `rows` rows and `cols` columns.
     pub fn zero(rows: usize, cols: usize) -> Self {
+        let stride = cols.div_ceil(64);
         BitMatrix {
-            rows: vec![BitVec::zero(cols); rows],
-            cols,
+            words: vec![0; rows * stride],
+            nrows: rows,
+            ncols: cols,
+            stride,
         }
     }
 
@@ -56,7 +199,57 @@ impl BitMatrix {
             rows.iter().all(|r| r.len() == cols),
             "all rows must have the same number of columns"
         );
-        BitMatrix { rows, cols }
+        let stride = cols.div_ceil(64);
+        let mut words = Vec::with_capacity(rows.len() * stride);
+        for row in &rows {
+            words.extend_from_slice(row.words());
+        }
+        BitMatrix {
+            words,
+            nrows: rows.len(),
+            ncols: cols,
+            stride,
+        }
+    }
+
+    /// Builds a matrix directly from a pre-assembled row-major word arena:
+    /// row `r` occupies `words[r * ncols.div_ceil(64) ..][.. ncols.div_ceil(64)]`,
+    /// bit `c` of a row is bit `c % 64` of its word `c / 64`.
+    ///
+    /// This is the zero-copy construction path for builders that stream
+    /// whole rows into one buffer (e.g. linearisation). Unused high bits of
+    /// each row's last word are cleared, preserving the padding invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != nrows * ncols.div_ceil(64)`.
+    ///
+    /// ```
+    /// use bosphorus_gf2::BitMatrix;
+    /// // two rows of 3 columns: 0b101 and 0b010
+    /// let m = BitMatrix::from_row_words(vec![0b101, 0b010], 2, 3);
+    /// assert!(m.get(0, 0) && m.get(0, 2) && m.get(1, 1));
+    /// assert!(!m.get(0, 1) && !m.get(1, 0) && !m.get(1, 2));
+    /// ```
+    pub fn from_row_words(mut words: Vec<u64>, nrows: usize, ncols: usize) -> Self {
+        let stride = ncols.div_ceil(64);
+        assert_eq!(
+            words.len(),
+            nrows * stride,
+            "word buffer does not match nrows * words_per_row"
+        );
+        if ncols % 64 != 0 && stride > 0 {
+            let mask = (1u64 << (ncols % 64)) - 1;
+            for r in 0..nrows {
+                words[r * stride + stride - 1] &= mask;
+            }
+        }
+        BitMatrix {
+            words,
+            nrows,
+            ncols,
+            stride,
+        }
     }
 
     /// Builds a matrix from a nested boolean slice (row major).
@@ -74,17 +267,22 @@ impl BitMatrix {
 
     /// Number of rows.
     pub fn nrows(&self) -> usize {
-        self.rows.len()
+        self.nrows
     }
 
     /// Number of columns.
     pub fn ncols(&self) -> usize {
-        self.cols
+        self.ncols
+    }
+
+    /// Number of `u64` words per row in the arena (`ncols.div_ceil(64)`).
+    pub fn words_per_row(&self) -> usize {
+        self.stride
     }
 
     /// Returns `true` if the matrix has no rows or no columns.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty() || self.cols == 0
+        self.nrows == 0 || self.ncols == 0
     }
 
     /// Returns the entry at (`row`, `col`).
@@ -93,7 +291,17 @@ impl BitMatrix {
     ///
     /// Panics if the indices are out of range.
     pub fn get(&self, row: usize, col: usize) -> bool {
-        self.rows[row].get(col)
+        assert!(
+            row < self.nrows,
+            "row index {row} out of range {}",
+            self.nrows
+        );
+        assert!(
+            col < self.ncols,
+            "bit index {col} out of range {}",
+            self.ncols
+        );
+        word_get(&self.words[row * self.stride..], col)
     }
 
     /// Sets the entry at (`row`, `col`).
@@ -102,21 +310,99 @@ impl BitMatrix {
     ///
     /// Panics if the indices are out of range.
     pub fn set(&mut self, row: usize, col: usize, value: bool) {
-        self.rows[row].set(col, value);
+        assert!(
+            row < self.nrows,
+            "row index {row} out of range {}",
+            self.nrows
+        );
+        assert!(
+            col < self.ncols,
+            "bit index {col} out of range {}",
+            self.ncols
+        );
+        let word = &mut self.words[row * self.stride + col / 64];
+        let mask = 1u64 << (col % 64);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
     }
 
-    /// Borrows row `row`.
+    /// Borrows row `row` as a read-only view into the arena.
     ///
     /// # Panics
     ///
     /// Panics if `row` is out of range.
-    pub fn row(&self, row: usize) -> &BitVec {
-        &self.rows[row]
+    pub fn row(&self, row: usize) -> RowRef<'_> {
+        RowRef {
+            words: self.row_words(row),
+            len: self.ncols,
+        }
     }
 
-    /// Iterates over the rows in order.
-    pub fn iter(&self) -> std::slice::Iter<'_, BitVec> {
-        self.rows.iter()
+    /// The words of row `row`, least-significant bit first — a direct window
+    /// into the arena, no copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_words(&self, row: usize) -> &[u64] {
+        assert!(
+            row < self.nrows,
+            "row index {row} out of range {}",
+            self.nrows
+        );
+        &self.words[row * self.stride..(row + 1) * self.stride]
+    }
+
+    /// Mutable words of row `row`. Callers must keep the unused high bits of
+    /// the last word zero (the padding invariant all word-level consumers
+    /// rely on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_words_mut(&mut self, row: usize) -> &mut [u64] {
+        assert!(
+            row < self.nrows,
+            "row index {row} out of range {}",
+            self.nrows
+        );
+        &mut self.words[row * self.stride..(row + 1) * self.stride]
+    }
+
+    /// Mutable words of two *distinct* rows at once — the disjoint-pair
+    /// access behind in-place row XOR and row swap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either index is out of range.
+    pub fn row_pair_mut(&mut self, a: usize, b: usize) -> (&mut [u64], &mut [u64]) {
+        assert_ne!(a, b, "row_pair_mut requires two distinct rows");
+        assert!(
+            a < self.nrows && b < self.nrows,
+            "row pair ({a}, {b}) out of range {}",
+            self.nrows
+        );
+        let stride = self.stride;
+        if a < b {
+            let (lo, hi) = self.words.split_at_mut(b * stride);
+            (&mut lo[a * stride..(a + 1) * stride], &mut hi[..stride])
+        } else {
+            let (lo, hi) = self.words.split_at_mut(a * stride);
+            (&mut hi[..stride], &mut lo[b * stride..(b + 1) * stride])
+        }
+    }
+
+    /// The whole arena, row-major with stride [`BitMatrix::words_per_row`].
+    pub(crate) fn words_raw_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Iterates over the rows in order as [`RowRef`] views.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = RowRef<'_>> + '_ {
+        (0..self.nrows).map(move |r| self.row(r))
     }
 
     /// Appends a row to the matrix.
@@ -125,8 +411,19 @@ impl BitMatrix {
     ///
     /// Panics if `row.len() != self.ncols()`.
     pub fn push_row(&mut self, row: BitVec) {
-        assert_eq!(row.len(), self.cols, "row length must equal column count");
-        self.rows.push(row);
+        assert_eq!(row.len(), self.ncols, "row length must equal column count");
+        self.words.extend_from_slice(row.words());
+        self.nrows += 1;
+    }
+
+    /// Overwrites row `row` with the bits of `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `src.len() != self.ncols()`.
+    pub fn set_row(&mut self, row: usize, src: &BitVec) {
+        assert_eq!(src.len(), self.ncols, "row length must equal column count");
+        self.row_words_mut(row).copy_from_slice(src.words());
     }
 
     /// Swaps two rows.
@@ -135,7 +432,16 @@ impl BitMatrix {
     ///
     /// Panics if either index is out of range.
     pub fn swap_rows(&mut self, a: usize, b: usize) {
-        self.rows.swap(a, b);
+        assert!(
+            a < self.nrows && b < self.nrows,
+            "row pair ({a}, {b}) out of range {}",
+            self.nrows
+        );
+        if a == b {
+            return;
+        }
+        let (ra, rb) = self.row_pair_mut(a, b);
+        ra.swap_with_slice(rb);
     }
 
     /// XORs row `src` into row `dst` (`dst ^= src`).
@@ -145,16 +451,8 @@ impl BitMatrix {
     /// Panics if either index is out of range or `src == dst`.
     pub fn xor_row_into(&mut self, src: usize, dst: usize) {
         assert_ne!(src, dst, "cannot XOR a row into itself");
-        let (a, b) = if src < dst {
-            let (lo, hi) = self.rows.split_at_mut(dst);
-            (&lo[src], &mut hi[0])
-        } else {
-            let (lo, hi) = self.rows.split_at_mut(src);
-            (&hi[0], &mut lo[dst])
-        };
-        for (d, s) in b.words_mut().iter_mut().zip(a.words()) {
-            *d ^= s;
-        }
+        let (s, d) = self.row_pair_mut(src, dst);
+        xor_words(d, s);
     }
 
     /// Builds an `n × 1` matrix from a vector, one bit per row.
@@ -162,17 +460,20 @@ impl BitMatrix {
     /// Useful as the right operand of [`BitMatrix::hstack`] when augmenting
     /// a system matrix with a right-hand side.
     pub fn column_vector(v: &BitVec) -> BitMatrix {
-        let rows = (0..v.len())
-            .map(|i| BitVec::from_bits([v.get(i)]))
-            .collect();
-        BitMatrix { rows, cols: 1 }
+        let mut m = BitMatrix::zero(v.len(), 1);
+        for i in 0..v.len() {
+            if v.get(i) {
+                m.words[i] = 1;
+            }
+        }
+        m
     }
 
     /// Horizontally concatenates two matrices with the same row count:
     /// `[self | right]`.
     ///
-    /// Rows are assembled with word-level copies
-    /// ([`BitVec::copy_bits_from`]), not bit-by-bit.
+    /// Rows are assembled with word-level copies straight into the result
+    /// arena (a shifted-OR merge), not bit-by-bit.
     ///
     /// # Panics
     ///
@@ -190,23 +491,32 @@ impl BitMatrix {
     /// ```
     pub fn hstack(&self, right: &BitMatrix) -> BitMatrix {
         assert_eq!(
-            self.nrows(),
-            right.nrows(),
+            self.nrows, right.nrows,
             "hstack operands must have the same row count"
         );
-        let cols = self.cols + right.cols;
-        let rows = self
-            .rows
-            .iter()
-            .zip(&right.rows)
-            .map(|(l, r)| {
-                let mut out = BitVec::zero(cols);
-                out.copy_bits_from(l, 0);
-                out.copy_bits_from(r, self.cols);
-                out
-            })
-            .collect();
-        BitMatrix { rows, cols }
+        let cols = self.ncols + right.ncols;
+        let mut out = BitMatrix::zero(self.nrows, cols);
+        let shift = self.ncols % 64;
+        let w0 = self.ncols / 64;
+        for r in 0..self.nrows {
+            let dst_start = r * out.stride;
+            out.words[dst_start..dst_start + self.stride].copy_from_slice(self.row_words(r));
+            let src = right.row_words(r);
+            if shift == 0 {
+                out.words[dst_start + w0..dst_start + w0 + right.stride].copy_from_slice(src);
+            } else {
+                for (si, &sw) in src.iter().enumerate() {
+                    // The left row's padding bits are zero, so a plain OR
+                    // splices the shifted right row in.
+                    out.words[dst_start + w0 + si] |= sw << shift;
+                    let spill = sw >> (64 - shift);
+                    if spill != 0 {
+                        out.words[dst_start + w0 + si + 1] |= spill;
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Multiplies the matrix by a column vector.
@@ -215,8 +525,15 @@ impl BitMatrix {
     ///
     /// Panics if `v.len() != self.ncols()`.
     pub fn mul_vec(&self, v: &BitVec) -> BitVec {
-        assert_eq!(v.len(), self.cols, "vector length must equal column count");
-        BitVec::from_bits(self.rows.iter().map(|r| r.dot(v)))
+        assert_eq!(v.len(), self.ncols, "vector length must equal column count");
+        BitVec::from_bits((0..self.nrows).map(|r| {
+            self.row_words(r)
+                .iter()
+                .zip(v.words())
+                .fold(0u32, |acc, (a, b)| acc ^ (a & b).count_ones())
+                & 1
+                == 1
+        }))
     }
 
     /// Returns the transpose of the matrix.
@@ -224,22 +541,19 @@ impl BitMatrix {
     /// Runs at word level: the matrix is processed as 64×64 bit tiles, each
     /// transposed in registers with the recursive block-swap of Hacker's
     /// Delight (§7-3), so the cost is `O(rows · cols / 64)` word operations
-    /// instead of one scatter per set bit. This is the transposed-storage
-    /// path behind the column-heavy operations — [`BitMatrix::kernel`]
-    /// transposes the RREF once and then reads columns as rows.
+    /// instead of one scatter per set bit.
     pub fn transpose(&self) -> BitMatrix {
-        let nrows = self.nrows();
-        let ncols = self.cols;
+        let nrows = self.nrows;
+        let ncols = self.ncols;
         let mut t = BitMatrix::zero(ncols, nrows);
-        let row_words = ncols.div_ceil(64);
         let mut tile = [0u64; 64];
         for row_band in 0..nrows.div_ceil(64) {
             let r0 = row_band * 64;
             let rows_here = (nrows - r0).min(64);
-            for word in 0..row_words {
+            for word in 0..self.stride {
                 for (i, slot) in tile.iter_mut().enumerate() {
                     *slot = if i < rows_here {
-                        self.rows[r0 + i].words()[word]
+                        self.words[(r0 + i) * self.stride + word]
                     } else {
                         0
                     };
@@ -248,7 +562,7 @@ impl BitMatrix {
                 let cols_here = (ncols - word * 64).min(64);
                 for (j, &bits) in tile.iter().enumerate().take(cols_here) {
                     if bits != 0 {
-                        t.rows[word * 64 + j].words_mut()[row_band] = bits;
+                        t.words[(word * 64 + j) * t.stride + row_band] = bits;
                     }
                 }
             }
@@ -263,34 +577,51 @@ impl BitMatrix {
     /// Panics if `self.ncols() != other.nrows()`.
     pub fn mul(&self, other: &BitMatrix) -> BitMatrix {
         assert_eq!(
-            self.cols,
+            self.ncols,
             other.nrows(),
             "inner dimensions must agree in matrix product"
         );
-        let mut out = BitMatrix::zero(self.nrows(), other.ncols());
-        for (i, row) in self.rows.iter().enumerate() {
-            for k in row.iter_ones() {
-                out.rows[i].xor_assign(&other.rows[k]);
+        let mut out = BitMatrix::zero(self.nrows, other.ncols());
+        for i in 0..self.nrows {
+            for k in self.row(i).iter_ones() {
+                xor_words(out.row_words_mut(i), other.row_words(k));
             }
         }
         out
     }
 
     /// Removes and returns rows that are entirely zero, keeping the rest in
-    /// their original order.
+    /// their original order. Kept rows are compacted toward the front of the
+    /// arena with word-level moves.
     pub fn drop_zero_rows(&mut self) -> usize {
-        let before = self.rows.len();
-        self.rows.retain(|r| !r.is_zero());
-        before - self.rows.len()
+        let stride = self.stride;
+        let mut kept = 0usize;
+        for r in 0..self.nrows {
+            let start = r * stride;
+            let is_zero = self.words[start..start + stride].iter().all(|&w| w == 0);
+            if !is_zero {
+                if kept != r {
+                    self.words.copy_within(start..start + stride, kept * stride);
+                }
+                kept += 1;
+            }
+        }
+        let dropped = self.nrows - kept;
+        self.nrows = kept;
+        self.words.truncate(kept * stride);
+        dropped
     }
 
-    /// Consumes the matrix and returns its rows.
+    /// Consumes the matrix and returns its rows as owned vectors.
     pub fn into_rows(self) -> Vec<BitVec> {
-        self.rows
-    }
-
-    pub(crate) fn rows_mut(&mut self) -> &mut Vec<BitVec> {
-        &mut self.rows
+        (0..self.nrows)
+            .map(|r| {
+                BitVec::from_words(
+                    self.words[r * self.stride..(r + 1) * self.stride].to_vec(),
+                    self.ncols,
+                )
+            })
+            .collect()
     }
 }
 
@@ -318,8 +649,8 @@ fn transpose_64x64(tile: &mut [u64; 64]) {
 
 impl fmt::Debug for BitMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "BitMatrix {}x{} [", self.nrows(), self.cols)?;
-        for row in &self.rows {
+        writeln!(f, "BitMatrix {}x{} [", self.nrows, self.ncols)?;
+        for row in self.iter() {
             writeln!(f, "  {row}")?;
         }
         write!(f, "]")
@@ -328,7 +659,7 @@ impl fmt::Debug for BitMatrix {
 
 impl fmt::Display for BitMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (i, row) in self.rows.iter().enumerate() {
+        for (i, row) in self.iter().enumerate() {
             if i > 0 {
                 writeln!(f)?;
             }
@@ -398,9 +729,8 @@ mod tests {
     #[test]
     fn transpose_across_row_and_column_bands() {
         // 150 rows x 130 cols: three 64-row bands and three column bands,
-        // deterministically covering the multi-band write path
-        // (words_mut()[row_band] for row_band >= 1) that paper-scale RREFs
-        // take through kernel().
+        // deterministically covering the multi-band write path that
+        // paper-scale RREFs take.
         let mut m = BitMatrix::zero(150, 130);
         for r in 0..150 {
             for c in 0..130 {
@@ -433,6 +763,21 @@ mod tests {
         assert_eq!(m.drop_zero_rows(), 2);
         assert_eq!(m.nrows(), 1);
         assert!(m.get(0, 2));
+    }
+
+    #[test]
+    fn drop_zero_rows_compacts_the_arena_in_order() {
+        let mut m = BitMatrix::zero(6, 130);
+        m.set(1, 0, true);
+        m.set(3, 64, true);
+        m.set(3, 129, true);
+        m.set(5, 129, true);
+        assert_eq!(m.drop_zero_rows(), 3);
+        assert_eq!(m.nrows(), 3);
+        assert!(m.get(0, 0));
+        assert!(m.get(1, 64) && m.get(1, 129));
+        assert!(m.get(2, 129));
+        assert_eq!(m.words.len(), 3 * m.words_per_row());
     }
 
     #[test]
@@ -491,5 +836,84 @@ mod tests {
         let b = BitMatrix::from_dense(&[vec![true, false], vec![true, true]]);
         let c = BitMatrix::from_dense(&[vec![false, true], vec![true, false]]);
         assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn from_rows_into_rows_roundtrip_at_word_boundaries() {
+        for &cols in &[1usize, 63, 64, 65, 129] {
+            let rows: Vec<BitVec> = (0..5)
+                .map(|r| BitVec::from_bits((0..cols).map(|c| (r * 7 + c) % 3 == 0)))
+                .collect();
+            let m = BitMatrix::from_rows(rows.clone());
+            assert_eq!(m.nrows(), 5);
+            assert_eq!(m.ncols(), cols);
+            assert_eq!(m.words_per_row(), cols.div_ceil(64));
+            for (r, row) in rows.iter().enumerate() {
+                assert_eq!(m.row(r), row, "cols {cols} row {r}");
+            }
+            assert_eq!(m.into_rows(), rows, "cols {cols}");
+        }
+    }
+
+    #[test]
+    fn from_row_words_masks_row_padding() {
+        // All-ones words: the padding bits above column 65 must be cleared
+        // so word-level consumers see a clean arena.
+        let m = BitMatrix::from_row_words(vec![!0u64; 4], 2, 65);
+        assert_eq!(m.words_per_row(), 2);
+        for r in 0..2 {
+            assert_eq!(m.row_words(r), &[!0u64, 1u64], "row {r}");
+            assert_eq!(m.row(r).count_ones(), 65);
+        }
+    }
+
+    #[test]
+    fn row_pair_mut_is_disjoint_in_both_orders() {
+        let mut m = BitMatrix::zero(3, 70);
+        m.set(0, 69, true);
+        m.set(2, 1, true);
+        {
+            let (a, b) = m.row_pair_mut(0, 2);
+            assert_eq!(a[1], 1u64 << 5);
+            assert_eq!(b[0], 2);
+            std::mem::swap(&mut a[0], &mut b[0]);
+        }
+        assert!(m.get(0, 1) && m.get(0, 69) && !m.get(2, 1));
+        let (hi, lo) = m.row_pair_mut(2, 0);
+        assert_eq!(lo[1], 1u64 << 5);
+        hi[0] = 0b100;
+        assert!(m.get(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct rows")]
+    fn row_pair_mut_rejects_identical_rows() {
+        let mut m = BitMatrix::zero(2, 4);
+        let _ = m.row_pair_mut(1, 1);
+    }
+
+    #[test]
+    fn set_row_and_swap_rows_preserve_other_rows() {
+        let mut m = BitMatrix::zero(3, 130);
+        m.set(0, 129, true);
+        m.set(2, 0, true);
+        let mid = BitVec::from_bits((0..130).map(|c| c % 64 == 0));
+        m.set_row(1, &mid);
+        assert_eq!(m.row(1), &mid);
+        m.swap_rows(0, 1);
+        assert_eq!(m.row(0), &mid);
+        assert!(m.get(1, 129) && m.get(2, 0));
+        m.swap_rows(2, 2);
+        assert!(m.get(2, 0));
+    }
+
+    #[test]
+    fn row_views_equal_their_owned_copies() {
+        let m = BitMatrix::from_dense(&[vec![true, false, true], vec![false, true, true]]);
+        let owned = m.row(0).to_bitvec();
+        assert_eq!(m.row(0), owned);
+        assert_eq!(owned, m.row(0));
+        assert_ne!(m.row(1), owned);
+        assert_eq!(format!("{:?}", m.row(1)), "RowRef[011]");
     }
 }

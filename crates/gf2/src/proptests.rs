@@ -35,9 +35,13 @@ proptest! {
     #[test]
     fn gje_preserves_row_space(m in arb_matrix(10, 16)) {
         let (rref, _) = m.rref();
-        let pivot_rows: Vec<&BitVec> = rref.iter().filter(|r| !r.is_zero()).collect();
+        let pivot_rows: Vec<BitVec> = rref
+            .iter()
+            .filter(|r| !r.is_zero())
+            .map(|r| r.to_bitvec())
+            .collect();
         for row in m.iter() {
-            let mut residual = row.clone();
+            let mut residual = row.to_bitvec();
             for p in &pivot_rows {
                 let pivot_col = p.first_one().expect("pivot row is non-zero");
                 if residual.get(pivot_col) {
@@ -125,7 +129,7 @@ proptest! {
         let mut m = crate::testutil::splitmix_matrix(rows, cols, seed);
         if dup && rows >= 2 {
             // Force rank deficiency: duplicate the first row over the last.
-            let first = m.row(0).clone();
+            let first = m.row(0).to_bitvec();
             let last = rows - 1;
             for c in 0..cols {
                 m.set(last, c, first.get(c));
@@ -153,7 +157,7 @@ proptest! {
         let mut m = m;
         if dup && m.nrows() >= 2 {
             // Force rank deficiency: overwrite the last row with the first.
-            let first = m.row(0).clone();
+            let first = m.row(0).to_bitvec();
             let last = m.nrows() - 1;
             for c in 0..m.ncols() {
                 m.set(last, c, first.get(c));
@@ -162,15 +166,15 @@ proptest! {
         let mut reference = m.clone();
         let reference_stats = reference.gauss_jordan_m4rm_with_stats(8);
         let mut blocked = m.clone();
-        let blocked_stats = blocked.gauss_jordan_blocked_m4rm_with_stats(block);
+        let blocked_stats = blocked.gauss_jordan_blocked_m4rm_with_stats(block, 1);
         prop_assert_eq!(blocked_stats.rank, reference_stats.rank);
         prop_assert_eq!(blocked, reference);
     }
 
     /// Blocked-kernel agreement at the paper-scale acceptance widths — 2048,
-    /// 4096 and a non-power-of-two in between — plus 20480 columns, the one
-    /// width here wide enough (320 words > the 256-word k=8 tile) to push
-    /// random matrices through the column-tiled update path.
+    /// 4096 and a non-power-of-two in between — plus 20480 columns, wide
+    /// enough (320 words > the 170-word k=8 tile) to push random matrices
+    /// through the column-tiled update path.
     #[test]
     fn blocked_kernel_agrees_at_paper_scale_widths(
         width_idx in 0usize..4,
@@ -183,9 +187,61 @@ proptest! {
         let mut reference = m.clone();
         let reference_stats = reference.gauss_jordan_m4rm_with_stats(8);
         let mut blocked = m.clone();
-        let blocked_stats = blocked.gauss_jordan_blocked_m4rm_with_stats(8);
+        let blocked_stats = blocked.gauss_jordan_blocked_m4rm_with_stats(8, 1);
         prop_assert_eq!(blocked_stats.rank, reference_stats.rank);
         prop_assert_eq!(blocked, reference);
+    }
+
+    /// Band-parallel row updates are **bit-identical** to the serial path —
+    /// same RREF, same rank, same deterministic operation counts — at every
+    /// tested thread count, on random square / wide / tall and
+    /// rank-deficient (duplicated-row) shapes.
+    #[test]
+    fn parallel_rref_is_bit_identical_to_serial(
+        m in arb_matrix(36, 56),
+        threads_idx in 0usize..4,
+        dup in any::<bool>(),
+    ) {
+        const THREADS: [usize; 4] = [1, 2, 3, 8];
+        let mut m = m;
+        if dup && m.nrows() >= 2 {
+            let first = m.row(0).to_bitvec();
+            let last = m.nrows() - 1;
+            for c in 0..m.ncols() {
+                m.set(last, c, first.get(c));
+            }
+        }
+        let mut serial = m.clone();
+        let serial_stats = serial.gauss_jordan_blocked_m4rm_with_stats(8, 1);
+        let threads = THREADS[threads_idx];
+        let mut par = m.clone();
+        let par_stats = par.gauss_jordan_blocked_m4rm_with_stats(8, threads);
+        prop_assert_eq!(par, serial, "RREF diverged at threads={}", threads);
+        prop_assert_eq!(par_stats.rank, serial_stats.rank);
+        prop_assert_eq!(par_stats.row_xors, serial_stats.row_xors);
+        prop_assert_eq!(par_stats.row_swaps, serial_stats.row_swaps);
+    }
+
+    /// The same serial/parallel agreement at widths straddling the 64-bit
+    /// word boundaries, where the windowed three-index read crosses words.
+    #[test]
+    fn parallel_rref_agrees_at_word_boundary_widths(
+        width_idx in 0usize..5,
+        rows in 2usize..40,
+        seed in any::<u64>(),
+        threads_idx in 0usize..4,
+    ) {
+        const WIDTHS: [usize; 5] = [63, 64, 65, 127, 129];
+        const THREADS: [usize; 4] = [1, 2, 3, 8];
+        let m = crate::testutil::splitmix_matrix(rows, WIDTHS[width_idx], seed);
+        let mut serial = m.clone();
+        let serial_stats = serial.gauss_jordan_blocked_m4rm_with_stats(8, 1);
+        let mut par = m.clone();
+        let par_stats = par.gauss_jordan_blocked_m4rm_with_stats(8, THREADS[threads_idx]);
+        prop_assert_eq!(par, serial);
+        prop_assert_eq!(par_stats.rank, serial_stats.rank);
+        prop_assert_eq!(par_stats.row_xors, serial_stats.row_xors);
+        prop_assert_eq!(par_stats.row_swaps, serial_stats.row_swaps);
     }
 
     /// The word-level 64x64-tile transpose matches the naive definition,

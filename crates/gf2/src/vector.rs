@@ -40,6 +40,83 @@ pub(crate) fn xor2_words(dst: &mut [u64], a: &[u64], b: &[u64]) {
     }
 }
 
+/// XORs three sources into `dst` in one pass
+/// (`dst[i] ^= a[i] ^ b[i] ^ c[i]`) over the common prefix of the slices.
+///
+/// The three-table blocked kernel fuses all three Gray-code table entries of
+/// a sweep into a single pass over each row tile — one load/store on `dst`
+/// where three separate [`xor_words`] passes would take three. Same codegen
+/// strategy as [`xor_words`]: slice-trim, then a plain indexed loop the
+/// compiler autovectorises.
+pub(crate) fn xor3_words(dst: &mut [u64], a: &[u64], b: &[u64], c: &[u64]) {
+    let n = dst.len().min(a.len()).min(b.len()).min(c.len());
+    let dst = &mut dst[..n];
+    let a = &a[..n];
+    let b = &b[..n];
+    let c = &c[..n];
+    for i in 0..n {
+        dst[i] ^= a[i] ^ b[i] ^ c[i];
+    }
+}
+
+/// Reads bit `index` of a packed word slice (LSB-first layout shared by
+/// [`BitVec`] and matrix row views).
+pub(crate) fn word_get(words: &[u64], index: usize) -> bool {
+    (words[index / 64] >> (index % 64)) & 1 == 1
+}
+
+/// Index of the first set bit inside `start..end` of a packed word slice.
+///
+/// Word-parallel: whole zero words are skipped and the first non-zero
+/// (masked) word is resolved with a single `trailing_zeros`. Callers
+/// guarantee `start <= end` and `end` within the represented length; the
+/// padding bits above the logical length must be zero.
+pub(crate) fn first_one_in_range_words(words: &[u64], start: usize, end: usize) -> Option<usize> {
+    if start == end {
+        return None;
+    }
+    let first_word = start / 64;
+    let last_word = (end - 1) / 64;
+    for (wi, &word) in words
+        .iter()
+        .enumerate()
+        .take(last_word + 1)
+        .skip(first_word)
+    {
+        let mut w = word;
+        if wi == first_word {
+            w &= !0u64 << (start % 64);
+        }
+        if wi == last_word {
+            let used = end - wi * 64;
+            if used < 64 {
+                w &= (1u64 << used) - 1;
+            }
+        }
+        if w != 0 {
+            return Some(wi * 64 + w.trailing_zeros() as usize);
+        }
+    }
+    None
+}
+
+/// Iterates the indices of set bits of a packed word slice in ascending
+/// order. Shared by [`BitVec::iter_ones`] and the matrix row views.
+pub(crate) fn iter_ones_words(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    words.iter().enumerate().flat_map(|(wi, &w)| {
+        let mut w = w;
+        std::iter::from_fn(move || {
+            if w == 0 {
+                None
+            } else {
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + b)
+            }
+        })
+    })
+}
+
 /// A fixed-length vector over GF(2), packed 64 bits per word.
 ///
 /// `BitVec` is used both as a matrix row view (owned) and as a standalone
@@ -223,27 +300,7 @@ impl BitVec {
             "bit range {start}..{end} out of range {}",
             self.len
         );
-        if start == end {
-            return None;
-        }
-        let first_word = start / 64;
-        let last_word = (end - 1) / 64;
-        for wi in first_word..=last_word {
-            let mut w = self.words[wi];
-            if wi == first_word {
-                w &= !0u64 << (start % 64);
-            }
-            if wi == last_word {
-                let used = end - wi * 64;
-                if used < 64 {
-                    w &= (1u64 << used) - 1;
-                }
-            }
-            if w != 0 {
-                return Some(wi * 64 + w.trailing_zeros() as usize);
-            }
-        }
-        None
+        first_one_in_range_words(&self.words, start, end)
     }
 
     /// Copies every bit of `src` into `self` starting at bit `offset`
@@ -292,18 +349,7 @@ impl BitVec {
 
     /// Iterates over the indices of set bits in ascending order.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            let mut w = w;
-            std::iter::from_fn(move || {
-                if w == 0 {
-                    None
-                } else {
-                    let b = w.trailing_zeros() as usize;
-                    w &= w - 1;
-                    Some(wi * 64 + b)
-                }
-            })
-        })
+        iter_ones_words(&self.words)
     }
 
     /// XORs `other` into `self`.
@@ -346,10 +392,6 @@ impl BitVec {
     /// ```
     pub fn words(&self) -> &[u64] {
         &self.words
-    }
-
-    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
-        &mut self.words
     }
 }
 
@@ -567,6 +609,13 @@ mod tests {
             xor2_words(&mut two_src, &b, &c);
             let expected2: Vec<u64> = expected.iter().zip(&c).map(|(x, y)| x ^ y).collect();
             assert_eq!(two_src, expected2, "xor2_words len {len}");
+            let d: Vec<u64> = (0..len as u64)
+                .map(|i| i.wrapping_mul(0x5851_F42D))
+                .collect();
+            let mut three_src = a.clone();
+            xor3_words(&mut three_src, &b, &c, &d);
+            let expected3: Vec<u64> = expected2.iter().zip(&d).map(|(x, y)| x ^ y).collect();
+            assert_eq!(three_src, expected3, "xor3_words len {len}");
         }
     }
 
