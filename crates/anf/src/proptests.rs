@@ -255,4 +255,44 @@ proptest! {
             }
         }
     }
+
+    /// The ANF parser is total: arbitrary bytes (lossily decoded) produce
+    /// `Ok` or a structured error, never a panic.
+    #[test]
+    fn anf_parser_never_panics_on_raw_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = PolynomialSystem::parse(&text);
+        let _ = text.parse::<Polynomial>();
+    }
+
+    /// Totality on inputs biased towards near-valid ANF text, so the fuzz
+    /// exercises the term/factor grammar instead of failing at the first
+    /// byte. Anything that parses must re-print and re-parse to itself.
+    #[test]
+    fn anf_parser_never_panics_on_near_valid_text(
+        pieces in proptest::collection::vec(
+            (0..8usize, any::<u32>(), any::<bool>()),
+            0..24,
+        ),
+    ) {
+        let mut text = String::from("# fuzz\n");
+        for (shape, index, big) in pieces {
+            let idx = if big { index } else { index % 9 };
+            match shape {
+                0 => text.push_str(&format!("x{idx}")),
+                1 => text.push_str(&format!("X{idx}")),
+                2 => text.push('+'),
+                3 => text.push('*'),
+                4 => text.push(';'),
+                5 => text.push('1'),
+                6 => text.push('0'),
+                _ => text.push(' '),
+            }
+        }
+        if let Ok(system) = PolynomialSystem::parse(&text) {
+            let reparsed = PolynomialSystem::parse(&system.to_string())
+                .expect("printed ANF reparses");
+            prop_assert_eq!(reparsed.len(), system.len());
+        }
+    }
 }

@@ -347,6 +347,7 @@ fn measure_preprocess(name: &str, system: &PolynomialSystem) -> PreprocessResult
             bosphorus::PreprocessStatus::Solved(_) => "solved",
             bosphorus::PreprocessStatus::Unsat => "unsat",
             bosphorus::PreprocessStatus::Simplified => "simplified",
+            bosphorus::PreprocessStatus::Interrupted => "interrupted",
         },
         total_facts: stats.total_facts(),
         iterations: stats.iterations,

@@ -106,6 +106,9 @@ pub fn solve_anf_instance(
             let result = match status {
                 PreprocessStatus::Solved(_) => Some(true),
                 PreprocessStatus::Unsat => Some(false),
+                // No cancel token is set here, so Interrupted cannot occur;
+                // treated as undecided for robustness.
+                PreprocessStatus::Interrupted => None,
                 PreprocessStatus::Simplified => {
                     let conversion = engine.to_cnf();
                     run_solver(&conversion.cnf, &conversion.xors, solver_config, settings)
@@ -145,6 +148,7 @@ pub fn solve_cnf_instance(
             let result = match status {
                 PreprocessStatus::Solved(_) => Some(true),
                 PreprocessStatus::Unsat => Some(false),
+                PreprocessStatus::Interrupted => None,
                 PreprocessStatus::Simplified => {
                     let conversion = engine.to_cnf();
                     run_solver(&conversion.cnf, &conversion.xors, solver_config, settings)

@@ -1,6 +1,7 @@
 //! The Table II driver: PAR-2 scores and solved counts per benchmark family,
 //! with and without Bosphorus, for the three solver configurations.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use bosphorus_anf::PolynomialSystem;
@@ -11,7 +12,7 @@ use bosphorus_sat::SolverConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::par2::Par2Scorer;
+use crate::par2::{Par2Scorer, ScoredRun};
 use crate::parallel::run_indexed;
 use crate::runner::{solve_anf_instance, solve_cnf_instance, Approach, RunSettings};
 
@@ -112,6 +113,9 @@ fn evaluate_family(name: &str, instances: &[Instance], options: &Table2Options) 
     // Flatten the solver × approach × instance grid into an indexed task
     // list; every cell is an independent solver run, so the grid fans out
     // across `options.jobs` scoped workers with deterministic ordering.
+    // Each cell is panic-isolated: one blown-up run is scored as unsolved
+    // (the PAR-2 penalty) with a warning, instead of tearing down the
+    // whole table.
     let n = instances.len();
     let grid = configs.len() * approaches.len() * n;
     let runs = run_indexed(grid, options.jobs, |task| {
@@ -119,14 +123,26 @@ fn evaluate_family(name: &str, instances: &[Instance], options: &Table2Options) 
         let (ai, ii) = (rest / n, rest % n);
         let config = &configs[ci];
         let approach = approaches[ai];
-        match &instances[ii] {
+        let cell = catch_unwind(AssertUnwindSafe(|| match &instances[ii] {
             Instance::Anf(system) => {
                 solve_anf_instance(system, approach, config, &options.settings).scored()
             }
             Instance::Cnf(cnf) => {
                 solve_cnf_instance(cnf, approach, config, &options.settings).scored()
             }
-        }
+        }));
+        cell.unwrap_or_else(|_| {
+            eprintln!(
+                "warning: {name} instance {ii} ({} {}) panicked; scored as unsolved",
+                approach.label(),
+                config.name
+            );
+            ScoredRun {
+                duration: options.settings.nominal_timeout,
+                solved: false,
+                satisfiable: false,
+            }
+        })
     });
     let mut per_solver = Vec::new();
     for (ci, _) in configs.iter().enumerate() {

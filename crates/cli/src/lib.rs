@@ -12,18 +12,29 @@
 //! dumps routed to `-`, `--stats-json`) go to stdout; progress and summary
 //! lines go to stderr. Exit codes follow the SAT-competition convention when
 //! `--solve` is given (10 = SAT, 20 = UNSAT), otherwise 0 on success; usage,
-//! I/O and parse errors exit 1.
+//! I/O and parse errors exit 1; a run interrupted by `--timeout` or SIGINT
+//! that still produced a consistent partial result exits
+//! [`EXIT_INTERRUPTED`] (30).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
 use std::str::FromStr;
+use std::time::Duration;
 
-use bosphorus::{Bosphorus, BosphorusConfig, EngineStats, PassKind, PreprocessStatus, SolveStatus};
+use bosphorus::{
+    Bosphorus, BosphorusConfig, CancelToken, EngineStats, PassKind, PreprocessStatus, SolveStatus,
+};
 use bosphorus_anf::{PolynomialSystem, Var, VarKnowledge};
 use bosphorus_cnf::CnfFormula;
+use bosphorus_interrupt::sigint;
 use bosphorus_sat::SolverConfig;
+
+/// Exit code of a run that was interrupted (deadline or SIGINT) but wound
+/// down transactionally: any requested dumps were still written and describe
+/// a consistent, equisatisfiable partial simplification.
+pub const EXIT_INTERRUPTED: i32 = 30;
 
 /// The usage text printed for `--help` and after argument errors.
 pub const USAGE: &str = "\
@@ -63,9 +74,20 @@ pipeline:
                         pass always uses the paper's aggressive setting)
 
 misc:
+  --timeout SECS        wall-clock deadline (fractional seconds allowed);
+                        when it expires every pass winds down at its next
+                        checkpoint and the run exits 30 with whatever was
+                        learnt so far (dumps stay valid). SIGINT (Ctrl-C)
+                        triggers the same graceful wind-down; a second
+                        SIGINT kills the process immediately.
   --help, -h            this text
 
-exit codes: 0 success, 1 usage/parse/I-O error, 10 SAT, 20 UNSAT (--solve)
+exit codes:
+   0  success (preprocessing finished; or decided without --solve)
+   1  usage, parse or I/O error
+  10  satisfiable (--solve)
+  20  unsatisfiable (--solve)
+  30  interrupted by --timeout or SIGINT; partial result is consistent
 ";
 
 /// Where the problem comes from.
@@ -172,6 +194,8 @@ pub struct CliOptions {
     /// original engine); `xorgauss` additionally turns on XOR-constraint
     /// emission so the final solver can use its Gauss engine.
     pub solver: SolverChoice,
+    /// Wall-clock deadline in seconds (`--timeout`); `None` = no deadline.
+    pub timeout: Option<f64>,
 }
 
 /// What `parse_args` decided.
@@ -204,6 +228,7 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
         seed: None,
         threads: None,
         solver: SolverChoice::Aggressive,
+        timeout: None,
     };
     let mut iter = args.iter().map(|s| s.as_ref());
     while let Some(arg) = iter.next() {
@@ -212,10 +237,21 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
                 .map(str::to_string)
                 .ok_or_else(|| format!("{flag} requires a value"))
         };
+        let mut set_input = |source: InputSource| {
+            if input.is_some() {
+                return Err(
+                    "conflicting inputs: --anf and --cnf are mutually exclusive \
+                            (pass exactly one input file)"
+                        .to_string(),
+                );
+            }
+            input = Some(source);
+            Ok(())
+        };
         match arg {
             "--help" | "-h" => return Ok(Command::Help),
-            "--anf" => input = Some(InputSource::Anf(value_of("--anf")?)),
-            "--cnf" => input = Some(InputSource::Cnf(value_of("--cnf")?)),
+            "--anf" => set_input(InputSource::Anf(value_of("--anf")?))?,
+            "--cnf" => set_input(InputSource::Cnf(value_of("--cnf")?))?,
             "--solve" => options.solve = true,
             "--cnfdump" => options.cnfdump = Some(value_of("--cnfdump")?),
             "--anfdump" => options.anfdump = Some(value_of("--anfdump")?),
@@ -253,6 +289,17 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
                 );
             }
             "--solver" => options.solver = value_of("--solver")?.parse()?,
+            "--timeout" => {
+                let raw = value_of("--timeout")?;
+                options.timeout = Some(
+                    raw.parse()
+                        .ok()
+                        .filter(|t: &f64| t.is_finite() && *t > 0.0)
+                        .ok_or_else(|| {
+                            format!("--timeout: {raw:?} is not a positive number of seconds")
+                        })?,
+                );
+            }
             other => return Err(format!("unknown argument {other:?} (see --help)")),
         }
     }
@@ -331,6 +378,18 @@ pub fn run(options: &CliOptions) -> Result<i32, String> {
         }
     };
 
+    // One token serves both interruption sources: `--timeout` arms a
+    // wall-clock deadline, and SIGINT (registered process-wide, polled by
+    // every checkpoint) trips the same flag, so each pass winds down
+    // transactionally whichever fires first.
+    sigint::install();
+    let token = match options.timeout {
+        Some(secs) => CancelToken::with_timeout(Duration::from_secs_f64(secs)),
+        None => CancelToken::new(),
+    }
+    .honoring_sigint();
+    engine.set_cancel_token(token);
+
     let (status_label, exit_code) = if options.solve {
         match engine.solve(&options.solver.to_config()) {
             SolveStatus::Sat(assignment) => {
@@ -341,6 +400,10 @@ pub fn run(options: &CliOptions) -> Result<i32, String> {
             SolveStatus::Unsat => {
                 println!("s UNSATISFIABLE");
                 ("unsat", 20)
+            }
+            SolveStatus::Interrupted => {
+                println!("s UNKNOWN");
+                ("interrupted", EXIT_INTERRUPTED)
             }
         }
     } else {
@@ -355,6 +418,7 @@ pub fn run(options: &CliOptions) -> Result<i32, String> {
                 ("unsat", 0)
             }
             PreprocessStatus::Simplified => ("simplified", 0),
+            PreprocessStatus::Interrupted => ("interrupted", EXIT_INTERRUPTED),
         }
     };
     eprintln!(
@@ -427,6 +491,15 @@ pub fn stats_json(stats: &EngineStats, status: &str) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"status\": \"{status}\",");
+    let _ = writeln!(out, "  \"interrupted\": {},", stats.interrupted);
+    let mut poisoned = String::new();
+    for (i, name) in stats.poisoned_passes.iter().enumerate() {
+        if i > 0 {
+            poisoned.push_str(", ");
+        }
+        let _ = write!(poisoned, "\"{name}\"");
+    }
+    let _ = writeln!(out, "  \"poisoned_passes\": [{poisoned}],");
     let _ = writeln!(out, "  \"iterations\": {},", stats.iterations);
     let _ = writeln!(
         out,
@@ -489,12 +562,13 @@ pub fn stats_json(stats: &EngineStats, status: &str) -> String {
         let _ = write!(
             out,
             "\n    {{\"iteration\": {}, \"pass\": \"{}\", \"revision\": {}, \
-             \"facts\": {}, \"skipped\": {}, \"time_ms\": {:.3}}}",
+             \"facts\": {}, \"skipped\": {}, \"poisoned\": {}, \"time_ms\": {:.3}}}",
             entry.iteration,
             entry.pass,
             entry.revision,
             entry.facts,
             entry.skipped,
+            entry.poisoned,
             entry.time.as_secs_f64() * 1e3
         );
     }
@@ -674,6 +748,7 @@ mod tests {
                 revision: 3,
                 facts: 4,
                 skipped: false,
+                poisoned: false,
                 time: Duration::from_millis(2),
             }],
             ..EngineStats::default()
@@ -685,5 +760,48 @@ mod tests {
         assert!(json.contains("\"revision\": 3"));
         assert!(json.contains("\"facts\": 4"));
         assert!(json.contains("\"skipped\": false"));
+        assert!(json.contains("\"poisoned\": false"));
+    }
+
+    #[test]
+    fn stats_json_reports_interruption_and_poisoning() {
+        let stats = EngineStats {
+            interrupted: true,
+            poisoned_passes: vec!["xl".to_string(), "sat".to_string()],
+            ..EngineStats::default()
+        };
+        let json = stats_json(&stats, "interrupted");
+        assert!(json.contains("\"status\": \"interrupted\""));
+        assert!(json.contains("\"interrupted\": true"));
+        assert!(json.contains("\"poisoned_passes\": [\"xl\", \"sat\"]"));
+    }
+
+    #[test]
+    fn timeout_parses_fractional_seconds() {
+        assert_eq!(
+            options(&["--anf", "a", "--timeout", "2.5"]).timeout,
+            Some(2.5)
+        );
+        assert_eq!(options(&["--anf", "a"]).timeout, None);
+    }
+
+    #[test]
+    fn timeout_rejects_nonpositive_and_garbage() {
+        for bad in ["0", "-1", "nan", "inf", "soon"] {
+            assert!(
+                parse(&["--anf", "a", "--timeout", bad])
+                    .unwrap_err()
+                    .contains("not a positive number of seconds"),
+                "--timeout {bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn anf_and_cnf_inputs_conflict() {
+        let err = parse(&["--anf", "a.anf", "--cnf", "b.cnf"]).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = parse(&["--cnf", "b.cnf", "--cnf", "c.cnf"]).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
     }
 }

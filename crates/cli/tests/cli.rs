@@ -183,6 +183,79 @@ fn bad_usage_exits_one_with_a_message() {
 }
 
 #[test]
+fn missing_and_unreadable_inputs_exit_one_with_a_clean_message() {
+    // Missing ANF file: a named error, no panic output.
+    let output = bosphorus(&["--anf", "/nonexistent/definitely_missing.anf"]);
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8(output.stderr).expect("utf-8 stderr");
+    assert!(
+        stderr.contains("error:") && stderr.contains("cannot read ANF file"),
+        "stderr: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+
+    // Missing CNF file.
+    let output = bosphorus(&["--cnf", "/nonexistent/definitely_missing.cnf"]);
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8(output.stderr).expect("utf-8 stderr");
+    assert!(stderr.contains("cannot read CNF file"), "stderr: {stderr}");
+
+    // A file that exists but is not parseable as its claimed format.
+    let garbage = temp_file("garbage.anf");
+    std::fs::write(&garbage, "this is } not % anf \u{fffd}\n").expect("write");
+    let output = bosphorus(&["--anf", &garbage]);
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8(output.stderr).expect("utf-8 stderr");
+    assert!(stderr.contains("cannot parse ANF file"), "stderr: {stderr}");
+    let output = bosphorus(&["--cnf", &garbage]);
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8(output.stderr).expect("utf-8 stderr");
+    assert!(
+        stderr.contains("cannot parse DIMACS file"),
+        "stderr: {stderr}"
+    );
+    let _ = std::fs::remove_file(&garbage);
+}
+
+#[test]
+fn conflicting_and_malformed_flags_exit_one() {
+    let output = bosphorus(&[
+        "--anf",
+        &instance("worked_example.anf"),
+        "--cnf",
+        &instance("small.cnf"),
+    ]);
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8(output.stderr).expect("utf-8 stderr");
+    assert!(stderr.contains("mutually exclusive"), "stderr: {stderr}");
+
+    let output = bosphorus(&["--anf", &instance("worked_example.anf"), "--timeout", "-3"]);
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8(output.stderr).expect("utf-8 stderr");
+    assert!(
+        stderr.contains("not a positive number of seconds"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn generous_timeout_changes_nothing_about_a_fast_run() {
+    let output = bosphorus(&[
+        "--anf",
+        &instance("worked_example.anf"),
+        "--solve",
+        "--timeout",
+        "600",
+        "--stats-json",
+    ]);
+    assert_eq!(output.status.code(), Some(10), "deadline never fires");
+    let text = stdout(&output);
+    assert!(text.contains("s SATISFIABLE"), "stdout: {text}");
+    assert!(text.contains("\"interrupted\": false"), "stdout: {text}");
+    assert!(text.contains("\"poisoned_passes\": []"), "stdout: {text}");
+}
+
+#[test]
 fn help_prints_usage_and_exits_zero() {
     // `--help` is a supported flag, not an unknown-argument error: usage on
     // stdout, nothing on stderr, exit code 0 — even with other flags around.

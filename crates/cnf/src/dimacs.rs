@@ -130,7 +130,12 @@ impl CnfFormula {
                 let mut parts = trimmed.split_whitespace();
                 let _p = parts.next();
                 let format = parts.next();
-                let vars = parts.next().and_then(|t| t.parse::<usize>().ok());
+                let vars = parts
+                    .next()
+                    .and_then(|t| t.parse::<usize>().ok())
+                    // More variables than literals can encode (2³¹) is a
+                    // malformed header, not a licence to overflow later.
+                    .filter(|&v| v <= (crate::CnfVar::MAX >> 1) as usize + 1);
                 if format != Some("cnf") || vars.is_none() {
                     return Err(ParseDimacsError::InvalidHeader { line: line_no });
                 }
@@ -144,16 +149,23 @@ impl CnfFormula {
                         line: line_no,
                         token: token.to_string(),
                     })?;
-                match Lit::from_dimacs(value) {
-                    Some(lit) => current.push(lit),
-                    None => {
-                        // A bare `0` with no pending literals (e.g. the SATLIB
-                        // trailing "%\n0" idiom) is ignored rather than read
-                        // as an empty clause.
-                        if !current.is_empty() {
-                            cnf.add_clause(current.drain(..));
-                        }
+                if value == 0 {
+                    // A bare `0` with no pending literals (e.g. the SATLIB
+                    // trailing "%\n0" idiom) is ignored rather than read
+                    // as an empty clause.
+                    if !current.is_empty() {
+                        cnf.add_clause(current.drain(..));
                     }
+                } else {
+                    // `from_dimacs` is None only for magnitudes beyond the
+                    // u32 literal encoding — report them, never truncate.
+                    let lit = Lit::from_dimacs(value).ok_or_else(|| {
+                        ParseDimacsError::InvalidLiteral {
+                            line: line_no,
+                            token: token.to_string(),
+                        }
+                    })?;
+                    current.push(lit);
                 }
             }
         }
@@ -285,6 +297,29 @@ mod tests {
         assert!(matches!(
             CnfFormula::parse_dimacs("p cnf 2 1\n99999999999999999999999 0\n"),
             Err(ParseDimacsError::InvalidLiteral { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_literals_and_headers_are_rejected_not_truncated() {
+        // Fits in i64 but not in the u32 literal encoding: before the
+        // explicit range check this silently truncated to a small variable.
+        assert!(matches!(
+            CnfFormula::parse_dimacs("p cnf 2 1\n4294967297 0\n"),
+            Err(ParseDimacsError::InvalidLiteral { line: 2, .. })
+        ));
+        assert!(matches!(
+            CnfFormula::parse_dimacs("p cnf 2 1\n-9223372036854775807 0\n"),
+            Err(ParseDimacsError::InvalidLiteral { line: 2, .. })
+        ));
+        // A variable count no literal could ever reference.
+        assert!(matches!(
+            CnfFormula::parse_dimacs("p cnf 99999999999999999999 1\n1 0\n"),
+            Err(ParseDimacsError::InvalidHeader { line: 1 })
+        ));
+        assert!(matches!(
+            CnfFormula::parse_dimacs("p cnf 4294967296 1\n1 0\n"),
+            Err(ParseDimacsError::InvalidHeader { line: 1 })
         ));
     }
 

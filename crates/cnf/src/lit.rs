@@ -80,12 +80,17 @@ impl Lit {
 
     /// Parses a literal from a non-zero DIMACS integer.
     ///
-    /// Returns `None` for zero (the DIMACS clause terminator).
+    /// Returns `None` for zero (the DIMACS clause terminator) and for
+    /// magnitudes too large to encode: the variable index must fit in the
+    /// `2*var + sign` `u32` code, so `|value|` is capped at 2³¹.
     pub fn from_dimacs(value: i64) -> Option<Self> {
         if value == 0 {
             return None;
         }
-        let var = (value.unsigned_abs() - 1) as CnfVar;
+        let var = CnfVar::try_from(value.unsigned_abs() - 1).ok()?;
+        if var > CnfVar::MAX >> 1 {
+            return None;
+        }
         Some(Lit::new(var, value < 0))
     }
 
@@ -162,6 +167,20 @@ mod tests {
             assert_eq!(l.to_dimacs(), value);
         }
         assert_eq!(Lit::from_dimacs(0), None);
+    }
+
+    #[test]
+    fn dimacs_magnitudes_beyond_the_encoding_are_rejected_not_truncated() {
+        // The largest encodable magnitude: var 2³¹ - 1.
+        let max = i64::from(CnfVar::MAX >> 1) + 1;
+        let lit = Lit::from_dimacs(max).expect("fits the encoding");
+        assert_eq!(lit.var(), CnfVar::MAX >> 1);
+        assert_eq!(lit.to_dimacs(), max);
+        // One past it — and far past it — must be None, not a wrapped var.
+        assert_eq!(Lit::from_dimacs(max + 1), None);
+        assert_eq!(Lit::from_dimacs(-(max + 1)), None);
+        assert_eq!(Lit::from_dimacs(i64::MAX), None);
+        assert_eq!(Lit::from_dimacs(i64::MIN + 1), None);
     }
 
     #[test]

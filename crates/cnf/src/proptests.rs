@@ -112,4 +112,42 @@ proptest! {
             });
         prop_assert_eq!(clause.is_tautology(), all_assignments_true);
     }
+
+    /// The DIMACS parser is total: arbitrary bytes produce `Ok` or a
+    /// structured error, never a panic, wrap-around or runaway allocation.
+    #[test]
+    fn dimacs_parser_never_panics_on_raw_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = CnfFormula::parse_dimacs(&text);
+        let _ = CnfFormula::parse_dimacs_from(&bytes[..]);
+    }
+
+    /// Same totality check on inputs biased towards near-valid DIMACS, so the
+    /// fuzz actually reaches the header and clause code paths (random bytes
+    /// rarely spell `p cnf`).
+    #[test]
+    fn dimacs_parser_never_panics_on_near_valid_documents(
+        header_vars in any::<i64>(),
+        header_clauses in any::<i64>(),
+        values in proptest::collection::vec(any::<i64>(), 0..32),
+        terminate in any::<bool>(),
+    ) {
+        let mut text = format!("c fuzz\np cnf {header_vars} {header_clauses}\n");
+        for (i, value) in values.iter().enumerate() {
+            text.push_str(&value.to_string());
+            text.push(if i % 5 == 4 { '\n' } else { ' ' });
+        }
+        if terminate {
+            text.push_str(" 0\n");
+        }
+        if let Ok(cnf) = CnfFormula::parse_dimacs(&text) {
+            // Whatever parsed must be internally consistent: every literal
+            // references a declared variable.
+            for clause in cnf.iter() {
+                for lit in clause.iter() {
+                    prop_assert!((lit.var() as usize) < cnf.num_vars());
+                }
+            }
+        }
+    }
 }

@@ -9,6 +9,7 @@
 
 use bosphorus_anf::{Polynomial, PolynomialSystem, TermScratch, Var};
 use bosphorus_gf2::GaussStats;
+use bosphorus_interrupt::CancelToken;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -36,6 +37,11 @@ pub struct ElimLinOutcome {
     /// Always `false` for [`elimlin_on`], which takes its working set
     /// verbatim.
     pub subsampled: bool,
+    /// `true` when the run observed cancellation and wound down early. The
+    /// committed [`ElimLinOutcome::facts`] then come from fully completed
+    /// GJE rounds only — a prefix of what the uninterrupted run would have
+    /// learnt — so they are safe to keep.
+    pub interrupted: bool,
 }
 
 /// Runs ElimLin fact learning on (a subsample of) `system`.
@@ -48,6 +54,20 @@ pub fn elimlin_learn<R: Rng>(
     system: &PolynomialSystem,
     config: &BosphorusConfig,
     rng: &mut R,
+) -> ElimLinOutcome {
+    elimlin_learn_cancellable(system, config, rng, &CancelToken::never())
+}
+
+/// Like [`elimlin_learn`], but polls `token` between rounds, between
+/// substitutions and once per elimination sweep inside the GF(2) kernel.
+/// When the token trips the run returns early with
+/// [`ElimLinOutcome::interrupted`] set; the reported facts come from fully
+/// completed GJE rounds only.
+pub fn elimlin_learn_cancellable<R: Rng>(
+    system: &PolynomialSystem,
+    config: &BosphorusConfig,
+    rng: &mut R,
+    token: &CancelToken,
 ) -> ElimLinOutcome {
     let budget = 1u128 << config.subsample_m.min(126);
     let mut selected: Vec<&Polynomial> = system.iter().collect();
@@ -62,7 +82,7 @@ pub fn elimlin_learn<R: Rng>(
         }
     }
     let subsampled = working.len() < system.len();
-    let mut outcome = elimlin_on(working, config.threads);
+    let mut outcome = elimlin_on_cancellable(working, config.threads, token);
     outcome.subsampled = subsampled;
     outcome
 }
@@ -70,7 +90,18 @@ pub fn elimlin_learn<R: Rng>(
 /// Runs ElimLin on exactly the given polynomials (no subsampling).
 /// `threads` is the row-band parallelism of each round's GF(2) elimination
 /// (1 = serial; the learnt facts are identical at every thread count).
-pub fn elimlin_on(mut working: Vec<Polynomial>, threads: usize) -> ElimLinOutcome {
+pub fn elimlin_on(working: Vec<Polynomial>, threads: usize) -> ElimLinOutcome {
+    elimlin_on_cancellable(working, threads, &CancelToken::never())
+}
+
+/// Like [`elimlin_on`], but cooperatively cancellable (see
+/// [`elimlin_learn_cancellable`] for the checkpoint placement and the
+/// completed-rounds fact guarantee).
+pub fn elimlin_on_cancellable(
+    mut working: Vec<Polynomial>,
+    threads: usize,
+    token: &CancelToken,
+) -> ElimLinOutcome {
     // One scratch buffer serves every substitution of every round.
     let mut scratch = TermScratch::new();
     let mut outcome = ElimLinOutcome {
@@ -80,8 +111,13 @@ pub fn elimlin_on(mut working: Vec<Polynomial>, threads: usize) -> ElimLinOutcom
         contradiction: false,
         gauss: GaussStats::default(),
         subsampled: false,
+        interrupted: false,
     };
     loop {
+        if token.is_cancelled() {
+            outcome.interrupted = true;
+            return outcome;
+        }
         outcome.rounds += 1;
         working.retain(|p| !p.is_zero());
         if working.iter().any(Polynomial::is_one) {
@@ -91,8 +127,15 @@ pub fn elimlin_on(mut working: Vec<Polynomial>, threads: usize) -> ElimLinOutcom
         }
         // Step (1): Gauss–Jordan elimination on the linearisation.
         let mut lin = Linearization::build(working.iter());
-        let (reduced, round_stats) = lin.eliminate_with_stats(threads);
+        let (reduced, round_stats) = lin.eliminate_cancellable(threads, token);
+        let round_interrupted = round_stats.interrupted;
         outcome.gauss.merge(round_stats);
+        if round_interrupted {
+            // The round's elimination was cut between sweeps: discard the
+            // partial reduction so the facts stay a completed-rounds prefix.
+            outcome.interrupted = true;
+            return outcome;
+        }
         if reduced.iter().any(Polynomial::is_one) {
             outcome.contradiction = true;
             outcome.facts.push(Polynomial::one());
@@ -112,6 +155,12 @@ pub fn elimlin_on(mut working: Vec<Polynomial>, threads: usize) -> ElimLinOutcom
         // Step (3): for each linear equation pick the variable occurring in
         // the fewest remaining equations and eliminate it by substitution.
         for equation in &linear {
+            if token.is_cancelled() {
+                // This round's linear facts are already recorded (its GJE
+                // completed); only the remaining substitutions are dropped.
+                outcome.interrupted = true;
+                return outcome;
+            }
             let Some((vars, constant)) = equation.as_linear() else {
                 continue;
             };

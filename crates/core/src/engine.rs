@@ -2,10 +2,12 @@
 //! expressed as a [`Pipeline`] of [`LearningPass`](crate::LearningPass)
 //! objects driven to a fixed point over an incremental [`AnfDatabase`].
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use bosphorus_anf::{AnfDatabase, AnfPropagator, Assignment, Polynomial, PolynomialSystem, Var};
 use bosphorus_cnf::CnfFormula;
+use bosphorus_interrupt::CancelToken;
 use bosphorus_sat::{SolveResult, Solver, SolverConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,7 +16,7 @@ use crate::anf_to_cnf::{anf_to_cnf, CnfConversion};
 use crate::cnf_to_anf::cnf_to_anf;
 use crate::pipeline::{PassBudget, PassStatus, Pipeline};
 use crate::xl::is_retainable_fact;
-use crate::{BosphorusConfig, EngineStats};
+use crate::{BosphorusConfig, EngineStats, TimelineEntry};
 
 /// Outcome of [`Bosphorus::preprocess`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +29,12 @@ pub enum PreprocessStatus {
     /// The fixed point was reached without deciding the instance; the
     /// simplified ANF/CNF should be handed to a SAT solver.
     Simplified,
+    /// The cancellation token tripped (deadline, SIGINT or an explicit
+    /// cancel) before the fixed point. The database is consistent — only
+    /// fully-committed facts were applied — so the simplified ANF/CNF can
+    /// still be dumped and is equisatisfiable with the input; it is simply
+    /// less processed than an uninterrupted run would have left it.
+    Interrupted,
 }
 
 /// Outcome of [`Bosphorus::solve`] (preprocessing followed by a final,
@@ -37,6 +45,10 @@ pub enum SolveStatus {
     Sat(Assignment),
     /// The instance is unsatisfiable.
     Unsat,
+    /// The cancellation token tripped before a decision; the partial
+    /// preprocessing result is consistent (see
+    /// [`PreprocessStatus::Interrupted`]).
+    Interrupted,
 }
 
 /// The Bosphorus preprocessing and solving engine.
@@ -86,6 +98,7 @@ pub struct Bosphorus {
     unsat: bool,
     stats: EngineStats,
     rng: StdRng,
+    cancel: CancelToken,
 }
 
 impl Bosphorus {
@@ -104,7 +117,22 @@ impl Bosphorus {
             unsat: false,
             stats: EngineStats::default(),
             rng,
+            cancel: CancelToken::never(),
         }
+    }
+
+    /// Attaches a cancellation token: every pass and the final SAT call poll
+    /// it cooperatively, so tripping it (deadline, SIGINT, or an explicit
+    /// [`CancelToken::cancel`]) makes the engine stop at the next checkpoint
+    /// with a consistent partial result
+    /// ([`PreprocessStatus::Interrupted`] / [`SolveStatus::Interrupted`]).
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
+    /// The engine's cancellation token (never-cancelling by default).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
     }
 
     /// Creates an engine for a problem given in CNF (the CNF-preprocessor
@@ -185,7 +213,8 @@ impl Bosphorus {
     /// keeps its revision memory, so already-converged passes skip
     /// immediately.
     pub fn preprocess_with(&mut self, pipeline: &mut Pipeline) -> PreprocessStatus {
-        let budget = PassBudget::with_rng(&self.config, self.rng.clone());
+        let budget = PassBudget::with_rng(&self.config, self.rng.clone())
+            .with_cancel_token(self.cancel.clone());
         let status = self.drive(pipeline, &budget);
         self.rng = budget.into_rng();
         status
@@ -193,26 +222,63 @@ impl Bosphorus {
 
     /// The fixed-point driver: run every pass in order, commit and propagate
     /// its facts, and stop when a full iteration learns nothing.
+    ///
+    /// Each pass runs inside `catch_unwind`: a panicking pass is marked
+    /// poisoned (skipped for the rest of the run, recorded in
+    /// [`EngineStats::poisoned_passes`]) instead of tearing down the whole
+    /// preprocessing — its facts from previous runs are already committed
+    /// and remain valid.
     fn drive(&mut self, pipeline: &mut Pipeline, budget: &PassBudget) -> PreprocessStatus {
         // Initial ANF propagation on the input.
         if self.propagate_master() {
             return PreprocessStatus::Unsat;
         }
         for _ in 0..self.config.max_iterations {
+            if budget.cancel_token().is_cancelled() {
+                self.stats.interrupted = true;
+                return PreprocessStatus::Interrupted;
+            }
             self.stats.iterations += 1;
             let mut new_facts = 0usize;
-            for pass in pipeline.passes_mut() {
+            for index in 0..pipeline.len() {
+                if pipeline.is_poisoned(index) {
+                    continue;
+                }
+                let pass = &mut pipeline.passes_mut()[index];
                 let name = pass.name();
                 let iteration = self.stats.iterations;
                 let started = Instant::now();
-                let outcome = pass.run(&mut self.db, budget);
+                let run = catch_unwind(AssertUnwindSafe(|| pass.run(&mut self.db, budget)));
                 let elapsed = started.elapsed();
+                let outcome = match run {
+                    Ok(outcome) => outcome,
+                    Err(_) => {
+                        // The pass panicked mid-run. The database may hold a
+                        // half-applied rewrite only if the pass mutates it
+                        // directly; the built-in passes work on copies and
+                        // return facts, so the master copy is intact. Poison
+                        // the pass and carry on with the rest.
+                        pipeline.mark_poisoned(index);
+                        self.stats.record_poisoned(name, elapsed);
+                        self.stats.record_timeline(TimelineEntry {
+                            iteration,
+                            pass: name.to_string(),
+                            revision: self.db.revision(),
+                            facts: 0,
+                            skipped: false,
+                            poisoned: true,
+                            time: elapsed,
+                        });
+                        continue;
+                    }
+                };
                 self.stats.record_pass(name, &outcome, elapsed);
                 let status = outcome.status;
-                // Commit facts first (only a Ran pass produces any), then
-                // record the timeline entry once for every status — the
-                // recorded revision is the post-commit one.
-                let added = if status == PassStatus::Ran {
+                // Commit facts first (a Ran pass's full results, an
+                // Interrupted pass's fully-committed prefix), then record
+                // the timeline entry once for every status — the recorded
+                // revision is the post-commit one.
+                let added = if matches!(status, PassStatus::Ran | PassStatus::Interrupted) {
                     let added = self.add_facts(outcome.facts);
                     self.stats.record_facts(name, added);
                     added
@@ -220,14 +286,15 @@ impl Bosphorus {
                     0
                 };
                 let skipped = status == PassStatus::Skipped;
-                self.stats.record_timeline(
+                self.stats.record_timeline(TimelineEntry {
                     iteration,
-                    name,
-                    self.db.revision(),
-                    added,
+                    pass: name.to_string(),
+                    revision: self.db.revision(),
+                    facts: added,
                     skipped,
-                    elapsed,
-                );
+                    poisoned: false,
+                    time: elapsed,
+                });
                 match status {
                     PassStatus::Skipped => continue,
                     PassStatus::Unsat => {
@@ -243,6 +310,15 @@ impl Bosphorus {
                         self.solution = Some(full.clone());
                         self.stats.decided_during_preprocessing = true;
                         return PreprocessStatus::Solved(full);
+                    }
+                    PassStatus::Interrupted => {
+                        // Propagate the committed prefix so the dumped
+                        // ANF/CNF reflects every fact, then stop cleanly.
+                        if added > 0 && self.propagate_master() {
+                            return PreprocessStatus::Unsat;
+                        }
+                        self.stats.interrupted = true;
+                        return PreprocessStatus::Interrupted;
                     }
                     PassStatus::Ran => {}
                 }
@@ -288,6 +364,7 @@ impl Bosphorus {
         match self.preprocess() {
             PreprocessStatus::Solved(a) => return SolveStatus::Sat(a),
             PreprocessStatus::Unsat => return SolveStatus::Unsat,
+            PreprocessStatus::Interrupted => return SolveStatus::Interrupted,
             PreprocessStatus::Simplified => {}
         }
         let conversion = self.to_cnf();
@@ -297,6 +374,7 @@ impl Bosphorus {
                 solver.add_xor(xor.clone());
             }
         }
+        solver.set_cancel_token(self.cancel.clone());
         match solver.solve() {
             SolveResult::Sat => {
                 let model = solver.model().expect("SAT implies a model");
@@ -312,7 +390,11 @@ impl Bosphorus {
                 SolveStatus::Unsat
             }
             SolveResult::Unknown => {
-                unreachable!("the final SAT call runs without a conflict budget")
+                // The final SAT call runs without a conflict budget, so the
+                // only way it returns Unknown is a tripped cancel token.
+                debug_assert!(self.cancel.is_cancelled());
+                self.stats.interrupted = true;
+                SolveStatus::Interrupted
             }
         }
     }
@@ -376,6 +458,7 @@ impl Bosphorus {
 mod tests {
     use super::*;
     use crate::pipeline::PassKind;
+    use crate::PassOutcome;
 
     fn section_2e() -> PolynomialSystem {
         PolynomialSystem::parse(
@@ -437,6 +520,7 @@ mod tests {
                     );
                 }
                 SolveStatus::Unsat => assert!(!expected_sat, "engine claimed UNSAT on {text}"),
+                SolveStatus::Interrupted => panic!("no cancel token was set for {text}"),
             }
         }
     }
@@ -642,5 +726,121 @@ mod tests {
             engine.database().revision() > 0,
             "learning mutates the database"
         );
+    }
+
+    #[test]
+    fn pre_cancelled_token_interrupts_before_any_pass_runs() {
+        let mut engine = Bosphorus::new(section_2e(), BosphorusConfig::default());
+        let token = CancelToken::new();
+        token.cancel();
+        engine.set_cancel_token(token);
+        assert_eq!(engine.preprocess(), PreprocessStatus::Interrupted);
+        assert!(engine.stats().interrupted);
+        assert_eq!(engine.stats().iterations, 0, "no pipeline iteration ran");
+        assert!(engine.learnt_facts().is_empty());
+        // The database is still the (propagated) input: a fresh engine on
+        // the same system reaches the same verdict as the paper's example.
+        let mut fresh = Bosphorus::new(
+            engine.processed_system().clone(),
+            BosphorusConfig::default(),
+        );
+        assert!(matches!(fresh.preprocess(), PreprocessStatus::Solved(_)));
+    }
+
+    #[test]
+    fn interrupted_engine_solve_reports_interrupted() {
+        let mut engine = Bosphorus::new(section_2e(), BosphorusConfig::default());
+        let token = CancelToken::new();
+        token.cancel();
+        engine.set_cancel_token(token);
+        assert_eq!(
+            engine.solve(&SolverConfig::aggressive()),
+            SolveStatus::Interrupted
+        );
+        assert!(engine.stats().interrupted);
+    }
+
+    #[test]
+    fn deadline_token_interrupts_mid_run_consistently() {
+        // A token tripped after a fixed number of checkpoint polls lands in
+        // the middle of some pass; whatever was committed must be a genuine
+        // consequence of the input (checked against the unique solution).
+        let solution = Assignment::from_bits([false, true, true, true, true, false]);
+        for trip in [1u64, 2, 3, 5, 8, 13, 21] {
+            let mut engine = Bosphorus::new(section_2e(), BosphorusConfig::default());
+            engine.set_cancel_token(CancelToken::new().cancel_after_checks(trip));
+            let status = engine.preprocess();
+            if status == PreprocessStatus::Interrupted {
+                assert!(engine.stats().interrupted, "trip at {trip}");
+            }
+            for fact in engine.learnt_facts() {
+                assert!(
+                    !fact.evaluate(|v| solution.get(v)),
+                    "fact {fact} committed at trip {trip} is not a consequence"
+                );
+            }
+        }
+    }
+
+    /// A pass that panics on its first run and would learn a bogus fact on
+    /// any later one — poisoning must prevent the second run entirely.
+    struct ExplodingPass {
+        runs: std::cell::Cell<usize>,
+    }
+
+    impl crate::LearningPass for ExplodingPass {
+        fn name(&self) -> &'static str {
+            "exploding"
+        }
+
+        fn run(&mut self, _db: &mut AnfDatabase, _budget: &PassBudget) -> PassOutcome {
+            let runs = self.runs.get() + 1;
+            self.runs.set(runs);
+            panic!("pass blew up on run {runs}");
+        }
+    }
+
+    #[test]
+    fn panicking_pass_is_poisoned_and_the_run_continues() {
+        // Silence the unwind's default stderr backtrace for this test.
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let config = BosphorusConfig::default();
+        let mut engine = Bosphorus::new(section_2e(), config.clone());
+        // The exploding pass goes FIRST so it provably gets its chance to
+        // panic before the real passes decide the instance.
+        let mut pipeline = Pipeline::new();
+        pipeline.push(Box::new(ExplodingPass {
+            runs: std::cell::Cell::new(0),
+        }));
+        for kind in config.pass_order.clone() {
+            pipeline.push_kind(kind, &config);
+        }
+        let status = engine.preprocess_with(&mut pipeline);
+        std::panic::set_hook(previous);
+        // The remaining passes still solve the Section II-E system.
+        assert!(
+            matches!(status, PreprocessStatus::Solved(_)),
+            "run did not survive the panicking pass: {status:?}"
+        );
+        assert_eq!(
+            engine.stats().poisoned_passes,
+            vec!["exploding".to_string()]
+        );
+        assert!(
+            engine
+                .stats()
+                .timeline
+                .iter()
+                .any(|entry| entry.pass == "exploding" && entry.poisoned),
+            "the poisoned run is recorded in the timeline"
+        );
+        let poisoned_runs: usize = engine
+            .stats()
+            .timeline
+            .iter()
+            .filter(|entry| entry.pass == "exploding")
+            .count();
+        assert_eq!(poisoned_runs, 1, "a poisoned pass never runs again");
     }
 }

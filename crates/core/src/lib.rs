@@ -41,6 +41,7 @@
 //! match engine.solve(&SolverConfig::aggressive()) {
 //!     SolveStatus::Sat(assignment) => assert!(system.is_satisfied_by(&assignment)),
 //!     SolveStatus::Unsat => println!("unsatisfiable"),
+//!     SolveStatus::Interrupted => println!("cancelled before a verdict"),
 //! }
 //! # Ok::<(), bosphorus_anf::ParseSystemError>(())
 //! ```
@@ -66,9 +67,15 @@ pub use anf_to_cnf::{anf_to_cnf, tseitin_clause_count, CnfConversion};
 // `bosphorus::AnfPropagator` paths keep working.
 pub use bosphorus_anf::{AnfPropagator, PropagationOutcome, VarKnowledge};
 pub use bosphorus_gf2::GaussStats;
+// The cancellation token lives in its own bottom-level crate so every layer
+// (gf2, sat, groebner) can poll it; re-exported here as the engine-facing
+// entry point for deadlines and SIGINT-driven interruption.
+pub use bosphorus_interrupt::{CancelToken, Checkpoint};
 pub use cnf_to_anf::{clause_to_polynomial, cnf_to_anf, AnfConversion};
 pub use config::BosphorusConfig;
-pub use elimlin::{elimlin_learn, elimlin_on, ElimLinOutcome};
+pub use elimlin::{
+    elimlin_learn, elimlin_learn_cancellable, elimlin_on, elimlin_on_cancellable, ElimLinOutcome,
+};
 pub use engine::{Bosphorus, PreprocessStatus, SolveStatus};
 pub use linearize::{Linearization, LinearizationBuilder};
 pub use minimize::karnaugh_clauses;
@@ -76,9 +83,12 @@ pub use pipeline::{
     ElimLinPass, GroebnerPass, LearningPass, PassBudget, PassKind, PassOutcome, PassStatus,
     Pipeline, PropagatePass, SatPass, XlPass,
 };
-pub use satstep::{sat_step, sat_step_on_conversion, SatStepOutcome, SatStepStatus};
+pub use satstep::{
+    sat_step, sat_step_cancellable, sat_step_on_conversion, sat_step_on_conversion_cancellable,
+    SatStepOutcome, SatStepStatus,
+};
 pub use stats::{EngineStats, PassStats, TimelineEntry};
-pub use xl::{expansion_monomials, is_retainable_fact, xl_learn, XlOutcome};
+pub use xl::{expansion_monomials, is_retainable_fact, xl_learn, xl_learn_cancellable, XlOutcome};
 
 #[cfg(test)]
 mod proptests;

@@ -20,6 +20,7 @@
 
 use bosphorus_anf::{Monomial, MonomialInterner, Polynomial, TermScratch};
 use bosphorus_gf2::{BitMatrix, GaussStats, RowRef};
+use bosphorus_interrupt::CancelToken;
 
 /// Incremental construction of a [`Linearization`].
 ///
@@ -257,7 +258,22 @@ impl Linearization {
     /// `gauss_jordan_with_stats` (1 = serial; the result is bit-identical
     /// at every thread count).
     pub fn eliminate_with_stats(&mut self, threads: usize) -> (Vec<Polynomial>, GaussStats) {
-        let stats = self.matrix.gauss_jordan_with_stats(threads);
+        self.eliminate_cancellable(threads, &CancelToken::never())
+    }
+
+    /// Like [`Linearization::eliminate_with_stats`], but the GF(2) kernel
+    /// polls `token` between sweeps. When the elimination is interrupted
+    /// (`stats.interrupted`), **no rows are read back**: the matrix is only
+    /// partially reduced and the caller is expected to discard the round.
+    pub fn eliminate_cancellable(
+        &mut self,
+        threads: usize,
+        token: &CancelToken,
+    ) -> (Vec<Polynomial>, GaussStats) {
+        let stats = self.matrix.gauss_jordan_cancellable(threads, token);
+        if stats.interrupted {
+            return (Vec::new(), stats);
+        }
         let reduced = self
             .matrix
             .iter()
@@ -289,7 +305,22 @@ impl Linearization {
         &mut self,
         threads: usize,
     ) -> (Vec<Polynomial>, usize, GaussStats) {
-        let stats = self.matrix.gauss_jordan_with_stats(threads);
+        self.eliminate_retainable_cancellable(threads, &CancelToken::never())
+    }
+
+    /// Like [`Linearization::eliminate_retainable_with_stats`], but the
+    /// GF(2) kernel polls `token` between sweeps. On interruption
+    /// (`stats.interrupted`) no facts are read back and the non-zero row
+    /// count is 0 — the partially reduced matrix is not the RREF.
+    pub fn eliminate_retainable_cancellable(
+        &mut self,
+        threads: usize,
+        token: &CancelToken,
+    ) -> (Vec<Polynomial>, usize, GaussStats) {
+        let stats = self.matrix.gauss_jordan_cancellable(threads, token);
+        if stats.interrupted {
+            return (Vec::new(), 0, stats);
+        }
         let (facts, non_zero_rows) = self.retainable_rows();
         (facts, non_zero_rows, stats)
     }

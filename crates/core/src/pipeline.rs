@@ -27,15 +27,16 @@ use std::str::FromStr;
 
 use bosphorus_anf::{AnfDatabase, Assignment, Polynomial, Revision};
 use bosphorus_gf2::GaussStats;
-use bosphorus_groebner::{groebner_basis, GroebnerConfig};
+use bosphorus_groebner::{groebner_basis_cancellable, GroebnerConfig, GroebnerOutcome};
+use bosphorus_interrupt::CancelToken;
 use bosphorus_sat::SolverConfig;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::elimlin::elimlin_learn;
-use crate::satstep::{sat_step, SatStepStatus};
-use crate::xl::xl_learn;
+use crate::elimlin::elimlin_learn_cancellable;
+use crate::satstep::{sat_step_cancellable, SatStepStatus};
+use crate::xl::xl_learn_cancellable;
 use crate::BosphorusConfig;
 
 /// Identifier of a built-in pass, used to describe pass order and
@@ -123,19 +124,25 @@ impl FromStr for PassKind {
 }
 
 /// The run-scoped resources shared by every pass: the adaptive SAT conflict
-/// budget and the subsampling randomness.
+/// budget, the subsampling randomness and the cancellation token.
 ///
-/// Both are interior-mutable so that the fixed `&PassBudget` in
+/// The budget and rng are interior-mutable so that the fixed `&PassBudget` in
 /// [`LearningPass::run`] suffices: the SAT pass escalates its own conflict
 /// budget when a round produces no new facts (Section IV), and XL/ElimLin
 /// draw their subsamples from one shared stream so the default pipeline
 /// consumes randomness exactly like the pre-pipeline engine did.
+///
+/// The [`CancelToken`] is the anytime-preprocessing hook: every built-in
+/// pass polls it at coarse checkpoints and winds down transactionally when
+/// it trips (see [`PassStatus::Interrupted`]). The default token never
+/// cancels and costs nothing to poll.
 #[derive(Debug)]
 pub struct PassBudget {
     sat_conflicts: Cell<u64>,
     sat_budget_increment: u64,
     sat_budget_max: u64,
     rng: RefCell<StdRng>,
+    cancel: CancelToken,
 }
 
 impl PassBudget {
@@ -153,7 +160,19 @@ impl PassBudget {
             sat_budget_increment: config.sat_budget_increment,
             sat_budget_max: config.sat_budget_max,
             rng: RefCell::new(rng),
+            cancel: CancelToken::never(),
         }
+    }
+
+    /// Attaches a cancellation token; passes poll it at their checkpoints.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// The cancellation token shared by every pass of this run.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
     }
 
     /// The current SAT conflict budget `C`.
@@ -194,6 +213,12 @@ pub enum PassStatus {
     Solved(Assignment),
     /// The pass proved the system unsatisfiable.
     Unsat,
+    /// The pass observed cancellation (deadline, SIGINT or an explicit
+    /// [`CancelToken::cancel`]) and wound down early. Interruption is
+    /// *transactional*: [`PassOutcome::facts`] contains only fully-committed
+    /// work — facts that the uninterrupted run would also have learnt — so
+    /// the driver can commit them and stop with a consistent database.
+    Interrupted,
 }
 
 /// What one [`LearningPass::run`] produced.
@@ -332,11 +357,18 @@ impl LearningPass for XlPass {
             return PassOutcome::skipped();
         }
         self.last_seen = Some(db.revision());
-        let xl = budget.with_rng_mut(|rng| xl_learn(db.system(), &self.config, rng));
-        self.last_exhaustive = !xl.subsampled;
+        let xl = budget.with_rng_mut(|rng| {
+            xl_learn_cancellable(db.system(), &self.config, rng, budget.cancel_token())
+        });
+        // An interrupted round must not arm the skip: it neither saw the
+        // whole system nor committed the full RREF.
+        self.last_exhaustive = !xl.subsampled && !xl.interrupted;
         let mut outcome = PassOutcome::ran();
         outcome.facts = xl.facts;
         outcome.gauss = xl.gauss;
+        if xl.interrupted {
+            outcome.status = PassStatus::Interrupted;
+        }
         outcome
     }
 }
@@ -371,14 +403,21 @@ impl LearningPass for ElimLinPass {
             return PassOutcome::skipped();
         }
         self.last_seen = Some(db.revision());
-        let elimlin = budget.with_rng_mut(|rng| elimlin_learn(db.system(), &self.config, rng));
-        self.last_exhaustive = !elimlin.subsampled;
+        let elimlin = budget.with_rng_mut(|rng| {
+            elimlin_learn_cancellable(db.system(), &self.config, rng, budget.cancel_token())
+        });
+        self.last_exhaustive = !elimlin.subsampled && !elimlin.interrupted;
         let mut outcome = PassOutcome::ran();
         outcome.gauss = elimlin.gauss;
         if elimlin.contradiction {
             outcome.status = PassStatus::Unsat;
         } else {
+            // Facts from completed rounds only (the cancellable variant
+            // guarantees this), so committing them on interruption is safe.
             outcome.facts = elimlin.facts;
+            if elimlin.interrupted {
+                outcome.status = PassStatus::Interrupted;
+            }
         }
         outcome
     }
@@ -427,12 +466,13 @@ impl LearningPass for SatPass {
         }
         self.last_seen = Some(db.revision());
         self.last_budget = Some(conflicts);
-        let sat = sat_step(
+        let sat = sat_step_cancellable(
             db.system(),
             db.propagator(),
             &self.config,
             &self.solver_config,
             conflicts,
+            budget.cancel_token(),
         );
         let mut outcome = PassOutcome::ran();
         outcome.sat_conflicts = sat.conflicts;
@@ -442,6 +482,13 @@ impl LearningPass for SatPass {
                 outcome.status = PassStatus::Solved(assignment);
             }
             SatStepStatus::Undecided => outcome.facts = sat.facts,
+            SatStepStatus::Interrupted => {
+                // Forget the skip state: the interrupted call spent less
+                // than its conflict budget, so a rerun can still decide.
+                self.last_seen = None;
+                self.last_budget = None;
+                outcome.status = PassStatus::Interrupted;
+            }
         }
         outcome
     }
@@ -491,17 +538,24 @@ impl LearningPass for GroebnerPass {
         "groebner"
     }
 
-    fn run(&mut self, db: &mut AnfDatabase, _budget: &PassBudget) -> PassOutcome {
+    fn run(&mut self, db: &mut AnfDatabase, budget: &PassBudget) -> PassOutcome {
         // Buchberger is deterministic, so an unchanged database always
         // allows the skip.
         if self.last_seen == Some(db.revision()) {
             return PassOutcome::skipped();
         }
         self.last_seen = Some(db.revision());
-        let result = groebner_basis(db.system(), &self.config);
+        let result = groebner_basis_cancellable(db.system(), &self.config, budget.cancel_token());
         let mut outcome = PassOutcome::ran();
         if result.is_inconsistent() {
             outcome.status = PassStatus::Unsat;
+        } else if result.outcome == GroebnerOutcome::Interrupted {
+            // The partial basis is sound, but which elements it contains
+            // depends on where the interreduction was cut; commit nothing so
+            // interrupted runs only ever contribute fully-settled facts.
+            // Forget the revision so a later run redoes the work.
+            self.last_seen = None;
+            outcome.status = PassStatus::Interrupted;
         } else {
             outcome.facts = result.learnt_facts();
         }
@@ -528,6 +582,9 @@ fn burn_subsample_draw(budget: &PassBudget, len: usize) {
 #[derive(Default)]
 pub struct Pipeline {
     passes: Vec<Box<dyn LearningPass>>,
+    /// Panic-isolation flags, one per pass: a pass whose `run` panicked is
+    /// marked poisoned by the driver and skipped for the rest of the run.
+    poisoned: Vec<bool>,
 }
 
 impl Pipeline {
@@ -566,6 +623,37 @@ impl Pipeline {
     /// Appends an arbitrary pass.
     pub fn push(&mut self, pass: Box<dyn LearningPass>) {
         self.passes.push(pass);
+        self.poisoned.push(false);
+    }
+
+    /// Marks the pass at `index` poisoned: its `run` panicked and the driver
+    /// will skip it for the remainder of the run (and of any later run
+    /// reusing this pipeline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn mark_poisoned(&mut self, index: usize) {
+        self.poisoned[index] = true;
+    }
+
+    /// Whether the pass at `index` is poisoned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn is_poisoned(&self, index: usize) -> bool {
+        self.poisoned[index]
+    }
+
+    /// Names of the poisoned passes, in pipeline order.
+    pub fn poisoned_names(&self) -> Vec<&'static str> {
+        self.passes
+            .iter()
+            .zip(&self.poisoned)
+            .filter(|(_, &poisoned)| poisoned)
+            .map(|(pass, _)| pass.name())
+            .collect()
     }
 
     /// Number of registered passes.

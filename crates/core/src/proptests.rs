@@ -8,7 +8,7 @@ use bosphorus_sat::{SolveResult, Solver, SolverConfig};
 
 use crate::{
     anf_to_cnf, cnf_to_anf, elimlin_on, karnaugh_clauses, xl_learn, AnfPropagator, Bosphorus,
-    BosphorusConfig, SolveStatus,
+    BosphorusConfig, CancelToken, PreprocessStatus, SolveStatus,
 };
 
 const MAX_VARS: u32 = 5;
@@ -68,6 +68,7 @@ proptest! {
                 prop_assert!(system.is_satisfied_by(&a), "model violates the input system");
             }
             SolveStatus::Unsat => prop_assert!(!expected, "engine claimed UNSAT on a SAT system"),
+            SolveStatus::Interrupted => prop_assert!(false, "no cancel token was set"),
         }
     }
 
@@ -173,6 +174,63 @@ proptest! {
         match engine.solve(&SolverConfig::minimal()) {
             SolveStatus::Sat(_) => prop_assert!(original_sat),
             SolveStatus::Unsat => prop_assert!(!original_sat),
+            SolveStatus::Interrupted => prop_assert!(false, "no cancel token was set"),
         }
+    }
+
+    /// Interruption is transactional: tripping the token after an arbitrary
+    /// number of checkpoint polls leaves (a) the learnt facts a prefix of
+    /// the uninterrupted run's — only fully-committed work survives — and
+    /// (b) the database equisatisfiable with the input, i.e. the processed
+    /// system plus the propagated knowledge has a solution exactly when the
+    /// original system does.
+    #[test]
+    fn cancellation_is_transactional(system in arb_system(), trip in 1u64..400) {
+        let config = BosphorusConfig::default();
+        // Uninterrupted reference run: same seed, so identical pass
+        // decisions up to the point where the interrupted run stops.
+        let mut reference = Bosphorus::new(system.clone(), config.clone());
+        let _ = reference.preprocess();
+
+        let mut engine = Bosphorus::new(system.clone(), config);
+        engine.set_cancel_token(CancelToken::new().cancel_after_checks(trip));
+        let status = engine.preprocess();
+
+        prop_assert!(
+            reference.learnt_facts().starts_with(engine.learnt_facts()),
+            "interrupted facts are not a prefix of the reference run's \
+             ({} vs {} facts, trip at {} checks)",
+            engine.learnt_facts().len(),
+            reference.learnt_facts().len(),
+            trip
+        );
+
+        let n = system.num_vars();
+        let knowledge_holds = |engine: &Bosphorus, a: &Assignment| {
+            use crate::VarKnowledge;
+            (0..n as u32).all(|v| match engine.propagator().knowledge(v) {
+                VarKnowledge::Free => true,
+                VarKnowledge::Value(b) => a.get(v) == b,
+                VarKnowledge::Equivalent { other, negated } => {
+                    a.get(v) == (a.get(other) ^ negated)
+                }
+            })
+        };
+        let restored_sat = match status {
+            PreprocessStatus::Solved(_) => true,
+            PreprocessStatus::Unsat => false,
+            PreprocessStatus::Simplified | PreprocessStatus::Interrupted => (0u64..(1 << n))
+                .any(|bits| {
+                    let a = Assignment::from_bits((0..n).map(|i| (bits >> i) & 1 == 1));
+                    engine.processed_system().is_satisfied_by(&a)
+                        && knowledge_holds(&engine, &a)
+                }),
+        };
+        prop_assert_eq!(
+            brute_force_sat(&system),
+            restored_sat,
+            "interrupted database lost equisatisfiability (status {:?})",
+            status
+        );
     }
 }

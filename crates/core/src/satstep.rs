@@ -11,6 +11,7 @@ use std::collections::BTreeSet;
 
 use bosphorus_anf::{Assignment, Polynomial, PolynomialSystem};
 use bosphorus_cnf::Lit;
+use bosphorus_interrupt::CancelToken;
 use bosphorus_sat::{SolveResult, Solver, SolverConfig};
 
 use crate::anf_to_cnf::{anf_to_cnf, CnfConversion};
@@ -27,6 +28,10 @@ pub enum SatStepStatus {
     Satisfiable(Assignment),
     /// The conflict budget ran out before a decision.
     Undecided,
+    /// The cancellation token tripped before a decision. Unlike
+    /// [`SatStepStatus::Undecided`] no facts are harvested: the round's unit
+    /// of committed work is the full budgeted call.
+    Interrupted,
 }
 
 /// Result of one conflict-bounded SAT round.
@@ -56,8 +61,31 @@ pub fn sat_step(
     solver_config: &SolverConfig,
     budget: u64,
 ) -> SatStepOutcome {
+    sat_step_cancellable(
+        system,
+        propagator,
+        config,
+        solver_config,
+        budget,
+        &CancelToken::never(),
+    )
+}
+
+/// Like [`sat_step`], but hands `token` to the solver, which polls it
+/// alongside its conflict budget (every
+/// [`SOLVER_CHECK_INTERVAL`](bosphorus_sat::SOLVER_CHECK_INTERVAL) conflicts
+/// or decisions). A cancelled call reports
+/// [`SatStepStatus::Interrupted`] with no facts.
+pub fn sat_step_cancellable(
+    system: &PolynomialSystem,
+    propagator: &AnfPropagator,
+    config: &BosphorusConfig,
+    solver_config: &SolverConfig,
+    budget: u64,
+    token: &CancelToken,
+) -> SatStepOutcome {
     let conversion = anf_to_cnf(system, propagator, config);
-    sat_step_on_conversion(&conversion, system.num_vars(), solver_config, budget)
+    sat_step_on_conversion_cancellable(&conversion, system.num_vars(), solver_config, budget, token)
 }
 
 /// Like [`sat_step`], but reuses an existing conversion.
@@ -67,6 +95,24 @@ pub fn sat_step_on_conversion(
     solver_config: &SolverConfig,
     budget: u64,
 ) -> SatStepOutcome {
+    sat_step_on_conversion_cancellable(
+        conversion,
+        num_anf_vars,
+        solver_config,
+        budget,
+        &CancelToken::never(),
+    )
+}
+
+/// Like [`sat_step_on_conversion`], with cooperative cancellation (see
+/// [`sat_step_cancellable`]).
+pub fn sat_step_on_conversion_cancellable(
+    conversion: &CnfConversion,
+    num_anf_vars: usize,
+    solver_config: &SolverConfig,
+    budget: u64,
+    token: &CancelToken,
+) -> SatStepOutcome {
     let mut solver = Solver::from_formula(solver_config.clone(), &conversion.cnf);
     if solver_config.xor_reasoning {
         for xor in &conversion.xors {
@@ -75,6 +121,7 @@ pub fn sat_step_on_conversion(
     }
     let conflicts_before = solver.stats().conflicts;
     solver.set_conflict_budget(Some(budget));
+    solver.set_cancel_token(token.clone());
     let result = solver.solve();
     let conflicts = solver.stats().conflicts - conflicts_before;
 
@@ -92,6 +139,9 @@ pub fn sat_step_on_conversion(
             harvest_facts(&mut facts, &solver, conversion);
             SatStepStatus::Satisfiable(assignment)
         }
+        // The solver reports Unknown for both budget exhaustion and
+        // cancellation; the token distinguishes them.
+        SolveResult::Unknown if token.is_cancelled() => SatStepStatus::Interrupted,
         SolveResult::Unknown => {
             harvest_facts(&mut facts, &solver, conversion);
             SatStepStatus::Undecided
@@ -229,6 +279,7 @@ mod tests {
             SatStepStatus::Satisfiable(a) => assert!(system.is_satisfied_by(&a)),
             SatStepStatus::Undecided => {}
             SatStepStatus::Unsatisfiable => panic!("system is satisfiable"),
+            SatStepStatus::Interrupted => panic!("no cancel token was set"),
         }
     }
 

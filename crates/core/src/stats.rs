@@ -29,6 +29,9 @@ pub struct TimelineEntry {
     pub facts: usize,
     /// `true` when the pass skipped because nothing it reads changed.
     pub skipped: bool,
+    /// `true` when the pass's `run` panicked during this execution; the
+    /// driver marked it poisoned and it is skipped for the rest of the run.
+    pub poisoned: bool,
     /// Wall-clock time of this execution.
     pub time: Duration,
 }
@@ -92,6 +95,12 @@ pub struct EngineStats {
     pub gauss_row_xors: u64,
     /// `true` if preprocessing alone decided the instance.
     pub decided_during_preprocessing: bool,
+    /// `true` when the run observed cancellation (deadline, SIGINT or an
+    /// explicit cancel) and stopped early with a consistent partial result.
+    pub interrupted: bool,
+    /// Names of passes whose `run` panicked; each was isolated by the
+    /// driver's `catch_unwind` and skipped for the rest of the run.
+    pub poisoned_passes: Vec<String>,
     /// Uniform per-pass breakdown (work, facts, skips, timing), in the
     /// order the passes first appeared in the pipeline.
     pub passes: Vec<PassStats>,
@@ -150,23 +159,19 @@ impl EngineStats {
     }
 
     /// Appends one pass execution to the chronological timeline.
-    pub(crate) fn record_timeline(
-        &mut self,
-        iteration: usize,
-        pass: &str,
-        revision: Revision,
-        facts: usize,
-        skipped: bool,
-        time: Duration,
-    ) {
-        self.timeline.push(TimelineEntry {
-            iteration,
-            pass: pass.to_string(),
-            revision,
-            facts,
-            skipped,
-            time,
-        });
+    pub(crate) fn record_timeline(&mut self, entry: TimelineEntry) {
+        self.timeline.push(entry);
+    }
+
+    /// Records that the pass `name` panicked and was poisoned. Also counts
+    /// the aborted execution's wall-clock time against the pass.
+    pub(crate) fn record_poisoned(&mut self, name: &str, elapsed: Duration) {
+        let entry = self.entry_mut(name);
+        entry.time += elapsed;
+        entry.runs += 1;
+        if !self.poisoned_passes.iter().any(|p| p == name) {
+            self.poisoned_passes.push(name.to_string());
+        }
     }
 
     /// Folds driver-level propagation (runs outside any pass) into the
@@ -205,6 +210,12 @@ impl fmt::Display for EngineStats {
         )?;
         if self.facts_from_groebner > 0 {
             write!(f, " facts_groebner={}", self.facts_from_groebner)?;
+        }
+        if self.interrupted {
+            write!(f, " interrupted=true")?;
+        }
+        if !self.poisoned_passes.is_empty() {
+            write!(f, " poisoned={}", self.poisoned_passes.join(","))?;
         }
         for pass in &self.passes {
             write!(

@@ -13,11 +13,18 @@
 
 use bosphorus_anf::{Monomial, Polynomial, PolynomialSystem, TermScratch, Var};
 use bosphorus_gf2::GaussStats;
+use bosphorus_interrupt::CancelToken;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
 use crate::linearize::LinearizationBuilder;
 use crate::BosphorusConfig;
+
+/// How many expansion products are appended between cancellation polls.
+/// Each product costs a monomial multiplication plus a row append, so a few
+/// hundred of them amortise the poll to nothing while still bounding the
+/// response latency to well under a millisecond.
+const XL_CHECK_INTERVAL: u64 = 256;
 
 /// Outcome of one XL round.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +47,11 @@ pub struct XlOutcome {
     /// re-running it on an unchanged system cannot learn anything new — the
     /// property the pipeline's revision-based skipping relies on.
     pub subsampled: bool,
+    /// `true` when the round observed cancellation and wound down early. An
+    /// interrupted round reports **no facts**: partially reduced rows are
+    /// still consequences of the system, but only a completed elimination
+    /// yields the facts the uninterrupted round would have committed.
+    pub interrupted: bool,
 }
 
 /// Enumerates all monomials of degree 1..=`degree` over the given variables
@@ -86,6 +98,21 @@ pub fn xl_learn<R: Rng>(
     config: &BosphorusConfig,
     rng: &mut R,
 ) -> XlOutcome {
+    xl_learn_cancellable(system, config, rng, &CancelToken::never())
+}
+
+/// Like [`xl_learn`], but polls `token` at coarse checkpoints: once per
+/// 256 expansion products and once per elimination sweep
+/// (inside the GF(2) kernel). When the token trips, the round returns with
+/// [`XlOutcome::interrupted`] set and **no facts** — XL's unit of committed
+/// work is the whole round, so an interrupted round contributes nothing and
+/// the pipeline simply stops cleanly after it.
+pub fn xl_learn_cancellable<R: Rng>(
+    system: &PolynomialSystem,
+    config: &BosphorusConfig,
+    rng: &mut R,
+    token: &CancelToken,
+) -> XlOutcome {
     if system.is_empty() {
         return XlOutcome {
             facts: Vec::new(),
@@ -94,6 +121,7 @@ pub fn xl_learn<R: Rng>(
             rank: 0,
             gauss: GaussStats::default(),
             subsampled: false,
+            interrupted: false,
         };
     }
     let budget = 1u128 << config.subsample_m.min(126);
@@ -136,8 +164,14 @@ pub fn xl_learn<R: Rng>(
     let mut scratch = TermScratch::new();
     let mut terms_estimate: u128 = subsample.iter().map(|p| p.len() as u128).sum();
     let mut truncated = false;
+    let mut checkpoint = token.checkpoint_every(XL_CHECK_INTERVAL);
+    let mut interrupted = false;
     'expansion: for base in &subsample {
         for m in &multipliers {
+            if checkpoint.check() {
+                interrupted = true;
+                break 'expansion;
+            }
             let terms = builder.push_product(base, m, &mut scratch);
             if terms == 0 {
                 // The product cancelled to zero; no row was appended.
@@ -153,12 +187,40 @@ pub fn xl_learn<R: Rng>(
     }
     let subsampled = subsample.len() < system.len() || truncated;
 
+    if interrupted || checkpoint.check_now() {
+        // Skip the elimination entirely: the matrix was never reduced, so
+        // there is nothing committed to report.
+        return XlOutcome {
+            facts: Vec::new(),
+            expanded_rows: builder.num_rows(),
+            expanded_columns: builder.num_columns(),
+            rank: 0,
+            gauss: GaussStats::default(),
+            subsampled,
+            interrupted: true,
+        };
+    }
+
     let mut lin = builder.finish();
     let expanded_rows = lin.num_rows();
     let expanded_columns = lin.num_columns();
     // Read back only the retainable rows: the non-retainable bulk of the
     // RREF is detected at the bit level and never built as polynomials.
-    let (facts, rank, gauss) = lin.eliminate_retainable_with_stats(config.threads);
+    let (facts, rank, gauss) = lin.eliminate_retainable_cancellable(config.threads, token);
+    if gauss.interrupted {
+        // The kernel stopped between sweeps; its partial reduction is not
+        // the RREF, so no facts were read back (the cancellable reader
+        // already guarantees this) and the rank only counts pivots so far.
+        return XlOutcome {
+            facts: Vec::new(),
+            expanded_rows,
+            expanded_columns,
+            rank: 0,
+            gauss,
+            subsampled,
+            interrupted: true,
+        };
+    }
     debug_assert_eq!(rank, gauss.rank, "non-zero RREF rows must equal rank");
     debug_assert!(facts.iter().all(is_retainable_fact));
     XlOutcome {
@@ -168,6 +230,7 @@ pub fn xl_learn<R: Rng>(
         rank,
         gauss,
         subsampled,
+        interrupted: false,
     }
 }
 

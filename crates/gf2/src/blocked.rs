@@ -60,6 +60,8 @@
 use std::sync::mpsc;
 use std::sync::Arc;
 
+use bosphorus_interrupt::CancelToken;
+
 use crate::m4rm::M4RM_MAX_BLOCK;
 use crate::vector::{xor2_words, xor3_words, xor_words};
 use crate::{BitMatrix, GaussStats};
@@ -136,6 +138,25 @@ impl BitMatrix {
         block: usize,
         threads: usize,
     ) -> GaussStats {
+        self.gauss_jordan_blocked_m4rm_cancellable(block, threads, &CancelToken::never())
+    }
+
+    /// Like [`BitMatrix::gauss_jordan_blocked_m4rm_with_stats`], polling
+    /// `token` once per elimination sweep, on the main thread, between
+    /// fan-outs. Band workers always complete the sweep they are running —
+    /// a sweep's row updates are the unit of committed work — so the bands
+    /// drain cleanly and no thread is ever interrupted mid-row.
+    ///
+    /// On cancellation the elimination stops before the next sweep and
+    /// returns with [`GaussStats::interrupted`](crate::GaussStats) set; the
+    /// matrix is then only partially reduced and must be treated as
+    /// scratch.
+    pub fn gauss_jordan_blocked_m4rm_cancellable(
+        &mut self,
+        block: usize,
+        threads: usize,
+        token: &CancelToken,
+    ) -> GaussStats {
         let k = block.clamp(1, M4RM_MAX_BLOCK);
         let mut stats = GaussStats {
             tables_per_sweep: 3,
@@ -173,6 +194,7 @@ impl BitMatrix {
                 tile,
                 words,
                 &mut stats,
+                token,
                 |bands, job| {
                     let mut xors = 0usize;
                     for bi in 0..bands.len() {
@@ -218,6 +240,7 @@ impl BitMatrix {
                     tile,
                     words,
                     &mut stats,
+                    token,
                     |bands, job| {
                         for bi in 1..bands.len() {
                             let band = bands.bands[bi].take().expect("band present");
@@ -378,6 +401,12 @@ struct SweepJob {
 /// serial, over the worker channels when parallel) and returns the job — so
 /// the table buffers can be reclaimed — plus the update's row-XOR count.
 /// Returns the rank.
+///
+/// `token` is polled once per sweep, before the sweep starts: the sweep is
+/// the unit of committed work (every band's updates either all run or none
+/// do), so interrupting here never leaves a half-updated band. On
+/// cancellation the loop exits with `stats.interrupted` set and the pivots
+/// established so far as the rank.
 #[allow(clippy::too_many_arguments)]
 fn eliminate<'a, F>(
     bands: &mut Bands<'a>,
@@ -387,6 +416,7 @@ fn eliminate<'a, F>(
     tile: usize,
     words: usize,
     stats: &mut GaussStats,
+    token: &CancelToken,
     mut fan_out: F,
 ) -> usize
 where
@@ -396,6 +426,10 @@ where
     let mut pivot_row = 0usize;
     let mut col_start = 0usize;
     while pivot_row < nrows && col_start < ncols {
+        if token.is_cancelled() {
+            stats.interrupted = true;
+            break;
+        }
         let Some(next_col) = leading_column(bands, nrows, ncols, pivot_row, col_start) else {
             break;
         };
@@ -924,6 +958,52 @@ mod tests {
         }
         assert_matches_m4rm(&m, 8);
         assert_thread_counts_agree(&m, 8);
+    }
+
+    #[test]
+    fn pre_cancelled_token_interrupts_before_any_sweep() {
+        use bosphorus_interrupt::CancelToken;
+        let token = CancelToken::new();
+        token.cancel();
+        let m = splitmix_matrix(96, 256, 9);
+        let mut a = m.clone();
+        let stats = a.gauss_jordan_blocked_m4rm_cancellable(8, 2, &token);
+        assert!(stats.interrupted);
+        assert_eq!(stats.rank, 0, "no pivots established");
+        assert_eq!(a, m, "no sweep ran, matrix untouched");
+    }
+
+    #[test]
+    fn mid_run_cancellation_stops_between_sweeps() {
+        use bosphorus_interrupt::CancelToken;
+        // 320x320 at k=8 needs several sweeps (24 pivots each); tripping
+        // the token on its second poll stops after exactly one sweep, at
+        // every thread count, with the partial pivot count as the rank.
+        for threads in [1usize, 3] {
+            let token = CancelToken::new().cancel_after_checks(2);
+            let mut m = splitmix_matrix(320, 320, 2019);
+            let stats = m.gauss_jordan_blocked_m4rm_cancellable(8, threads, &token);
+            assert!(stats.interrupted, "threads={threads}");
+            assert!(stats.rank > 0, "one sweep committed (threads={threads})");
+            assert!(
+                stats.rank <= 24,
+                "at most one sweep's pivots (threads={threads}, rank={})",
+                stats.rank
+            );
+        }
+    }
+
+    #[test]
+    fn never_token_elimination_is_unchanged() {
+        use bosphorus_interrupt::CancelToken;
+        let m = splitmix_matrix(96, 256, 9);
+        let mut plain = m.clone();
+        let plain_stats = plain.gauss_jordan_blocked_m4rm_with_stats(8, 1);
+        let mut cancellable = m.clone();
+        let stats = cancellable.gauss_jordan_blocked_m4rm_cancellable(8, 1, &CancelToken::never());
+        assert!(!stats.interrupted);
+        assert_eq!(stats, plain_stats);
+        assert_eq!(cancellable, plain);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! them with [`select_kernel`], so `rank`, `rref`, `kernel` and `solve` all
 //! ride on the fast path.
 
+use bosphorus_interrupt::CancelToken;
+
 use crate::blocked::PAR_MIN_BAND_ROWS;
 use crate::m4rm::{m4rm_block_size, M4RM_MAX_BLOCK, M4RM_MIN_DIM};
 use crate::{BitMatrix, BitVec};
@@ -119,6 +121,11 @@ pub struct GaussStats {
     /// Gray-code tables built per elimination sweep (0 schoolbook, 1
     /// single-table M4RM, 3 blocked multi-table).
     pub tables_per_sweep: usize,
+    /// Whether the elimination observed cancellation and stopped early.
+    /// When set, the matrix is only partially reduced (not RREF) and
+    /// `rank` counts the pivots established so far; callers must discard
+    /// the matrix rather than read facts out of it.
+    pub interrupted: bool,
 }
 
 impl GaussStats {
@@ -135,6 +142,7 @@ impl GaussStats {
         self.threads = self.threads.max(other.threads);
         self.bands = self.bands.max(other.bands);
         self.tables_per_sweep = self.tables_per_sweep.max(other.tables_per_sweep);
+        self.interrupted |= other.interrupted;
     }
 }
 
@@ -194,13 +202,27 @@ impl BitMatrix {
     /// assert_eq!(m, BitMatrix::identity(100));
     /// ```
     pub fn gauss_jordan_with_stats(&mut self, threads: usize) -> GaussStats {
+        self.gauss_jordan_cancellable(threads, &CancelToken::never())
+    }
+
+    /// Like [`BitMatrix::gauss_jordan_with_stats`], polling `token` at
+    /// coarse checkpoints (once per elimination sweep for the blocked
+    /// kernel, once per pivot column for the schoolbook kernel).
+    ///
+    /// On cancellation the elimination stops between sweeps and returns
+    /// with [`GaussStats::interrupted`] set; the matrix is then only
+    /// partially reduced, so callers must treat it as scratch and discard
+    /// any facts they would otherwise read from the RREF.
+    pub fn gauss_jordan_cancellable(&mut self, threads: usize, token: &CancelToken) -> GaussStats {
         match select_kernel(self.nrows(), self.ncols(), threads) {
-            KernelChoice::Plain => self.gauss_jordan_plain_with_stats(),
+            KernelChoice::Plain => self.gauss_jordan_plain_cancellable(token),
             // Not produced by select_kernel today, but the dispatch stays
             // total so a retuned heuristic cannot silently miss a kernel.
+            // (The single-table reference kernel has no cancellation
+            // checkpoints; it is never auto-selected.)
             KernelChoice::M4rm(k) => self.gauss_jordan_m4rm_with_stats(k),
             KernelChoice::BlockedM4rm { block, threads } => {
-                self.gauss_jordan_blocked_m4rm_with_stats(block, threads)
+                self.gauss_jordan_blocked_m4rm_cancellable(block, threads, token)
             }
         }
     }
@@ -212,6 +234,13 @@ impl BitMatrix {
     /// benchmarked against (`gje_kernels` bench); production callers should
     /// use [`BitMatrix::gauss_jordan_with_stats`] instead.
     pub fn gauss_jordan_plain_with_stats(&mut self) -> GaussStats {
+        self.gauss_jordan_plain_cancellable(&CancelToken::never())
+    }
+
+    /// Like [`BitMatrix::gauss_jordan_plain_with_stats`], polling `token`
+    /// once per pivot column (the schoolbook kernel only runs on tiny
+    /// matrices, so per-column polling is already coarse).
+    pub fn gauss_jordan_plain_cancellable(&mut self, token: &CancelToken) -> GaussStats {
         let mut stats = GaussStats {
             threads: 1,
             bands: 1,
@@ -222,6 +251,10 @@ impl BitMatrix {
         let mut pivot_row = 0usize;
         for col in 0..ncols {
             if pivot_row >= nrows {
+                break;
+            }
+            if token.is_cancelled() {
+                stats.interrupted = true;
                 break;
             }
             // Find a row at or below pivot_row with a 1 in this column.
@@ -568,6 +601,7 @@ mod tests {
             threads: 1,
             bands: 1,
             tables_per_sweep: 0,
+            interrupted: false,
         });
         total.merge(GaussStats {
             rank: 2,
@@ -576,6 +610,7 @@ mod tests {
             threads: 4,
             bands: 4,
             tables_per_sweep: 3,
+            interrupted: true,
         });
         assert_eq!(
             total,
@@ -586,6 +621,7 @@ mod tests {
                 threads: 4,
                 bands: 4,
                 tables_per_sweep: 3,
+                interrupted: true,
             }
         );
     }

@@ -60,7 +60,7 @@ pub use blocked::{blocked_tile_words, GF2_L2_CACHE_BYTES};
 pub use gje::{select_kernel, GaussStats, KernelChoice, SolveOutcome};
 pub use m4rm::{m4rm_block_size, M4RM_MAX_BLOCK};
 pub use matrix::{BitMatrix, RowRef};
-pub use parallel::run_indexed;
+pub use parallel::{run_indexed, try_run_indexed, WorkerPanic};
 pub use vector::BitVec;
 
 #[cfg(test)]

@@ -36,7 +36,9 @@
 mod buchberger;
 mod reduce;
 
-pub use buchberger::{groebner_basis, GroebnerConfig, GroebnerOutcome, GroebnerResult};
+pub use buchberger::{
+    groebner_basis, groebner_basis_cancellable, GroebnerConfig, GroebnerOutcome, GroebnerResult,
+};
 pub use reduce::normal_form;
 
 #[cfg(test)]

@@ -53,7 +53,7 @@ mod varorder;
 mod xor;
 
 pub use config::{RestartStrategy, SolverConfig};
-pub use solver::{SolveResult, Solver};
+pub use solver::{SolveResult, Solver, SOLVER_CHECK_INTERVAL};
 pub use stats::SolverStats;
 pub use xor::{xor_gauss_eliminate, XorConstraint, XorGaussOutcome};
 

@@ -1,6 +1,7 @@
 //! The CDCL search engine.
 
 use bosphorus_cnf::{Clause, CnfFormula, CnfVar, Lit};
+use bosphorus_interrupt::CancelToken;
 
 use crate::varorder::VarOrderHeap;
 use crate::xor::xor_gauss_eliminate;
@@ -23,6 +24,13 @@ impl LBool {
         }
     }
 }
+
+/// How many conflicts/decisions elapse between cancel-token polls inside
+/// [`Solver::solve`].
+///
+/// Small enough that a wall-clock deadline is honoured within milliseconds,
+/// large enough that the amortised poll cost vanishes next to propagation.
+pub const SOLVER_CHECK_INTERVAL: u64 = 1024;
 
 /// Outcome of a [`Solver::solve`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +111,7 @@ pub struct Solver {
     conflicts_since_gauss: u64,
 
     conflict_budget: Option<u64>,
+    cancel_token: CancelToken,
     model: Option<Vec<bool>>,
     learnt_unit_lits: Vec<Lit>,
 
@@ -134,6 +143,7 @@ impl Solver {
             xor_occ: Vec::new(),
             conflicts_since_gauss: 0,
             conflict_budget: None,
+            cancel_token: CancelToken::never(),
             model: None,
             learnt_unit_lits: Vec::new(),
             stats: SolverStats::default(),
@@ -261,6 +271,16 @@ impl Solver {
         self.conflict_budget = budget;
     }
 
+    /// Makes [`Solver::solve`] poll `token` alongside the conflict budget
+    /// (checked every [`SOLVER_CHECK_INTERVAL`] conflicts/decisions). A
+    /// cancelled token makes `solve` back out to decision level zero and
+    /// return [`SolveResult::Unknown`] — indistinguishable from budget
+    /// exhaustion inside the solver; callers that need to tell the two
+    /// apart consult the token they passed in.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel_token = token;
+    }
+
     /// Search statistics accumulated so far.
     pub fn stats(&self) -> &SolverStats {
         &self.stats
@@ -315,6 +335,14 @@ impl Solver {
         }
         self.model = None;
         let budget_start = self.stats.conflicts;
+        // Cancellation rides the same exit as the conflict budget: both
+        // back out to level 0 and report Unknown, leaving the solver
+        // reusable. The checkpoint amortises the token poll so the
+        // per-conflict/per-decision cost is a decrement and branch.
+        let mut checkpoint = self.cancel_token.checkpoint_every(SOLVER_CHECK_INTERVAL);
+        if checkpoint.check_now() {
+            return SolveResult::Unknown;
+        }
         if self.propagate().is_some() {
             self.ok = false;
             return SolveResult::Unsat;
@@ -350,6 +378,10 @@ impl Solver {
                         return SolveResult::Unknown;
                     }
                 }
+                if checkpoint.check() {
+                    self.cancel_until(0);
+                    return SolveResult::Unknown;
+                }
             } else {
                 // No conflict.
                 if conflicts_since_restart >= restart_limit
@@ -383,6 +415,10 @@ impl Solver {
                         return SolveResult::Sat;
                     }
                     Some(var) => {
+                        if checkpoint.check() {
+                            self.cancel_until(0);
+                            return SolveResult::Unknown;
+                        }
                         self.stats.decisions += 1;
                         let phase = if self.config.phase_saving {
                             self.phase[var as usize]
@@ -1023,6 +1059,55 @@ mod tests {
                 assert!(c.iter().any(|l| l.evaluate(model[l.var() as usize])));
             }
         }
+    }
+
+    #[test]
+    fn pre_cancelled_token_returns_unknown_and_solver_stays_usable() {
+        use bosphorus_interrupt::CancelToken;
+        let mut s = Solver::new(SolverConfig::minimal());
+        s.new_vars(3);
+        s.add_clause([Lit::positive(0), Lit::positive(1)]);
+        s.add_clause([Lit::negative(0), Lit::positive(2)]);
+        let token = CancelToken::new();
+        token.cancel();
+        s.set_cancel_token(token);
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        // Replacing the token with a live one resumes normal solving.
+        s.set_cancel_token(CancelToken::never());
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn cancellation_mid_search_returns_unknown() {
+        use bosphorus_interrupt::CancelToken;
+        // The pigeonhole instance needs far more than one checkpoint
+        // window of conflicts; a token tripping on its first poll stops
+        // the search long before a verdict.
+        let pigeons = 8u32;
+        let holes = 7u32;
+        let var = |i: u32, j: u32| i * holes + j;
+        let mut s = Solver::new(SolverConfig::minimal());
+        s.new_vars((pigeons * holes) as usize);
+        for i in 0..pigeons {
+            s.add_clause((0..holes).map(|j| Lit::positive(var(i, j))));
+        }
+        for j in 0..holes {
+            for i1 in 0..pigeons {
+                for i2 in (i1 + 1)..pigeons {
+                    s.add_clause([Lit::negative(var(i1, j)), Lit::negative(var(i2, j))]);
+                }
+            }
+        }
+        // 2 polls: the check_now at solve() entry passes, the first
+        // in-loop window trips.
+        s.set_cancel_token(CancelToken::new().cancel_after_checks(2));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        // The tripping call itself records no decision, so one full window
+        // leaves interval - 1 counted steps.
+        assert!(
+            s.stats().conflicts + s.stats().decisions >= super::SOLVER_CHECK_INTERVAL - 1,
+            "at least one full checkpoint window ran"
+        );
     }
 
     #[test]

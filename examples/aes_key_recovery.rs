@@ -54,5 +54,6 @@ fn main() {
             }
         }
         SolveStatus::Unsat => unreachable!("the instance is satisfiable by construction"),
+        SolveStatus::Interrupted => unreachable!("no cancel token was set"),
     }
 }

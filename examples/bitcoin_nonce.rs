@@ -62,5 +62,6 @@ fn main() {
             let _ = sha256::FULL_ROUNDS; // the full hash is available too
         }
         SolveStatus::Unsat => println!("no nonce exists for this prefix (unexpected)"),
+        SolveStatus::Interrupted => unreachable!("no cancel token was set"),
     }
 }

@@ -60,6 +60,7 @@ fn main() {
                 solver.stats().conflicts
             );
         }
+        PreprocessStatus::Interrupted => unreachable!("no cancel token was set"),
     }
     println!(
         "facts learnt: {}, propagated values: {}, iterations: {}",

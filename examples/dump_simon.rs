@@ -1,0 +1,40 @@
+//! Writes a Simon-[n, r] instance as re-parseable `.anf` text on stdout.
+//!
+//! This is how `examples/instances/simon_2_8.anf` (the CI timeout-smoke
+//! instance: big enough that `--config paper` runs for minutes, so a
+//! one-second deadline reliably interrupts it) was produced:
+//!
+//! ```text
+//! cargo run --release --example dump_simon -- 2 8 > examples/instances/simon_2_8.anf
+//! ```
+//!
+//! Plaintext count, round count and the RNG seed can be overridden
+//! positionally: `dump_simon [plaintexts] [rounds] [seed]`.
+
+use bosphorus_repro::ciphers::simon;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut next = |default: u64| -> u64 {
+        args.next()
+            .map(|raw| raw.parse().expect("numeric argument"))
+            .unwrap_or(default)
+    };
+    let params = simon::SimonParams {
+        num_plaintexts: next(2) as usize,
+        rounds: next(4) as usize,
+    };
+    let seed = next(7);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let instance = simon::generate(params, &mut rng);
+    println!(
+        "# Simon-[{},{}] (seed {seed}): {} equations over {} variables",
+        params.num_plaintexts,
+        params.rounds,
+        instance.system.len(),
+        instance.system.num_vars()
+    );
+    print!("{}", instance.system);
+}

@@ -33,6 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             assert!(system.is_satisfied_by(&assignment));
         }
         SolveStatus::Unsat => println!("\nthe system is unsatisfiable"),
+        SolveStatus::Interrupted => unreachable!("no cancel token was set"),
     }
 
     println!("\nlearnt facts:");

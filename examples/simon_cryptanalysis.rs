@@ -60,6 +60,7 @@ fn main() {
     let result = match status {
         PreprocessStatus::Solved(_) => SolveResult::Sat,
         PreprocessStatus::Unsat => SolveResult::Unsat,
+        PreprocessStatus::Interrupted => unreachable!("no cancel token was set"),
         PreprocessStatus::Simplified => {
             let processed = engine.to_cnf();
             let mut solver = Solver::from_formula(SolverConfig::aggressive(), &processed.cnf);

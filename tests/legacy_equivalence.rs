@@ -181,6 +181,7 @@ fn legacy_preprocess(system: &PolynomialSystem, config: &BosphorusConfig) -> Leg
                 };
             }
             SatStepStatus::Undecided => {}
+            SatStepStatus::Interrupted => unreachable!("no cancel token was set"),
         }
         let added = add_facts(&mut master, &mut learnt, sat.facts);
         counts.facts_from_sat += added;

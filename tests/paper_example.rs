@@ -95,6 +95,7 @@ fn section_2e_full_solve_and_fact_soundness() {
     match engine.solve(&SolverConfig::xor_gauss()) {
         SolveStatus::Sat(assignment) => assert!(system.is_satisfied_by(&assignment)),
         SolveStatus::Unsat => panic!("the system is satisfiable"),
+        SolveStatus::Interrupted => panic!("no cancel token was set"),
     }
     // Every learnt fact holds in the system's unique solution.
     let solution = Assignment::from_bits([false, true, true, true, true, false]);

@@ -25,6 +25,7 @@ fn simon_key_recovery_end_to_end() {
             assert!(instance.system.is_satisfied_by(&assignment));
         }
         SolveStatus::Unsat => panic!("the instance has a witness by construction"),
+        SolveStatus::Interrupted => panic!("no cancel token was set"),
     }
 }
 
@@ -48,6 +49,7 @@ fn aes_small_scale_end_to_end_direct_vs_bosphorus() {
     match engine.solve(&SolverConfig::aggressive()) {
         SolveStatus::Sat(assignment) => assert!(instance.system.is_satisfied_by(&assignment)),
         SolveStatus::Unsat => panic!("satisfiable by construction"),
+        SolveStatus::Interrupted => panic!("no cancel token was set"),
     }
 }
 
@@ -66,6 +68,7 @@ fn bitcoin_nonce_finding_is_satisfiable_and_verified() {
     match engine.solve(&SolverConfig::aggressive()) {
         SolveStatus::Sat(assignment) => assert!(instance.system.is_satisfied_by(&assignment)),
         SolveStatus::Unsat => panic!("a witness nonce exists by construction"),
+        SolveStatus::Interrupted => panic!("no cancel token was set"),
     }
 }
 
@@ -94,6 +97,7 @@ fn satcomp_suite_preprocessing_preserves_answers() {
         let through = match engine.solve(&SolverConfig::aggressive()) {
             SolveStatus::Sat(_) => SolveResult::Sat,
             SolveStatus::Unsat => SolveResult::Unsat,
+            SolveStatus::Interrupted => panic!("no cancel token was set"),
         };
         assert_eq!(expected, through, "family {family:?}");
     }
@@ -117,6 +121,7 @@ fn groebner_baseline_cross_checks_bosphorus_on_toy_systems() {
             GroebnerOutcome::Inconsistent => assert!(!bosphorus_sat, "disagreement on {text}"),
             GroebnerOutcome::Complete => assert!(bosphorus_sat, "disagreement on {text}"),
             GroebnerOutcome::BudgetExhausted => {}
+            GroebnerOutcome::Interrupted => panic!("no cancel token was set"),
         }
     }
 }
