@@ -129,6 +129,26 @@ impl MonomialInterner {
         }
     }
 
+    /// The linearisation column ordering: all interned ids sorted by
+    /// *descending* graded-lexicographic monomial order (so column 0 is the
+    /// largest monomial and each RREF row's pivot is its leading monomial),
+    /// together with the inverse id → column map.
+    ///
+    /// Shared by the dense and sparse linearisation paths so both assign
+    /// byte-identical columns — the property the presolve equivalence tests
+    /// rely on.
+    pub fn column_order_desc(&self) -> (Vec<u32>, Vec<u32>) {
+        let n = self.monomials.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order
+            .sort_unstable_by(|&a, &b| self.monomials[b as usize].cmp(&self.monomials[a as usize]));
+        let mut col_of_id = vec![0u32; n];
+        for (col, &id) in order.iter().enumerate() {
+            col_of_id[id as usize] = col as u32;
+        }
+        (order, col_of_id)
+    }
+
     fn grow_table(&mut self, new_len: usize) {
         debug_assert!(new_len.is_power_of_two());
         self.table.clear();
@@ -205,6 +225,30 @@ mod tests {
         let interner = MonomialInterner::new();
         assert!(interner.is_empty());
         assert_eq!(interner.get(&Monomial::one()), None);
+    }
+
+    #[test]
+    fn column_order_is_descending_graded_lex_with_inverse() {
+        let mut interner = MonomialInterner::new();
+        // Interned out of order on purpose.
+        for m in [
+            Monomial::variable(3),
+            Monomial::from_vars([1, 2]),
+            Monomial::one(),
+            Monomial::from_vars([1, 2, 3]),
+            Monomial::variable(1),
+        ] {
+            interner.intern(&m);
+        }
+        let (order, col_of_id) = interner.column_order_desc();
+        let sorted: Vec<String> = order
+            .iter()
+            .map(|&id| interner.monomial(id).to_string())
+            .collect();
+        assert_eq!(sorted, vec!["x1*x2*x3", "x1*x2", "x3", "x1", "1"]);
+        for (col, &id) in order.iter().enumerate() {
+            assert_eq!(col_of_id[id as usize] as usize, col, "inverse map");
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use bosphorus_bench::random_dense_matrix;
+use bosphorus_bench::{random_dense_matrix, random_sparse_matrix};
 use bosphorus_gf2::m4rm_block_size;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -54,6 +54,35 @@ fn bench_kernels(c: &mut Criterion) {
                 let mut a = black_box(&m).clone();
                 black_box(a.gauss_jordan_with_stats(1).rank)
             })
+        });
+    }
+    group.finish();
+
+    // Sparse XL-shaped inputs: the structural presolve (plus its residual
+    // dense cores) against densify-then-eliminate on the same rows. Both
+    // start from the sparse row store, as the linearisation builder streams
+    // it; the dense-only path pays the densification it forces.
+    let mut group = c.benchmark_group("gje_presolve");
+    group.sample_size(10);
+    for &(rows, cols, fill) in &[(2048usize, 2048usize, 3usize), (4096, 2048, 4)] {
+        let sm = random_sparse_matrix(&mut rng, rows, cols, fill);
+
+        // The two paths must agree before being compared.
+        let dense_rank = sm.to_dense().rank();
+        let presolve_rank = sm.clone().rref(1).rank;
+        assert_eq!(
+            dense_rank, presolve_rank,
+            "presolve disagrees at {rows}x{cols} fill {fill}"
+        );
+
+        group.bench_function(format!("dense_only/{rows}x{cols}f{fill}"), |b| {
+            b.iter(|| {
+                let mut a = black_box(&sm).to_dense();
+                black_box(a.gauss_jordan_with_stats(1).rank)
+            })
+        });
+        group.bench_function(format!("presolve/{rows}x{cols}f{fill}"), |b| {
+            b.iter(|| black_box(black_box(&sm).clone().rref(1).rank))
         });
     }
     group.finish();

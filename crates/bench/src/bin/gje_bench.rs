@@ -20,8 +20,10 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use bosphorus_bench::random_dense_matrix;
-use bosphorus_gf2::{m4rm_block_size, select_kernel, BitMatrix, KernelChoice};
+use bosphorus_bench::{random_dense_matrix, random_sparse_matrix};
+use bosphorus_gf2::{
+    m4rm_block_size, select_kernel, BitMatrix, KernelChoice, PresolveStats, SparseMatrix,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -73,6 +75,65 @@ fn time_best<F: Fn(&mut BitMatrix) -> usize>(m: &BitMatrix, reps: usize, f: F) -
     (best, rank)
 }
 
+/// One (sparse shape, presolve-vs-dense) measurement: the structural
+/// presolve plus its residual dense cores against densify-then-eliminate on
+/// the same XL-shaped sparse rows.
+struct SparseResult {
+    rows: usize,
+    cols: usize,
+    fill: usize,
+    rank: usize,
+    reps: usize,
+    /// Densify + dense elimination, best of reps.
+    dense_only_ns: u128,
+    /// The whole sparse path (presolve + dense cores + stitching), best of
+    /// reps.
+    presolve_total_ns: u128,
+    /// The phase split and rule counters of the best presolve run.
+    presolve: PresolveStats,
+}
+
+impl SparseResult {
+    fn speedup_presolve_vs_dense(&self) -> f64 {
+        self.dense_only_ns as f64 / self.presolve_total_ns.max(1) as f64
+    }
+}
+
+fn measure_sparse(m: &SparseMatrix, reps: usize) -> SparseResult {
+    let (rows, cols) = (m.nrows(), m.ncols());
+    let fill = m.nnz().div_ceil(rows.max(1));
+    let mut dense_only_ns = u128::MAX;
+    let mut dense_rank = 0usize;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let mut a = m.to_dense();
+        dense_rank = a.gauss_jordan_with_stats(1).rank;
+        dense_only_ns = dense_only_ns.min(start.elapsed().as_nanos());
+    }
+    let mut presolve_total_ns = u128::MAX;
+    let mut best: Option<PresolveStats> = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let r = m.clone().rref(1);
+        let elapsed = start.elapsed().as_nanos();
+        assert_eq!(r.rank, dense_rank, "presolve path rank disagrees");
+        if elapsed < presolve_total_ns {
+            presolve_total_ns = elapsed;
+            best = Some(r.presolve);
+        }
+    }
+    SparseResult {
+        rows,
+        cols,
+        fill,
+        rank: dense_rank,
+        reps,
+        dense_only_ns,
+        presolve_total_ns,
+        presolve: best.expect("reps >= 1"),
+    }
+}
+
 /// Row-band thread counts timed on the large shapes (1 is `blocked_ns`).
 const PAR_THREADS: &[usize] = &[2, 4, 8];
 
@@ -118,7 +179,7 @@ fn measure(m: &BitMatrix, reps: usize) -> SizeResult {
     }
 }
 
-fn to_json(results: &[SizeResult], mode: &str, seed: u64) -> String {
+fn to_json(results: &[SizeResult], sparse: &[SparseResult], mode: &str, seed: u64) -> String {
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"gje_kernels\",");
@@ -153,6 +214,47 @@ fn to_json(results: &[SizeResult], mode: &str, seed: u64) -> String {
         }
         out.push_str("}}");
         out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    // The sparse XL-shaped comparison: structural presolve (+ residual dense
+    // cores) vs densify-then-eliminate, with the presolve phase split and
+    // per-rule reduction counts of the best run.
+    out.push_str("  \"sparse\": [\n");
+    for (i, r) in sparse.iter().enumerate() {
+        let p = &r.presolve;
+        let _ = write!(
+            out,
+            "    {{\"rows\": {}, \"cols\": {}, \"fill\": {}, \"rank\": {}, \"reps\": {}, \
+             \"dense_only_ns\": {}, \"presolve_total_ns\": {}, \
+             \"speedup_presolve_vs_dense\": {:.2}, \
+             \"presolve_ns\": {}, \"dense_core_gauss_ns\": {}, \
+             \"dense_core_rows\": {}, \"dense_core_cols\": {}, \"components\": {}, \
+             \"rows_eliminated\": {}, \"cols_eliminated\": {}, \
+             \"empty_rows\": {}, \"duplicate_rows\": {}, \"singleton_rows\": {}, \
+             \"weight2_rows\": {}, \"pure_leading_rows\": {}, \"subset_cancellations\": {}}}",
+            r.rows,
+            r.cols,
+            r.fill,
+            r.rank,
+            r.reps,
+            r.dense_only_ns,
+            r.presolve_total_ns,
+            r.speedup_presolve_vs_dense(),
+            p.presolve_ns,
+            p.dense_ns,
+            p.dense_rows,
+            p.dense_cols,
+            p.components,
+            p.rows_eliminated,
+            p.cols_eliminated,
+            p.empty_rows,
+            p.duplicate_rows,
+            p.singleton_rows,
+            p.weight2_rows,
+            p.pure_leading_rows,
+            p.subset_cancellations
+        );
+        out.push_str(if i + 1 < sparse.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ],\n");
     let headline = |rows: usize, cols: usize, f: &dyn Fn(&SizeResult) -> Option<f64>| {
@@ -193,6 +295,20 @@ fn to_json(results: &[SizeResult], mode: &str, seed: u64) -> String {
         &mut out,
         "speedup_4096_par4_vs_serial",
         headline(4096, 4096, &|r| r.speedup_par_vs_serial(4)),
+        true,
+    );
+    // The presolve headline: best sparse-path gain over densify-then-
+    // eliminate across the measured XL-shaped inputs (the largest shape in
+    // practice; recorded per-shape above).
+    emit(
+        &mut out,
+        "speedup_sparse_presolve_vs_dense",
+        sparse
+            .iter()
+            .map(SparseResult::speedup_presolve_vs_dense)
+            .fold(None, |acc: Option<f64>, s| {
+                Some(acc.map_or(s, |a| a.max(s)))
+            }),
         false,
     );
     out.push_str("}\n");
@@ -282,7 +398,38 @@ fn main() {
         results.push(r);
     }
 
-    let json = to_json(&results, mode, seed);
+    // Sparse XL-shaped inputs: the structural presolve against
+    // densify-then-eliminate on the same rows (~fill entries per row).
+    let sparse_shapes: &[(usize, usize, usize)] = if quick {
+        &[(2048, 2048, 3)]
+    } else {
+        &[(2048, 2048, 3), (4096, 4096, 3), (8192, 4096, 4)]
+    };
+    let mut sparse_results = Vec::new();
+    println!("\nsparse XL-shaped inputs, presolve vs densify-then-eliminate:");
+    println!(
+        "{:>12} {:>4} {:>6} {:>14} {:>14} {:>8} {:>7} {:>12} {:>5}",
+        "size", "fill", "rank", "dense_only", "presolve", "speedup", "elim%", "core", "comps"
+    );
+    for &(rows, cols, fill) in sparse_shapes {
+        let m = random_sparse_matrix(&mut rng, rows, cols, fill);
+        let r = measure_sparse(&m, if quick { 2 } else { 3 });
+        println!(
+            "{:>12} {:>4} {:>6} {:>12}ns {:>12}ns {:>7.2}x {:>6.1}% {:>12} {:>5}",
+            format!("{rows}x{cols}"),
+            r.fill,
+            r.rank,
+            r.dense_only_ns,
+            r.presolve_total_ns,
+            r.speedup_presolve_vs_dense(),
+            100.0 * r.presolve.rows_eliminated as f64 / r.presolve.input_rows.max(1) as f64,
+            format!("{}x{}", r.presolve.dense_rows, r.presolve.dense_cols),
+            r.presolve.components
+        );
+        sparse_results.push(r);
+    }
+
+    let json = to_json(&results, &sparse_results, mode, seed);
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
     println!("\nwrote {out_path}");
     if let Some(r) = results.iter().find(|r| r.rows == 4096 && r.cols == 4096) {

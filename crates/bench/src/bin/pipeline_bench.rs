@@ -23,7 +23,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use bosphorus::{
-    expansion_monomials, is_retainable_fact, Bosphorus, BosphorusConfig, LinearizationBuilder,
+    expansion_monomials, is_retainable_fact, Bosphorus, BosphorusConfig, CancelToken,
+    LinearizationBuilder, PresolveStats,
 };
 use bosphorus_anf::naive::{NaiveMonomial, NaivePolynomial};
 use bosphorus_anf::{Polynomial, PolynomialSystem, TermScratch, Var};
@@ -60,6 +61,11 @@ struct PassLine {
     skips: usize,
     facts: usize,
     time_ns: u128,
+    /// Rows the sparse presolve removed ahead of this pass's dense
+    /// eliminations (cumulative over its runs).
+    presolve_rows_eliminated: usize,
+    /// Wall clock of the sparse phase inside this pass.
+    presolve_ns: u64,
 }
 
 /// One before/after XL-round measurement.
@@ -93,6 +99,13 @@ struct XlRoundResult {
     /// Whole-round times, kernel included, for context.
     naive_total_ns: u128,
     fast_total_ns: u128,
+    /// Whole-round time of the sparse-presolve configuration (expansion
+    /// streamed into the sparse row store, presolve, residual dense cores,
+    /// stitching and readback) — the facts are asserted byte-identical to
+    /// the dense rounds before any number is reported.
+    presolve_round_ns: u128,
+    /// Phase split and rule counters of the best presolve round.
+    presolve: PresolveStats,
 }
 
 impl XlRoundResult {
@@ -102,6 +115,14 @@ impl XlRoundResult {
 
     fn total_speedup(&self) -> f64 {
         self.naive_total_ns as f64 / self.fast_total_ns.max(1) as f64
+    }
+
+    /// Elimination-phase gain of the sparse path: dense-only `gauss_ns`
+    /// against `presolve_ns + dense-core gauss_ns` — the tentpole's
+    /// acceptance ratio.
+    fn presolve_gauss_speedup(&self) -> f64 {
+        let sparse_ns = (self.presolve.presolve_ns + self.presolve.dense_ns).max(1);
+        self.gauss_ns as f64 / sparse_ns as f64
     }
 }
 
@@ -240,6 +261,32 @@ fn naive_xl_round(polys: &[NaivePolynomial], multipliers: &[NaiveMonomial]) -> R
     }
 }
 
+/// The same exhaustive round through the sparse-presolve path: expansion
+/// streamed into the sparse row store (no dense arena), structural presolve,
+/// residual dense cores, stitched readback — the configuration the engine
+/// runs by default. Returns the whole-round wall clock alongside the facts
+/// and the internally-measured phase split.
+fn presolve_xl_round(
+    system: &PolynomialSystem,
+    multipliers: &[bosphorus_anf::Monomial],
+) -> (u128, Vec<Polynomial>, usize, PresolveStats) {
+    let start = Instant::now();
+    let mut builder = LinearizationBuilder::new();
+    for poly in system.iter() {
+        builder.push(poly);
+    }
+    let mut scratch = TermScratch::new();
+    for base in system.iter() {
+        for m in multipliers {
+            builder.push_product(base, m, &mut scratch);
+        }
+    }
+    let sparse = builder.finish_sparse();
+    let (facts, rank, _gauss, presolve) =
+        sparse.eliminate_retainable_cancellable(1, &CancelToken::never());
+    (start.elapsed().as_nanos(), facts, rank, presolve)
+}
+
 /// Best-of-`reps` run of `f`, keeping the run with the smallest total time.
 fn best_run(reps: usize, mut f: impl FnMut() -> RoundRun) -> RoundRun {
     let mut best: Option<RoundRun> = None;
@@ -317,6 +364,23 @@ fn measure_xl_round(name: &str, system: &PolynomialSystem, reps: usize) -> XlRou
         fast.facts, naive.facts,
         "{name}: learnt facts diverge between term layers"
     );
+    // The sparse-presolve configuration, best of reps by whole-round time,
+    // with the learnt facts asserted byte-identical to the dense rounds.
+    let mut presolve_round_ns = u128::MAX;
+    let mut presolve_split: Option<PresolveStats> = None;
+    for _ in 0..reps {
+        let (round_ns, facts, rank, split) = presolve_xl_round(system, &multipliers);
+        assert_eq!(rank, fast.rank, "{name}: presolve path rank diverges");
+        assert_eq!(
+            facts, fast.facts,
+            "{name}: presolve path learnt facts diverge"
+        );
+        if round_ns < presolve_round_ns {
+            presolve_round_ns = round_ns;
+            presolve_split = Some(split);
+        }
+    }
+    let presolve = presolve_split.expect("reps >= 1");
     XlRoundResult {
         name: name.to_string(),
         rows: fast.rows,
@@ -330,6 +394,8 @@ fn measure_xl_round(name: &str, system: &PolynomialSystem, reps: usize) -> XlRou
         gauss_par_ns,
         naive_total_ns: naive.total_ns(),
         fast_total_ns: fast.total_ns(),
+        presolve_round_ns,
+        presolve,
     }
 }
 
@@ -361,6 +427,8 @@ fn measure_preprocess(name: &str, system: &PolynomialSystem) -> PreprocessResult
                 skips: p.skips,
                 facts: p.facts,
                 time_ns: p.time.as_nanos(),
+                presolve_rows_eliminated: p.presolve.rows_eliminated,
+                presolve_ns: p.presolve.presolve_ns,
             })
             .collect(),
     }
@@ -401,12 +469,15 @@ fn to_json(
             let _ = write!(
                 out,
                 "{{\"name\": \"{}\", \"runs\": {}, \"skips\": {}, \"facts\": {}, \
-                 \"time_ms\": {:.3}}}",
+                 \"time_ms\": {:.3}, \"presolve_rows_eliminated\": {}, \
+                 \"presolve_ms\": {:.3}}}",
                 p.name,
                 p.runs,
                 p.skips,
                 p.facts,
-                p.time_ns as f64 / 1e6
+                p.time_ns as f64 / 1e6,
+                p.presolve_rows_eliminated,
+                p.presolve_ns as f64 / 1e6
             );
         }
         out.push_str("]}");
@@ -446,10 +517,39 @@ fn to_json(
         }
         let _ = write!(
             out,
-            "}}, \"naive_total_ns\": {}, \"fast_total_ns\": {}, \"total_speedup\": {:.2}}}",
+            "}}, \"naive_total_ns\": {}, \"fast_total_ns\": {}, \"total_speedup\": {:.2}, ",
             r.naive_total_ns,
             r.fast_total_ns,
             r.total_speedup()
+        );
+        // The sparse-presolve phase split of the same round (facts asserted
+        // byte-identical): presolve_ns + dense_core_gauss_ns is the sparse
+        // path's elimination phase, compared against the dense `gauss_ns`.
+        let p = &r.presolve;
+        let _ = write!(
+            out,
+            "\"presolve\": {{\"round_total_ns\": {}, \"presolve_ns\": {}, \
+             \"dense_core_gauss_ns\": {}, \"gauss_speedup_vs_dense\": {:.2}, \
+             \"dense_core_rows\": {}, \"dense_core_cols\": {}, \"components\": {}, \
+             \"rows_eliminated\": {}, \"cols_eliminated\": {}, \
+             \"empty_rows\": {}, \"duplicate_rows\": {}, \"singleton_rows\": {}, \
+             \"weight2_rows\": {}, \"pure_leading_rows\": {}, \
+             \"subset_cancellations\": {}}}}}",
+            r.presolve_round_ns,
+            p.presolve_ns,
+            p.dense_ns,
+            r.presolve_gauss_speedup(),
+            p.dense_rows,
+            p.dense_cols,
+            p.components,
+            p.rows_eliminated,
+            p.cols_eliminated,
+            p.empty_rows,
+            p.duplicate_rows,
+            p.singleton_rows,
+            p.weight2_rows,
+            p.pure_leading_rows,
+            p.subset_cancellations
         );
         out.push_str(if i + 1 < rounds.len() { ",\n" } else { "\n" });
     }
@@ -466,10 +566,14 @@ fn to_json(
     let _ = writeln!(
         out,
         "  \"headline\": {{\"xl_round_speedup_simon\": {:.2}, \
+         \"presolve_gauss_speedup_simon\": {:.2}, \
          \"headline_instance\": \"{}\", \
          \"headline_metric\": \"term-layer (expand + linearise + readback) \
-         best-of-reps; shared GJE kernel excluded\"}}",
+         best-of-reps; shared GJE kernel excluded. presolve_gauss_speedup \
+         compares dense-only gauss_ns against presolve_ns + dense-core \
+         gauss_ns on the same round, identical learnt facts\"}}",
         simon.term_speedup(),
+        simon.presolve_gauss_speedup(),
         simon.name
     );
     out.push('}');
@@ -585,6 +689,19 @@ fn main() {
                 r.gauss_ns as f64 / ns.max(1) as f64
             );
         }
+        let p = &r.presolve;
+        println!(
+            "      presolve {:>9.3} ms + dense cores {:>9.3} ms ({:.2}x vs dense gje) \
+             core {}x{} comps {} rows -{:.1}% cols -{:.1}%",
+            p.presolve_ns as f64 / 1e6,
+            p.dense_ns as f64 / 1e6,
+            r.presolve_gauss_speedup(),
+            p.dense_rows,
+            p.dense_cols,
+            p.components,
+            100.0 * p.rows_eliminated as f64 / p.input_rows.max(1) as f64,
+            100.0 * p.cols_eliminated as f64 / p.input_cols.max(1) as f64
+        );
     }
 
     let json = to_json(&preprocess, &rounds, mode, seed);

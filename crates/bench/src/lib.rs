@@ -26,7 +26,7 @@ pub use args::{Table2Args, TABLE2_USAGE};
 pub use par2::{Par2Scorer, ScoredRun};
 pub use parallel::run_indexed;
 
-use bosphorus_gf2::BitMatrix;
+use bosphorus_gf2::{BitMatrix, SparseMatrix};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -41,6 +41,23 @@ pub fn random_dense_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> BitMat
                 m.set(r, c, true);
             }
         }
+    }
+    m
+}
+
+/// Builds a sparse random GF(2) matrix with up to `fill` entries per row
+/// (duplicate column draws cancel XOR-style, like repeated monomials) — the
+/// XL-shaped input the presolve comparisons in `gje_kernels` and `gje_bench`
+/// share, so both measure the same distribution for a given seed.
+pub fn random_sparse_matrix(
+    rng: &mut StdRng,
+    rows: usize,
+    cols: usize,
+    fill: usize,
+) -> SparseMatrix {
+    let mut m = SparseMatrix::new(cols);
+    for _ in 0..rows {
+        m.push_row((0..fill).map(|_| rng.gen_range(0..cols) as u32).collect());
     }
     m
 }

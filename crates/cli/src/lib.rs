@@ -69,6 +69,10 @@ pipeline:
   --threads N           row-band update threads for the GF(2) elimination
                         inside the XL/ElimLin passes (default 1; the learnt
                         facts are bit-identical at every thread count)
+  --no-presolve         skip the sparse structural presolve and hand the
+                        XL/ElimLin matrices straight to the dense GF(2)
+                        kernel (the learnt facts are identical either way;
+                        this is an A/B and escape hatch, not a mode)
   --solver NAME         solver configuration for the final --solve call:
                         minimal | aggressive | xorgauss (the in-loop SAT
                         pass always uses the paper's aggressive setting)
@@ -189,6 +193,9 @@ pub struct CliOptions {
     /// Override of the GF(2) elimination thread count (see
     /// [`BosphorusConfig::threads`]).
     pub threads: Option<usize>,
+    /// Disable the sparse structural presolve in front of the dense GF(2)
+    /// kernel (see [`BosphorusConfig::presolve`]).
+    pub no_presolve: bool,
     /// Solver configuration for the final `--solve` call. The in-loop SAT
     /// pass is pinned to the paper's aggressive configuration (as in the
     /// original engine); `xorgauss` additionally turns on XOR-constraint
@@ -227,6 +234,7 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
         sat_budget: None,
         seed: None,
         threads: None,
+        no_presolve: false,
         solver: SolverChoice::Aggressive,
         timeout: None,
     };
@@ -288,6 +296,7 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
                         .ok_or_else(|| format!("--threads: {raw:?} is not a count"))?,
                 );
             }
+            "--no-presolve" => options.no_presolve = true,
             "--solver" => options.solver = value_of("--solver")?.parse()?,
             "--timeout" => {
                 let raw = value_of("--timeout")?;
@@ -334,6 +343,9 @@ pub fn build_config(options: &CliOptions) -> BosphorusConfig {
     }
     if let Some(threads) = options.threads {
         config.threads = threads;
+    }
+    if options.no_presolve {
+        config.presolve = false;
     }
     if options.solver == SolverChoice::XorGauss {
         config.emit_xor_constraints = true;
@@ -532,7 +544,7 @@ pub fn stats_json(stats: &EngineStats, status: &str) -> String {
             "\n    {{\"name\": \"{}\", \"runs\": {}, \"skips\": {}, \"facts\": {}, \
              \"gauss_rank\": {}, \"gauss_row_xors\": {}, \"gauss_threads\": {}, \
              \"gauss_bands\": {}, \"gauss_tables_per_sweep\": {}, \
-             \"sat_conflicts\": {}, \"time_ms\": {:.3}}}",
+             \"sat_conflicts\": {}, \"time_ms\": {:.3}, ",
             pass.name,
             pass.runs,
             pass.skips,
@@ -544,6 +556,34 @@ pub fn stats_json(stats: &EngineStats, status: &str) -> String {
             pass.gauss.tables_per_sweep,
             pass.sat_conflicts,
             pass.time.as_secs_f64() * 1e3
+        );
+        // The sparse-presolve phase split for this pass, cumulative over
+        // its runs; all-zero when presolve is off or the pass has no GF(2)
+        // elimination.
+        let p = &pass.presolve;
+        let _ = write!(
+            out,
+            "\"presolve\": {{\"input_rows\": {}, \"input_cols\": {}, \
+             \"rows_eliminated\": {}, \"cols_eliminated\": {}, \
+             \"components\": {}, \"dense_core_rows\": {}, \"dense_core_cols\": {}, \
+             \"empty_rows\": {}, \"duplicate_rows\": {}, \"singleton_rows\": {}, \
+             \"weight2_rows\": {}, \"pure_leading_rows\": {}, \
+             \"subset_cancellations\": {}, \"presolve_ns\": {}, \"dense_ns\": {}}}}}",
+            p.input_rows,
+            p.input_cols,
+            p.rows_eliminated,
+            p.cols_eliminated,
+            p.components,
+            p.dense_rows,
+            p.dense_cols,
+            p.empty_rows,
+            p.duplicate_rows,
+            p.singleton_rows,
+            p.weight2_rows,
+            p.pure_leading_rows,
+            p.subset_cancellations,
+            p.presolve_ns,
+            p.dense_ns
         );
     }
     if stats.passes.is_empty() {
@@ -636,6 +676,7 @@ mod tests {
             "42",
             "--threads",
             "4",
+            "--no-presolve",
             "--solver",
             "xorgauss",
         ]);
@@ -652,6 +693,7 @@ mod tests {
         assert_eq!(options.sat_budget, Some(123));
         assert_eq!(options.seed, Some(42));
         assert_eq!(options.threads, Some(4));
+        assert!(options.no_presolve);
         assert_eq!(options.solver, SolverChoice::XorGauss);
     }
 
@@ -718,6 +760,16 @@ mod tests {
     }
 
     #[test]
+    fn presolve_defaults_on_and_no_presolve_turns_it_off() {
+        let on = options(&["--anf", "a"]);
+        assert!(!on.no_presolve);
+        assert!(build_config(&on).presolve);
+        let off = options(&["--anf", "a", "--no-presolve"]);
+        assert!(off.no_presolve);
+        assert!(!build_config(&off).presolve);
+    }
+
+    #[test]
     fn model_line_is_dimacs_style() {
         let assignment = bosphorus_anf::Assignment::from_bits([true, false, true]);
         assert_eq!(model_line(&assignment), "v 1 -2 3 0");
@@ -761,6 +813,39 @@ mod tests {
         assert!(json.contains("\"facts\": 4"));
         assert!(json.contains("\"skipped\": false"));
         assert!(json.contains("\"poisoned\": false"));
+    }
+
+    #[test]
+    fn stats_json_serialises_the_presolve_phase_split() {
+        let mut pass = bosphorus::PassStats {
+            name: "xl".to_string(),
+            runs: 1,
+            ..bosphorus::PassStats::default()
+        };
+        pass.presolve.input_rows = 100;
+        pass.presolve.input_cols = 60;
+        pass.presolve.rows_eliminated = 40;
+        pass.presolve.cols_eliminated = 10;
+        pass.presolve.singleton_rows = 25;
+        pass.presolve.duplicate_rows = 15;
+        pass.presolve.components = 2;
+        pass.presolve.dense_rows = 60;
+        pass.presolve.dense_cols = 50;
+        pass.presolve.presolve_ns = 1234;
+        let stats = EngineStats {
+            passes: vec![pass],
+            ..EngineStats::default()
+        };
+        let json = stats_json(&stats, "simplified");
+        assert!(json.contains("\"presolve\": {"));
+        assert!(json.contains("\"rows_eliminated\": 40"));
+        assert!(json.contains("\"cols_eliminated\": 10"));
+        assert!(json.contains("\"singleton_rows\": 25"));
+        assert!(json.contains("\"duplicate_rows\": 15"));
+        assert!(json.contains("\"components\": 2"));
+        assert!(json.contains("\"dense_core_rows\": 60"));
+        assert!(json.contains("\"dense_core_cols\": 50"));
+        assert!(json.contains("\"presolve_ns\": 1234"));
     }
 
     #[test]

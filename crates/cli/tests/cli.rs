@@ -172,6 +172,84 @@ fn stats_json_includes_a_per_iteration_timeline() {
 }
 
 #[test]
+fn stats_json_carries_the_presolve_phase_split() {
+    let output = bosphorus(&["--anf", &instance("worked_example.anf"), "--stats-json"]);
+    assert_eq!(output.status.code(), Some(0));
+    let json = stdout(&output);
+    // Every pass entry carries a presolve block; the XL pass actually fed
+    // rows through it (presolve is on by default).
+    assert!(json.contains("\"presolve\": {"), "json: {json}");
+    assert!(json.contains("\"rows_eliminated\": "), "json: {json}");
+    assert!(json.contains("\"dense_core_rows\": "), "json: {json}");
+    assert!(json.contains("\"components\": "), "json: {json}");
+    assert!(json.contains("\"presolve_ns\": "), "json: {json}");
+    let xl_entry = &json[json.find("\"name\": \"xl\"").expect("xl entry")..];
+    let input_rows = xl_entry
+        .split("\"input_rows\": ")
+        .nth(1)
+        .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|s| s.parse::<usize>().ok())
+        .expect("input_rows field");
+    assert!(input_rows > 0, "XL streamed rows into the presolve: {json}");
+}
+
+#[test]
+fn no_presolve_reproduces_the_same_solution_and_facts() {
+    // A/B: the sparse presolve is exact, so disabling it must not change
+    // the solver verdict, the model, or how many facts each pass learnt —
+    // only the zeroed presolve counters and the timings may differ.
+    // Drop the per-pass/timeline lines (timings, presolve counters and
+    // operation counts differ by construction — the sparse path performs
+    // different elementary ops) but keep the verdict lines: status, fact
+    // totals, iterations, propagation and conflicts must be identical.
+    let strip_volatile = |json: &str| -> Vec<String> {
+        json.lines()
+            .filter(|l| {
+                !l.contains("time_ms")
+                    && !l.contains("\"presolve\":")
+                    && !l.contains("presolve_ns")
+                    && !l.contains("gauss_row_xors")
+            })
+            .map(str::to_string)
+            .collect()
+    };
+    // simon_2_8 gets the same A/B treatment in the release-build CI solve
+    // smoke; a debug-build --solve on it is far too slow for this suite.
+    for instance_name in ["worked_example.anf", "table1.anf"] {
+        let with = bosphorus(&["--anf", &instance(instance_name), "--solve", "--stats-json"]);
+        let without = bosphorus(&[
+            "--anf",
+            &instance(instance_name),
+            "--solve",
+            "--no-presolve",
+            "--stats-json",
+        ]);
+        assert_eq!(
+            with.status.code(),
+            without.status.code(),
+            "{instance_name}: exit codes must agree"
+        );
+        let with_text = stdout(&with);
+        let without_text = stdout(&without);
+        let model = |text: &str| {
+            text.lines()
+                .find(|l| l.starts_with("v "))
+                .map(str::to_string)
+        };
+        assert_eq!(
+            model(&with_text),
+            model(&without_text),
+            "{instance_name}: models must agree"
+        );
+        assert_eq!(
+            strip_volatile(&with_text),
+            strip_volatile(&without_text),
+            "{instance_name}: facts, iterations and timeline must agree"
+        );
+    }
+}
+
+#[test]
 fn bad_usage_exits_one_with_a_message() {
     let output = bosphorus(&["--frobnicate"]);
     assert_eq!(output.status.code(), Some(1));

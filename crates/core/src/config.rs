@@ -87,6 +87,14 @@ pub struct BosphorusConfig {
     /// back to serial by `bosphorus_gf2::select_kernel` — so this only
     /// changes wall-clock, never learnt facts. Default 1 (serial).
     pub threads: usize,
+    /// Whether the XL and ElimLin eliminations run the sparse structural
+    /// presolve (singleton, duplicate, weight-2, pure-leading-column and
+    /// subset rules over interned sparse rows) before materialising the
+    /// residual dense core for the blocked M4RM kernel. The presolve is
+    /// exact — learnt facts are byte-identical with it on or off — so this
+    /// only changes wall-clock; it exists as an escape hatch (the CLI's
+    /// `--no-presolve`) and for A/B measurement. Default `true`.
+    pub presolve: bool,
 }
 
 impl Default for BosphorusConfig {
@@ -109,6 +117,7 @@ impl Default for BosphorusConfig {
             emit_xor_constraints: false,
             rng_seed: 0xB05F0405,
             threads: 1,
+            presolve: true,
         }
     }
 }
@@ -174,6 +183,13 @@ mod tests {
     #[test]
     fn exhaustive_disables_subsampling_in_practice() {
         assert_eq!(BosphorusConfig::exhaustive().subsample_m, 63);
+    }
+
+    #[test]
+    fn presolve_defaults_on_everywhere() {
+        assert!(BosphorusConfig::default().presolve);
+        assert!(BosphorusConfig::paper_defaults().presolve);
+        assert!(BosphorusConfig::exhaustive().presolve);
     }
 
     #[test]

@@ -8,12 +8,12 @@
 //! the original system and is reported as a learnt fact.
 
 use bosphorus_anf::{Polynomial, PolynomialSystem, TermScratch, Var};
-use bosphorus_gf2::GaussStats;
+use bosphorus_gf2::{GaussStats, PresolveStats};
 use bosphorus_interrupt::CancelToken;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::linearize::Linearization;
+use crate::linearize::{Linearization, SparseLinearization};
 use crate::BosphorusConfig;
 
 /// Outcome of one ElimLin round.
@@ -31,6 +31,9 @@ pub struct ElimLinOutcome {
     /// Cumulative elimination-kernel operation counts across all rounds
     /// (the `rank` field is the *sum* of per-round ranks).
     pub gauss: GaussStats,
+    /// Cumulative sparse-presolve reduction counts across all rounds
+    /// (all-zero when [`BosphorusConfig::presolve`] is off).
+    pub presolve: PresolveStats,
     /// `true` when the round worked on a strict subsample of the input
     /// system. An exhaustive round is deterministic for a given system, so
     /// the pipeline may skip re-running it while the system is unchanged.
@@ -82,14 +85,16 @@ pub fn elimlin_learn_cancellable<R: Rng>(
         }
     }
     let subsampled = working.len() < system.len();
-    let mut outcome = elimlin_on_cancellable(working, config.threads, token);
+    let mut outcome = elimlin_run(working, config.threads, config.presolve, token);
     outcome.subsampled = subsampled;
     outcome
 }
 
 /// Runs ElimLin on exactly the given polynomials (no subsampling).
 /// `threads` is the row-band parallelism of each round's GF(2) elimination
-/// (1 = serial; the learnt facts are identical at every thread count).
+/// (1 = serial; the learnt facts are identical at every thread count). The
+/// sparse presolve is on, as in the default engine configuration; it is
+/// exact, so this is a wall-clock choice only.
 pub fn elimlin_on(working: Vec<Polynomial>, threads: usize) -> ElimLinOutcome {
     elimlin_on_cancellable(working, threads, &CancelToken::never())
 }
@@ -98,8 +103,20 @@ pub fn elimlin_on(working: Vec<Polynomial>, threads: usize) -> ElimLinOutcome {
 /// [`elimlin_learn_cancellable`] for the checkpoint placement and the
 /// completed-rounds fact guarantee).
 pub fn elimlin_on_cancellable(
+    working: Vec<Polynomial>,
+    threads: usize,
+    token: &CancelToken,
+) -> ElimLinOutcome {
+    elimlin_run(working, threads, true, token)
+}
+
+/// The ElimLin fixed-point loop behind every public entry point, with the
+/// per-round elimination routed through the sparse presolve or the dense
+/// kernel directly according to `presolve` (both commit identical facts).
+fn elimlin_run(
     mut working: Vec<Polynomial>,
     threads: usize,
+    presolve: bool,
     token: &CancelToken,
 ) -> ElimLinOutcome {
     // One scratch buffer serves every substitution of every round.
@@ -110,6 +127,7 @@ pub fn elimlin_on_cancellable(
         eliminated_vars: 0,
         contradiction: false,
         gauss: GaussStats::default(),
+        presolve: PresolveStats::default(),
         subsampled: false,
         interrupted: false,
     };
@@ -125,11 +143,18 @@ pub fn elimlin_on_cancellable(
             outcome.facts.push(Polynomial::one());
             return outcome;
         }
-        // Step (1): Gauss–Jordan elimination on the linearisation.
-        let mut lin = Linearization::build(working.iter());
-        let (reduced, round_stats) = lin.eliminate_cancellable(threads, token);
+        // Step (1): Gauss–Jordan elimination on the linearisation — through
+        // the sparse structural presolve when enabled, dense-only otherwise.
+        let (reduced, round_stats, round_presolve) = if presolve {
+            SparseLinearization::build(working.iter()).eliminate_cancellable(threads, token)
+        } else {
+            let mut lin = Linearization::build(working.iter());
+            let (reduced, stats) = lin.eliminate_cancellable(threads, token);
+            (reduced, stats, PresolveStats::default())
+        };
         let round_interrupted = round_stats.interrupted;
         outcome.gauss.merge(round_stats);
+        outcome.presolve.merge(round_presolve);
         if round_interrupted {
             // The round's elimination was cut between sweeps: discard the
             // partial reduction so the facts stay a completed-rounds prefix.
@@ -309,6 +334,30 @@ mod tests {
         let outcome = elimlin_on(Vec::new(), 1);
         assert!(outcome.facts.is_empty());
         assert!(!outcome.contradiction);
+    }
+
+    #[test]
+    fn presolve_and_dense_runs_learn_identical_facts() {
+        let source = polys(
+            "x1*x2 + x3 + x4 + 1;
+             x1*x2*x3 + x1 + x3 + 1;
+             x1*x3 + x3*x4*x5 + x3;
+             x2*x3 + x3*x5 + 1;
+             x2*x3 + x5 + 1;
+             x1 + x5 + 1;
+             x1 + x4;
+             x3 + 1;
+             x1 + x2;",
+        );
+        let token = CancelToken::never();
+        let with = elimlin_run(source.clone(), 1, true, &token);
+        let without = elimlin_run(source, 1, false, &token);
+        assert_eq!(with.facts, without.facts, "facts diverge across paths");
+        assert_eq!(with.rounds, without.rounds);
+        assert_eq!(with.eliminated_vars, without.eliminated_vars);
+        assert_eq!(with.gauss.rank, without.gauss.rank);
+        assert!(with.presolve.input_rows > 0, "presolve saw every round");
+        assert_eq!(without.presolve, PresolveStats::default());
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub use anf_to_cnf::{anf_to_cnf, tseitin_clause_count, CnfConversion};
 // problem representation, see `AnfDatabase`); re-exported here so existing
 // `bosphorus::AnfPropagator` paths keep working.
 pub use bosphorus_anf::{AnfPropagator, PropagationOutcome, VarKnowledge};
-pub use bosphorus_gf2::GaussStats;
+pub use bosphorus_gf2::{GaussStats, PresolveStats};
 // The cancellation token lives in its own bottom-level crate so every layer
 // (gf2, sat, groebner) can poll it; re-exported here as the engine-facing
 // entry point for deadlines and SIGINT-driven interruption.
@@ -77,7 +77,7 @@ pub use elimlin::{
     elimlin_learn, elimlin_learn_cancellable, elimlin_on, elimlin_on_cancellable, ElimLinOutcome,
 };
 pub use engine::{Bosphorus, PreprocessStatus, SolveStatus};
-pub use linearize::{Linearization, LinearizationBuilder};
+pub use linearize::{Linearization, LinearizationBuilder, SparseLinearization};
 pub use minimize::karnaugh_clauses;
 pub use pipeline::{
     ElimLinPass, GroebnerPass, LearningPass, PassBudget, PassKind, PassOutcome, PassStatus,

@@ -19,7 +19,7 @@
 //! `crates/gf2/src/blocked.rs` and `crates/bench/DESIGN.md`).
 
 use bosphorus_anf::{Monomial, MonomialInterner, Polynomial, TermScratch};
-use bosphorus_gf2::{BitMatrix, GaussStats, RowRef};
+use bosphorus_gf2::{BitMatrix, GaussStats, PresolveStats, RowRef, SparseMatrix};
 use bosphorus_interrupt::CancelToken;
 
 /// Incremental construction of a [`Linearization`].
@@ -125,12 +125,7 @@ impl LinearizationBuilder {
         let num_cols = interner.len();
         // Columns are the distinct monomials in descending graded-lex order,
         // so each RREF row's pivot is its leading monomial (Table I layout).
-        let mut order: Vec<u32> = (0..num_cols as u32).collect();
-        order.sort_unstable_by(|&a, &b| interner.monomial(b).cmp(interner.monomial(a)));
-        let mut col_of_id = vec![0u32; num_cols];
-        for (col, &id) in order.iter().enumerate() {
-            col_of_id[id as usize] = col as u32;
-        }
+        let (order, col_of_id) = interner.column_order_desc();
         // Assemble the rows word-wise straight into one flat arena — the
         // exact backing store `BitMatrix` uses — so the matrix constructor
         // takes ownership of the buffer instead of copying per-row vectors.
@@ -149,6 +144,34 @@ impl LinearizationBuilder {
             interner,
             order,
             col_of_id,
+            matrix,
+        }
+    }
+
+    /// Orders the columns like [`LinearizationBuilder::finish`] but keeps
+    /// the rows *sparse*: the builder's CSR term store maps straight to
+    /// column ids without ever materialising the dense bit arena. This is
+    /// the entry to the structural presolve
+    /// ([`bosphorus_gf2::SparseMatrix`]); the column assignment is shared
+    /// with the dense path, so the two eliminate to byte-identical facts.
+    pub fn finish_sparse(self) -> SparseLinearization {
+        let LinearizationBuilder {
+            interner,
+            terms,
+            row_offsets,
+        } = self;
+        let (order, col_of_id) = interner.column_order_desc();
+        let mut matrix = SparseMatrix::new(interner.len());
+        for w in row_offsets.windows(2) {
+            let cols: Vec<u32> = terms[w[0]..w[1]]
+                .iter()
+                .map(|&id| col_of_id[id as usize])
+                .collect();
+            matrix.push_row(cols);
+        }
+        SparseLinearization {
+            interner,
+            order,
             matrix,
         }
     }
@@ -361,6 +384,128 @@ impl Linearization {
     }
 }
 
+/// A linearised view that keeps the rows sparse for the structural presolve
+/// (see [`LinearizationBuilder::finish_sparse`]).
+///
+/// The column ordering is identical to [`Linearization`]'s — descending
+/// graded-lex, shared through `MonomialInterner::column_order_desc` — so the
+/// presolved elimination returns the exact facts of the dense path; only the
+/// route there differs (structural rules and component-wise dense cores
+/// instead of one monolithic arena).
+#[derive(Debug, Clone)]
+pub struct SparseLinearization {
+    /// Every distinct monomial, stored once (id = first-seen order).
+    interner: MonomialInterner,
+    /// Column → interner id, in descending graded-lex monomial order.
+    order: Vec<u32>,
+    /// The linearised coefficient matrix, one sparse row per polynomial.
+    matrix: SparseMatrix,
+}
+
+impl SparseLinearization {
+    /// Builds the sparse linearisation of the given polynomials.
+    pub fn build<'a, I: IntoIterator<Item = &'a Polynomial>>(polynomials: I) -> Self {
+        let mut builder = LinearizationBuilder::new();
+        for poly in polynomials {
+            builder.push(poly);
+        }
+        builder.finish_sparse()
+    }
+
+    /// Number of monomial columns.
+    pub fn num_columns(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Number of polynomial rows.
+    pub fn num_rows(&self) -> usize {
+        self.matrix.nrows()
+    }
+
+    /// Borrow the sparse coefficient matrix.
+    pub fn matrix(&self) -> &SparseMatrix {
+        &self.matrix
+    }
+
+    /// Presolves, eliminates and returns all non-zero RREF rows as
+    /// polynomials — the sparse twin of
+    /// [`Linearization::eliminate_cancellable`], returning the same facts in
+    /// the same order. On interruption (`stats.interrupted`) no rows are
+    /// read back.
+    pub fn eliminate_cancellable(
+        self,
+        threads: usize,
+        token: &CancelToken,
+    ) -> (Vec<Polynomial>, GaussStats, PresolveStats) {
+        let SparseLinearization {
+            interner,
+            order,
+            matrix,
+        } = self;
+        let rref = matrix.rref_cancellable(threads, token);
+        if rref.gauss.interrupted {
+            return (Vec::new(), rref.gauss, rref.presolve);
+        }
+        let reduced = rref
+            .rows
+            .iter()
+            .map(|row| sparse_row_to_polynomial(&interner, &order, row))
+            .collect();
+        (reduced, rref.gauss, rref.presolve)
+    }
+
+    /// Presolves, eliminates and returns only the *retainable* rows (linear
+    /// polynomials and `monomial ⊕ 1` facts) together with the non-zero row
+    /// count — the sparse twin of
+    /// [`Linearization::eliminate_retainable_cancellable`]. Non-retainable
+    /// rows are never materialised as polynomials.
+    pub fn eliminate_retainable_cancellable(
+        self,
+        threads: usize,
+        token: &CancelToken,
+    ) -> (Vec<Polynomial>, usize, GaussStats, PresolveStats) {
+        let ncols = self.num_columns();
+        let linear_boundary =
+            self.order
+                .partition_point(|&id| self.interner.monomial(id).degree() > 1) as u32;
+        let has_constant_column =
+            ncols > 0 && self.interner.monomial(self.order[ncols - 1]).is_one();
+        let constant_col = ncols.wrapping_sub(1) as u32;
+        let SparseLinearization {
+            interner,
+            order,
+            matrix,
+        } = self;
+        let rref = matrix.rref_cancellable(threads, token);
+        if rref.gauss.interrupted {
+            return (Vec::new(), 0, rref.gauss, rref.presolve);
+        }
+        let non_zero_rows = rref.rows.len();
+        let facts = rref
+            .rows
+            .iter()
+            .filter(|row| {
+                row[0] >= linear_boundary // every monomial is degree <= 1
+                    || (has_constant_column
+                        && row.len() == 2
+                        && row[1] == constant_col)
+            })
+            .map(|row| sparse_row_to_polynomial(&interner, &order, row))
+            .collect();
+        (facts, non_zero_rows, rref.gauss, rref.presolve)
+    }
+}
+
+/// Converts a stitched sparse RREF row (ascending column ids) back to a
+/// polynomial. Ascending columns are descending monomials (shared column
+/// order), so the polynomial assembles without a sort.
+fn sparse_row_to_polynomial(interner: &MonomialInterner, order: &[u32], row: &[u32]) -> Polynomial {
+    Polynomial::from_descending_monomials(
+        row.iter()
+            .map(|&c| interner.monomial(order[c as usize]).clone()),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -529,6 +674,67 @@ mod tests {
         let lin = Linearization::build(ps.iter());
         assert_eq!(lin.num_rows(), 2);
         assert!(lin.matrix().row(1).is_zero());
+    }
+
+    #[test]
+    fn sparse_eliminate_matches_dense_facts_exactly() {
+        // Table I expansion (contains a duplicate row) plus mixed systems:
+        // the sparse presolve path must return byte-identical facts, in the
+        // same order, with the same non-zero row count and rank.
+        for text in [
+            "x1*x2 + x1 + 1;
+             x1*x2;
+             x2;
+             x1*x2*x3 + x1*x3 + x3;
+             x2*x3 + x3;
+             x1*x2*x3 + x1*x3;",
+            "x0*x1 + x2; x0 + x1 + 1; x1*x2 + x0 + 1;",
+            "x1 + x2 + x3; x1*x2 + x2*x3 + 1;",
+        ] {
+            let ps = polys(text);
+            let mut dense = Linearization::build(ps.iter());
+            let (dense_facts, dense_stats) = dense.eliminate_with_stats(1);
+            let sparse = SparseLinearization::build(ps.iter());
+            let (sparse_facts, gauss, presolve) =
+                sparse.eliminate_cancellable(1, &CancelToken::never());
+            assert_eq!(sparse_facts, dense_facts, "facts must be identical");
+            assert_eq!(gauss.rank, dense_stats.rank);
+            assert_eq!(presolve.input_rows, ps.len());
+        }
+    }
+
+    #[test]
+    fn sparse_retainable_matches_dense_retainable() {
+        let ps = polys(
+            "x1*x2 + x1 + 1;
+             x1*x2;
+             x2;
+             x1*x2*x3 + x1*x3 + x3;
+             x2*x3 + x3;
+             x1*x2*x3 + x1*x3;",
+        );
+        let mut dense = Linearization::build(ps.iter());
+        let (dense_facts, dense_nonzero, dense_stats) = dense.eliminate_retainable_with_stats(1);
+        let sparse = SparseLinearization::build(ps.iter());
+        let (sparse_facts, sparse_nonzero, gauss, presolve) =
+            sparse.eliminate_retainable_cancellable(1, &CancelToken::never());
+        assert_eq!(sparse_facts, dense_facts);
+        assert_eq!(sparse_nonzero, dense_nonzero);
+        assert_eq!(gauss.rank, dense_stats.rank);
+        assert!(gauss.row_xors > 0, "presolve ops count as elimination work");
+        assert_eq!(presolve.input_cols, 8);
+    }
+
+    #[test]
+    fn sparse_interrupted_returns_no_facts() {
+        let ps = polys("x0*x1 + x2; x0 + x1 + 1; x1*x2 + x0 + 1;");
+        let token = CancelToken::new();
+        token.cancel();
+        let sparse = SparseLinearization::build(ps.iter());
+        let (facts, nonzero, gauss, _) = sparse.eliminate_retainable_cancellable(1, &token);
+        assert!(gauss.interrupted);
+        assert!(facts.is_empty());
+        assert_eq!(nonzero, 0);
     }
 
     #[test]

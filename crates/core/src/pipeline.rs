@@ -26,7 +26,7 @@ use std::fmt;
 use std::str::FromStr;
 
 use bosphorus_anf::{AnfDatabase, Assignment, Polynomial, Revision};
-use bosphorus_gf2::GaussStats;
+use bosphorus_gf2::{GaussStats, PresolveStats};
 use bosphorus_groebner::{groebner_basis_cancellable, GroebnerConfig, GroebnerOutcome};
 use bosphorus_interrupt::CancelToken;
 use bosphorus_sat::SolverConfig;
@@ -231,6 +231,9 @@ pub struct PassOutcome {
     pub facts: Vec<Polynomial>,
     /// GF(2) elimination work performed by this run.
     pub gauss: GaussStats,
+    /// Sparse-presolve reductions performed by this run's eliminations
+    /// (all-zero for passes without a GF(2) stage or with presolve off).
+    pub presolve: PresolveStats,
     /// SAT conflicts spent by this run.
     pub sat_conflicts: u64,
     /// Value assignments recorded by this run (propagation pass only).
@@ -247,6 +250,7 @@ impl PassOutcome {
             status: PassStatus::Ran,
             facts: Vec::new(),
             gauss: GaussStats::default(),
+            presolve: PresolveStats::default(),
             sat_conflicts: 0,
             new_assignments: 0,
             new_equivalences: 0,
@@ -366,6 +370,7 @@ impl LearningPass for XlPass {
         let mut outcome = PassOutcome::ran();
         outcome.facts = xl.facts;
         outcome.gauss = xl.gauss;
+        outcome.presolve = xl.presolve;
         if xl.interrupted {
             outcome.status = PassStatus::Interrupted;
         }
@@ -409,6 +414,7 @@ impl LearningPass for ElimLinPass {
         self.last_exhaustive = !elimlin.subsampled && !elimlin.interrupted;
         let mut outcome = PassOutcome::ran();
         outcome.gauss = elimlin.gauss;
+        outcome.presolve = elimlin.presolve;
         if elimlin.contradiction {
             outcome.status = PassStatus::Unsat;
         } else {

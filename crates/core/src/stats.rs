@@ -4,7 +4,7 @@ use std::fmt;
 use std::time::Duration;
 
 use bosphorus_anf::Revision;
-use bosphorus_gf2::GaussStats;
+use bosphorus_gf2::{GaussStats, PresolveStats};
 
 use crate::pipeline::PassOutcome;
 
@@ -54,6 +54,9 @@ pub struct PassStats {
     pub facts: usize,
     /// Cumulative GF(2) elimination work performed by the pass.
     pub gauss: GaussStats,
+    /// Cumulative sparse-presolve reductions performed ahead of the pass's
+    /// dense eliminations (all-zero with presolve off).
+    pub presolve: PresolveStats,
     /// Cumulative SAT conflicts spent by the pass.
     pub sat_conflicts: u64,
     /// Value assignments recorded by the pass (propagation only).
@@ -140,6 +143,7 @@ impl EngineStats {
             entry.runs += 1;
         }
         entry.gauss.merge(outcome.gauss);
+        entry.presolve.merge(outcome.presolve);
         entry.sat_conflicts += outcome.sat_conflicts;
         entry.propagated_assignments += outcome.new_assignments;
         entry.propagated_equivalences += outcome.new_equivalences;
@@ -261,6 +265,8 @@ mod tests {
         let mut stats = EngineStats::default();
         let mut ran = PassOutcome::ran();
         ran.gauss.row_xors = 7;
+        ran.presolve.rows_eliminated = 5;
+        ran.presolve.singleton_rows = 2;
         ran.sat_conflicts = 3;
         stats.record_pass("xl", &ran, Duration::from_millis(2));
         let skipped = PassOutcome::skipped();
@@ -272,6 +278,8 @@ mod tests {
         assert_eq!(xl.skips, 1);
         assert_eq!(xl.facts, 4);
         assert_eq!(xl.gauss.row_xors, 7);
+        assert_eq!(xl.presolve.rows_eliminated, 5);
+        assert_eq!(xl.presolve.singleton_rows, 2);
         assert_eq!(xl.time, Duration::from_millis(3));
         assert_eq!(stats.gauss_row_xors, 7);
         assert_eq!(stats.sat_conflicts, 3);

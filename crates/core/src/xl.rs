@@ -12,7 +12,7 @@
 //! solve the system, working on a subsample is acceptable.
 
 use bosphorus_anf::{Monomial, Polynomial, PolynomialSystem, TermScratch, Var};
-use bosphorus_gf2::GaussStats;
+use bosphorus_gf2::{GaussStats, PresolveStats};
 use bosphorus_interrupt::CancelToken;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -41,6 +41,11 @@ pub struct XlOutcome {
     /// Operation counts of the elimination kernel (the dominant cost of the
     /// round).
     pub gauss: GaussStats,
+    /// Reduction counts and phase timing of the sparse structural presolve
+    /// that ran before the dense kernel. All-zero when
+    /// [`BosphorusConfig::presolve`] is off or the round never reached the
+    /// elimination.
+    pub presolve: PresolveStats,
     /// `true` when the round worked on a strict subsample of the system (or
     /// truncated the expansion at the size budget). An exhaustive round
     /// (`subsampled == false`) is deterministic for a given input system, so
@@ -120,6 +125,7 @@ pub fn xl_learn_cancellable<R: Rng>(
             expanded_columns: 0,
             rank: 0,
             gauss: GaussStats::default(),
+            presolve: PresolveStats::default(),
             subsampled: false,
             interrupted: false,
         };
@@ -196,27 +202,40 @@ pub fn xl_learn_cancellable<R: Rng>(
             expanded_columns: builder.num_columns(),
             rank: 0,
             gauss: GaussStats::default(),
+            presolve: PresolveStats::default(),
             subsampled,
             interrupted: true,
         };
     }
 
-    let mut lin = builder.finish();
-    let expanded_rows = lin.num_rows();
-    let expanded_columns = lin.num_columns();
+    let expanded_rows = builder.num_rows();
+    let expanded_columns = builder.num_columns();
     // Read back only the retainable rows: the non-retainable bulk of the
     // RREF is detected at the bit level and never built as polynomials.
-    let (facts, rank, gauss) = lin.eliminate_retainable_cancellable(config.threads, token);
+    // With presolve on, the structural rules run on the interned sparse rows
+    // first and only the residual dense core reaches the blocked kernel;
+    // both paths commit byte-identical facts (see `crates/gf2/src/sparse.rs`
+    // and the equivalence tests in `linearize.rs`).
+    let (facts, rank, gauss, presolve) = if config.presolve {
+        builder
+            .finish_sparse()
+            .eliminate_retainable_cancellable(config.threads, token)
+    } else {
+        let mut lin = builder.finish();
+        let (facts, rank, gauss) = lin.eliminate_retainable_cancellable(config.threads, token);
+        (facts, rank, gauss, PresolveStats::default())
+    };
     if gauss.interrupted {
-        // The kernel stopped between sweeps; its partial reduction is not
-        // the RREF, so no facts were read back (the cancellable reader
-        // already guarantees this) and the rank only counts pivots so far.
+        // The elimination stopped between sweeps (or mid-presolve); its
+        // partial reduction is not the RREF, so no facts were read back (the
+        // cancellable readers already guarantee this).
         return XlOutcome {
             facts: Vec::new(),
             expanded_rows,
             expanded_columns,
             rank: 0,
             gauss,
+            presolve,
             subsampled,
             interrupted: true,
         };
@@ -229,6 +248,7 @@ pub fn xl_learn_cancellable<R: Rng>(
         expanded_columns,
         rank,
         gauss,
+        presolve,
         subsampled,
         interrupted: false,
     }
@@ -378,6 +398,39 @@ mod tests {
                     assert!(!fact.evaluate(|v| assign[v as usize]));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn presolve_and_dense_rounds_commit_identical_facts() {
+        let s = system(
+            "x1*x2 + x3 + x4 + 1;
+             x1*x2*x3 + x1 + x3 + 1;
+             x1*x3 + x3*x4*x5 + x3;
+             x2*x3 + x3*x5 + 1;
+             x2*x3 + x5 + 1;",
+        );
+        for seed in [7u64, 13, 2019] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let with = xl_learn(&s, &exhaustive_config(), &mut rng);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let config = BosphorusConfig {
+                presolve: false,
+                ..exhaustive_config()
+            };
+            let without = xl_learn(&s, &config, &mut rng);
+            assert_eq!(with.facts, without.facts, "facts diverge at seed {seed}");
+            assert_eq!(with.rank, without.rank);
+            assert_eq!(with.gauss.rank, without.gauss.rank);
+            assert!(
+                with.presolve.input_rows > 0,
+                "presolve ran and reported its input shape"
+            );
+            assert_eq!(
+                without.presolve,
+                PresolveStats::default(),
+                "dense-only rounds report an all-zero presolve"
+            );
         }
     }
 

@@ -30,18 +30,27 @@
 //!    (during the first tile, while the row's leading words are hot), then
 //!    each subsequent tile streams the rows against an L2-resident slice of
 //!    all three tables.
-//! 4. **Band-parallel updates.** The per-sweep serial work (pivot
-//!    establishment, Gray-table builds) touches `O(3k)` rows; the row-update
-//!    pass touches all of them and dominates. Since every row's update
-//!    depends only on that row's own table indices and the sweep's fixed
-//!    tables, the arena is split once into disjoint row bands
-//!    (`&mut [u64]` chunks) that update independently on scoped worker
-//!    threads. Workers persist across sweeps (one `std::thread::scope` per
-//!    elimination, blocking channels for the per-sweep hand-off), so the
-//!    per-sweep cost is a channel round-trip, not a thread spawn. The
-//!    parallel RREF is **bit-identical to serial by construction** — no
-//!    partition or schedule can change any row's result — and the property
-//!    tests in `proptests.rs` assert exactly that for threads ∈ {1, 2, 3, 8}.
+//! 4. **Band-parallel updates and pivot scans.** The Gray-table builds touch
+//!    `O(3k)` rows; the row-update pass and the pivot-establishment scan
+//!    touch all of them and dominate. Since every row's update depends only
+//!    on that row's own table indices and the sweep's fixed tables, the
+//!    arena is split once into disjoint row bands (`&mut [u64]` chunks) that
+//!    update independently on scoped worker threads. Pivot establishment is
+//!    **read-only window math**: a candidate row's post-cleanup window is
+//!    `window ^ ⊕ pivot windows of its dirty bits` (each pivot row is
+//!    identity on the pivot columns so far, so one windowed read yields the
+//!    exact dirty set), no row is written during the scan, and only the row
+//!    actually chosen as a pivot is cleaned — the rest are cleared wholesale
+//!    by the sweep's fused table XOR, which subsumes the per-row cleanup the
+//!    scan used to perform. Being read-only, the scan fans out over the same
+//!    bands (first match = minimum row index over bands). Workers persist
+//!    across sweeps (one `std::thread::scope` per elimination, blocking
+//!    channels carrying an update-or-scan message per hand-off), so a
+//!    fan-out costs a channel round-trip, not a thread spawn. The parallel
+//!    RREF **and operation counts are bit-identical to serial by
+//!    construction** — no partition or schedule can change any row's result
+//!    or the chosen pivot — and the property tests in `proptests.rs` assert
+//!    exactly that for threads ∈ {1, 2, 3, 8}.
 //!
 //! The inner loops are the slice-trimmed word XORs of `vector.rs` — plain
 //! `u64` code the compiler autovectorises, no architecture intrinsics, per
@@ -81,6 +90,15 @@ pub const GF2_L2_CACHE_BYTES: usize = 1024 * 1024;
 /// heuristic hands it to its own update thread: below this, the per-sweep
 /// channel round-trip costs more than the band's update work.
 pub(crate) const PAR_MIN_BAND_ROWS: usize = 64;
+
+/// A pivot-establishment scan must cover at least this many rows before it
+/// fans out across the worker bands. The scan is pure window math (a few
+/// nanoseconds per row), so it takes thousands of rows before a per-column
+/// channel round-trip pays for itself; below the threshold the scan runs
+/// inline on the main thread with early exit. The gate depends only on the
+/// scan range and band count, so the chosen pivot — and therefore the RREF
+/// and the operation counts — is identical either way.
+pub(crate) const PAR_MIN_SCAN_ROWS: usize = 4096;
 
 /// Column-tile width, in 64-bit words, of the blocked kernel's row updates
 /// for per-table block width `k`.
@@ -195,40 +213,65 @@ impl BitMatrix {
                 words,
                 &mut stats,
                 token,
-                |bands, job| {
-                    let mut xors = 0usize;
-                    for bi in 0..bands.len() {
-                        let band_start = bi * bands.rows_per_band;
-                        let band = bands.bands[bi].as_deref_mut().expect("band present");
-                        xors += update_band(band, band_start, &job);
+                |bands, dispatch| match dispatch {
+                    Dispatch::Update(job) => {
+                        let mut xors = 0usize;
+                        for bi in 0..bands.len() {
+                            let band_start = bi * bands.rows_per_band;
+                            let band = bands.bands[bi].as_deref_mut().expect("band present");
+                            xors += update_band(band, band_start, &job);
+                        }
+                        DispatchOutcome::Update { job, xors }
                     }
-                    (job, xors)
+                    Dispatch::Scan(job) => {
+                        let mut found = None;
+                        for bi in 0..bands.len() {
+                            let band_start = bi * bands.rows_per_band;
+                            let band = bands.bands[bi].as_deref().expect("band present");
+                            if let Some(r) = scan_band(band, band_start, &job) {
+                                found = Some(r);
+                                break;
+                            }
+                        }
+                        DispatchOutcome::Scan(found)
+                    }
                 },
             )
         } else {
             // One scope per elimination: the workers persist across sweeps
-            // and receive (band, job) pairs over blocking channels, so a
-            // sweep costs a channel round-trip per worker, not a spawn.
+            // and receive (band, message) pairs over blocking channels, so a
+            // fan-out costs a channel round-trip per worker, not a spawn.
             // Band slices are *moved* through the channels and returned, so
-            // ownership of each band round-trips every sweep in safe Rust.
+            // ownership of each band round-trips every hand-off in safe
+            // Rust.
             std::thread::scope(|scope| {
-                let (done_tx, done_rx) = mpsc::channel::<(usize, &mut [u64], usize)>();
+                let (done_tx, done_rx) = mpsc::channel::<(usize, &mut [u64], BandReply)>();
                 let mut job_txs = Vec::with_capacity(n_bands - 1);
                 for bi in 1..n_bands {
-                    let (tx, rx) = mpsc::channel::<(&mut [u64], Arc<SweepJob>)>();
+                    let (tx, rx) = mpsc::channel::<(&mut [u64], BandJob)>();
                     job_txs.push(tx);
                     let done_tx = done_tx.clone();
                     let band_start = bi * rows_per_band;
                     scope.spawn(move || {
                         for (band, job) in rx {
-                            let xors = update_band(band, band_start, &job);
-                            // Release the job before reporting back so the
-                            // main thread can reclaim the tables with
+                            // Jobs are released before reporting back so the
+                            // main thread can reclaim the update tables with
                             // `Arc::try_unwrap` after the last report.
-                            drop(job);
+                            let reply = match job {
+                                BandJob::Update(job) => {
+                                    let xors = update_band(band, band_start, &job);
+                                    drop(job);
+                                    BandReply::Update(xors)
+                                }
+                                BandJob::Scan(job) => {
+                                    let found = scan_band(band, band_start, &job);
+                                    drop(job);
+                                    BandReply::Scan(found)
+                                }
+                            };
                             done_tx
-                                .send((bi, band, xors))
-                                .expect("main thread receives sweep reports");
+                                .send((bi, band, reply))
+                                .expect("main thread receives band reports");
                         }
                     });
                 }
@@ -241,22 +284,54 @@ impl BitMatrix {
                     words,
                     &mut stats,
                     token,
-                    |bands, job| {
-                        for bi in 1..bands.len() {
-                            let band = bands.bands[bi].take().expect("band present");
-                            job_txs[bi - 1]
-                                .send((band, job.clone()))
-                                .expect("worker thread is alive");
+                    |bands, dispatch| match dispatch {
+                        Dispatch::Update(job) => {
+                            for bi in 1..bands.len() {
+                                let band = bands.bands[bi].take().expect("band present");
+                                job_txs[bi - 1]
+                                    .send((band, BandJob::Update(job.clone())))
+                                    .expect("worker thread is alive");
+                            }
+                            let band0 = bands.bands[0].as_deref_mut().expect("band present");
+                            let mut xors = update_band(band0, 0, &job);
+                            for _ in 1..bands.len() {
+                                let (bi, band, reply) =
+                                    done_rx.recv().expect("worker thread reports back");
+                                bands.bands[bi] = Some(band);
+                                match reply {
+                                    BandReply::Update(band_xors) => xors += band_xors,
+                                    BandReply::Scan(_) => {
+                                        unreachable!("update fan-out gets update replies")
+                                    }
+                                }
+                            }
+                            DispatchOutcome::Update { job, xors }
                         }
-                        let band0 = bands.bands[0].as_deref_mut().expect("band present");
-                        let mut xors = update_band(band0, 0, &job);
-                        for _ in 1..bands.len() {
-                            let (bi, band, band_xors) =
-                                done_rx.recv().expect("worker thread reports back");
-                            bands.bands[bi] = Some(band);
-                            xors += band_xors;
+                        Dispatch::Scan(job) => {
+                            for bi in 1..bands.len() {
+                                let band = bands.bands[bi].take().expect("band present");
+                                job_txs[bi - 1]
+                                    .send((band, BandJob::Scan(job.clone())))
+                                    .expect("worker thread is alive");
+                            }
+                            let band0 = bands.bands[0].as_deref().expect("band present");
+                            let mut found = scan_band(band0, 0, &job);
+                            for _ in 1..bands.len() {
+                                let (bi, band, reply) =
+                                    done_rx.recv().expect("worker thread reports back");
+                                bands.bands[bi] = Some(band);
+                                match reply {
+                                    BandReply::Scan(Some(r)) => {
+                                        found = Some(found.map_or(r, |f| f.min(r)));
+                                    }
+                                    BandReply::Scan(None) => {}
+                                    BandReply::Update(_) => {
+                                        unreachable!("scan fan-out gets scan replies")
+                                    }
+                                }
+                            }
+                            DispatchOutcome::Scan(found)
                         }
-                        (job, xors)
                     },
                 );
                 drop(job_txs);
@@ -373,6 +448,55 @@ impl Tables {
     }
 }
 
+/// One fan-out request from the sweep loop to the band dispatcher: a
+/// sweep's row-update pass, or one pivot column's read-only window scan.
+enum Dispatch {
+    Update(Arc<SweepJob>),
+    Scan(Arc<ScanJob>),
+}
+
+/// The band dispatcher's reply to a [`Dispatch`].
+enum DispatchOutcome {
+    /// The update ran on every band; the job comes back so the main thread
+    /// can reclaim the table buffers, along with the row-XOR count.
+    Update { job: Arc<SweepJob>, xors: usize },
+    /// The scan ran on every band; the first (lowest) matching row, if any.
+    Scan(Option<usize>),
+}
+
+/// The per-band message of the persistent worker channels.
+enum BandJob {
+    Update(Arc<SweepJob>),
+    Scan(Arc<ScanJob>),
+}
+
+/// A worker's report after finishing a [`BandJob`].
+enum BandReply {
+    Update(usize),
+    Scan(Option<usize>),
+}
+
+/// Everything a band needs to run one pivot column's read-only scan: the
+/// sweep-window geometry plus the pivots established so far. A candidate
+/// row's post-cleanup window is `window ^ ⊕_{j ∈ dirty} pivot_windows[j]` —
+/// pure word math, no row is written — so the scan parallelises over the
+/// bands with a bit-identical result by construction: the combined answer is
+/// the minimum matching row index across bands.
+struct ScanJob {
+    words: usize,
+    w0: usize,
+    shift: usize,
+    /// Offset of the candidate column within the sweep window.
+    c_off: usize,
+    /// Window bits of the pivot columns established so far.
+    pivot_mask: usize,
+    /// Current windows of the sweep's pivot rows (identity on the pivot
+    /// columns), in pivot order.
+    pivot_windows: Vec<usize>,
+    /// First global row of the scan range (the pivot destination row).
+    from_row: usize,
+}
+
 /// Everything a band needs to run one sweep's row updates: the three tables
 /// plus the sweep geometry. Shared with the workers behind an `Arc`; the
 /// main thread reclaims the table buffers once every band has reported.
@@ -396,11 +520,10 @@ struct SweepJob {
 }
 
 /// The sweep loop shared by the serial and band-parallel paths: pivot
-/// search, pivot establishment and table builds run on the calling thread;
-/// `fan_out` distributes the row-update pass over the bands (inline when
-/// serial, over the worker channels when parallel) and returns the job — so
-/// the table buffers can be reclaimed — plus the update's row-XOR count.
-/// Returns the rank.
+/// search and table builds run on the calling thread; `fan_out` distributes
+/// the row-update pass — and, through [`establish_block_pivots`], the large
+/// pivot-scan passes — over the bands (inline when serial, over the worker
+/// channels when parallel). Returns the rank.
 ///
 /// `token` is polled once per sweep, before the sweep starts: the sweep is
 /// the unit of committed work (every band's updates either all run or none
@@ -420,7 +543,7 @@ fn eliminate<'a, F>(
     mut fan_out: F,
 ) -> usize
 where
-    F: for<'b> FnMut(&'b mut Bands<'a>, Arc<SweepJob>) -> (Arc<SweepJob>, usize),
+    F: for<'b> FnMut(&'b mut Bands<'a>, Dispatch) -> DispatchOutcome,
 {
     let mut tables = Tables::new(k, words);
     let mut pivot_row = 0usize;
@@ -436,8 +559,15 @@ where
         col_start = next_col;
         let col_end = (col_start + 3 * k).min(ncols);
         let block_start = pivot_row;
-        let pivot_cols =
-            establish_block_pivots(bands, nrows, block_start, col_start, col_end, stats);
+        let pivot_cols = establish_block_pivots(
+            bands,
+            nrows,
+            block_start,
+            col_start,
+            col_end,
+            stats,
+            &mut fan_out,
+        );
         let p = pivot_cols.len();
         let block_end = block_start + p;
         if p > 0 {
@@ -484,7 +614,10 @@ where
                 skip_start: block_start,
                 skip_end: block_end,
             });
-            let (job, xors) = fan_out(bands, job);
+            let DispatchOutcome::Update { job, xors } = fan_out(bands, Dispatch::Update(job))
+            else {
+                unreachable!("update dispatch returns an update outcome")
+            };
             stats.row_xors += xors;
             // Every band has reported, so the main thread holds the last
             // reference and the table buffers come back for the next sweep.
@@ -656,74 +789,131 @@ fn leading_column(
     best.filter(|&c| c < ncols)
 }
 
+/// Reads a row's sweep window (the up-to-24 bits starting at the sweep's
+/// first column) out of at most two row words.
+#[inline]
+fn window_read(row: &[u64], w0: usize, shift: usize, words: usize) -> usize {
+    let lo = row[w0] >> shift;
+    if shift == 0 || w0 + 1 >= words {
+        lo as usize
+    } else {
+        (lo | (row[w0 + 1] << (64 - shift))) as usize
+    }
+}
+
+/// A row's window *as if* it had been cleared on the pivot columns found so
+/// far, computed without touching the row. Each pivot row is identity on all
+/// pivot columns, so the dirty set read off one window is exact and XORing
+/// in the corresponding pivot windows reproduces the cleanup's effect on the
+/// window bits.
+#[inline]
+fn post_window(row: &[u64], job: &ScanJob) -> usize {
+    let window = window_read(row, job.w0, job.shift, job.words);
+    let mut post = window;
+    let mut dirty = window & job.pivot_mask;
+    while dirty != 0 {
+        let off = dirty.trailing_zeros() as usize;
+        let j = (job.pivot_mask & ((1usize << off) - 1)).count_ones() as usize;
+        post ^= job.pivot_windows[j];
+        dirty &= dirty - 1;
+    }
+    post
+}
+
+/// Runs one pivot column's read-only scan over one band (rows
+/// `band_start..` globally): the first row at or past the job's
+/// destination whose post-cleanup window has the candidate bit set.
+fn scan_band(band: &[u64], band_start: usize, job: &ScanJob) -> Option<usize> {
+    let words = job.words;
+    let n = band.len() / words;
+    let start = job.from_row.saturating_sub(band_start).min(n);
+    for i in start..n {
+        let row = &band[i * words..(i + 1) * words];
+        if (post_window(row, job) >> job.c_off) & 1 == 1 {
+            return Some(band_start + i);
+        }
+    }
+    None
+}
+
 /// Establishes pivots for the sweep columns `col_start..col_end`, moving
 /// pivot rows to positions `block_start..`, reducing them to identity on the
 /// sweep's pivot columns, and returning the pivot columns found — the banded
-/// analogue of `BitMatrix::establish_block_pivots` in `m4rm.rs`, with row
-/// XORs starting at the word containing `col_start` (everything left of it
-/// is zero by the elimination invariant). A change to the pivot discipline
-/// here must be mirrored there to keep the RREFs identical.
-fn establish_block_pivots(
-    bands: &mut Bands<'_>,
+/// analogue of `BitMatrix::establish_block_pivots` in `m4rm.rs`, picking the
+/// same pivot rows so the RREFs stay identical.
+///
+/// The candidate scan is read-only window math (see [`ScanJob`]): no row is
+/// written while searching, and only the chosen pivot row is physically
+/// cleaned on the earlier pivot columns. Every *other* row keeps its pivot-
+/// column bits until the sweep's fused table XOR clears them wholesale —
+/// the Gray-code entry indexed by those bits is exactly the pivot-row
+/// combination the old per-row cleanup applied, so deferring it removes the
+/// scan's full-width row XORs without changing any result. Large scans fan
+/// out over the bands through `fan_out`; small ones run inline with early
+/// exit (see [`PAR_MIN_SCAN_ROWS`]).
+#[allow(clippy::too_many_arguments)]
+fn establish_block_pivots<'a, F>(
+    bands: &mut Bands<'a>,
     nrows: usize,
     block_start: usize,
     col_start: usize,
     col_end: usize,
     stats: &mut GaussStats,
-) -> Vec<usize> {
+    fan_out: &mut F,
+) -> Vec<usize>
+where
+    F: for<'b> FnMut(&'b mut Bands<'a>, Dispatch) -> DispatchOutcome,
+{
     let w0 = col_start / 64;
     let shift = col_start % 64;
     let words = bands.words;
     let mut pivot_cols: Vec<usize> = Vec::with_capacity(col_end - col_start);
     // Offsets (relative to col_start) of the pivot columns found so far, as
-    // a bit mask over the sweep window. The window spans `col_end - col_start
-    // <= 3k <= 24` bits, so one read of at most two row words yields every
-    // pivot-column bit of a row at once — the pivot search over a sparse
-    // matrix scans many rows per column, and probing them bit by bit through
-    // the band table is what the window read amortises.
+    // a bit mask over the sweep window, and the current pivot-row windows.
+    // The window spans `col_end - col_start <= 3k <= 24` bits, so one read
+    // of at most two row words yields every pivot-column bit of a row at
+    // once.
     let mut pivot_mask: usize = 0;
+    let mut pivot_windows: Vec<usize> = Vec::with_capacity(col_end - col_start);
     for c in col_start..col_end {
         let dest = block_start + pivot_cols.len();
         if dest >= nrows {
             break;
         }
         let c_off = c - col_start;
-        let mut found = None;
-        for r in dest..nrows {
-            let row = bands.row(r);
-            let lo = row[w0] >> shift;
-            let window = if shift == 0 || w0 + 1 >= words {
-                lo as usize
-            } else {
-                (lo | (row[w0 + 1] << (64 - shift))) as usize
-            };
-            // Clear this row on the sweep's pivot columns. Each pivot row is
-            // identity on *all* pivot columns so far, so XORing pivot row j
-            // flips exactly offset j's bit within the mask: the dirty set
-            // computed from one window read is exact.
-            let mut dirty = window & pivot_mask;
-            if dirty != 0 {
-                while dirty != 0 {
-                    let off = dirty.trailing_zeros() as usize;
-                    let j = (pivot_mask & ((1usize << off) - 1)).count_ones() as usize;
-                    bands.xor_row_into(block_start + j, r, w0);
-                    stats.row_xors += 1;
-                    dirty &= dirty - 1;
+        let job = ScanJob {
+            words,
+            w0,
+            shift,
+            c_off,
+            pivot_mask,
+            pivot_windows: pivot_windows.clone(),
+            from_row: dest,
+        };
+        let found = if bands.len() > 1 && nrows - dest >= PAR_MIN_SCAN_ROWS {
+            match fan_out(bands, Dispatch::Scan(Arc::new(job))) {
+                DispatchOutcome::Scan(found) => found,
+                DispatchOutcome::Update { .. } => {
+                    unreachable!("scan dispatch returns a scan outcome")
                 }
-                // The cleanup XORs may have flipped bit c (it is not yet a
-                // pivot column), so re-probe it from the updated row.
-                if bands.get_bit(r, c) {
-                    found = Some(r);
-                    break;
-                }
-            } else if (window >> c_off) & 1 == 1 {
-                found = Some(r);
-                break;
             }
-        }
+        } else {
+            (dest..nrows).find(|&r| (post_window(bands.row(r), &job) >> c_off) & 1 == 1)
+        };
         let Some(found) = found else {
             continue;
         };
+        // Physically clean the chosen row on the earlier pivot columns (the
+        // scan left it untouched).
+        let mut dirty = window_read(bands.row(found), w0, shift, words) & pivot_mask;
+        while dirty != 0 {
+            let off = dirty.trailing_zeros() as usize;
+            let j = (pivot_mask & ((1usize << off) - 1)).count_ones() as usize;
+            bands.xor_row_into(block_start + j, found, w0);
+            stats.row_xors += 1;
+            dirty &= dirty - 1;
+        }
+        debug_assert!(bands.get_bit(found, c), "scan math matches the cleanup");
         if found != dest {
             bands.swap_rows(found, dest);
             stats.row_swaps += 1;
@@ -739,6 +929,13 @@ fn establish_block_pivots(
         }
         pivot_cols.push(c);
         pivot_mask |= 1usize << c_off;
+        // Refresh the cached pivot windows: back-elimination rewrote the
+        // earlier pivot rows' non-pivot window bits and a new pivot row
+        // joined the block.
+        pivot_windows.clear();
+        for j in 0..pivot_cols.len() {
+            pivot_windows.push(window_read(bands.row(block_start + j), w0, shift, words));
+        }
     }
     pivot_cols
 }
@@ -783,6 +980,7 @@ fn block_index(row: &[u64], pivot_cols: &[usize]) -> usize {
 
 #[cfg(test)]
 mod tests {
+    use super::PAR_MIN_SCAN_ROWS;
     use crate::testutil::splitmix_matrix;
     use crate::{BitMatrix, BitVec};
 
@@ -920,6 +1118,23 @@ mod tests {
             deficient.set_row(r + 60, &BitVec::zero(120));
         }
         assert_thread_counts_agree(&deficient, 8);
+    }
+
+    #[test]
+    fn deep_parallel_pivot_scans_are_bit_identical() {
+        // Tall enough to cross the scan fan-out gate, so pivot searches run
+        // band-parallel. The random shape finds pivots near the top; the
+        // bottom-heavy shape forces every scan through thousands of zero
+        // rows first (and, past rank exhaustion, to a no-pivot verdict).
+        let rows = PAR_MIN_SCAN_ROWS + 904;
+        assert_thread_counts_agree(&splitmix_matrix(rows, 192, 41), 8);
+        let mut bottom = BitMatrix::zero(rows, 192);
+        let dense = splitmix_matrix(100, 192, 42);
+        for r in 0..100 {
+            let row = dense.row(r).to_bitvec();
+            bottom.set_row(rows - 100 + r, &row);
+        }
+        assert_thread_counts_agree(&bottom, 8);
     }
 
     #[test]

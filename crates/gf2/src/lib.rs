@@ -54,6 +54,7 @@ mod gje;
 mod m4rm;
 mod matrix;
 pub mod parallel;
+pub mod sparse;
 mod vector;
 
 pub use blocked::{blocked_tile_words, GF2_L2_CACHE_BYTES};
@@ -61,6 +62,7 @@ pub use gje::{select_kernel, GaussStats, KernelChoice, SolveOutcome};
 pub use m4rm::{m4rm_block_size, M4RM_MAX_BLOCK};
 pub use matrix::{BitMatrix, RowRef};
 pub use parallel::{run_indexed, try_run_indexed, WorkerPanic};
+pub use sparse::{PresolveStats, SparseMatrix, SparseRref};
 pub use vector::BitVec;
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 
+use crate::sparse::SparseMatrix;
 use crate::{BitMatrix, BitVec, SolveOutcome};
 
 fn arb_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = BitMatrix> {
@@ -13,6 +14,24 @@ fn arb_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = BitMatr
 
 fn arb_vec(len: usize) -> impl Strategy<Value = BitVec> {
     proptest::collection::vec(any::<bool>(), len).prop_map(BitVec::from_bits)
+}
+
+/// The non-zero rows of the dense-path RREF as ascending column-id lists —
+/// the reference the sparse presolve path must reproduce byte for byte.
+fn dense_nonzero_rows(m: &BitMatrix) -> Vec<Vec<u32>> {
+    let (rref, _) = m.rref();
+    rref.iter()
+        .map(|row| row.iter_ones().map(|c| c as u32).collect::<Vec<u32>>())
+        .filter(|row| !row.is_empty())
+        .collect()
+}
+
+fn sparse_from_dense(m: &BitMatrix) -> SparseMatrix {
+    let rows = m
+        .iter()
+        .map(|row| row.iter_ones().map(|c| c as u32).collect())
+        .collect();
+    SparseMatrix::from_rows(m.ncols(), rows)
 }
 
 proptest! {
@@ -242,6 +261,107 @@ proptest! {
         prop_assert_eq!(par_stats.rank, serial_stats.rank);
         prop_assert_eq!(par_stats.row_xors, serial_stats.row_xors);
         prop_assert_eq!(par_stats.row_swaps, serial_stats.row_swaps);
+    }
+
+    /// The sparse presolve path produces **byte-identical** non-zero RREF
+    /// rows, and the same rank, as the dense-only kernel — on random sparse
+    /// matrices at widths straddling the 64-bit word boundaries, at every
+    /// tested thread count. This is the exactness contract every learnt
+    /// fact downstream rests on.
+    #[test]
+    fn presolve_rref_equals_dense_rref(
+        rows in 1usize..48,
+        width_idx in 0usize..6,
+        fill in 1usize..5,
+        seed in any::<u64>(),
+        threads_idx in 0usize..4,
+    ) {
+        const WIDTHS: [usize; 6] = [30, 63, 64, 65, 127, 129];
+        const THREADS: [usize; 4] = [1, 2, 3, 8];
+        let cols = WIDTHS[width_idx];
+        // `fill` draws per row from a SplitMix64 stream; duplicate draws
+        // cancel XOR-style inside `push_row`, so real row weights vary.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut m = SparseMatrix::new(cols);
+        for _ in 0..rows {
+            m.push_row((0..fill).map(|_| (next() % cols as u64) as u32).collect());
+        }
+        let dense = m.to_dense();
+        let expected = dense_nonzero_rows(&dense);
+        let got = m.rref(THREADS[threads_idx]);
+        prop_assert!(!got.gauss.interrupted);
+        prop_assert_eq!(&got.rows, &expected);
+        prop_assert_eq!(got.rank, expected.len());
+        prop_assert_eq!(got.gauss.rank, got.rank);
+        prop_assert_eq!(got.presolve.input_rows, rows);
+        prop_assert_eq!(got.presolve.input_cols, cols);
+        prop_assert_eq!(got.presolve.dense_rows,
+            rows - got.presolve.rows_eliminated);
+    }
+
+    /// On matrices where no rule's precondition holds — distinct rows of
+    /// weight ≥ 3, every column in ≥ 2 rows, no row's support contained in
+    /// another's, no two rows column-disjoint — the presolve is a pure
+    /// pass-through: nothing is eliminated or set aside and the single
+    /// dense core sees every input row. Dense random matrices satisfy the
+    /// preconditions essentially always; they are re-checked here so the
+    /// stronger assertions never misfire on a degenerate draw.
+    #[test]
+    fn presolve_is_pass_through_on_dense_matrices(
+        rows in 16usize..40,
+        width_idx in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        const WIDTHS: [usize; 4] = [32, 63, 64, 65];
+        let cols = WIDTHS[width_idx];
+        let dense = crate::testutil::splitmix_matrix(rows, cols, seed);
+        let supports: Vec<Vec<u32>> = dense
+            .iter()
+            .map(|row| row.iter_ones().map(|c| c as u32).collect())
+            .collect();
+        let mut col_count = vec![0usize; cols];
+        for s in &supports {
+            for &c in s {
+                col_count[c as usize] += 1;
+            }
+        }
+        let weights_ok = supports.iter().all(|s| s.len() >= 3);
+        let cols_ok = col_count.iter().all(|&n| n != 1);
+        let mut orders_ok = true;
+        for a in &supports {
+            for b in &supports {
+                if std::ptr::eq(a, b) {
+                    continue;
+                }
+                let shared = a.iter().filter(|c| b.contains(c)).count();
+                // No subset pair (dup = mutual subset), no disjoint pair.
+                if shared == a.len() || shared == 0 {
+                    orders_ok = false;
+                }
+            }
+        }
+        let expected = dense_nonzero_rows(&dense);
+        let got = sparse_from_dense(&dense).rref(1);
+        prop_assert_eq!(&got.rows, &expected);
+        prop_assert_eq!(got.rank, expected.len());
+        if weights_ok && cols_ok && orders_ok {
+            prop_assert_eq!(got.presolve.rows_eliminated, 0);
+            prop_assert_eq!(got.presolve.rows_set_aside(), 0);
+            prop_assert_eq!(got.presolve.subset_cancellations, 0);
+            prop_assert_eq!(got.presolve.components, 1);
+            prop_assert_eq!(got.presolve.dense_rows, rows);
+            // The compacted core keeps exactly the occupied columns.
+            let unoccupied = col_count.iter().filter(|&&n| n == 0).count();
+            prop_assert_eq!(got.presolve.cols_eliminated, unoccupied);
+            prop_assert_eq!(got.presolve.dense_cols, cols - unoccupied);
+        }
     }
 
     /// The word-level 64x64-tile transpose matches the naive definition,
