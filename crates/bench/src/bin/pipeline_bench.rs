@@ -126,6 +126,62 @@ impl XlRoundResult {
     }
 }
 
+/// One incremental-vs-scratch A/B measurement of the SAT pass: the same
+/// preprocessing run with `sat_incremental` off (a fresh solver and a full
+/// re-encode every pipeline iteration) and on (one warm solver fed the
+/// database delta). The learnt facts are asserted byte-identical before any
+/// number is reported — the warm solver is a perf lever, not a semantic one.
+struct IncrementalAbResult {
+    name: String,
+    scratch_ns: u128,
+    incremental_ns: u128,
+    scratch_conflicts: u64,
+    incremental_conflicts: u64,
+    /// Total facts learnt (identical in both configurations).
+    facts: usize,
+    iterations: usize,
+}
+
+impl IncrementalAbResult {
+    fn speedup(&self) -> f64 {
+        self.scratch_ns as f64 / self.incremental_ns.max(1) as f64
+    }
+}
+
+fn measure_sat_incremental_ab(name: &str, system: &PolynomialSystem) -> IncrementalAbResult {
+    let mut runs = Vec::new();
+    for sat_incremental in [false, true] {
+        let config = BosphorusConfig {
+            sat_incremental,
+            ..BosphorusConfig::default()
+        };
+        let mut engine = Bosphorus::new(system.clone(), config);
+        let start = Instant::now();
+        let _ = engine.preprocess();
+        let ns = start.elapsed().as_nanos();
+        let stats = engine.stats();
+        runs.push((
+            ns,
+            stats.sat_conflicts,
+            stats.iterations,
+            engine.learnt_facts().to_vec(),
+        ));
+    }
+    assert_eq!(
+        runs[0].3, runs[1].3,
+        "{name}: learnt facts diverge between scratch and incremental SAT"
+    );
+    IncrementalAbResult {
+        name: name.to_string(),
+        scratch_ns: runs[0].0,
+        incremental_ns: runs[1].0,
+        scratch_conflicts: runs[0].1,
+        incremental_conflicts: runs[1].1,
+        facts: runs[0].3.len(),
+        iterations: runs[0].2.max(runs[1].2),
+    }
+}
+
 /// Phase timings and outputs of one measured round.
 struct RoundRun {
     term_ns: u128,
@@ -437,6 +493,7 @@ fn measure_preprocess(name: &str, system: &PolynomialSystem) -> PreprocessResult
 fn to_json(
     preprocess: &[PreprocessResult],
     rounds: &[XlRoundResult],
+    incremental: &[IncrementalAbResult],
     mode: &str,
     seed: u64,
 ) -> String {
@@ -554,6 +611,33 @@ fn to_json(
         out.push_str(if i + 1 < rounds.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ],\n");
+    // Incremental-vs-scratch SAT pass A/B: same preprocess, warm solver off
+    // and on; `facts_identical` is asserted (the process aborts otherwise),
+    // so a recorded `true` is a checked claim, not a hope.
+    out.push_str("  \"sat_incremental\": [\n");
+    for (i, r) in incremental.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"scratch_preprocess_ns\": {}, \
+             \"incremental_preprocess_ns\": {}, \"speedup\": {:.2}, \
+             \"scratch_sat_conflicts\": {}, \"incremental_sat_conflicts\": {}, \
+             \"facts\": {}, \"iterations\": {}, \"facts_identical\": true}}",
+            r.name,
+            r.scratch_ns,
+            r.incremental_ns,
+            r.speedup(),
+            r.scratch_conflicts,
+            r.incremental_conflicts,
+            r.facts,
+            r.iterations
+        );
+        out.push_str(if i + 1 < incremental.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ],\n");
     // The recorded headline: production vs seed *term layer* on one
     // exhaustive XL round at Simon scale (identical learnt facts asserted
     // above). The shared elimination kernel — bit-identical in both
@@ -626,6 +710,10 @@ fn main() {
         measure_xl_round("table1", &table1, reps),
         measure_xl_round("simon-2-3", &simon_small.system, reps),
     ];
+    let mut incremental = vec![
+        measure_sat_incremental_ab("worked_example", &worked),
+        measure_sat_incremental_ab("simon-2-3", &simon_small.system),
+    ];
     if !smoke {
         let simon_large = simon::generate(
             simon::SimonParams {
@@ -641,6 +729,18 @@ fn main() {
         rounds.push(measure_xl_round("sr-aes-small-1", &sr_aes.system, reps));
         // The headline round is the *largest* Simon instance measured.
         rounds.swap(1, 2);
+        // The recorded incremental-SAT A/B row: Simon-[2,8] preprocessing,
+        // the multi-iteration instance where a warm solver actually has
+        // rounds to span (generated last so the smaller instances stay
+        // byte-identical at a given seed).
+        let simon_2_8 = simon::generate(
+            simon::SimonParams {
+                num_plaintexts: 2,
+                rounds: 8,
+            },
+            &mut rng,
+        );
+        incremental.push(measure_sat_incremental_ab("simon-2-8", &simon_2_8.system));
     }
 
     println!("pipeline preprocessing ({mode}):");
@@ -704,7 +804,23 @@ fn main() {
         );
     }
 
-    let json = to_json(&preprocess, &rounds, mode, seed);
+    println!("SAT pass, scratch vs incremental preprocessing ({mode}):");
+    println!("  (learnt facts asserted byte-identical before reporting)");
+    for r in &incremental {
+        println!(
+            "  {:<16} {:>10.3} -> {:>10.3} ms ({:>5.2}x)  conflicts {:>6} -> {:>6}  facts {:>4}  iters {:>2}",
+            r.name,
+            r.scratch_ns as f64 / 1e6,
+            r.incremental_ns as f64 / 1e6,
+            r.speedup(),
+            r.scratch_conflicts,
+            r.incremental_conflicts,
+            r.facts,
+            r.iterations
+        );
+    }
+
+    let json = to_json(&preprocess, &rounds, &incremental, mode, seed);
     std::fs::write(&out_path, format!("{json}\n")).expect("write benchmark JSON");
     println!("wrote {out_path}");
 }

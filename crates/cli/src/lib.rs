@@ -73,6 +73,13 @@ pipeline:
                         XL/ElimLin matrices straight to the dense GF(2)
                         kernel (the learnt facts are identical either way;
                         this is an A/B and escape hatch, not a mode)
+  --no-sat-incremental  rebuild the SAT pass's solver from scratch every
+                        pipeline iteration instead of keeping one warm
+                        solver (learnt clauses, activities, saved phases)
+                        and feeding it the database delta. The learnt facts
+                        are identical either way; this is an A/B and escape
+                        hatch, not a mode (--sat-incremental restores the
+                        default)
   --solver NAME         solver configuration for the final --solve call:
                         minimal | aggressive | xorgauss (the in-loop SAT
                         pass always uses the paper's aggressive setting)
@@ -196,6 +203,10 @@ pub struct CliOptions {
     /// Disable the sparse structural presolve in front of the dense GF(2)
     /// kernel (see [`BosphorusConfig::presolve`]).
     pub no_presolve: bool,
+    /// Whether the SAT pass keeps one warm incremental solver across
+    /// pipeline iterations (see [`BosphorusConfig::sat_incremental`]);
+    /// `--no-sat-incremental` turns it off for A/B comparison.
+    pub sat_incremental: bool,
     /// Solver configuration for the final `--solve` call. The in-loop SAT
     /// pass is pinned to the paper's aggressive configuration (as in the
     /// original engine); `xorgauss` additionally turns on XOR-constraint
@@ -235,6 +246,7 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
         seed: None,
         threads: None,
         no_presolve: false,
+        sat_incremental: true,
         solver: SolverChoice::Aggressive,
         timeout: None,
     };
@@ -297,6 +309,8 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
                 );
             }
             "--no-presolve" => options.no_presolve = true,
+            "--sat-incremental" => options.sat_incremental = true,
+            "--no-sat-incremental" => options.sat_incremental = false,
             "--solver" => options.solver = value_of("--solver")?.parse()?,
             "--timeout" => {
                 let raw = value_of("--timeout")?;
@@ -347,6 +361,7 @@ pub fn build_config(options: &CliOptions) -> BosphorusConfig {
     if options.no_presolve {
         config.presolve = false;
     }
+    config.sat_incremental = options.sat_incremental;
     if options.solver == SolverChoice::XorGauss {
         config.emit_xor_constraints = true;
     }
@@ -544,7 +559,9 @@ pub fn stats_json(stats: &EngineStats, status: &str) -> String {
             "\n    {{\"name\": \"{}\", \"runs\": {}, \"skips\": {}, \"facts\": {}, \
              \"gauss_rank\": {}, \"gauss_row_xors\": {}, \"gauss_threads\": {}, \
              \"gauss_bands\": {}, \"gauss_tables_per_sweep\": {}, \
-             \"sat_conflicts\": {}, \"time_ms\": {:.3}, ",
+             \"sat_conflicts\": {}, \"sat_learnt\": {}, \"sat_removed\": {}, \
+             \"sat_minimized_lits\": {}, \"sat_restarts\": {}, \
+             \"time_ms\": {:.3}, ",
             pass.name,
             pass.runs,
             pass.skips,
@@ -555,6 +572,10 @@ pub fn stats_json(stats: &EngineStats, status: &str) -> String {
             pass.gauss.bands,
             pass.gauss.tables_per_sweep,
             pass.sat_conflicts,
+            pass.sat_learnt,
+            pass.sat_removed,
+            pass.sat_minimized_lits,
+            pass.sat_restarts,
             pass.time.as_secs_f64() * 1e3
         );
         // The sparse-presolve phase split for this pass, cumulative over
@@ -677,6 +698,7 @@ mod tests {
             "--threads",
             "4",
             "--no-presolve",
+            "--no-sat-incremental",
             "--solver",
             "xorgauss",
         ]);
@@ -694,6 +716,7 @@ mod tests {
         assert_eq!(options.seed, Some(42));
         assert_eq!(options.threads, Some(4));
         assert!(options.no_presolve);
+        assert!(!options.sat_incremental);
         assert_eq!(options.solver, SolverChoice::XorGauss);
     }
 
@@ -767,6 +790,19 @@ mod tests {
         let off = options(&["--anf", "a", "--no-presolve"]);
         assert!(off.no_presolve);
         assert!(!build_config(&off).presolve);
+    }
+
+    #[test]
+    fn sat_incremental_defaults_on_and_flag_turns_it_off() {
+        let on = options(&["--anf", "a"]);
+        assert!(on.sat_incremental);
+        assert!(build_config(&on).sat_incremental);
+        let off = options(&["--anf", "a", "--no-sat-incremental"]);
+        assert!(!off.sat_incremental);
+        assert!(!build_config(&off).sat_incremental);
+        // The positive flag wins when it comes last (and vice versa).
+        let back_on = options(&["--anf", "a", "--no-sat-incremental", "--sat-incremental"]);
+        assert!(back_on.sat_incremental);
     }
 
     #[test]
@@ -846,6 +882,30 @@ mod tests {
         assert!(json.contains("\"dense_core_rows\": 60"));
         assert!(json.contains("\"dense_core_cols\": 50"));
         assert!(json.contains("\"presolve_ns\": 1234"));
+    }
+
+    #[test]
+    fn stats_json_serialises_the_sat_learning_counters() {
+        let pass = bosphorus::PassStats {
+            name: "sat".to_string(),
+            runs: 2,
+            sat_conflicts: 17,
+            sat_learnt: 11,
+            sat_removed: 4,
+            sat_minimized_lits: 9,
+            sat_restarts: 2,
+            ..bosphorus::PassStats::default()
+        };
+        let stats = EngineStats {
+            passes: vec![pass],
+            ..EngineStats::default()
+        };
+        let json = stats_json(&stats, "simplified");
+        assert!(json.contains("\"sat_conflicts\": 17"));
+        assert!(json.contains("\"sat_learnt\": 11"));
+        assert!(json.contains("\"sat_removed\": 4"));
+        assert!(json.contains("\"sat_minimized_lits\": 9"));
+        assert!(json.contains("\"sat_restarts\": 2"));
     }
 
     #[test]

@@ -63,6 +63,34 @@ impl CnfConversion {
     }
 }
 
+/// The CNF-variable → ANF-monomial view used to translate solver facts back
+/// into ANF, implemented by both the one-shot [`CnfConversion`] and the
+/// persistent [`IncrementalCnf`](crate::IncrementalCnf) so fact harvesting
+/// works uniformly over either.
+pub trait FactTranslator {
+    /// The ANF monomial behind a CNF variable, if it has one. Variables
+    /// introduced purely for XOR cutting have no ANF meaning and return
+    /// `None`.
+    fn monomial(&self, var: CnfVar) -> Option<&Monomial>;
+
+    /// Translates a CNF literal into the ANF fact it asserts (see
+    /// [`CnfConversion::literal_fact`]).
+    fn literal_fact(&self, lit: Lit) -> Option<Polynomial> {
+        let monomial = self.monomial(lit.var())?.clone();
+        let mut fact = Polynomial::from_monomial(monomial);
+        if lit.is_positive() {
+            fact += &Polynomial::one();
+        }
+        Some(fact)
+    }
+}
+
+impl FactTranslator for CnfConversion {
+    fn monomial(&self, var: CnfVar) -> Option<&Monomial> {
+        CnfConversion::monomial(self, var)
+    }
+}
+
 /// Converts a (propagated) polynomial system to CNF.
 ///
 /// `propagator` supplies the determined variables and equivalence literals
@@ -75,23 +103,8 @@ pub fn anf_to_cnf(
     config: &BosphorusConfig,
 ) -> CnfConversion {
     let mut converter = Converter::new(system.num_vars(), config);
-    // Determined variables -> unit clauses; equivalences -> two binary
-    // clauses (x ∨ y)(¬x ∨ ¬y) for x = ¬y, (x ∨ ¬y)(¬x ∨ y) for x = y.
     for var in 0..system.num_vars() as Var {
-        match propagator.knowledge(var) {
-            VarKnowledge::Free => {}
-            VarKnowledge::Value(value) => {
-                converter.cnf.add_clause([Lit::new(var, !value)]);
-            }
-            VarKnowledge::Equivalent { other, negated } => {
-                converter
-                    .cnf
-                    .add_clause([Lit::positive(var), Lit::new(other, !negated)]);
-                converter
-                    .cnf
-                    .add_clause([Lit::negative(var), Lit::new(other, negated)]);
-            }
-        }
+        converter.encode_knowledge(var, propagator.knowledge(var));
     }
     for poly in system.iter() {
         converter.convert_polynomial(poly);
@@ -99,22 +112,27 @@ pub fn anf_to_cnf(
     converter.finish()
 }
 
-struct Converter<'a> {
-    cnf: CnfFormula,
-    config: &'a BosphorusConfig,
+/// The encoding engine behind both [`anf_to_cnf`] (one shot, finished into a
+/// [`CnfConversion`]) and the persistent
+/// [`IncrementalCnf`](crate::IncrementalCnf) (kept alive across pipeline
+/// iterations, appending only the delta each round). Owning the
+/// configuration snapshot is what allows the persistent use.
+pub(crate) struct Converter {
+    pub(crate) cnf: CnfFormula,
+    config: BosphorusConfig,
     /// Monomial → dense id (each distinct monomial stored once); the hot
     /// lookup of the conversion. The public `BTreeMap`s of
     /// [`CnfConversion`] are materialised once in [`Converter::finish`].
-    interner: MonomialInterner,
+    pub(crate) interner: MonomialInterner,
     /// Interner id → the CNF variable standing for that monomial.
-    var_of_id: Vec<CnfVar>,
-    xors: Vec<XorConstraint>,
+    pub(crate) var_of_id: Vec<CnfVar>,
+    pub(crate) xors: Vec<XorConstraint>,
     karnaugh_clauses: usize,
     tseitin_clauses: usize,
 }
 
-impl<'a> Converter<'a> {
-    fn new(num_anf_vars: usize, config: &'a BosphorusConfig) -> Self {
+impl Converter {
+    pub(crate) fn new(num_anf_vars: usize, config: &BosphorusConfig) -> Self {
         let mut interner = MonomialInterner::with_capacity(num_anf_vars * 2);
         let mut var_of_id = Vec::with_capacity(num_anf_vars);
         // ANF variable x_i is CNF variable i; record the identity mapping so
@@ -126,12 +144,30 @@ impl<'a> Converter<'a> {
         }
         Converter {
             cnf: CnfFormula::new(num_anf_vars),
-            config,
+            config: config.clone(),
             interner,
             var_of_id,
             xors: Vec::new(),
             karnaugh_clauses: 0,
             tseitin_clauses: 0,
+        }
+    }
+
+    /// Encodes one variable's propagation knowledge: determined variables
+    /// become unit clauses, equivalences two binary clauses — (x ∨ y)(¬x ∨ ¬y)
+    /// for x = ¬y, (x ∨ ¬y)(¬x ∨ y) for x = y.
+    pub(crate) fn encode_knowledge(&mut self, var: Var, knowledge: VarKnowledge) {
+        match knowledge {
+            VarKnowledge::Free => {}
+            VarKnowledge::Value(value) => {
+                self.cnf.add_clause([Lit::new(var, !value)]);
+            }
+            VarKnowledge::Equivalent { other, negated } => {
+                self.cnf
+                    .add_clause([Lit::positive(var), Lit::new(other, !negated)]);
+                self.cnf
+                    .add_clause([Lit::negative(var), Lit::new(other, negated)]);
+            }
         }
     }
 
@@ -161,7 +197,7 @@ impl<'a> Converter<'a> {
         aux
     }
 
-    fn convert_polynomial(&mut self, poly: &Polynomial) {
+    pub(crate) fn convert_polynomial(&mut self, poly: &Polynomial) {
         if poly.is_zero() {
             return;
         }

@@ -95,6 +95,15 @@ pub struct BosphorusConfig {
     /// only changes wall-clock; it exists as an escape hatch (the CLI's
     /// `--no-presolve`) and for A/B measurement. Default `true`.
     pub presolve: bool,
+    /// Whether the SAT pass keeps one warm solver alive across pipeline
+    /// iterations — retaining learnt clauses, variable activities and saved
+    /// phases — and only encodes the database delta each round, instead of
+    /// rebuilding solver and CNF from scratch. The persistent formula is a
+    /// monotone stream of consequences of the original system, so learnt
+    /// facts are identical with it on or off; it exists as an escape hatch
+    /// (the CLI's `--no-sat-incremental`) and for A/B measurement.
+    /// Default `true`.
+    pub sat_incremental: bool,
 }
 
 impl Default for BosphorusConfig {
@@ -118,6 +127,7 @@ impl Default for BosphorusConfig {
             rng_seed: 0xB05F0405,
             threads: 1,
             presolve: true,
+            sat_incremental: true,
         }
     }
 }
@@ -190,6 +200,13 @@ mod tests {
         assert!(BosphorusConfig::default().presolve);
         assert!(BosphorusConfig::paper_defaults().presolve);
         assert!(BosphorusConfig::exhaustive().presolve);
+    }
+
+    #[test]
+    fn sat_incremental_defaults_on_everywhere() {
+        assert!(BosphorusConfig::default().sat_incremental);
+        assert!(BosphorusConfig::paper_defaults().sat_incremental);
+        assert!(BosphorusConfig::exhaustive().sat_incremental);
     }
 
     #[test]

@@ -54,6 +54,7 @@ mod cnf_to_anf;
 mod config;
 mod elimlin;
 mod engine;
+mod incremental;
 mod linearize;
 mod minimize;
 mod pipeline;
@@ -61,7 +62,7 @@ mod satstep;
 mod stats;
 mod xl;
 
-pub use anf_to_cnf::{anf_to_cnf, tseitin_clause_count, CnfConversion};
+pub use anf_to_cnf::{anf_to_cnf, tseitin_clause_count, CnfConversion, FactTranslator};
 // The propagator moved into `bosphorus-anf` (it is part of the shared
 // problem representation, see `AnfDatabase`); re-exported here so existing
 // `bosphorus::AnfPropagator` paths keep working.
@@ -77,6 +78,7 @@ pub use elimlin::{
     elimlin_learn, elimlin_learn_cancellable, elimlin_on, elimlin_on_cancellable, ElimLinOutcome,
 };
 pub use engine::{Bosphorus, PreprocessStatus, SolveStatus};
+pub use incremental::{IncrementalCnf, IncrementalSatState};
 pub use linearize::{Linearization, LinearizationBuilder, SparseLinearization};
 pub use minimize::karnaugh_clauses;
 pub use pipeline::{

@@ -35,6 +35,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::elimlin::elimlin_learn_cancellable;
+use crate::incremental::IncrementalSatState;
 use crate::satstep::{sat_step_cancellable, SatStepStatus};
 use crate::xl::xl_learn_cancellable;
 use crate::BosphorusConfig;
@@ -236,6 +237,14 @@ pub struct PassOutcome {
     pub presolve: PresolveStats,
     /// SAT conflicts spent by this run.
     pub sat_conflicts: u64,
+    /// Clauses learnt by this run's SAT solving (deleted ones included).
+    pub sat_learnt: u64,
+    /// Learnt clauses deleted by SAT database reductions in this run.
+    pub sat_removed: u64,
+    /// Literals removed from SAT conflict clauses by CCMin in this run.
+    pub sat_minimized_lits: u64,
+    /// SAT restarts performed by this run.
+    pub sat_restarts: u64,
     /// Value assignments recorded by this run (propagation pass only).
     pub new_assignments: usize,
     /// Equivalences recorded by this run (propagation pass only).
@@ -252,6 +261,10 @@ impl PassOutcome {
             gauss: GaussStats::default(),
             presolve: PresolveStats::default(),
             sat_conflicts: 0,
+            sat_learnt: 0,
+            sat_removed: 0,
+            sat_minimized_lits: 0,
+            sat_restarts: 0,
             new_assignments: 0,
             new_equivalences: 0,
         }
@@ -430,12 +443,19 @@ impl LearningPass for ElimLinPass {
 }
 
 /// The conflict-bounded SAT step as a pass (Section II-D).
+///
+/// With [`BosphorusConfig::sat_incremental`] (the default) the pass keeps
+/// one warm solver alive across pipeline iterations — learnt clauses,
+/// variable activities and saved phases survive — and encodes only the
+/// database delta each round (see [`IncrementalSatState`]). With it off,
+/// every round converts the database and builds a solver from scratch.
 #[derive(Debug)]
 pub struct SatPass {
     config: BosphorusConfig,
     solver_config: SolverConfig,
     last_seen: Option<Revision>,
     last_budget: Option<u64>,
+    incremental: Option<IncrementalSatState>,
 }
 
 impl SatPass {
@@ -453,6 +473,7 @@ impl SatPass {
             solver_config,
             last_seen: None,
             last_budget: None,
+            incremental: None,
         }
     }
 }
@@ -472,16 +493,44 @@ impl LearningPass for SatPass {
         }
         self.last_seen = Some(db.revision());
         self.last_budget = Some(conflicts);
-        let sat = sat_step_cancellable(
-            db.system(),
-            db.propagator(),
-            &self.config,
-            &self.solver_config,
-            conflicts,
-            budget.cancel_token(),
-        );
+        let sat = if self.config.sat_incremental {
+            // (Re)build the warm state if none exists yet or the variable
+            // space diverged (a fresh database was swapped in).
+            if self
+                .incremental
+                .as_ref()
+                .map(IncrementalSatState::num_anf_vars)
+                != Some(db.num_vars())
+            {
+                self.incremental = Some(IncrementalSatState::new(
+                    db.num_vars(),
+                    &self.config,
+                    &self.solver_config,
+                ));
+            }
+            let state = self.incremental.as_mut().expect("state was just installed");
+            state.step(
+                db.system(),
+                db.propagator(),
+                conflicts,
+                budget.cancel_token(),
+            )
+        } else {
+            sat_step_cancellable(
+                db.system(),
+                db.propagator(),
+                &self.config,
+                &self.solver_config,
+                conflicts,
+                budget.cancel_token(),
+            )
+        };
         let mut outcome = PassOutcome::ran();
         outcome.sat_conflicts = sat.conflicts;
+        outcome.sat_learnt = sat.learnt_clauses;
+        outcome.sat_removed = sat.removed_clauses;
+        outcome.sat_minimized_lits = sat.minimized_literals;
+        outcome.sat_restarts = sat.restarts;
         match sat.status {
             SatStepStatus::Unsatisfiable => outcome.status = PassStatus::Unsat,
             SatStepStatus::Satisfiable(assignment) => {

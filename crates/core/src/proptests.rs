@@ -183,54 +183,86 @@ proptest! {
     /// the uninterrupted run's — only fully-committed work survives — and
     /// (b) the database equisatisfiable with the input, i.e. the processed
     /// system plus the propagated knowledge has a solution exactly when the
-    /// original system does.
+    /// original system does. Checked for both the scratch and the
+    /// incremental (warm-solver) SAT pass.
     #[test]
     fn cancellation_is_transactional(system in arb_system(), trip in 1u64..400) {
-        let config = BosphorusConfig::default();
-        // Uninterrupted reference run: same seed, so identical pass
-        // decisions up to the point where the interrupted run stops.
-        let mut reference = Bosphorus::new(system.clone(), config.clone());
-        let _ = reference.preprocess();
+        for sat_incremental in [false, true] {
+            let config = BosphorusConfig { sat_incremental, ..BosphorusConfig::default() };
+            // Uninterrupted reference run: same seed, so identical pass
+            // decisions up to the point where the interrupted run stops.
+            let mut reference = Bosphorus::new(system.clone(), config.clone());
+            let _ = reference.preprocess();
 
-        let mut engine = Bosphorus::new(system.clone(), config);
-        engine.set_cancel_token(CancelToken::new().cancel_after_checks(trip));
-        let status = engine.preprocess();
+            let mut engine = Bosphorus::new(system.clone(), config);
+            engine.set_cancel_token(CancelToken::new().cancel_after_checks(trip));
+            let status = engine.preprocess();
 
-        prop_assert!(
-            reference.learnt_facts().starts_with(engine.learnt_facts()),
-            "interrupted facts are not a prefix of the reference run's \
-             ({} vs {} facts, trip at {} checks)",
-            engine.learnt_facts().len(),
-            reference.learnt_facts().len(),
-            trip
-        );
+            prop_assert!(
+                reference.learnt_facts().starts_with(engine.learnt_facts()),
+                "interrupted facts are not a prefix of the reference run's \
+                 ({} vs {} facts, trip at {} checks, incremental={})",
+                engine.learnt_facts().len(),
+                reference.learnt_facts().len(),
+                trip,
+                sat_incremental
+            );
 
-        let n = system.num_vars();
-        let knowledge_holds = |engine: &Bosphorus, a: &Assignment| {
-            use crate::VarKnowledge;
-            (0..n as u32).all(|v| match engine.propagator().knowledge(v) {
-                VarKnowledge::Free => true,
-                VarKnowledge::Value(b) => a.get(v) == b,
-                VarKnowledge::Equivalent { other, negated } => {
-                    a.get(v) == (a.get(other) ^ negated)
+            let n = system.num_vars();
+            let knowledge_holds = |engine: &Bosphorus, a: &Assignment| {
+                use crate::VarKnowledge;
+                (0..n as u32).all(|v| match engine.propagator().knowledge(v) {
+                    VarKnowledge::Free => true,
+                    VarKnowledge::Value(b) => a.get(v) == b,
+                    VarKnowledge::Equivalent { other, negated } => {
+                        a.get(v) == (a.get(other) ^ negated)
+                    }
+                })
+            };
+            let restored_sat = match status {
+                PreprocessStatus::Solved(_) => true,
+                PreprocessStatus::Unsat => false,
+                PreprocessStatus::Simplified | PreprocessStatus::Interrupted => (0u64..(1 << n))
+                    .any(|bits| {
+                        let a = Assignment::from_bits((0..n).map(|i| (bits >> i) & 1 == 1));
+                        engine.processed_system().is_satisfied_by(&a)
+                            && knowledge_holds(&engine, &a)
+                    }),
+            };
+            prop_assert_eq!(
+                brute_force_sat(&system),
+                restored_sat,
+                "interrupted database lost equisatisfiability (status {:?}, incremental={})",
+                status,
+                sat_incremental
+            );
+        }
+    }
+
+    /// The incremental SAT pass is invisible to the engine: preprocessing
+    /// with the warm solver on or off produces the same verdict, genuine
+    /// models, and identical learnt facts.
+    #[test]
+    fn incremental_sat_pass_is_invisible(system in arb_system()) {
+        let expected = brute_force_sat(&system);
+        let mut fact_sets = Vec::new();
+        for sat_incremental in [false, true] {
+            let config = BosphorusConfig { sat_incremental, ..BosphorusConfig::default() };
+            let mut engine = Bosphorus::new(system.clone(), config);
+            match engine.solve(&SolverConfig::aggressive()) {
+                SolveStatus::Sat(a) => {
+                    prop_assert!(expected, "SAT verdict on an UNSAT system (incremental={})", sat_incremental);
+                    prop_assert!(system.is_satisfied_by(&a));
                 }
-            })
-        };
-        let restored_sat = match status {
-            PreprocessStatus::Solved(_) => true,
-            PreprocessStatus::Unsat => false,
-            PreprocessStatus::Simplified | PreprocessStatus::Interrupted => (0u64..(1 << n))
-                .any(|bits| {
-                    let a = Assignment::from_bits((0..n).map(|i| (bits >> i) & 1 == 1));
-                    engine.processed_system().is_satisfied_by(&a)
-                        && knowledge_holds(&engine, &a)
-                }),
-        };
+                SolveStatus::Unsat => prop_assert!(!expected, "UNSAT verdict on a SAT system (incremental={})", sat_incremental),
+                SolveStatus::Interrupted => prop_assert!(false, "no cancel token was set"),
+            }
+            fact_sets.push(engine.learnt_facts().to_vec());
+        }
         prop_assert_eq!(
-            brute_force_sat(&system),
-            restored_sat,
-            "interrupted database lost equisatisfiability (status {:?})",
-            status
+            &fact_sets[0],
+            &fact_sets[1],
+            "learnt facts diverge between scratch and incremental runs"
         );
     }
 }

@@ -14,7 +14,7 @@ use bosphorus_cnf::Lit;
 use bosphorus_interrupt::CancelToken;
 use bosphorus_sat::{SolveResult, Solver, SolverConfig};
 
-use crate::anf_to_cnf::{anf_to_cnf, CnfConversion};
+use crate::anf_to_cnf::{anf_to_cnf, CnfConversion, FactTranslator};
 use crate::BosphorusConfig;
 use bosphorus_anf::AnfPropagator;
 
@@ -44,6 +44,15 @@ pub struct SatStepOutcome {
     pub facts: Vec<Polynomial>,
     /// Conflicts spent by the solver in this round.
     pub conflicts: u64,
+    /// Non-unit clauses learnt by the solver in this round (deleted ones
+    /// included; the counter is monotone even across database reductions).
+    pub learnt_clauses: u64,
+    /// Learnt clauses deleted by database reductions in this round.
+    pub removed_clauses: u64,
+    /// Literals removed from conflict clauses by CCMin in this round.
+    pub minimized_literals: u64,
+    /// Restarts performed in this round.
+    pub restarts: u64,
     /// Number of clauses of the converted CNF.
     pub cnf_clauses: usize,
     /// Number of variables of the converted CNF.
@@ -119,11 +128,36 @@ pub fn sat_step_on_conversion_cancellable(
             solver.add_xor(xor.clone());
         }
     }
-    let conflicts_before = solver.stats().conflicts;
+    solve_and_harvest(
+        &mut solver,
+        conversion,
+        num_anf_vars,
+        budget,
+        token,
+        conversion.cnf.num_clauses(),
+        conversion.cnf.num_vars(),
+    )
+}
+
+/// The shared tail of a SAT round: solve under `budget` conflicts with
+/// cooperative cancellation, then harvest facts through `translator`. Used
+/// by the scratch path above (fresh solver each round) and by
+/// [`IncrementalSatState`](crate::IncrementalSatState) (warm solver); the
+/// reported counters are per-round deltas either way.
+pub(crate) fn solve_and_harvest(
+    solver: &mut Solver,
+    translator: &impl FactTranslator,
+    num_anf_vars: usize,
+    budget: u64,
+    token: &CancelToken,
+    cnf_clauses: usize,
+    cnf_vars: usize,
+) -> SatStepOutcome {
+    let before = *solver.stats();
     solver.set_conflict_budget(Some(budget));
     solver.set_cancel_token(token.clone());
     let result = solver.solve();
-    let conflicts = solver.stats().conflicts - conflicts_before;
+    let after = *solver.stats();
 
     let mut facts: Vec<Polynomial> = Vec::new();
     let status = match result {
@@ -136,34 +170,48 @@ pub fn sat_step_on_conversion_cancellable(
             let assignment = Assignment::from_bits(
                 (0..num_anf_vars).map(|v| model.get(v).copied().unwrap_or(false)),
             );
-            harvest_facts(&mut facts, &solver, conversion);
+            harvest_facts(&mut facts, solver, translator);
             SatStepStatus::Satisfiable(assignment)
         }
         // The solver reports Unknown for both budget exhaustion and
         // cancellation; the token distinguishes them.
         SolveResult::Unknown if token.is_cancelled() => SatStepStatus::Interrupted,
         SolveResult::Unknown => {
-            harvest_facts(&mut facts, &solver, conversion);
+            harvest_facts(&mut facts, solver, translator);
             SatStepStatus::Undecided
         }
     };
     SatStepOutcome {
         status,
         facts,
-        conflicts,
-        cnf_clauses: conversion.cnf.num_clauses(),
-        cnf_vars: conversion.cnf.num_vars(),
+        conflicts: after.conflicts - before.conflicts,
+        // `learnt_clauses` alone is a gauge (reductions decrement it);
+        // adding the removed counter back makes the round delta monotone.
+        learnt_clauses: (after.learnt_clauses + after.removed_clauses)
+            - (before.learnt_clauses + before.removed_clauses),
+        removed_clauses: after.removed_clauses - before.removed_clauses,
+        minimized_literals: after.minimized_literals - before.minimized_literals,
+        restarts: after.restarts - before.restarts,
+        cnf_clauses,
+        cnf_vars,
     }
 }
 
 /// Extracts ANF facts from the solver state: every top-level assignment of a
 /// variable with an ANF meaning becomes a value fact, and complementary
 /// pairs of binary learnt clauses become (linear or monomial) equations.
-fn harvest_facts(facts: &mut Vec<Polynomial>, solver: &Solver, conversion: &CnfConversion) {
+///
+/// The harvest is returned in graded-lex order of the fact polynomials, not
+/// in trail or clause-database order: those depend on the solver's search
+/// history, and the incremental≡scratch guarantee
+/// ([`BosphorusConfig::sat_incremental`](crate::BosphorusConfig)) requires
+/// the committed fact stream to be independent of how the round's solver
+/// reached its conclusions.
+fn harvest_facts(facts: &mut Vec<Polynomial>, solver: &Solver, translator: &impl FactTranslator) {
     // Unit facts from decision-level-zero assignments (this subsumes the
     // learnt unit clauses).
     for lit in solver.top_level_assignments() {
-        if let Some(fact) = conversion.literal_fact(lit) {
+        if let Some(fact) = translator.literal_fact(lit) {
             if !facts.contains(&fact) {
                 facts.push(fact);
             }
@@ -189,7 +237,7 @@ fn harvest_facts(facts: &mut Vec<Polynomial>, solver: &Solver, conversion: &CnfC
         if !binaries.contains(&complement) || a.var() == b.var() {
             continue;
         }
-        let (Some(ma), Some(mb)) = (conversion.monomial(a.var()), conversion.monomial(b.var()))
+        let (Some(ma), Some(mb)) = (translator.monomial(a.var()), translator.monomial(b.var()))
         else {
             continue;
         };
@@ -205,6 +253,7 @@ fn harvest_facts(facts: &mut Vec<Polynomial>, solver: &Solver, conversion: &CnfC
             facts.push(fact);
         }
     }
+    facts.sort_by(|a, b| a.monomials().cmp(b.monomials()));
 }
 
 #[cfg(test)]

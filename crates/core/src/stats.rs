@@ -59,6 +59,15 @@ pub struct PassStats {
     pub presolve: PresolveStats,
     /// Cumulative SAT conflicts spent by the pass.
     pub sat_conflicts: u64,
+    /// Cumulative clauses learnt by the pass's SAT solving (deleted ones
+    /// included).
+    pub sat_learnt: u64,
+    /// Cumulative learnt clauses deleted by SAT database reductions.
+    pub sat_removed: u64,
+    /// Cumulative literals removed from SAT conflict clauses by CCMin.
+    pub sat_minimized_lits: u64,
+    /// Cumulative SAT restarts performed by the pass.
+    pub sat_restarts: u64,
     /// Value assignments recorded by the pass (propagation only).
     pub propagated_assignments: usize,
     /// Equivalences recorded by the pass (propagation only).
@@ -145,6 +154,10 @@ impl EngineStats {
         entry.gauss.merge(outcome.gauss);
         entry.presolve.merge(outcome.presolve);
         entry.sat_conflicts += outcome.sat_conflicts;
+        entry.sat_learnt += outcome.sat_learnt;
+        entry.sat_removed += outcome.sat_removed;
+        entry.sat_minimized_lits += outcome.sat_minimized_lits;
+        entry.sat_restarts += outcome.sat_restarts;
         entry.propagated_assignments += outcome.new_assignments;
         entry.propagated_equivalences += outcome.new_equivalences;
     }
@@ -268,6 +281,10 @@ mod tests {
         ran.presolve.rows_eliminated = 5;
         ran.presolve.singleton_rows = 2;
         ran.sat_conflicts = 3;
+        ran.sat_learnt = 11;
+        ran.sat_removed = 4;
+        ran.sat_minimized_lits = 9;
+        ran.sat_restarts = 2;
         stats.record_pass("xl", &ran, Duration::from_millis(2));
         let skipped = PassOutcome::skipped();
         stats.record_pass("xl", &skipped, Duration::from_millis(1));
@@ -280,6 +297,10 @@ mod tests {
         assert_eq!(xl.gauss.row_xors, 7);
         assert_eq!(xl.presolve.rows_eliminated, 5);
         assert_eq!(xl.presolve.singleton_rows, 2);
+        assert_eq!(xl.sat_learnt, 11);
+        assert_eq!(xl.sat_removed, 4);
+        assert_eq!(xl.sat_minimized_lits, 9);
+        assert_eq!(xl.sat_restarts, 2);
         assert_eq!(xl.time, Duration::from_millis(3));
         assert_eq!(stats.gauss_row_xors, 7);
         assert_eq!(stats.sat_conflicts, 3);

@@ -35,6 +35,25 @@ pub struct SolverConfig {
     /// Initial ratio of learnt clauses to problem clauses that triggers a
     /// database reduction (grows geometrically afterwards).
     pub learnt_ratio: f64,
+    /// Growth factor applied to the learnt-clause allowance after every
+    /// database reduction (the geometric schedule; MiniSat uses 1.1–1.5).
+    pub reduce_db_growth: f64,
+    /// Literal-block-distance value at or below which a learnt clause is
+    /// considered "glue" and never deleted by database reductions.
+    pub lbd_glue: u32,
+    /// Whether learnt clauses are shrunk by recursive conflict-clause
+    /// minimization (CCMin) before being recorded.
+    pub ccmin: bool,
+    /// Bound on the number of reason-side expansions one recursive
+    /// redundancy check may perform before giving up (keeps CCMin linear in
+    /// practice on pathological implication graphs).
+    pub ccmin_depth: usize,
+    /// Re-validate every minimized learnt clause by cloning the solver,
+    /// asserting the clause's negation at a fresh decision level and checking
+    /// that unit propagation refutes it. Very expensive (one solver clone per
+    /// conflict) — meant for the differential-testing harness and
+    /// `debug_assertions` builds, never for production runs.
+    pub verify_minimization: bool,
     /// Whether the saved phase of a variable is reused when deciding it.
     pub phase_saving: bool,
     /// Default polarity used when no phase has been saved.
@@ -59,6 +78,11 @@ impl SolverConfig {
             restart_base: 100,
             reduce_db: false,
             learnt_ratio: f64::INFINITY,
+            reduce_db_growth: 1.5,
+            lbd_glue: 2,
+            ccmin: true,
+            ccmin_depth: 1000,
+            verify_minimization: false,
             phase_saving: false,
             default_phase: false,
             xor_reasoning: false,
@@ -77,6 +101,11 @@ impl SolverConfig {
             restart_base: 64,
             reduce_db: true,
             learnt_ratio: 0.4,
+            reduce_db_growth: 1.5,
+            lbd_glue: 2,
+            ccmin: true,
+            ccmin_depth: 1000,
+            verify_minimization: false,
             phase_saving: true,
             default_phase: false,
             xor_reasoning: false,
@@ -124,5 +153,24 @@ mod tests {
     #[test]
     fn default_is_aggressive() {
         assert_eq!(SolverConfig::default(), SolverConfig::aggressive());
+    }
+
+    #[test]
+    fn ccmin_is_on_and_verification_is_off_by_default() {
+        for config in [
+            SolverConfig::minimal(),
+            SolverConfig::aggressive(),
+            SolverConfig::xor_gauss(),
+        ] {
+            assert!(config.ccmin, "{}: CCMin defaults on", config.name);
+            assert!(config.ccmin_depth > 0);
+            assert!(
+                !config.verify_minimization,
+                "{}: the per-conflict self-check is opt-in",
+                config.name
+            );
+            assert!(config.reduce_db_growth > 1.0);
+            assert!(config.lbd_glue >= 2, "binary-like glue is always kept");
+        }
     }
 }

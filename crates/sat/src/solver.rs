@@ -51,6 +51,10 @@ struct ClauseData {
     lits: Vec<Lit>,
     learnt: bool,
     activity: f64,
+    /// Literal block distance at learning time (0 for original clauses):
+    /// the number of distinct decision levels among the clause's literals.
+    /// Low-LBD ("glue") clauses are protected from database reduction.
+    lbd: u32,
     deleted: bool,
 }
 
@@ -115,6 +119,13 @@ pub struct Solver {
     model: Option<Vec<bool>>,
     learnt_unit_lits: Vec<Lit>,
 
+    assumptions: Vec<Lit>,
+    failed_assumptions: Vec<Lit>,
+    /// Learnt-clause allowance for the geometric reduction schedule; kept
+    /// across `solve` calls so incremental re-solving does not reset the
+    /// schedule and churn the database. `0.0` means "not yet initialised".
+    max_learnts: f64,
+
     stats: SolverStats,
 }
 
@@ -146,6 +157,9 @@ impl Solver {
             cancel_token: CancelToken::never(),
             model: None,
             learnt_unit_lits: Vec::new(),
+            assumptions: Vec::new(),
+            failed_assumptions: Vec::new(),
+            max_learnts: 0.0,
             stats: SolverStats::default(),
         }
     }
@@ -330,10 +344,32 @@ impl Solver {
     /// Runs the CDCL search until a result is reached or the conflict budget
     /// is exhausted.
     pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Runs the CDCL search under the given assumption literals, which are
+    /// planted as pseudo-decisions at levels `1..=assumptions.len()` before
+    /// any free decision is made.
+    ///
+    /// When the formula is satisfiable under the assumptions the result is
+    /// [`SolveResult::Sat`] and [`Solver::model`] holds a model extending
+    /// them. When it is unsatisfiable *because of* the assumptions, the
+    /// result is [`SolveResult::Unsat`], [`Solver::failed_assumptions`]
+    /// returns a subset of the assumptions that is already contradictory
+    /// with the formula, and the solver stays usable (the formula itself is
+    /// not marked unsatisfiable). Learnt clauses, activities and saved
+    /// phases all survive into the next call — this is the incremental
+    /// interface the pipeline's SAT pass rides.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.failed_assumptions.clear();
         if !self.ok {
             return SolveResult::Unsat;
         }
         self.model = None;
+        self.assumptions = assumptions.to_vec();
+        if let Some(max) = assumptions.iter().map(|l| l.var()).max() {
+            self.new_vars(max as usize + 1);
+        }
         let budget_start = self.stats.conflicts;
         // Cancellation rides the same exit as the conflict budget: both
         // back out to level 0 and report Unknown, leaving the solver
@@ -353,11 +389,18 @@ impl Solver {
         }
         let mut conflicts_since_restart: u64 = 0;
         let mut restart_limit = self.restart_limit();
-        let mut max_learnts = if self.config.reduce_db {
-            (self.num_original_clauses as f64 * self.config.learnt_ratio).max(100.0)
+        // The learnt-clause allowance persists across solve calls (an
+        // incremental caller would otherwise reset the geometric schedule
+        // every round); it only ratchets up when clause additions raise the
+        // initial target above the stored value.
+        if self.config.reduce_db {
+            let initial = (self.num_original_clauses as f64 * self.config.learnt_ratio).max(100.0);
+            if self.max_learnts < initial {
+                self.max_learnts = initial;
+            }
         } else {
-            f64::INFINITY
-        };
+            self.max_learnts = f64::INFINITY;
+        }
 
         loop {
             if let Some(conflict) = self.propagate() {
@@ -368,9 +411,9 @@ impl Solver {
                     self.ok = false;
                     return SolveResult::Unsat;
                 }
-                let (learnt, backtrack_level) = self.analyze(&conflict);
+                let (learnt, backtrack_level, lbd) = self.analyze(&conflict);
                 self.cancel_until(backtrack_level);
-                self.record_learnt(learnt);
+                self.record_learnt(learnt, lbd);
                 self.decay_activities();
                 if let Some(budget) = self.conflict_budget {
                     if self.stats.conflicts - budget_start >= budget {
@@ -403,9 +446,39 @@ impl Solver {
                     }
                     self.conflicts_since_gauss = 0;
                 }
-                if self.config.reduce_db && (self.stats.learnt_clauses as f64) >= max_learnts {
+                if self.config.reduce_db && (self.stats.learnt_clauses as f64) >= self.max_learnts {
                     self.reduce_db();
-                    max_learnts *= 1.5;
+                    self.max_learnts *= self.config.reduce_db_growth;
+                }
+                // Plant any assumption not yet on the trail as the next
+                // pseudo-decision. An already-true assumption gets a dummy
+                // level (so failed-core analysis can index levels by
+                // assumption position); a false one means the assumptions
+                // themselves are contradictory with the formula.
+                let mut next_assumption = None;
+                while (self.decision_level() as usize) < self.assumptions.len() {
+                    let p = self.assumptions[self.decision_level() as usize];
+                    match self.value_lit(p) {
+                        LBool::True => self.trail_lim.push(self.trail.len()),
+                        LBool::False => {
+                            self.analyze_final(p);
+                            self.cancel_until(0);
+                            return SolveResult::Unsat;
+                        }
+                        LBool::Undef => {
+                            next_assumption = Some(p);
+                            break;
+                        }
+                    }
+                }
+                if let Some(p) = next_assumption {
+                    if checkpoint.check() {
+                        self.cancel_until(0);
+                        return SolveResult::Unknown;
+                    }
+                    self.trail_lim.push(self.trail.len());
+                    self.enqueue(p, Reason::Decision);
+                    continue;
                 }
                 match self.pick_branch_var() {
                     None => {
@@ -432,6 +505,16 @@ impl Solver {
                 }
             }
         }
+    }
+
+    /// The failed-assumption core of the most recent
+    /// [`Solver::solve_with_assumptions`] call that returned
+    /// [`SolveResult::Unsat`] because of its assumptions: a subset of those
+    /// assumptions that is already unsatisfiable together with the formula.
+    /// Empty when the formula itself is unsatisfiable (or the last call did
+    /// not fail on an assumption).
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.failed_assumptions
     }
 
     // ----- internal helpers -------------------------------------------------
@@ -484,6 +567,7 @@ impl Solver {
             lits,
             learnt,
             activity: 0.0,
+            lbd: 0,
             deleted: false,
         });
         cref
@@ -695,8 +779,9 @@ impl Solver {
     }
 
     /// First-UIP conflict analysis. Returns the learnt clause (asserting
-    /// literal first) and the decision level to backtrack to.
-    fn analyze(&mut self, conflict: &[Lit]) -> (Vec<Lit>, u32) {
+    /// literal first), the decision level to backtrack to, and the clause's
+    /// literal block distance.
+    fn analyze(&mut self, conflict: &[Lit]) -> (Vec<Lit>, u32, u32) {
         let current_level = self.decision_level();
         let mut learnt: Vec<Lit> = vec![Lit::positive(0)]; // placeholder for the asserting literal
         let mut path_count: u32 = 0;
@@ -738,23 +823,48 @@ impl Solver {
         }
         learnt[0] = !p.expect("analysis terminates with an asserting literal");
 
-        // Clause minimisation: drop literals whose reason is entirely
-        // subsumed by the rest of the learnt clause (local minimisation).
-        let keep_mask: Vec<bool> = learnt
-            .iter()
-            .enumerate()
-            .map(|(i, &l)| i == 0 || !self.literal_is_redundant(l, &learnt))
-            .collect();
-        let minimised: Vec<Lit> = learnt
-            .iter()
-            .zip(&keep_mask)
-            .filter(|(_, &keep)| keep)
-            .map(|(&l, _)| l)
-            .collect();
-        for &l in &learnt {
+        // Recursive conflict-clause minimization (CCMin, MiniSat lineage):
+        // a non-asserting literal is redundant when the implication graph
+        // below it resolves entirely into other learnt literals and
+        // level-zero facts, checked by a depth-first walk of its reasons.
+        // `seen` is still set for every learnt literal here, which is
+        // exactly the marking `lit_is_redundant` consults; the walk marks
+        // additional interior vars and records them in `to_clear`.
+        let mut to_clear: Vec<Lit> = learnt.clone();
+        if self.config.ccmin && learnt.len() > 1 {
+            // Levels represented in the clause, folded into a 32-bit
+            // signature: a literal whose reason leaves this signature can
+            // never be redundant, which prunes most walks immediately.
+            let mut abstract_levels = 0u32;
+            for &l in &learnt[1..] {
+                abstract_levels |= Self::abstract_level(self.level[l.var() as usize]);
+            }
+            let before = learnt.len();
+            let mut kept = 1;
+            for i in 1..learnt.len() {
+                let l = learnt[i];
+                let redundant = !matches!(self.reason[l.var() as usize], Reason::Decision)
+                    && self.lit_is_redundant(l, abstract_levels, &mut to_clear);
+                if !redundant {
+                    learnt[kept] = l;
+                    kept += 1;
+                }
+            }
+            learnt.truncate(kept);
+            self.stats.minimized_literals += (before - learnt.len()) as u64;
+        }
+        for &l in &to_clear {
             self.seen[l.var() as usize] = false;
         }
-        let mut learnt = minimised;
+
+        if self.config.verify_minimization {
+            assert!(
+                self.learnt_is_propagation_implied(&learnt),
+                "minimized learnt clause {learnt:?} is no longer implied by unit propagation"
+            );
+        }
+
+        let lbd = self.clause_lbd(&learnt);
 
         // Compute the backtrack level and place a literal of that level at
         // position 1 (the second watch).
@@ -770,25 +880,98 @@ impl Solver {
             learnt.swap(1, max_i);
             self.level[learnt[1].var() as usize]
         };
-        (learnt, backtrack_level)
+        (learnt, backtrack_level, lbd)
     }
 
-    /// Local learnt-clause minimisation: `lit` is redundant if it was
-    /// propagated and every literal of its reason is either at level zero or
-    /// already present (seen) in the learnt clause.
-    fn literal_is_redundant(&self, lit: Lit, _learnt: &[Lit]) -> bool {
-        match self.reason[lit.var() as usize] {
-            Reason::Decision => false,
-            _ => {
-                let reason = self.reason_lits(!lit);
-                reason.iter().all(|&q| {
-                    q == !lit || self.level[q.var() as usize] == 0 || self.seen[q.var() as usize]
-                })
+    /// One bit per decision level modulo 32 — a cheap level-set signature
+    /// used to prune the recursive redundancy walk.
+    fn abstract_level(level: u32) -> u32 {
+        1u32 << (level & 31)
+    }
+
+    /// Whether learnt literal `lit` is redundant: walking its implication
+    /// ancestry only ever reaches literals that are level-zero facts or
+    /// already in the learnt clause (`seen`). Iterative with an explicit
+    /// stack; `to_clear` records every interior variable marked along the
+    /// way so the caller can reset `seen`. Aborts (non-redundant) on a
+    /// decision ancestor, an ancestor outside the clause's level signature,
+    /// or when the walk exceeds `ccmin_depth` expansions.
+    fn lit_is_redundant(
+        &mut self,
+        lit: Lit,
+        abstract_levels: u32,
+        to_clear: &mut Vec<Lit>,
+    ) -> bool {
+        let rollback_from = to_clear.len();
+        let mut stack = vec![lit];
+        let mut expansions = 0usize;
+        while let Some(q) = stack.pop() {
+            expansions += 1;
+            // `q` is false under the current assignment; `!q` is the
+            // propagated trail literal whose reason we expand. Its implied
+            // literal leads the reason clause and is skipped.
+            let reason = self.reason_lits(!q);
+            debug_assert_eq!(reason.first(), Some(&!q));
+            for &l in reason.iter().skip(1) {
+                let v = l.var() as usize;
+                if self.seen[v] || self.level[v] == 0 {
+                    continue;
+                }
+                if matches!(self.reason[v], Reason::Decision)
+                    || Self::abstract_level(self.level[v]) & abstract_levels == 0
+                    || expansions > self.config.ccmin_depth
+                {
+                    // Roll back the speculative marks: only literals proven
+                    // redundant may stay marked, otherwise a later check
+                    // would treat this unproven ancestry as already covered.
+                    for &m in &to_clear[rollback_from..] {
+                        self.seen[m.var() as usize] = false;
+                    }
+                    to_clear.truncate(rollback_from);
+                    return false;
+                }
+                self.seen[v] = true;
+                to_clear.push(l);
+                stack.push(l);
             }
         }
+        true
     }
 
-    fn record_learnt(&mut self, learnt: Vec<Lit>) {
+    /// Literal block distance: the number of distinct non-zero decision
+    /// levels among the clause's literals.
+    fn clause_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits
+            .iter()
+            .map(|l| self.level[l.var() as usize])
+            .filter(|&lv| lv > 0)
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    /// The CCMin self-check: a learnt clause is sound iff asserting the
+    /// negation of all its literals makes unit propagation derive a
+    /// conflict (1-UIP clauses are propagation-implied by construction, and
+    /// minimization must preserve that). Runs on a clone backed out to
+    /// level zero so the probe cannot disturb the live search.
+    fn learnt_is_propagation_implied(&self, learnt: &[Lit]) -> bool {
+        let mut probe = self.clone();
+        probe.cancel_until(0);
+        probe.trail_lim.push(probe.trail.len());
+        for &l in learnt {
+            match probe.value_lit(l) {
+                // Satisfied at level zero: trivially implied.
+                LBool::True => return true,
+                LBool::False => {}
+                LBool::Undef => probe.enqueue(!l, Reason::Decision),
+            }
+        }
+        probe.propagate().is_some()
+    }
+
+    fn record_learnt(&mut self, learnt: Vec<Lit>, lbd: u32) {
         debug_assert!(!learnt.is_empty());
         if learnt.len() == 1 {
             debug_assert_eq!(self.decision_level(), 0);
@@ -799,9 +982,49 @@ impl Solver {
         } else {
             let asserting = learnt[0];
             let cref = self.attach_clause(learnt, true);
+            self.clauses[cref].lbd = lbd;
             self.bump_clause(cref);
             self.enqueue(asserting, Reason::Clause(cref));
         }
+    }
+
+    /// Final-conflict analysis: assumption `p` evaluated false while being
+    /// planted, so `¬p` was derived from the formula and the assumptions
+    /// already on the trail. Walks the implication graph backwards from
+    /// `¬p`, collecting exactly the assumption pseudo-decisions it rests on
+    /// — the failed-assumption core `{p, ...}`, unsatisfiable together with
+    /// the formula.
+    fn analyze_final(&mut self, p: Lit) {
+        self.failed_assumptions.clear();
+        self.failed_assumptions.push(p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[p.var() as usize] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let q = self.trail[i];
+            let v = q.var() as usize;
+            if !self.seen[v] {
+                continue;
+            }
+            match self.reason[v] {
+                Reason::Decision => {
+                    // Every pseudo-decision on the trail during assumption
+                    // planting is an assumption literal.
+                    debug_assert!(self.level[v] > 0);
+                    self.failed_assumptions.push(q);
+                }
+                _ => {
+                    for &l in self.reason_lits(q).iter().skip(1) {
+                        if self.level[l.var() as usize] > 0 {
+                            self.seen[l.var() as usize] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[v] = false;
+        }
+        self.seen[p.var() as usize] = false;
     }
 
     fn bump_var(&mut self, var: CnfVar) {
@@ -841,17 +1064,29 @@ impl Solver {
         }
     }
 
-    /// Removes roughly half of the learnt clauses, keeping binary clauses
-    /// and clauses that are the reason for a current assignment.
+    /// Removes roughly the coldest half of the learnt clauses: candidates
+    /// are ranked worst-first by (highest LBD, lowest activity); binary
+    /// clauses, low-LBD "glue" clauses and clauses that are the reason for a
+    /// current assignment are never deleted.
+    ///
+    /// A cancelled token makes this a no-op: the reduction rebuilds the
+    /// watch lists wholesale, and skipping it entirely is the transactional
+    /// way to wind down (the database is merely larger than the schedule
+    /// wants, which is always sound).
     fn reduce_db(&mut self) {
+        if self.cancel_token.is_cancelled() {
+            return;
+        }
         let mut learnt_refs: Vec<ClauseRef> = (0..self.clauses.len())
             .filter(|&i| self.clauses[i].learnt && !self.clauses[i].deleted)
             .collect();
         learnt_refs.sort_by(|&a, &b| {
-            self.clauses[a]
-                .activity
-                .partial_cmp(&self.clauses[b].activity)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            let (ca, cb) = (&self.clauses[a], &self.clauses[b]);
+            cb.lbd.cmp(&ca.lbd).then(
+                ca.activity
+                    .partial_cmp(&cb.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         let target = learnt_refs.len() / 2;
         let mut removed = 0usize;
@@ -859,12 +1094,17 @@ impl Solver {
             if removed >= target {
                 break;
             }
-            if self.clauses[cref].lits.len() <= 2 || self.clause_is_locked(cref) {
+            let clause = &self.clauses[cref];
+            if clause.lits.len() <= 2
+                || clause.lbd <= self.config.lbd_glue
+                || self.clause_is_locked(cref)
+            {
                 continue;
             }
             self.clauses[cref].deleted = true;
             removed += 1;
         }
+        self.stats.db_reductions += 1;
         self.stats.removed_clauses += removed as u64;
         self.stats.learnt_clauses -= removed as u64;
         self.rebuild_watches();
@@ -1222,6 +1462,198 @@ mod tests {
         s.new_vars(2);
         assert!(s.add_clause([Lit::positive(0), Lit::negative(0)]));
         assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    fn pigeonhole(pigeons: u32, holes: u32, config: SolverConfig) -> Solver {
+        let var = |i: u32, j: u32| i * holes + j;
+        let mut s = Solver::new(config);
+        s.new_vars((pigeons * holes) as usize);
+        for i in 0..pigeons {
+            s.add_clause((0..holes).map(|j| Lit::positive(var(i, j))));
+        }
+        for j in 0..holes {
+            for i1 in 0..pigeons {
+                for i2 in (i1 + 1)..pigeons {
+                    s.add_clause([Lit::negative(var(i1, j)), Lit::negative(var(i2, j))]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn assumptions_restrict_the_model() {
+        for config in all_configs() {
+            let mut s = Solver::new(config);
+            s.new_vars(3);
+            s.add_clause([Lit::positive(0), Lit::positive(1), Lit::positive(2)]);
+            assert_eq!(
+                s.solve_with_assumptions(&[Lit::negative(0), Lit::negative(1)]),
+                SolveResult::Sat
+            );
+            let model = s.model().expect("model");
+            assert!(!model[0] && !model[1] && model[2]);
+            // The assumptions do not stick: a plain solve afterwards is free.
+            assert_eq!(s.solve(), SolveResult::Sat);
+        }
+    }
+
+    #[test]
+    fn contradictory_assumptions_yield_a_failed_core() {
+        let mut s = Solver::new(SolverConfig::aggressive());
+        s.new_vars(4);
+        // x0 -> x1, x1 -> x2; assuming x0 and ¬x2 is contradictory, x3 is
+        // an innocent bystander that must stay out of the core.
+        s.add_clause([Lit::negative(0), Lit::positive(1)]);
+        s.add_clause([Lit::negative(1), Lit::positive(2)]);
+        let assumptions = [Lit::positive(3), Lit::positive(0), Lit::negative(2)];
+        assert_eq!(s.solve_with_assumptions(&assumptions), SolveResult::Unsat);
+        let core = s.failed_assumptions().to_vec();
+        assert!(!core.is_empty());
+        for &l in &core {
+            assert!(assumptions.contains(&l), "{l:?} is not an assumption");
+        }
+        assert!(
+            !core.contains(&Lit::positive(3)),
+            "the bystander stays out of the core: {core:?}"
+        );
+        // The core is itself unsatisfiable with the formula.
+        assert_eq!(s.solve_with_assumptions(&core), SolveResult::Unsat);
+        // The solver is still usable and the formula is still satisfiable.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn directly_conflicting_assumptions_fail() {
+        let mut s = Solver::new(SolverConfig::minimal());
+        s.new_vars(2);
+        s.add_clause([Lit::positive(0), Lit::positive(1)]);
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::positive(0), Lit::negative(0)]),
+            SolveResult::Unsat
+        );
+        let core = s.failed_assumptions();
+        assert!(core.contains(&Lit::negative(0)));
+        assert_eq!(s.solve(), SolveResult::Sat, "the formula itself is fine");
+    }
+
+    #[test]
+    fn assumption_false_at_top_level_gives_singleton_core() {
+        let mut s = Solver::new(SolverConfig::minimal());
+        s.new_vars(1);
+        s.add_clause([Lit::negative(0)]);
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::positive(0)]),
+            SolveResult::Unsat
+        );
+        assert_eq!(s.failed_assumptions(), &[Lit::positive(0)]);
+        assert!(s.solve() == SolveResult::Sat);
+    }
+
+    #[test]
+    fn incremental_assumption_loop_reuses_learnt_clauses() {
+        // Solve the same satisfiable instance under rotating assumptions;
+        // learnt clauses and stats accumulate monotonically across calls.
+        let mut s = Solver::new(SolverConfig::aggressive());
+        s.new_vars(9);
+        for i in 0..3u32 {
+            s.add_clause([
+                Lit::positive(3 * i),
+                Lit::positive(3 * i + 1),
+                Lit::positive(3 * i + 2),
+            ]);
+            s.add_clause([Lit::negative(3 * i), Lit::negative(3 * i + 1)]);
+        }
+        let mut last_conflicts = 0;
+        for round in 0..3u32 {
+            let assumption = Lit::positive(3 * round);
+            assert_eq!(s.solve_with_assumptions(&[assumption]), SolveResult::Sat);
+            let model = s.model().expect("model");
+            assert!(assumption.evaluate(model[assumption.var() as usize]));
+            assert!(s.stats().conflicts >= last_conflicts);
+            last_conflicts = s.stats().conflicts;
+        }
+    }
+
+    #[test]
+    fn ccmin_shortens_clauses_and_preserves_verdicts() {
+        // The same unsatisfiable pigeonhole instance with CCMin on and off:
+        // the verdict must match, and the minimizing solver must report
+        // deleted literals.
+        let mut with = SolverConfig::minimal();
+        with.verify_minimization = true;
+        let mut without = SolverConfig::minimal();
+        without.ccmin = false;
+        let mut s_with = pigeonhole(5, 4, with);
+        let mut s_without = pigeonhole(5, 4, without);
+        assert_eq!(s_with.solve(), SolveResult::Unsat);
+        assert_eq!(s_without.solve(), SolveResult::Unsat);
+        assert!(
+            s_with.stats().minimized_literals > 0,
+            "CCMin fires on pigeonhole conflicts"
+        );
+        assert_eq!(s_without.stats().minimized_literals, 0);
+    }
+
+    #[test]
+    fn verify_minimization_holds_under_xor_reasoning() {
+        let mut config = SolverConfig::xor_gauss();
+        config.verify_minimization = true;
+        let mut s = Solver::new(config);
+        s.new_vars(6);
+        // XOR chain plus clauses that force search and conflicts.
+        s.add_xor(XorConstraint::new([0, 1, 2], true));
+        s.add_xor(XorConstraint::new([2, 3, 4], false));
+        s.add_xor(XorConstraint::new([4, 5, 0], true));
+        s.add_clause([Lit::positive(0), Lit::positive(3)]);
+        s.add_clause([Lit::negative(1), Lit::positive(5)]);
+        s.add_clause([Lit::negative(3), Lit::negative(5)]);
+        let result = s.solve();
+        assert_ne!(result, SolveResult::Unknown);
+        if result == SolveResult::Sat {
+            let model = s.model().expect("model");
+            assert!(model[0] ^ model[1] ^ model[2]);
+        }
+    }
+
+    #[test]
+    fn db_reduction_protects_glue_and_counts_reductions() {
+        let mut config = SolverConfig::aggressive();
+        config.learnt_ratio = 0.05;
+        config.restart = RestartStrategy::Never;
+        let mut s = pigeonhole(7, 6, config);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().db_reductions > 0, "the schedule fired");
+        assert!(s.stats().removed_clauses > 0);
+        for c in s.clauses.iter().filter(|c| c.learnt && !c.deleted) {
+            assert!(c.lbd > 0, "learnt clauses carry their learning-time LBD");
+        }
+        // Glue clauses are never deleted, whatever their activity.
+        for c in s.clauses.iter().filter(|c| c.learnt && c.deleted) {
+            assert!(c.lbd > s.config().lbd_glue && c.lits.len() > 2);
+        }
+    }
+
+    #[test]
+    fn cancelled_token_skips_db_reduction() {
+        use bosphorus_interrupt::CancelToken;
+        let mut s = Solver::new(SolverConfig::aggressive());
+        s.new_vars(4);
+        s.add_clause([Lit::positive(0), Lit::positive(1)]);
+        // Simulate a learnt database mid-flight, then a cancelled token:
+        // reduce_db must leave every clause in place.
+        s.attach_clause(
+            vec![Lit::positive(0), Lit::positive(2), Lit::positive(3)],
+            true,
+        );
+        let token = CancelToken::new();
+        token.cancel();
+        s.set_cancel_token(token);
+        let before: usize = s.clauses.iter().filter(|c| !c.deleted).count();
+        s.reduce_db();
+        let after: usize = s.clauses.iter().filter(|c| !c.deleted).count();
+        assert_eq!(before, after, "a cancelled reduction deletes nothing");
+        assert_eq!(s.stats().db_reductions, 0);
     }
 
     #[test]

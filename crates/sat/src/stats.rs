@@ -20,6 +20,11 @@ pub struct SolverStats {
     pub learnt_clauses: u64,
     /// Number of learnt clauses removed by database reductions.
     pub removed_clauses: u64,
+    /// Number of learnt-clause database reductions performed.
+    pub db_reductions: u64,
+    /// Number of literals deleted from learnt clauses by conflict-clause
+    /// minimization (CCMin) before recording.
+    pub minimized_literals: u64,
     /// Number of literals propagated by XOR constraints.
     pub xor_propagations: u64,
     /// Number of top-level Gauss–Jordan rounds over the XOR constraints.
@@ -33,8 +38,14 @@ impl fmt::Display for SolverStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "conflicts={} decisions={} propagations={} restarts={} learnt={}",
-            self.conflicts, self.decisions, self.propagations, self.restarts, self.learnt_clauses
+            "conflicts={} decisions={} propagations={} restarts={} learnt={} removed={} minimized_lits={}",
+            self.conflicts,
+            self.decisions,
+            self.propagations,
+            self.restarts,
+            self.learnt_clauses,
+            self.removed_clauses,
+            self.minimized_literals
         )
     }
 }

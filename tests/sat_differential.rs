@@ -1,0 +1,182 @@
+//! Differential fuzzing of the CDCL SAT core against brute force.
+//!
+//! Random CNF (and CNF+XOR) instances over at most 16 variables are solved
+//! by the modernized solver and by exhaustive enumeration; the verdicts must
+//! match, every reported model must satisfy the instance, and every learnt
+//! clause must be entailed by it (checked against *all* satisfying
+//! assignments). The clause-database reduction is exercised both forced on
+//! and forced off, and the CCMin self-check (`verify_minimization`) is
+//! enabled throughout, so a minimization bug fails the run instead of
+//! silently weakening learnt clauses.
+//!
+//! The proptest shim seeds deterministically per test name, so CI runs the
+//! same cases every time.
+
+use bosphorus_repro::cnf::{Clause, CnfFormula, Lit};
+use bosphorus_repro::sat::{SolveResult, Solver, SolverConfig, XorConstraint};
+use proptest::prelude::*;
+
+const MAX_VARS: u32 = 16;
+
+/// A random CNF over `2..=MAX_VARS` variables: 1–4 literals per clause,
+/// clause count scaled with the variable count so instances straddle the
+/// SAT/UNSAT boundary.
+fn arb_cnf() -> impl Strategy<Value = CnfFormula> {
+    (2u32..=MAX_VARS).prop_flat_map(|n| {
+        proptest::collection::vec(
+            proptest::collection::vec((0..n, any::<bool>()), 1..5),
+            1..(2 * n as usize + 1),
+        )
+        .prop_map(move |clauses| {
+            let mut cnf =
+                CnfFormula::from_clauses(clauses.into_iter().map(|lits| {
+                    Clause::from_lits(lits.into_iter().map(|(v, neg)| Lit::new(v, neg)))
+                }));
+            cnf.ensure_num_vars(n as usize);
+            cnf
+        })
+    })
+}
+
+/// A random CNF plus native XOR constraints over the same variables.
+fn arb_cnf_with_xors() -> impl Strategy<Value = (CnfFormula, Vec<XorConstraint>)> {
+    (2u32..=MAX_VARS).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(
+                proptest::collection::vec((0..n, any::<bool>()), 1..4),
+                1..(n as usize + 1),
+            ),
+            proptest::collection::vec((proptest::collection::vec(0..n, 1..5), any::<bool>()), 1..4),
+        )
+            .prop_map(move |(clauses, xors)| {
+                let mut cnf = CnfFormula::from_clauses(clauses.into_iter().map(|lits| {
+                    Clause::from_lits(lits.into_iter().map(|(v, neg)| Lit::new(v, neg)))
+                }));
+                cnf.ensure_num_vars(n as usize);
+                let xors = xors
+                    .into_iter()
+                    .map(|(vars, rhs)| XorConstraint::new(vars, rhs))
+                    .collect();
+                (cnf, xors)
+            })
+    })
+}
+
+/// All satisfying assignments of `cnf` ∧ `xors`, as variable bit patterns.
+fn brute_force_models(cnf: &CnfFormula, xors: &[XorConstraint]) -> Vec<u64> {
+    let n = cnf.num_vars();
+    (0u64..(1 << n))
+        .filter(|bits| {
+            let value = |v: u32| (bits >> v) & 1 == 1;
+            cnf.iter().all(|c| c.evaluate(value)) && xors.iter().all(|x| x.evaluate(value))
+        })
+        .collect()
+}
+
+/// Solves, then checks verdict, model, and learnt-clause entailment against
+/// the brute-force model set.
+fn check_differential(cnf: &CnfFormula, xors: &[XorConstraint], config: SolverConfig) {
+    let models = brute_force_models(cnf, xors);
+    let mut solver = Solver::from_formula(config.clone(), cnf);
+    let mut ok = true;
+    for xor in xors {
+        ok &= solver.add_xor(xor.clone());
+    }
+    let result = if ok {
+        solver.solve()
+    } else {
+        SolveResult::Unsat
+    };
+    match result {
+        SolveResult::Sat => {
+            assert!(
+                !models.is_empty(),
+                "{}: SAT verdict on an UNSAT instance",
+                config.name
+            );
+            let model = solver.model().expect("SAT implies a model").to_vec();
+            let value = |v: u32| model[v as usize];
+            for clause in cnf.iter() {
+                assert!(
+                    clause.evaluate(value),
+                    "{}: model violates a clause",
+                    config.name
+                );
+            }
+            for xor in xors {
+                assert!(
+                    xor.evaluate(value),
+                    "{}: model violates an XOR constraint",
+                    config.name
+                );
+            }
+        }
+        SolveResult::Unsat => {
+            assert!(
+                models.is_empty(),
+                "{}: UNSAT verdict on an instance with {} models",
+                config.name,
+                models.len()
+            );
+        }
+        SolveResult::Unknown => {
+            panic!("{}: Unknown without a budget or token", config.name);
+        }
+    }
+    // Entailment: every learnt unit and clause must hold in *every* model of
+    // the original instance — a learnt clause that rules out a model is a
+    // soundness bug (an over-minimized conflict clause, a bad DB reduction,
+    // a broken assumption rewind, ...).
+    for &bits in &models {
+        let value = |v: u32| (bits >> v) & 1 == 1;
+        for lit in solver.learnt_units() {
+            assert!(
+                lit.evaluate(value(lit.var())),
+                "{}: learnt unit {lit:?} rules out a model",
+                config.name
+            );
+        }
+        for clause in solver.learnt_clauses() {
+            assert!(
+                clause.evaluate(value),
+                "{}: learnt clause rules out a model",
+                config.name
+            );
+        }
+    }
+}
+
+/// The aggressive preset with the CCMin self-check armed and the clause-DB
+/// reduction forced to `reduce`.
+fn checked_config(reduce: bool) -> SolverConfig {
+    let mut config = SolverConfig::aggressive();
+    config.reduce_db = reduce;
+    config.verify_minimization = true;
+    config
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// CNF instances, clause-DB reduction on and off: 240 solver runs.
+    #[test]
+    fn solver_agrees_with_brute_force(cnf in arb_cnf()) {
+        for reduce in [true, false] {
+            check_differential(&cnf, &[], checked_config(reduce));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    /// CNF+XOR instances through the CryptoMiniSat-role configuration
+    /// (native XOR watching plus top-level Gauss–Jordan).
+    #[test]
+    fn xor_solver_agrees_with_brute_force(instance in arb_cnf_with_xors()) {
+        let (cnf, xors) = instance;
+        let mut config = SolverConfig::xor_gauss();
+        config.verify_minimization = true;
+        check_differential(&cnf, &xors, config);
+    }
+}
