@@ -181,11 +181,13 @@ fn measure(m: &BitMatrix, reps: usize) -> SizeResult {
 
 fn to_json(results: &[SizeResult], sparse: &[SparseResult], mode: &str, seed: u64) -> String {
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let single_cpu_host = host_cpus == 1;
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"gje_kernels\",");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     let _ = writeln!(out, "  \"seed\": {seed},");
     let _ = writeln!(out, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(out, "  \"single_cpu_host\": {single_cpu_host},");
     let _ = writeln!(out, "  \"time_metric\": \"best_of_reps_ns\",");
     out.push_str("  \"sizes\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -231,7 +233,11 @@ fn to_json(results: &[SizeResult], sparse: &[SparseResult], mode: &str, seed: u6
              \"dense_core_rows\": {}, \"dense_core_cols\": {}, \"components\": {}, \
              \"rows_eliminated\": {}, \"cols_eliminated\": {}, \
              \"empty_rows\": {}, \"duplicate_rows\": {}, \"singleton_rows\": {}, \
-             \"weight2_rows\": {}, \"pure_leading_rows\": {}, \"subset_cancellations\": {}}}",
+             \"weight2_rows\": {}, \"pure_leading_rows\": {}, \"subset_cancellations\": {}, \
+             \"duplicate_nnz\": {}, \"singleton_nnz\": {}, \"weight2_nnz\": {}, \
+             \"pure_leading_nnz\": {}, \"subset_nnz\": {}, \
+             \"peak_interned_rows\": {}, \"peak_interned_words\": {}, \
+             \"expansion_rows_pruned\": {}, \"components_parallel\": {}}}",
             r.rows,
             r.cols,
             r.fill,
@@ -252,7 +258,16 @@ fn to_json(results: &[SizeResult], sparse: &[SparseResult], mode: &str, seed: u6
             p.singleton_rows,
             p.weight2_rows,
             p.pure_leading_rows,
-            p.subset_cancellations
+            p.subset_cancellations,
+            p.duplicate_nnz,
+            p.singleton_nnz,
+            p.weight2_nnz,
+            p.pure_leading_nnz,
+            p.subset_nnz,
+            p.peak_interned_rows,
+            p.peak_interned_words,
+            p.expansion_rows_pruned,
+            p.components_parallel
         );
         out.push_str(if i + 1 < sparse.len() { ",\n" } else { "\n" });
     }
@@ -266,8 +281,10 @@ fn to_json(results: &[SizeResult], sparse: &[SparseResult], mode: &str, seed: u6
     // The recorded headline numbers: the PR-2 M4RM gain over the seed kernel
     // at 1024x1024 (kept for continuity; CI greps it), the blocked kernel's
     // gain over M4RM at 4096x4096, and the 4-thread band-parallel gain over
-    // the serial blocked kernel at 4096x4096 (read it next to `host_cpus` —
-    // on a single-core host it sits near 1.0 by construction).
+    // the serial blocked kernel at 4096x4096. On a single-CPU host the
+    // parallel headline only measures channel overhead, so it is recorded
+    // as null and `single_cpu_host` is set instead of publishing a
+    // meaningless ~1.0x.
     let emit = |out: &mut String, key: &str, value: Option<f64>, comma: bool| {
         let sep = if comma { "," } else { "" };
         match value {
@@ -294,7 +311,11 @@ fn to_json(results: &[SizeResult], sparse: &[SparseResult], mode: &str, seed: u6
     emit(
         &mut out,
         "speedup_4096_par4_vs_serial",
-        headline(4096, 4096, &|r| r.speedup_par_vs_serial(4)),
+        if single_cpu_host {
+            None
+        } else {
+            headline(4096, 4096, &|r| r.speedup_par_vs_serial(4))
+        },
         true,
     );
     // The presolve headline: best sparse-path gain over densify-then-
@@ -441,7 +462,17 @@ fn main() {
         );
         if let Some(s) = r.speedup_par_vs_serial(4) {
             let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-            println!("4096x4096 4-thread speedup over serial blocked: {s:.2}x (host has {host_cpus} CPU(s))");
+            if host_cpus > 1 {
+                println!(
+                    "4096x4096 4-thread speedup over serial blocked: {s:.2}x \
+                     (host has {host_cpus} CPU(s))"
+                );
+            } else {
+                println!(
+                    "4096x4096 4-thread run measured only channel overhead \
+                     (single-CPU host); parallel headline recorded as null"
+                );
+            }
         }
     }
 }

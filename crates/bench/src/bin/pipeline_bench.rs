@@ -24,7 +24,7 @@ use std::time::Instant;
 
 use bosphorus::{
     expansion_monomials, is_retainable_fact, Bosphorus, BosphorusConfig, CancelToken,
-    LinearizationBuilder, PresolveStats,
+    LinearizationBuilder, PresolveStats, StreamingSparseBuilder, SUBSET_CANDIDATE_LIMIT,
 };
 use bosphorus_anf::naive::{NaiveMonomial, NaivePolynomial};
 use bosphorus_anf::{Polynomial, PolynomialSystem, TermScratch, Var};
@@ -106,6 +106,18 @@ struct XlRoundResult {
     presolve_round_ns: u128,
     /// Phase split and rule counters of the best presolve round.
     presolve: PresolveStats,
+    /// Whole-round time of the **streaming** presolve configuration: the
+    /// rule cascades fire at row arrival, so cancelling rows are pruned
+    /// before being stored and the peak interned row count stays below the
+    /// batch path's full expansion. Facts asserted byte-identical.
+    streaming_round_ns: u128,
+    /// Stats of the best streaming round (serial residual elimination).
+    streaming: PresolveStats,
+    /// The same streaming round with the residual components dispatched
+    /// over 4 persistent workers (`components_parallel` records how many).
+    streaming_par_ns: u128,
+    /// Stats of the best component-parallel streaming round.
+    streaming_par: PresolveStats,
 }
 
 impl XlRoundResult {
@@ -343,6 +355,35 @@ fn presolve_xl_round(
     (start.elapsed().as_nanos(), facts, rank, presolve)
 }
 
+/// The same exhaustive round through the **streaming** presolve: every
+/// product row runs the rule cascades at arrival (rows that cancel are never
+/// stored), and the residual components are eliminated with `threads`
+/// workers. Facts are asserted byte-identical to the dense rounds by the
+/// caller before any number is reported.
+fn streaming_xl_round(
+    system: &PolynomialSystem,
+    multipliers: &[bosphorus_anf::Monomial],
+    threads: usize,
+) -> (u128, Vec<Polynomial>, usize, PresolveStats) {
+    let start = Instant::now();
+    let mut builder = StreamingSparseBuilder::new();
+    for poly in system.iter() {
+        builder.push(poly);
+    }
+    let mut scratch = TermScratch::new();
+    for base in system.iter() {
+        for m in multipliers {
+            builder.push_product(base, m, &mut scratch);
+        }
+    }
+    let (facts, rank, _gauss, presolve) = builder.finish_retainable_cancellable(
+        threads,
+        &CancelToken::never(),
+        SUBSET_CANDIDATE_LIMIT,
+    );
+    (start.elapsed().as_nanos(), facts, rank, presolve)
+}
+
 /// Best-of-`reps` run of `f`, keeping the run with the smallest total time.
 fn best_run(reps: usize, mut f: impl FnMut() -> RoundRun) -> RoundRun {
     let mut best: Option<RoundRun> = None;
@@ -437,6 +478,38 @@ fn measure_xl_round(name: &str, system: &PolynomialSystem, reps: usize) -> XlRou
         }
     }
     let presolve = presolve_split.expect("reps >= 1");
+    // The streaming configuration, serial and component-parallel, with the
+    // learnt facts asserted byte-identical to every other path.
+    let mut streaming_round_ns = u128::MAX;
+    let mut streaming_split: Option<PresolveStats> = None;
+    let mut streaming_par_ns = u128::MAX;
+    let mut streaming_par_split: Option<PresolveStats> = None;
+    for (threads, best_ns, best_split) in [
+        (1usize, &mut streaming_round_ns, &mut streaming_split),
+        (4, &mut streaming_par_ns, &mut streaming_par_split),
+    ] {
+        for _ in 0..reps {
+            let (round_ns, facts, rank, split) = streaming_xl_round(system, &multipliers, threads);
+            assert_eq!(
+                rank, fast.rank,
+                "{name}: streaming rank diverges at {threads} threads"
+            );
+            assert_eq!(
+                facts, fast.facts,
+                "{name}: streaming learnt facts diverge at {threads} threads"
+            );
+            assert!(
+                split.peak_interned_rows <= presolve.peak_interned_rows,
+                "{name}: streaming peak rows exceed the batch peak"
+            );
+            if round_ns < *best_ns {
+                *best_ns = round_ns;
+                *best_split = Some(split);
+            }
+        }
+    }
+    let streaming = streaming_split.expect("reps >= 1");
+    let streaming_par = streaming_par_split.expect("reps >= 1");
     XlRoundResult {
         name: name.to_string(),
         rows: fast.rows,
@@ -452,6 +525,10 @@ fn measure_xl_round(name: &str, system: &PolynomialSystem, reps: usize) -> XlRou
         fast_total_ns: fast.total_ns(),
         presolve_round_ns,
         presolve,
+        streaming_round_ns,
+        streaming,
+        streaming_par_ns,
+        streaming_par,
     }
 }
 
@@ -498,11 +575,13 @@ fn to_json(
     seed: u64,
 ) -> String {
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let single_cpu_host = host_cpus == 1;
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"pipeline\",");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     let _ = writeln!(out, "  \"seed\": {seed},");
     let _ = writeln!(out, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(out, "  \"single_cpu_host\": {single_cpu_host},");
     let _ = writeln!(out, "  \"time_metric\": \"best_of_reps_ns\",");
     out.push_str("  \"instances\": [\n");
     for (i, r) in preprocess.iter().enumerate() {
@@ -591,7 +670,8 @@ fn to_json(
              \"rows_eliminated\": {}, \"cols_eliminated\": {}, \
              \"empty_rows\": {}, \"duplicate_rows\": {}, \"singleton_rows\": {}, \
              \"weight2_rows\": {}, \"pure_leading_rows\": {}, \
-             \"subset_cancellations\": {}}}}}",
+             \"subset_cancellations\": {}, \
+             \"peak_interned_rows\": {}, \"peak_interned_words\": {}}}, ",
             r.presolve_round_ns,
             p.presolve_ns,
             p.dense_ns,
@@ -606,7 +686,34 @@ fn to_json(
             p.singleton_rows,
             p.weight2_rows,
             p.pure_leading_rows,
-            p.subset_cancellations
+            p.subset_cancellations,
+            p.peak_interned_rows,
+            p.peak_interned_words
+        );
+        // The streaming configuration of the same round: rows pruned at
+        // arrival, peak interned memory below the batch path's full
+        // expansion, and the component-parallel residual elimination
+        // (facts asserted byte-identical to every other path in-bench).
+        let s = &r.streaming;
+        let sp = &r.streaming_par;
+        let _ = write!(
+            out,
+            "\"streaming\": {{\"round_total_ns\": {}, \"presolve_ns\": {}, \
+             \"dense_core_gauss_ns\": {}, \
+             \"peak_interned_rows\": {}, \"peak_interned_words\": {}, \
+             \"expansion_rows_pruned\": {}, \
+             \"peak_rows_vs_batch\": {:.3}, \
+             \"par4_round_total_ns\": {}, \"components_parallel\": {}, \
+             \"facts_identical\": true}}}}",
+            r.streaming_round_ns,
+            s.presolve_ns,
+            s.dense_ns,
+            s.peak_interned_rows,
+            s.peak_interned_words,
+            s.expansion_rows_pruned,
+            s.peak_interned_rows as f64 / p.peak_interned_rows.max(1) as f64,
+            r.streaming_par_ns,
+            sp.components_parallel
         );
         out.push_str(if i + 1 < rounds.len() { ",\n" } else { "\n" });
     }
@@ -647,17 +754,37 @@ fn to_json(
         .iter()
         .find(|r| r.name.starts_with("simon"))
         .expect("a Simon round is always measured");
+    // The component-parallel headline is only meaningful on a multi-CPU
+    // host; a single-CPU run would measure channel overhead, so it is
+    // recorded as null next to the `single_cpu_host` marker instead.
+    let par_speedup = if single_cpu_host {
+        "null".to_string()
+    } else {
+        format!(
+            "{:.2}",
+            simon.streaming_round_ns as f64 / simon.streaming_par_ns.max(1) as f64
+        )
+    };
     let _ = writeln!(
         out,
         "  \"headline\": {{\"xl_round_speedup_simon\": {:.2}, \
          \"presolve_gauss_speedup_simon\": {:.2}, \
+         \"streaming_peak_rows_simon\": {}, \
+         \"batch_peak_rows_simon\": {}, \
+         \"expansion_rows_pruned_simon\": {}, \
+         \"component_parallel_round_speedup_simon\": {par_speedup}, \
          \"headline_instance\": \"{}\", \
          \"headline_metric\": \"term-layer (expand + linearise + readback) \
          best-of-reps; shared GJE kernel excluded. presolve_gauss_speedup \
          compares dense-only gauss_ns against presolve_ns + dense-core \
-         gauss_ns on the same round, identical learnt facts\"}}",
+         gauss_ns on the same round, identical learnt facts. streaming peaks \
+         compare max interned rows held at once (streaming prunes cancelling \
+         rows at arrival; batch stores the full expansion first)\"}}",
         simon.term_speedup(),
         simon.presolve_gauss_speedup(),
+        simon.streaming.peak_interned_rows,
+        simon.presolve.peak_interned_rows,
+        simon.streaming.expansion_rows_pruned,
         simon.name
     );
     out.push('}');
@@ -801,6 +928,18 @@ fn main() {
             p.components,
             100.0 * p.rows_eliminated as f64 / p.input_rows.max(1) as f64,
             100.0 * p.cols_eliminated as f64 / p.input_cols.max(1) as f64
+        );
+        let s = &r.streaming;
+        println!(
+            "      streaming {:>9.3} ms  peak rows {} / {} batch ({:.1}%)  \
+             pruned-at-arrival {}  par4 {:>9.3} ms (comps {})",
+            r.streaming_round_ns as f64 / 1e6,
+            s.peak_interned_rows,
+            p.peak_interned_rows,
+            100.0 * s.peak_interned_rows as f64 / p.peak_interned_rows.max(1) as f64,
+            s.expansion_rows_pruned,
+            r.streaming_par_ns as f64 / 1e6,
+            r.streaming_par.components_parallel
         );
     }
 

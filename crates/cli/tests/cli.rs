@@ -250,6 +250,60 @@ fn no_presolve_reproduces_the_same_solution_and_facts() {
 }
 
 #[test]
+fn presolve_batch_and_subset_limit_reproduce_the_same_solution_and_facts() {
+    // A/B: streaming presolve (the default), batch presolve and a disabled
+    // subset rule are all exact, so they must agree on the verdict, the
+    // model and every fact count — only timings, operation counts and the
+    // presolve counters (peaks, pruned rows, per-rule attribution) differ.
+    let strip_volatile = |json: &str| -> Vec<String> {
+        json.lines()
+            .filter(|l| {
+                !l.contains("time_ms")
+                    && !l.contains("\"presolve\":")
+                    && !l.contains("presolve_ns")
+                    && !l.contains("gauss_row_xors")
+            })
+            .map(str::to_string)
+            .collect()
+    };
+    for instance_name in ["worked_example.anf", "table1.anf"] {
+        let path = instance(instance_name);
+        let streaming = bosphorus(&["--anf", &path, "--solve", "--stats-json"]);
+        let streaming_text = stdout(&streaming);
+        let model = |text: &str| {
+            text.lines()
+                .find(|l| l.starts_with("v "))
+                .map(str::to_string)
+        };
+        for variant in [
+            &["--presolve-batch"][..],
+            &["--presolve-subset-limit", "0"][..],
+            &["--presolve-batch", "--presolve-subset-limit", "0"][..],
+        ] {
+            let mut args = vec!["--anf", path.as_str(), "--solve", "--stats-json"];
+            args.extend_from_slice(variant);
+            let other = bosphorus(&args);
+            assert_eq!(
+                streaming.status.code(),
+                other.status.code(),
+                "{instance_name} {variant:?}: exit codes must agree"
+            );
+            let other_text = stdout(&other);
+            assert_eq!(
+                model(&streaming_text),
+                model(&other_text),
+                "{instance_name} {variant:?}: models must agree"
+            );
+            assert_eq!(
+                strip_volatile(&streaming_text),
+                strip_volatile(&other_text),
+                "{instance_name} {variant:?}: facts and timeline must agree"
+            );
+        }
+    }
+}
+
+#[test]
 fn bad_usage_exits_one_with_a_message() {
     let output = bosphorus(&["--frobnicate"]);
     assert_eq!(output.status.code(), Some(1));

@@ -67,19 +67,21 @@ pub use anf_to_cnf::{anf_to_cnf, tseitin_clause_count, CnfConversion, FactTransl
 // problem representation, see `AnfDatabase`); re-exported here so existing
 // `bosphorus::AnfPropagator` paths keep working.
 pub use bosphorus_anf::{AnfPropagator, PropagationOutcome, VarKnowledge};
-pub use bosphorus_gf2::{GaussStats, PresolveStats};
+pub use bosphorus_gf2::{GaussStats, PresolveStats, SUBSET_CANDIDATE_LIMIT};
 // The cancellation token lives in its own bottom-level crate so every layer
 // (gf2, sat, groebner) can poll it; re-exported here as the engine-facing
 // entry point for deadlines and SIGINT-driven interruption.
 pub use bosphorus_interrupt::{CancelToken, Checkpoint};
 pub use cnf_to_anf::{clause_to_polynomial, cnf_to_anf, AnfConversion};
-pub use config::BosphorusConfig;
+pub use config::{BosphorusConfig, PresolveMode};
 pub use elimlin::{
     elimlin_learn, elimlin_learn_cancellable, elimlin_on, elimlin_on_cancellable, ElimLinOutcome,
 };
 pub use engine::{Bosphorus, PreprocessStatus, SolveStatus};
 pub use incremental::{IncrementalCnf, IncrementalSatState};
-pub use linearize::{Linearization, LinearizationBuilder, SparseLinearization};
+pub use linearize::{
+    Linearization, LinearizationBuilder, SparseLinearization, StreamingSparseBuilder,
+};
 pub use minimize::karnaugh_clauses;
 pub use pipeline::{
     ElimLinPass, GroebnerPass, LearningPass, PassBudget, PassKind, PassOutcome, PassStatus,

@@ -162,6 +162,53 @@ proptest! {
         }
     }
 
+    /// Streaming presolve, batch presolve, and the dense-only path commit
+    /// byte-identical XL facts at every thread count, and a streaming round
+    /// never holds more interned rows at once than the batch round's input
+    /// (the peak-memory monotonicity guarantee). ElimLin's fixed-point loop
+    /// is checked the same way through its public entry point.
+    #[test]
+    fn presolve_modes_commit_identical_facts(system in arb_system(), seed in any::<u64>()) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut reference = None;
+        let mut batch_peak = 0usize;
+        let mut streaming_peak = usize::MAX;
+        for (presolve, streaming) in [(true, true), (true, false), (false, false)] {
+            for threads in [1usize, 2, 3, 8] {
+                let config = BosphorusConfig {
+                    presolve,
+                    presolve_streaming: streaming,
+                    threads,
+                    ..BosphorusConfig::exhaustive()
+                };
+                let mut rng = StdRng::seed_from_u64(seed);
+                let outcome = xl_learn(&system, &config, &mut rng);
+                match &reference {
+                    None => reference = Some((outcome.facts.clone(), outcome.rank)),
+                    Some((facts, rank)) => {
+                        prop_assert_eq!(
+                            facts, &outcome.facts,
+                            "facts diverge (presolve={}, streaming={}, threads={})",
+                            presolve, streaming, threads
+                        );
+                        prop_assert_eq!(*rank, outcome.rank);
+                    }
+                }
+                if presolve && streaming {
+                    streaming_peak = streaming_peak.min(outcome.presolve.peak_interned_rows);
+                } else if presolve {
+                    batch_peak = batch_peak.max(outcome.presolve.peak_interned_rows);
+                }
+            }
+        }
+        prop_assert!(
+            streaming_peak <= batch_peak.max(1),
+            "streaming peak {} exceeds batch peak {}",
+            streaming_peak, batch_peak
+        );
+    }
+
     /// Preprocessing a CNF never changes its satisfiability (the
     /// CNF-preprocessor use-case).
     #[test]
